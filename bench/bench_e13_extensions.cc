@@ -1,0 +1,169 @@
+// E13 — §VIII future-work extensions, implemented and measured:
+//   * identity-based signatures for deposit authentication vs the
+//     paper's HMAC (what replacing the shared-key table costs), and
+//   * threshold PKG extraction vs the centralized escrow (what removing
+//     the single point of trust costs), swept over (t, n).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/crypto/hmac.h"
+#include "src/ibe/ibs.h"
+#include "src/math/params.h"
+#include "src/pkg/threshold.h"
+#include "src/util/random.h"
+
+namespace {
+
+using mws::ibe::BfIbe;
+using mws::ibe::IbSignatures;
+using mws::math::GetParams;
+using mws::math::ParamPreset;
+using mws::pkg::ThresholdPkg;
+using mws::util::Bytes;
+using mws::util::BytesFromString;
+using mws::util::DeterministicRandom;
+
+struct IbsFixture {
+  const mws::math::TypeAParams& group = GetParams(ParamPreset::kSmall);
+  BfIbe ibe{group};
+  IbSignatures ibs{group};
+  DeterministicRandom rng{1};
+  mws::ibe::SystemParams params;
+  mws::ibe::MasterKey master;
+  mws::ibe::IbePrivateKey key;
+
+  IbsFixture() {
+    auto setup = ibe.Setup(rng);
+    params = setup.first;
+    master = setup.second;
+    key = ibe.Extract(master, BytesFromString("SD-1"));
+  }
+};
+
+IbsFixture& SharedIbs() {
+  static IbsFixture& f = *new IbsFixture();
+  return f;
+}
+
+void BM_DepositAuth_HmacSign(benchmark::State& state) {
+  Bytes key(32, 0x11);
+  Bytes message(state.range(0), 'm');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mws::crypto::HmacSha256(key, message));
+  }
+  state.SetLabel("HMAC (paper), " + std::to_string(state.range(0)) + " B");
+}
+BENCHMARK(BM_DepositAuth_HmacSign)->Arg(128)->Arg(4096);
+
+void BM_DepositAuth_IbsSign(benchmark::State& state) {
+  IbsFixture& f = SharedIbs();
+  Bytes message(state.range(0), 'm');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ibs.Sign(f.key, message));
+  }
+  state.SetLabel("IBS (future work), " + std::to_string(state.range(0)) +
+                 " B");
+}
+BENCHMARK(BM_DepositAuth_IbsSign)->Arg(128)->Arg(4096);
+
+void BM_DepositAuth_HmacVerify(benchmark::State& state) {
+  Bytes key(32, 0x11);
+  Bytes message(128, 'm');
+  Bytes mac = mws::crypto::HmacSha256(key, message);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mws::crypto::VerifyHmac(
+        mws::crypto::HashKind::kSha256, key, message, mac));
+  }
+  state.SetLabel("HMAC verify (needs shared-key table)");
+}
+BENCHMARK(BM_DepositAuth_HmacVerify);
+
+void BM_DepositAuth_IbsVerify(benchmark::State& state) {
+  IbsFixture& f = SharedIbs();
+  Bytes message(128, 'm');
+  auto signature = f.ibs.Sign(f.key, message);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ibs.Verify(f.params, BytesFromString("SD-1"),
+                                          message, signature));
+  }
+  state.SetLabel("IBS verify (2 pairings, no key table)");
+}
+BENCHMARK(BM_DepositAuth_IbsVerify);
+
+// --- Threshold PKG ---
+
+void BM_Threshold_PartialExtract(benchmark::State& state) {
+  const auto& group = GetParams(ParamPreset::kSmall);
+  DeterministicRandom rng(2);
+  ThresholdPkg tpkg(group, state.range(0), state.range(1));
+  auto dealing = tpkg.Deal(rng).value();
+  BfIbe ibe(group);
+  auto q_id = ibe.HashToPoint(BytesFromString("id"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tpkg.PartialExtract(dealing.shares[0], q_id));
+  }
+  state.SetLabel("per server");
+}
+BENCHMARK(BM_Threshold_PartialExtract)->Args({3, 5});
+
+void BM_Threshold_Combine(benchmark::State& state) {
+  const auto& group = GetParams(ParamPreset::kSmall);
+  DeterministicRandom rng(3);
+  ThresholdPkg tpkg(group, state.range(0), state.range(1));
+  auto dealing = tpkg.Deal(rng).value();
+  BfIbe ibe(group);
+  auto q_id = ibe.HashToPoint(BytesFromString("id"));
+  std::vector<ThresholdPkg::PartialKey> partials;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    partials.push_back(tpkg.PartialExtract(dealing.shares[i], q_id));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tpkg.Combine(partials));
+  }
+  state.SetLabel("t=" + std::to_string(state.range(0)) + " of n=" +
+                 std::to_string(state.range(1)));
+}
+BENCHMARK(BM_Threshold_Combine)
+    ->Args({1, 1})
+    ->Args({2, 3})
+    ->Args({3, 5})
+    ->Args({5, 9})
+    ->Args({9, 15});
+
+void BM_Threshold_VerifyPartial(benchmark::State& state) {
+  const auto& group = GetParams(ParamPreset::kSmall);
+  DeterministicRandom rng(4);
+  ThresholdPkg tpkg(group, 3, 5);
+  auto dealing = tpkg.Deal(rng).value();
+  BfIbe ibe(group);
+  auto q_id = ibe.HashToPoint(BytesFromString("id"));
+  auto partial = tpkg.PartialExtract(dealing.shares[0], q_id);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tpkg.VerifyPartial(dealing.commitments, q_id, partial));
+  }
+  state.SetLabel("Feldman check, 2 pairings");
+}
+BENCHMARK(BM_Threshold_VerifyPartial);
+
+/// The centralized baseline the threshold design replaces.
+void BM_Threshold_CentralizedExtract(benchmark::State& state) {
+  IbsFixture& f = SharedIbs();
+  auto q_id = f.ibe.HashToPoint(BytesFromString("id"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ibe.ExtractFromPoint(f.master, q_id));
+  }
+  state.SetLabel("single escrow PKG");
+}
+BENCHMARK(BM_Threshold_CentralizedExtract);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== E13: future-work extensions (IBS, threshold PKG) ===\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

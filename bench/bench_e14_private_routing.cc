@@ -1,0 +1,148 @@
+// E14 — routing extensions beyond the paper's plaintext attributes:
+//   * PEKS searchable tags (related work [1]): the MWS routes on
+//     encrypted keywords; measures tag creation, trapdoor generation,
+//     per-record test cost, and a warehouse scan with N tagged records.
+//   * Policy expressions (§VIII XACML direction): parse + match cost and
+//     grant materialization against a growing attribute universe.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/ibe/peks.h"
+#include "src/math/params.h"
+#include "src/mws/policy_expr.h"
+#include "src/util/random.h"
+
+namespace {
+
+using mws::ibe::Peks;
+using mws::math::GetParams;
+using mws::math::ParamPreset;
+using mws::mws::PolicyExpression;
+using mws::util::Bytes;
+using mws::util::BytesFromString;
+using mws::util::DeterministicRandom;
+
+struct PeksFixture {
+  const mws::math::TypeAParams& group = GetParams(ParamPreset::kSmall);
+  Peks peks{group};
+  DeterministicRandom rng{1};
+  Peks::KeyPair keys;
+
+  PeksFixture() { keys = peks.GenerateKeyPair(rng); }
+};
+
+PeksFixture& Shared() {
+  static PeksFixture& f = *new PeksFixture();
+  return f;
+}
+
+void BM_PeksMakeTag(benchmark::State& state) {
+  PeksFixture& f = Shared();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    Bytes keyword = BytesFromString("KEYWORD-" + std::to_string(i++ % 16));
+    benchmark::DoNotOptimize(f.peks.MakeTag(f.keys.public_key, keyword,
+                                            f.rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("device side, 1 pairing");
+}
+BENCHMARK(BM_PeksMakeTag);
+
+void BM_PeksTrapdoor(benchmark::State& state) {
+  PeksFixture& f = Shared();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    Bytes keyword = BytesFromString("KEYWORD-" + std::to_string(i++ % 16));
+    benchmark::DoNotOptimize(f.peks.MakeTrapdoor(f.keys.secret, keyword));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("RC side, hash-to-point + scalar mul");
+}
+BENCHMARK(BM_PeksTrapdoor);
+
+void BM_PeksTest(benchmark::State& state) {
+  PeksFixture& f = Shared();
+  Bytes keyword = BytesFromString("ELECTRIC");
+  Peks::Tag tag = f.peks.MakeTag(f.keys.public_key, keyword, f.rng);
+  Peks::Trapdoor trapdoor = f.peks.MakeTrapdoor(f.keys.secret, keyword);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.peks.Test(tag, trapdoor));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("warehouse side, 1 pairing per record");
+}
+BENCHMARK(BM_PeksTest);
+
+void BM_PeksWarehouseScan(benchmark::State& state) {
+  PeksFixture& f = Shared();
+  std::vector<Peks::Tag> tags;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    Bytes keyword = BytesFromString("KW-" + std::to_string(i % 8));
+    tags.push_back(f.peks.MakeTag(f.keys.public_key, keyword, f.rng));
+  }
+  Peks::Trapdoor trapdoor =
+      f.peks.MakeTrapdoor(f.keys.secret, BytesFromString("KW-3"));
+  for (auto _ : state) {
+    int matches = 0;
+    for (const auto& tag : tags) {
+      matches += f.peks.Test(tag, trapdoor) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel(std::to_string(state.range(0)) + " tagged records");
+}
+BENCHMARK(BM_PeksWarehouseScan)->Arg(8)->Arg(64);
+
+// --- Policy expressions ---
+
+void BM_PolicyExprParse(benchmark::State& state) {
+  const char* text =
+      "(ELECTRIC-*-SV-CA OR GAS-*-SV-CA) AND NOT *-DECOMMISSIONED";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PolicyExpression::Parse(text));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PolicyExprParse);
+
+void BM_PolicyExprMatch(benchmark::State& state) {
+  auto expr = PolicyExpression::Parse(
+                  "(ELECTRIC-*-SV-CA OR GAS-*-SV-CA) AND NOT "
+                  "*-DECOMMISSIONED")
+                  .value();
+  std::vector<std::string> attrs;
+  for (int i = 0; i < 64; ++i) {
+    attrs.push_back("ELECTRIC-BLOCK" + std::to_string(i) + "-SV-CA");
+    attrs.push_back("WATER-BLOCK" + std::to_string(i) + "-SV-CA");
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr.Matches(attrs[i++ % attrs.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PolicyExprMatch);
+
+void BM_GlobMatchWorstCase(benchmark::State& state) {
+  // Backtracking-heavy pattern over a long attribute.
+  std::string pattern = "*A*A*A*A*A*B";
+  std::string text(state.range(0), 'A');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mws::mws::GlobMatch(pattern, text));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " chars, no match");
+}
+BENCHMARK(BM_GlobMatchWorstCase)->Arg(64)->Arg(128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== E14: private routing (PEKS) and policy expressions ===\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

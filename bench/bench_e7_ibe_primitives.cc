@@ -1,0 +1,188 @@
+// E7 — §IV primitive costs: the four Boneh–Franklin algorithms (Setup,
+// Extract, Encrypt, Decrypt) across security presets, plus the pairing
+// breakdown (Miller loop vs final exponentiation) and hash-to-point.
+
+#include <benchmark/benchmark.h>
+
+#include "src/crypto/drbg.h"
+#include "src/ibe/bf_ibe.h"
+#include "src/math/params.h"
+
+namespace {
+
+using mws::crypto::HmacDrbg;
+using mws::ibe::BasicCiphertext;
+using mws::ibe::BfIbe;
+using mws::math::GetParams;
+using mws::math::ParamPreset;
+using mws::math::TypeAParams;
+using mws::util::Bytes;
+using mws::util::BytesFromString;
+
+const TypeAParams& Preset(int64_t index) {
+  switch (index) {
+    case 0:
+      return GetParams(ParamPreset::kSmall);
+    case 2:
+      return GetParams(ParamPreset::kLarge);
+    default:
+      return GetParams(ParamPreset::kTest);
+  }
+}
+
+void SetPresetLabel(benchmark::State& state) {
+  state.SetLabel(ParamPresetName(state.range(0) == 0   ? ParamPreset::kSmall
+                                 : state.range(0) == 2 ? ParamPreset::kLarge
+                                                       : ParamPreset::kTest));
+}
+
+HmacDrbg MakeRng() { return HmacDrbg(BytesFromString("bench-seed")); }
+
+void BM_IbeSetup(benchmark::State& state) {
+  const TypeAParams& group = Preset(state.range(0));
+  BfIbe ibe(group);
+  HmacDrbg rng = MakeRng();
+  for (auto _ : state) {
+    auto setup = ibe.Setup(rng);
+    benchmark::DoNotOptimize(setup);
+  }
+  SetPresetLabel(state);
+}
+BENCHMARK(BM_IbeSetup)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_IbeHashToPoint(benchmark::State& state) {
+  const TypeAParams& group = Preset(state.range(0));
+  BfIbe ibe(group);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    Bytes id = BytesFromString("identity-" + std::to_string(i++));
+    benchmark::DoNotOptimize(ibe.HashToPoint(id));
+  }
+  SetPresetLabel(state);
+}
+BENCHMARK(BM_IbeHashToPoint)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_IbeExtract(benchmark::State& state) {
+  const TypeAParams& group = Preset(state.range(0));
+  BfIbe ibe(group);
+  HmacDrbg rng = MakeRng();
+  auto [params, master] = ibe.Setup(rng);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    Bytes id = BytesFromString("identity-" + std::to_string(i++));
+    benchmark::DoNotOptimize(ibe.Extract(master, id));
+  }
+  SetPresetLabel(state);
+}
+BENCHMARK(BM_IbeExtract)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_IbeEncrypt(benchmark::State& state) {
+  const TypeAParams& group = Preset(state.range(0));
+  BfIbe ibe(group);
+  HmacDrbg rng = MakeRng();
+  auto [params, master] = ibe.Setup(rng);
+  Bytes id = BytesFromString("recipient");
+  Bytes message(64, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ibe.Encrypt(params, id, message, rng));
+  }
+  SetPresetLabel(state);
+}
+BENCHMARK(BM_IbeEncrypt)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_IbeDecrypt(benchmark::State& state) {
+  const TypeAParams& group = Preset(state.range(0));
+  BfIbe ibe(group);
+  HmacDrbg rng = MakeRng();
+  auto [params, master] = ibe.Setup(rng);
+  Bytes id = BytesFromString("recipient");
+  BasicCiphertext ct = ibe.Encrypt(params, id, Bytes(64, 'x'), rng);
+  auto key = ibe.Extract(master, id);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ibe.Decrypt(params, key, ct));
+  }
+  SetPresetLabel(state);
+}
+BENCHMARK(BM_IbeDecrypt)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_IbeEncryptFull(benchmark::State& state) {
+  const TypeAParams& group = Preset(state.range(0));
+  BfIbe ibe(group);
+  HmacDrbg rng = MakeRng();
+  auto [params, master] = ibe.Setup(rng);
+  Bytes id = BytesFromString("recipient");
+  Bytes message(64, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ibe.EncryptFull(params, id, message, rng));
+  }
+  SetPresetLabel(state);
+}
+BENCHMARK(BM_IbeEncryptFull)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_IbeDecryptFull(benchmark::State& state) {
+  const TypeAParams& group = Preset(state.range(0));
+  BfIbe ibe(group);
+  HmacDrbg rng = MakeRng();
+  auto [params, master] = ibe.Setup(rng);
+  Bytes id = BytesFromString("recipient");
+  auto ct = ibe.EncryptFull(params, id, Bytes(64, 'x'), rng);
+  auto key = ibe.Extract(master, id);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ibe.DecryptFull(params, key, ct));
+  }
+  SetPresetLabel(state);
+}
+BENCHMARK(BM_IbeDecryptFull)->Arg(0)->Arg(1)->Arg(2);
+
+// --- Pairing breakdown ---
+
+void BM_PairingFull(benchmark::State& state) {
+  const TypeAParams& group = Preset(state.range(0));
+  HmacDrbg rng = MakeRng();
+  auto p = group.RandomPoint(rng);
+  auto q = group.RandomPoint(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group.Pairing(p, q));
+  }
+  SetPresetLabel(state);
+}
+BENCHMARK(BM_PairingFull)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_PairingMillerLoop(benchmark::State& state) {
+  const TypeAParams& group = Preset(state.range(0));
+  HmacDrbg rng = MakeRng();
+  auto p = group.RandomPoint(rng);
+  auto q = group.RandomPoint(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group.MillerLoop(p, q));
+  }
+  SetPresetLabel(state);
+}
+BENCHMARK(BM_PairingMillerLoop)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_PairingFinalExp(benchmark::State& state) {
+  const TypeAParams& group = Preset(state.range(0));
+  HmacDrbg rng = MakeRng();
+  auto z = group.MillerLoop(group.RandomPoint(rng), group.RandomPoint(rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group.FinalExponentiation(z));
+  }
+  SetPresetLabel(state);
+}
+BENCHMARK(BM_PairingFinalExp)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ScalarMul(benchmark::State& state) {
+  const TypeAParams& group = Preset(state.range(0));
+  HmacDrbg rng = MakeRng();
+  auto p = group.RandomPoint(rng);
+  auto k = group.RandomScalar(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group.curve().ScalarMul(k, p));
+  }
+  SetPresetLabel(state);
+}
+BENCHMARK(BM_ScalarMul)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+// E8 — §III requirement iv (scalability): throughput as the deployment
+// grows. Sweeps the number of devices, the number of stored messages,
+// the number of grants per RC, and the number of registered RCs.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/sim/scenario.h"
+#include "src/wire/auth.h"
+
+namespace {
+
+using mws::sim::UtilityScenario;
+using mws::util::BytesFromString;
+
+/// Deposit throughput vs fleet size.
+void BM_Scale_DepositVsFleet(benchmark::State& state) {
+  UtilityScenario::Options options;
+  options.devices_per_class = state.range(0);
+  auto s = UtilityScenario::Create(options).value();
+  size_t device = 0;
+  for (auto _ : state) {
+    auto& d = s->devices()[device++ % s->devices().size()];
+    benchmark::DoNotOptimize(d.DepositMessage(
+        UtilityScenario::kElectricAttr, BytesFromString("kWh=1.0")));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(3 * state.range(0)) + " devices");
+}
+BENCHMARK(BM_Scale_DepositVsFleet)->Arg(1)->Arg(10)->Arg(50);
+
+/// Retrieval cost vs warehouse size (messages visible to the RC grows).
+void BM_Scale_RetrieveVsWarehouseSize(benchmark::State& state) {
+  auto s = UtilityScenario::Create({}).value();
+  s->DepositReadings(state.range(0)).value();
+  auto& rc = s->company(UtilityScenario::kWaterResources);
+  for (auto _ : state) {
+    auto messages = rc.FetchAndDecrypt();
+    benchmark::DoNotOptimize(messages);
+  }
+  // Water company sees 1/3 of the warehouse.
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel(std::to_string(3 * state.range(0)) + " stored, " +
+                 std::to_string(state.range(0)) + " visible");
+}
+BENCHMARK(BM_Scale_RetrieveVsWarehouseSize)->Arg(1)->Arg(4)->Arg(16);
+
+/// MMS policy resolution vs number of registered RCs (the paper expects
+/// "a large number of other classes of clients").
+void BM_Scale_PolicyResolutionVsRcCount(benchmark::State& state) {
+  auto s = UtilityScenario::Create({}).value();
+  // Register extra RCs with one grant each.
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    std::string identity = "EXTRA-RC-" + std::to_string(i);
+    auto keys = mws::crypto::RsaGenerateKeyPair(768, s->rng()).value();
+    s->mws()
+        .RegisterReceivingClient(
+            identity, mws::wire::HashPassword("pw"),
+            mws::crypto::SerializeRsaPublicKey(keys.public_key))
+        .ok();
+    s->mws()
+        .GrantAttribute(identity, "EXTRA-ATTR-" + std::to_string(i % 50))
+        .value();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        s->mws().mms().GrantsFor(UtilityScenario::kCServices));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(state.range(0) + 3) + " registered RCs");
+}
+BENCHMARK(BM_Scale_PolicyResolutionVsRcCount)->Arg(10)->Arg(100)->Arg(300);
+
+/// Incremental retrieval: cost of fetching only the delta is flat even
+/// as the warehouse grows.
+void BM_Scale_IncrementalRetrieve(benchmark::State& state) {
+  auto s = UtilityScenario::Create({}).value();
+  s->DepositReadings(state.range(0)).value();
+  auto& rc = s->company(UtilityScenario::kCServices);
+  uint64_t high_water = 3 * state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    s->DepositReadings(1).value();  // 3 fresh messages
+    state.ResumeTiming();
+    auto messages = rc.FetchAndDecrypt(high_water);
+    benchmark::DoNotOptimize(messages);
+    high_water += 3;
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+  state.SetLabel("backlog " + std::to_string(3 * state.range(0)));
+}
+BENCHMARK(BM_Scale_IncrementalRetrieve)->Arg(1)->Arg(32)->Arg(128);
+
+/// Sequential vs batched key extraction for an N-message backlog: the
+/// batch API collapses N PKG round trips into one, which dominates on
+/// high-latency links (sim_net_ms counter shows the modeled gap).
+void BM_Scale_KeyExtraction(benchmark::State& state) {
+  const bool batched = state.range(1) != 0;
+  UtilityScenario::Options options;
+  options.network = mws::wire::NetworkModel::Wan();
+  auto s = UtilityScenario::Create(options).value();
+  s->DepositReadings(state.range(0)).value();
+  auto& rc = s->company(UtilityScenario::kWaterResources);
+  rc.Authenticate().ok();
+  auto retrieved = rc.Retrieve().value();
+  rc.AuthenticateWithPkg(retrieved.token).ok();
+  s->transport().ResetStats();
+  for (auto _ : state) {
+    if (batched) {
+      std::vector<std::pair<uint64_t, mws::util::Bytes>> items;
+      for (const auto& m : retrieved.messages) {
+        items.emplace_back(m.aid, m.nonce);
+      }
+      benchmark::DoNotOptimize(rc.RequestKeysBatch(items));
+    } else {
+      for (const auto& m : retrieved.messages) {
+        benchmark::DoNotOptimize(rc.RequestKey(m.aid, m.nonce));
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["sim_net_ms"] = benchmark::Counter(
+      static_cast<double>(s->transport().stats().simulated_network_micros) /
+          1000.0,
+      benchmark::Counter::kAvgIterations);
+  state.SetLabel(std::string(batched ? "batched" : "sequential") + ", " +
+                 std::to_string(state.range(0)) + " keys");
+}
+BENCHMARK(BM_Scale_KeyExtraction)
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({32, 0})
+    ->Args({32, 1});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== E8: scalability (requirement iv) ===\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

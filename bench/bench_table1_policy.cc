@@ -1,0 +1,131 @@
+// E1 — Paper Table 1: the identity–attribute–AID mapping.
+//
+// Regenerates the table's exact rows, then measures the policy database
+// operations that back it (grant, lookup, revoke, per-identity scan) as
+// the table grows.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/store/kvstore.h"
+#include "src/store/policy_db.h"
+
+namespace {
+
+using mws::store::KvStore;
+using mws::store::PolicyDb;
+using mws::store::PolicyRow;
+
+void PrintPaperTable1() {
+  auto table = KvStore::Open({.path = ""}).value();
+  PolicyDb db(table.get());
+  // The paper's exact five grants, in its order.
+  db.Grant("IDRC1", "A1").value();
+  db.Grant("IDRC1", "A2").value();
+  db.Grant("IDRC2", "A1").value();
+  db.Grant("IDRC3", "A3").value();
+  db.Grant("IDRC4", "A4").value();
+  std::printf("TABLE 1  Identity - Attribute Mapping\n");
+  std::printf("  %-10s %-10s %s\n", "Identity", "Attribute", "Attribute ID");
+  const auto rows = db.AllRows().value();
+  for (const PolicyRow& row : rows) {
+    std::printf("  %-10s %-10s %llu\n", row.identity.c_str(),
+                row.attribute.c_str(),
+                static_cast<unsigned long long>(row.aid));
+  }
+  std::printf("\n");
+}
+
+/// A policy table with `identities` RCs x `attrs_per` grants each.
+struct Fixture {
+  std::unique_ptr<KvStore> table;
+  std::unique_ptr<PolicyDb> db;
+};
+
+Fixture BuildTable(int64_t identities, int64_t attrs_per) {
+  Fixture f;
+  f.table = KvStore::Open({.path = ""}).value();
+  f.db = std::make_unique<PolicyDb>(f.table.get());
+  for (int64_t i = 0; i < identities; ++i) {
+    for (int64_t a = 0; a < attrs_per; ++a) {
+      f.db->Grant("RC-" + std::to_string(i), "ATTR-" + std::to_string(a))
+          .value();
+    }
+  }
+  return f;
+}
+
+void BM_PolicyGrant(benchmark::State& state) {
+  auto table = KvStore::Open({.path = ""}).value();
+  PolicyDb db(table.get());
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db.Grant("RC-" + std::to_string(i), "A").value());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PolicyGrant);
+
+void BM_PolicyRowsForIdentity(benchmark::State& state) {
+  Fixture f = BuildTable(state.range(0), state.range(1));
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto rows = f.db->RowsForIdentity(
+        "RC-" + std::to_string(i++ % state.range(0)));
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(state.range(0)) + " identities x " +
+                 std::to_string(state.range(1)) + " attrs");
+}
+BENCHMARK(BM_PolicyRowsForIdentity)
+    ->Args({10, 2})
+    ->Args({100, 5})
+    ->Args({1000, 5})
+    ->Args({10000, 5});
+
+void BM_PolicyAidLookup(benchmark::State& state) {
+  Fixture f = BuildTable(state.range(0), 5);
+  uint64_t aid = 1;
+  uint64_t max_aid = static_cast<uint64_t>(state.range(0)) * 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.db->RowForAid(aid));
+    aid = aid % max_aid + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PolicyAidLookup)->Arg(100)->Arg(10000);
+
+void BM_PolicyRevokeRegrant(benchmark::State& state) {
+  Fixture f = BuildTable(100, 5);
+  for (auto _ : state) {
+    f.db->Revoke("RC-7", "ATTR-3").ok();
+    benchmark::DoNotOptimize(f.db->Grant("RC-7", "ATTR-3").value());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PolicyRevokeRegrant);
+
+void BM_PolicyHasAccess(benchmark::State& state) {
+  Fixture f = BuildTable(1000, 5);
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.db->HasAccess("RC-" + std::to_string(i++ % 1000), "ATTR-2"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PolicyHasAccess);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== E1: paper Table 1 reproduction ===\n\n");
+  PrintPaperTable1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

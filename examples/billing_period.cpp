@@ -1,0 +1,70 @@
+// Billing-period retrieval: the utility use case that motivates the
+// paper. A month of encrypted readings accumulates at the warehouse;
+// C-Services retrieves only its billing window [day 10, day 20),
+// decrypts, and totals the consumption — the MWS filters by time without
+// ever seeing a single reading.
+//
+//   ./billing_period
+
+#include <cstdio>
+
+#include "src/sim/scenario.h"
+
+int main() {
+  using namespace mws;
+  auto scenario = sim::UtilityScenario::Create({});
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 scenario.status().ToString().c_str());
+    return 1;
+  }
+  auto& s = *scenario.value();
+
+  // A month of daily readings from every meter (simulated clock steps
+  // one day per reading inside DepositReadings' 1s steps — use manual
+  // deposits with day-sized steps instead).
+  const int64_t kDay = 86'400'000'000ll;
+  const int64_t month_start = s.clock().NowMicros();
+  auto& device = s.devices()[0];  // the electric meter
+  for (int day = 0; day < 30; ++day) {
+    s.clock().SetMicros(month_start + day * kDay);
+    sim::MeterReading reading = s.workload().Next(
+        device.device_id(), sim::MeterClass::kElectric, s.clock().NowMicros());
+    auto id = device.DepositMessage(sim::UtilityScenario::kElectricAttr,
+                                    reading.ToPayload());
+    if (!id.ok()) {
+      std::fprintf(stderr, "deposit failed: %s\n",
+                   id.status().ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("deposited 30 daily electric readings (all ciphertext at "
+              "the MWS)\n\n");
+
+  // C-Services pulls only the billing window [day 10, day 20).
+  auto window = s.company(sim::UtilityScenario::kCServices)
+                    .FetchAndDecrypt(/*after_id=*/0,
+                                     month_start + 10 * kDay,
+                                     month_start + 20 * kDay);
+  if (!window.ok()) {
+    std::fprintf(stderr, "retrieval failed: %s\n",
+                 window.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("billing window [day 10, day 20): %zu readings\n",
+              window->size());
+  double total = 0;
+  for (const auto& m : window.value()) {
+    auto reading = sim::MeterReading::FromPayload(m.plaintext);
+    if (!reading.ok()) continue;
+    int64_t day = (reading->timestamp_micros - month_start) / kDay;
+    std::printf("  day %2lld: %.3f kWh\n", static_cast<long long>(day),
+                reading->consumption);
+    total += reading->consumption;
+  }
+  std::printf("\nbill for the period: %.3f kWh\n", total);
+  std::printf("(the warehouse performed the time filtering on its "
+              "timestamp index,\n without the ability to read any "
+              "reading it filtered)\n");
+  return 0;
+}

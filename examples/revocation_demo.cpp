@@ -1,0 +1,56 @@
+// Walkthrough of the paper's revocation requirement (§III iii): when
+// C-Services drops the apartment complex, revoking its grant means
+// messages deposited *after* the policy change are no longer accessible,
+// without touching a single smart device — the per-message nonce gives
+// every message a fresh key pair, and the PKG only extracts keys for
+// AIDs present in a current ticket.
+//
+//   ./revocation_demo
+
+#include <cstdio>
+
+#include "src/sim/scenario.h"
+
+int main() {
+  using namespace mws;
+  auto scenario = sim::UtilityScenario::Create({});
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 scenario.status().ToString().c_str());
+    return 1;
+  }
+  auto& s = *scenario.value();
+  const char* company = sim::UtilityScenario::kCServices;
+
+  auto count = [&](const char* label) {
+    auto messages = s.RetrieveFor(company);
+    std::printf("%-46s -> C-Services reads %zu message(s)\n", label,
+                messages.ok() ? messages->size() : 0);
+  };
+
+  std::printf("== revocation walkthrough ==\n\n");
+  s.DepositReadings(1).value();
+  count("3 readings deposited (electric/water/gas)");
+
+  std::printf("\n* C-Services discontinues service; MWS operator revokes "
+              "all three grants *\n\n");
+  for (const char* attr : {sim::UtilityScenario::kElectricAttr,
+                           sim::UtilityScenario::kWaterAttr,
+                           sim::UtilityScenario::kGasAttr}) {
+    if (!s.mws().RevokeAttribute(company, attr).ok()) return 1;
+  }
+  count("after revocation, same warehouse content");
+
+  s.DepositReadings(1).value();
+  count("3 more readings deposited post-revocation");
+
+  std::printf("\n* complex switches back: operator re-grants electric *\n\n");
+  s.mws().GrantAttribute(company, sim::UtilityScenario::kElectricAttr)
+      .value();
+  count("after re-grant");
+
+  std::printf("\nNote the smart devices never changed: attributes and the "
+              "per-message\nnonce mean policy flips are entirely a "
+              "warehouse-side operation.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// CLI replacement for the paper's Fig. 5 smart-device web form: take a
+// message and an attribute from the command line, deposit it, then show
+// (a) what the warehouse actually stores — ciphertext, not plaintext —
+// and (b) the message arriving readable at an authorized receiving
+// client.
+//
+//   ./smart_device_cli [ATTRIBUTE] [message text...]
+
+#include <cstdio>
+#include <string>
+
+#include "src/sim/scenario.h"
+#include "src/util/hex.h"
+
+int main(int argc, char** argv) {
+  using namespace mws;
+
+  std::string attribute =
+      argc > 1 ? argv[1] : sim::UtilityScenario::kElectricAttr;
+  std::string text;
+  for (int i = 2; i < argc; ++i) {
+    if (!text.empty()) text += ' ';
+    text += argv[i];
+  }
+  if (text.empty()) text = "meter=E-2201 kWh=42.0 event=none";
+
+  auto scenario = sim::UtilityScenario::Create({});
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 scenario.status().ToString().c_str());
+    return 1;
+  }
+  auto& s = *scenario.value();
+
+  std::printf("-- smart device console (Fig. 5 substitute) --\n");
+  std::printf("attribute: %s\n", attribute.c_str());
+  std::printf("message:   %s\n\n", text.c_str());
+
+  client::SmartDevice& device = s.devices()[0];
+  auto id = device.DepositMessage(attribute, util::BytesFromString(text));
+  if (!id.ok()) {
+    std::fprintf(stderr, "deposit rejected: %s\n",
+                 id.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("deposited as message #%llu\n\n",
+              static_cast<unsigned long long>(id.value()));
+
+  // Show the warehouse's view: it holds rP, C, A, Nonce — and cannot read C.
+  auto stored = s.mws().message_db().Get(id.value());
+  if (stored.ok()) {
+    std::printf("what the MWS stores (its complete view of the message):\n");
+    std::printf("  rP:         %s...\n",
+                util::HexEncode(util::Bytes(stored->u.begin(),
+                                            stored->u.begin() + 16))
+                    .c_str());
+    std::printf("  ciphertext: %s...\n",
+                util::HexEncode(util::Bytes(
+                                    stored->ciphertext.begin(),
+                                    stored->ciphertext.begin() +
+                                        std::min<size_t>(
+                                            16, stored->ciphertext.size())))
+                    .c_str());
+    std::printf("  attribute:  %s (routing only)\n",
+                stored->attribute.c_str());
+    std::printf("  nonce:      %s\n\n",
+                util::HexEncode(stored->nonce).c_str());
+  }
+
+  // Retrieve as each company; only the eligible ones see it.
+  for (const std::string& company : s.company_names()) {
+    auto messages = s.RetrieveFor(company);
+    bool readable = false;
+    if (messages.ok()) {
+      for (const auto& m : messages.value()) {
+        if (m.message_id == id.value()) {
+          std::printf("%s decrypts it: %s\n", company.c_str(),
+                      util::StringFromBytes(m.plaintext).c_str());
+          readable = true;
+        }
+      }
+    }
+    if (!readable) {
+      std::printf("%s cannot see this message\n", company.c_str());
+    }
+  }
+  return 0;
+}

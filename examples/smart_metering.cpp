@@ -1,0 +1,88 @@
+// The paper's Fig. 1 utility scenario, end to end: electric, water and
+// gas meters deposit encrypted readings at the Message Warehousing
+// Service; three utility companies retrieve exactly the classes their
+// policies grant, decrypting via PKG-extracted per-message keys.
+//
+//   ./smart_metering [devices_per_class] [readings_per_device]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/sim/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace mws;
+  size_t devices = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2;
+  size_t readings = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 3;
+
+  sim::UtilityScenario::Options options;
+  options.devices_per_class = devices;
+  options.network = wire::NetworkModel::Wan();
+  auto scenario = sim::UtilityScenario::Create(options);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "scenario setup failed: %s\n",
+                 scenario.status().ToString().c_str());
+    return 1;
+  }
+  auto& s = *scenario.value();
+
+  std::printf("== Fig. 1 utility scenario ==\n");
+  std::printf("%zu devices/class x 3 classes, 3 companies\n\n", devices);
+
+  // Phase 1: deposits.
+  auto deposited = s.DepositReadings(readings);
+  if (!deposited.ok()) {
+    std::fprintf(stderr, "deposit failed: %s\n",
+                 deposited.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("deposited %zu encrypted readings at the MWS\n",
+              deposited.value());
+  std::printf("MWS message db now holds %zu records "
+              "(ciphertext + attribute + nonce; no keys)\n\n",
+              s.mws().message_db().Count());
+
+  // The policy table (paper Table 1 for this world).
+  std::printf("Identity-Attribute mapping (Table 1 shape):\n");
+  std::printf("  %-22s %-26s %s\n", "Identity", "Attribute", "AID");
+  const auto policy_rows = s.mws().PolicyTable().value();
+  for (const auto& row : policy_rows) {
+    std::printf("  %-22s %-26s %llu\n", row.identity.c_str(),
+                row.attribute.c_str(),
+                static_cast<unsigned long long>(row.aid));
+  }
+  std::printf("\n");
+
+  // Phase 2+3: each company retrieves and decrypts.
+  for (const std::string& company : s.company_names()) {
+    auto messages = s.RetrieveFor(company);
+    if (!messages.ok()) {
+      std::fprintf(stderr, "%s retrieval failed: %s\n", company.c_str(),
+                   messages.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s retrieved %zu readings:\n", company.c_str(),
+                messages->size());
+    size_t shown = 0;
+    for (const auto& m : messages.value()) {
+      if (shown++ == 4) {
+        std::printf("  ... (%zu more)\n", messages->size() - 4);
+        break;
+      }
+      std::printf("  [msg %llu, aid %llu] %s\n",
+                  static_cast<unsigned long long>(m.message_id),
+                  static_cast<unsigned long long>(m.aid),
+                  util::StringFromBytes(m.plaintext).c_str());
+    }
+    std::printf("\n");
+  }
+
+  const wire::TransportStats& stats = s.transport().stats();
+  std::printf("transport: %llu calls, %llu B up, %llu B down, "
+              "%.1f ms simulated WAN time\n",
+              static_cast<unsigned long long>(stats.calls),
+              static_cast<unsigned long long>(stats.request_bytes),
+              static_cast<unsigned long long>(stats.response_bytes),
+              stats.simulated_network_micros / 1000.0);
+  return 0;
+}

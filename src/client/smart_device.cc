@@ -1,0 +1,51 @@
+#include "src/client/smart_device.h"
+
+#include "src/crypto/hmac.h"
+
+namespace mws::client {
+
+SmartDevice::SmartDevice(std::string device_id, util::Bytes mac_key,
+                         const ibe::SystemParams& params,
+                         crypto::CipherKind dem, wire::Transport* transport,
+                         const util::Clock* clock, util::RandomSource* rng)
+    : device_id_(std::move(device_id)),
+      mac_key_(std::move(mac_key)),
+      params_(params),
+      sealer_(*params.group, dem),
+      transport_(transport),
+      clock_(clock),
+      rng_(rng) {}
+
+util::Result<wire::DepositRequest> SmartDevice::BuildDeposit(
+    const ibe::Attribute& attribute, const util::Bytes& payload) {
+  // Fresh nonce per message: a fresh public/private key pair, which is
+  // what makes later revocation bite (paper §V.B).
+  ibe::MessageNonce nonce = ibe::GenerateNonce(*rng_);
+  MWS_ASSIGN_OR_RETURN(
+      ibe::HybridCiphertext sealed,
+      sealer_.Seal(params_, attribute, nonce, payload, *rng_));
+
+  wire::DepositRequest request;
+  request.u = params_.group->curve().Serialize(sealed.u);
+  request.ciphertext = std::move(sealed.dem_ciphertext);
+  request.attribute = attribute;
+  request.nonce = nonce.value;
+  request.device_id = device_id_;
+  request.timestamp_micros = clock_->NowMicros();
+  request.mac = crypto::HmacSha256(mac_key_, request.AuthenticatedBytes());
+  return request;
+}
+
+util::Result<uint64_t> SmartDevice::DepositMessage(
+    const ibe::Attribute& attribute, const util::Bytes& payload) {
+  MWS_ASSIGN_OR_RETURN(wire::DepositRequest request,
+                       BuildDeposit(attribute, payload));
+  MWS_ASSIGN_OR_RETURN(util::Bytes raw,
+                       transport_->Call("mws.deposit", request.Encode()));
+  MWS_ASSIGN_OR_RETURN(wire::DepositResponse response,
+                       wire::DepositResponse::Decode(raw));
+  ++deposits_sent_;
+  return response.message_id;
+}
+
+}  // namespace mws::client

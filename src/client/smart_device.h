@@ -1,0 +1,52 @@
+#ifndef MWSIBE_CLIENT_SMART_DEVICE_H_
+#define MWSIBE_CLIENT_SMART_DEVICE_H_
+
+#include <string>
+
+#include "src/ibe/hybrid.h"
+#include "src/util/clock.h"
+#include "src/wire/messages.h"
+#include "src/wire/transport.h"
+
+namespace mws::client {
+
+/// A depositing client (DC): the embedded smart device of paper §II.
+/// Knows only its identity, its MAC key shared with the MWS, the PKG's
+/// public parameters, and the *attributes* of intended recipients —
+/// never their identities.
+class SmartDevice {
+ public:
+  /// `transport` must expose the "mws.deposit" endpoint and outlive the
+  /// device; `mac_key` is the registration-time shared secret.
+  SmartDevice(std::string device_id, util::Bytes mac_key,
+              const ibe::SystemParams& params, crypto::CipherKind dem,
+              wire::Transport* transport, const util::Clock* clock,
+              util::RandomSource* rng);
+
+  /// Encrypts `payload` to holders of `attribute`, MACs the bundle, and
+  /// deposits it (Fig. 4 phase 1). Returns the MWS-assigned message id.
+  util::Result<uint64_t> DepositMessage(const ibe::Attribute& attribute,
+                                        const util::Bytes& payload);
+
+  /// Builds the deposit request without sending it (used by tests and
+  /// the component benches to poke the SDA directly).
+  util::Result<wire::DepositRequest> BuildDeposit(
+      const ibe::Attribute& attribute, const util::Bytes& payload);
+
+  const std::string& device_id() const { return device_id_; }
+  uint64_t deposits_sent() const { return deposits_sent_; }
+
+ private:
+  std::string device_id_;
+  util::Bytes mac_key_;
+  ibe::SystemParams params_;
+  ibe::HybridSealer sealer_;
+  wire::Transport* transport_;
+  const util::Clock* clock_;
+  util::RandomSource* rng_;
+  uint64_t deposits_sent_ = 0;
+};
+
+}  // namespace mws::client
+
+#endif  // MWSIBE_CLIENT_SMART_DEVICE_H_

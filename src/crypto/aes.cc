@@ -1,0 +1,182 @@
+// AES-128 (FIPS 197), byte-oriented implementation. Provided as the
+// modern DEM alternative in the E10 cipher ablation.
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/crypto/des_internal.h"
+
+namespace mws::crypto {
+
+namespace {
+
+constexpr uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16};
+
+constexpr uint8_t kRcon[10] = {0x01, 0x02, 0x04, 0x08, 0x10,
+                               0x20, 0x40, 0x80, 0x1b, 0x36};
+
+uint8_t InvSboxAt(uint8_t v) {
+  static const auto kInv = [] {
+    struct Table {
+      uint8_t t[256];
+    } inv{};
+    for (int i = 0; i < 256; ++i) inv.t[kSbox[i]] = static_cast<uint8_t>(i);
+    return inv;
+  }();
+  return kInv.t[v];
+}
+
+uint8_t Xtime(uint8_t x) {
+  return static_cast<uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0x00));
+}
+
+uint8_t GfMul(uint8_t a, uint8_t b) {
+  uint8_t out = 0;
+  while (b) {
+    if (b & 1) out ^= a;
+    a = Xtime(a);
+    b >>= 1;
+  }
+  return out;
+}
+
+class Aes128Cipher : public BlockCipher {
+ public:
+  explicit Aes128Cipher(const util::Bytes& key) {
+    std::memcpy(round_keys_, key.data(), 16);
+    // Key expansion to 11 round keys (176 bytes).
+    for (int i = 16; i < 176; i += 4) {
+      uint8_t t[4];
+      std::memcpy(t, round_keys_ + i - 4, 4);
+      if (i % 16 == 0) {
+        uint8_t first = t[0];
+        t[0] = static_cast<uint8_t>(kSbox[t[1]] ^ kRcon[i / 16 - 1]);
+        t[1] = kSbox[t[2]];
+        t[2] = kSbox[t[3]];
+        t[3] = kSbox[first];
+      }
+      for (int j = 0; j < 4; ++j) {
+        round_keys_[i + j] = round_keys_[i - 16 + j] ^ t[j];
+      }
+    }
+  }
+
+  size_t block_length() const override { return 16; }
+
+  void EncryptBlock(const uint8_t* in, uint8_t* out) const override {
+    uint8_t s[16];
+    std::memcpy(s, in, 16);
+    AddRoundKey(s, 0);
+    for (int round = 1; round <= 9; ++round) {
+      SubBytes(s);
+      ShiftRows(s);
+      MixColumns(s);
+      AddRoundKey(s, round);
+    }
+    SubBytes(s);
+    ShiftRows(s);
+    AddRoundKey(s, 10);
+    std::memcpy(out, s, 16);
+  }
+
+  void DecryptBlock(const uint8_t* in, uint8_t* out) const override {
+    uint8_t s[16];
+    std::memcpy(s, in, 16);
+    AddRoundKey(s, 10);
+    for (int round = 9; round >= 1; --round) {
+      InvShiftRows(s);
+      InvSubBytes(s);
+      AddRoundKey(s, round);
+      InvMixColumns(s);
+    }
+    InvShiftRows(s);
+    InvSubBytes(s);
+    AddRoundKey(s, 0);
+    std::memcpy(out, s, 16);
+  }
+
+ private:
+  // State layout: s[4*col + row] (column-major, as in FIPS 197).
+  void AddRoundKey(uint8_t* s, int round) const {
+    for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[16 * round + i];
+  }
+
+  static void SubBytes(uint8_t* s) {
+    for (int i = 0; i < 16; ++i) s[i] = kSbox[s[i]];
+  }
+  static void InvSubBytes(uint8_t* s) {
+    for (int i = 0; i < 16; ++i) s[i] = InvSboxAt(s[i]);
+  }
+
+  static void ShiftRows(uint8_t* s) {
+    uint8_t t[16];
+    for (int col = 0; col < 4; ++col) {
+      for (int row = 0; row < 4; ++row) {
+        t[4 * col + row] = s[4 * ((col + row) % 4) + row];
+      }
+    }
+    std::memcpy(s, t, 16);
+  }
+  static void InvShiftRows(uint8_t* s) {
+    uint8_t t[16];
+    for (int col = 0; col < 4; ++col) {
+      for (int row = 0; row < 4; ++row) {
+        t[4 * ((col + row) % 4) + row] = s[4 * col + row];
+      }
+    }
+    std::memcpy(s, t, 16);
+  }
+
+  static void MixColumns(uint8_t* s) {
+    for (int col = 0; col < 4; ++col) {
+      uint8_t* c = s + 4 * col;
+      uint8_t a0 = c[0], a1 = c[1], a2 = c[2], a3 = c[3];
+      c[0] = static_cast<uint8_t>(Xtime(a0) ^ Xtime(a1) ^ a1 ^ a2 ^ a3);
+      c[1] = static_cast<uint8_t>(a0 ^ Xtime(a1) ^ Xtime(a2) ^ a2 ^ a3);
+      c[2] = static_cast<uint8_t>(a0 ^ a1 ^ Xtime(a2) ^ Xtime(a3) ^ a3);
+      c[3] = static_cast<uint8_t>(Xtime(a0) ^ a0 ^ a1 ^ a2 ^ Xtime(a3));
+    }
+  }
+  static void InvMixColumns(uint8_t* s) {
+    for (int col = 0; col < 4; ++col) {
+      uint8_t* c = s + 4 * col;
+      uint8_t a0 = c[0], a1 = c[1], a2 = c[2], a3 = c[3];
+      c[0] = GfMul(a0, 14) ^ GfMul(a1, 11) ^ GfMul(a2, 13) ^ GfMul(a3, 9);
+      c[1] = GfMul(a0, 9) ^ GfMul(a1, 14) ^ GfMul(a2, 11) ^ GfMul(a3, 13);
+      c[2] = GfMul(a0, 13) ^ GfMul(a1, 9) ^ GfMul(a2, 14) ^ GfMul(a3, 11);
+      c[3] = GfMul(a0, 11) ^ GfMul(a1, 13) ^ GfMul(a2, 9) ^ GfMul(a3, 14);
+    }
+  }
+
+  uint8_t round_keys_[176];
+};
+
+}  // namespace
+
+std::unique_ptr<BlockCipher> NewAes128Cipher(const util::Bytes& key) {
+  return std::make_unique<Aes128Cipher>(key);
+}
+
+}  // namespace mws::crypto

@@ -1,0 +1,60 @@
+#include "src/crypto/block_cipher.h"
+
+#include "src/crypto/des_internal.h"
+
+namespace mws::crypto {
+
+const char* CipherKindName(CipherKind kind) {
+  switch (kind) {
+    case CipherKind::kDes:
+      return "DES";
+    case CipherKind::kTripleDes:
+      return "3DES";
+    case CipherKind::kAes128:
+      return "AES-128";
+  }
+  return "unknown";
+}
+
+size_t KeyLength(CipherKind kind) {
+  switch (kind) {
+    case CipherKind::kDes:
+      return 8;
+    case CipherKind::kTripleDes:
+      return 24;
+    case CipherKind::kAes128:
+      return 16;
+  }
+  return 0;
+}
+
+size_t BlockLength(CipherKind kind) {
+  switch (kind) {
+    case CipherKind::kDes:
+    case CipherKind::kTripleDes:
+      return 8;
+    case CipherKind::kAes128:
+      return 16;
+  }
+  return 0;
+}
+
+util::Result<std::unique_ptr<BlockCipher>> NewBlockCipher(
+    CipherKind kind, const util::Bytes& key) {
+  if (key.size() != KeyLength(kind)) {
+    return util::Status::InvalidArgument(
+        std::string(CipherKindName(kind)) + " key must be " +
+        std::to_string(KeyLength(kind)) + " bytes");
+  }
+  switch (kind) {
+    case CipherKind::kDes:
+      return NewDesCipher(key);
+    case CipherKind::kTripleDes:
+      return NewTripleDesCipher(key);
+    case CipherKind::kAes128:
+      return NewAes128Cipher(key);
+  }
+  return util::Status::InvalidArgument("unknown cipher kind");
+}
+
+}  // namespace mws::crypto

@@ -1,0 +1,48 @@
+#ifndef MWSIBE_CRYPTO_BLOCK_CIPHER_H_
+#define MWSIBE_CRYPTO_BLOCK_CIPHER_H_
+
+#include <memory>
+
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace mws::crypto {
+
+/// Data-encapsulation ciphers available to the protocol. The paper fixes
+/// DES ("We have used DES encryption method throughout this protocol");
+/// 3DES and AES-128 are provided for the E10 cipher ablation.
+enum class CipherKind {
+  kDes,
+  kTripleDes,
+  kAes128,
+};
+
+const char* CipherKindName(CipherKind kind);
+
+/// Key length in bytes (8 / 24 / 16).
+size_t KeyLength(CipherKind kind);
+
+/// Block length in bytes (8 / 8 / 16).
+size_t BlockLength(CipherKind kind);
+
+/// A keyed block cipher operating on single blocks. Obtain instances via
+/// NewBlockCipher; use the mode functions in modes.h for full messages.
+class BlockCipher {
+ public:
+  virtual ~BlockCipher() = default;
+
+  virtual size_t block_length() const = 0;
+
+  /// Encrypts exactly one block. `in` and `out` may alias.
+  virtual void EncryptBlock(const uint8_t* in, uint8_t* out) const = 0;
+  /// Decrypts exactly one block. `in` and `out` may alias.
+  virtual void DecryptBlock(const uint8_t* in, uint8_t* out) const = 0;
+};
+
+/// Creates a keyed cipher; fails if `key` has the wrong length.
+util::Result<std::unique_ptr<BlockCipher>> NewBlockCipher(
+    CipherKind kind, const util::Bytes& key);
+
+}  // namespace mws::crypto
+
+#endif  // MWSIBE_CRYPTO_BLOCK_CIPHER_H_

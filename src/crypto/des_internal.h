@@ -1,0 +1,30 @@
+#ifndef MWSIBE_CRYPTO_DES_INTERNAL_H_
+#define MWSIBE_CRYPTO_DES_INTERNAL_H_
+
+// Internal DES plumbing shared between des.cc and block_cipher.cc.
+// Not part of the public API.
+
+#include <cstdint>
+#include <memory>
+
+#include "src/crypto/block_cipher.h"
+#include "src/util/bytes.h"
+
+namespace mws::crypto {
+
+/// Expands an 8-byte DES key into the 16 round subkeys.
+void ComputeDesSubkeys(const uint8_t key[8], uint64_t subkeys[16]);
+
+/// Runs the 16-round Feistel network (decrypt reverses the key order).
+void DesProcessBlock(const uint64_t subkeys[16], bool decrypt,
+                     const uint8_t in[8], uint8_t out[8]);
+
+/// Factories used by NewBlockCipher. Pre: key length already validated
+/// (8 bytes for DES, 24 for 3DES).
+std::unique_ptr<BlockCipher> NewDesCipher(const util::Bytes& key);
+std::unique_ptr<BlockCipher> NewTripleDesCipher(const util::Bytes& key);
+std::unique_ptr<BlockCipher> NewAes128Cipher(const util::Bytes& key);
+
+}  // namespace mws::crypto
+
+#endif  // MWSIBE_CRYPTO_DES_INTERNAL_H_

@@ -1,0 +1,46 @@
+#include "src/crypto/drbg.h"
+
+#include "src/crypto/hmac.h"
+
+namespace mws::crypto {
+
+HmacDrbg::HmacDrbg(const util::Bytes& seed)
+    : key_(32, 0x00), v_(32, 0x01) {
+  UpdateState(&seed);
+}
+
+HmacDrbg HmacDrbg::FromOsEntropy() {
+  return HmacDrbg(util::OsRandom::Instance().Generate(48));
+}
+
+void HmacDrbg::UpdateState(const util::Bytes* provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V).
+  util::Bytes data = v_;
+  data.push_back(0x00);
+  if (provided != nullptr) {
+    data.insert(data.end(), provided->begin(), provided->end());
+  }
+  key_ = HmacSha256(key_, data);
+  v_ = HmacSha256(key_, v_);
+  if (provided == nullptr) return;
+  data = v_;
+  data.push_back(0x01);
+  data.insert(data.end(), provided->begin(), provided->end());
+  key_ = HmacSha256(key_, data);
+  v_ = HmacSha256(key_, v_);
+}
+
+void HmacDrbg::Reseed(const util::Bytes& entropy) { UpdateState(&entropy); }
+
+void HmacDrbg::Fill(uint8_t* out, size_t len) {
+  size_t produced = 0;
+  while (produced < len) {
+    v_ = HmacSha256(key_, v_);
+    size_t take = std::min(v_.size(), len - produced);
+    std::copy(v_.begin(), v_.begin() + take, out + produced);
+    produced += take;
+  }
+  UpdateState(nullptr);
+}
+
+}  // namespace mws::crypto

@@ -1,0 +1,36 @@
+#ifndef MWSIBE_CRYPTO_DRBG_H_
+#define MWSIBE_CRYPTO_DRBG_H_
+
+#include "src/crypto/hash.h"
+#include "src/util/random.h"
+
+namespace mws::crypto {
+
+/// HMAC-DRBG (NIST SP 800-90A) over SHA-256.
+///
+/// The library's cryptographically secure RandomSource: seed once from
+/// OS entropy (or a fixed seed in tests for reproducible transcripts)
+/// and draw all protocol randomness from it.
+class HmacDrbg : public util::RandomSource {
+ public:
+  /// Instantiates with `seed` as entropy input (any length > 0).
+  explicit HmacDrbg(const util::Bytes& seed);
+
+  /// Convenience: instantiate from 48 bytes of OS entropy.
+  static HmacDrbg FromOsEntropy();
+
+  void Fill(uint8_t* out, size_t len) override;
+
+  /// Mixes fresh entropy into the state.
+  void Reseed(const util::Bytes& entropy);
+
+ private:
+  void UpdateState(const util::Bytes* provided);
+
+  util::Bytes key_;  // K, 32 bytes
+  util::Bytes v_;    // V, 32 bytes
+};
+
+}  // namespace mws::crypto
+
+#endif  // MWSIBE_CRYPTO_DRBG_H_

@@ -1,0 +1,321 @@
+#include "src/crypto/hash.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace mws::crypto {
+
+namespace {
+
+uint32_t Rotl32(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+uint32_t Rotr32(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+
+/// Common Merkle–Damgard machinery for 64-byte-block hashes.
+template <typename Derived, size_t kDigestLen, bool kBigEndianLength>
+class Md64Base : public Hasher {
+ public:
+  void Update(const uint8_t* data, size_t len) override {
+    total_bytes_ += len;
+    while (len > 0) {
+      size_t take = std::min(len, size_t{64} - buffer_len_);
+      std::memcpy(buffer_ + buffer_len_, data, take);
+      buffer_len_ += take;
+      data += take;
+      len -= take;
+      if (buffer_len_ == 64) {
+        static_cast<Derived*>(this)->Compress(buffer_);
+        buffer_len_ = 0;
+      }
+    }
+  }
+
+  util::Bytes Finalize() override {
+    uint64_t bit_len = total_bytes_ * 8;
+    uint8_t pad = 0x80;
+    Update(&pad, 1);
+    uint8_t zero = 0x00;
+    while (buffer_len_ != 56) Update(&zero, 1);
+    uint8_t len_bytes[8];
+    for (int i = 0; i < 8; ++i) {
+      int shift = kBigEndianLength ? (56 - 8 * i) : (8 * i);
+      len_bytes[i] = static_cast<uint8_t>(bit_len >> shift);
+    }
+    // Bypass total_bytes_ accounting for the length block.
+    std::memcpy(buffer_ + buffer_len_, len_bytes, 8);
+    static_cast<Derived*>(this)->Compress(buffer_);
+    return static_cast<Derived*>(this)->Digest();
+  }
+
+  size_t DigestLength() const override { return kDigestLen; }
+  size_t BlockLength() const override { return 64; }
+
+ protected:
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+class Sha1Hasher : public Md64Base<Sha1Hasher, 20, /*kBigEndianLength=*/true> {
+ public:
+  void Compress(const uint8_t block[64]) {
+    uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
+             (static_cast<uint32_t>(block[4 * i + 1]) << 16) |
+             (static_cast<uint32_t>(block[4 * i + 2]) << 8) |
+             block[4 * i + 3];
+    }
+    for (int i = 16; i < 80; ++i) {
+      w[i] = Rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
+    uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+    for (int i = 0; i < 80; ++i) {
+      uint32_t f, k;
+      if (i < 20) {
+        f = (b & c) | (~b & d);
+        k = 0x5a827999;
+      } else if (i < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ed9eba1;
+      } else if (i < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8f1bbcdc;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xca62c1d6;
+      }
+      uint32_t temp = Rotl32(a, 5) + f + e + k + w[i];
+      e = d;
+      d = c;
+      c = Rotl32(b, 30);
+      b = a;
+      a = temp;
+    }
+    h_[0] += a;
+    h_[1] += b;
+    h_[2] += c;
+    h_[3] += d;
+    h_[4] += e;
+  }
+
+  util::Bytes Digest() {
+    util::Bytes out(20);
+    for (int i = 0; i < 5; ++i) {
+      out[4 * i] = static_cast<uint8_t>(h_[i] >> 24);
+      out[4 * i + 1] = static_cast<uint8_t>(h_[i] >> 16);
+      out[4 * i + 2] = static_cast<uint8_t>(h_[i] >> 8);
+      out[4 * i + 3] = static_cast<uint8_t>(h_[i]);
+    }
+    return out;
+  }
+
+ private:
+  uint32_t h_[5] = {0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476,
+                    0xc3d2e1f0};
+};
+
+constexpr uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+class Sha256Hasher
+    : public Md64Base<Sha256Hasher, 32, /*kBigEndianLength=*/true> {
+ public:
+  void Compress(const uint8_t block[64]) {
+    uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
+             (static_cast<uint32_t>(block[4 * i + 1]) << 16) |
+             (static_cast<uint32_t>(block[4 * i + 2]) << 8) |
+             block[4 * i + 3];
+    }
+    for (int i = 16; i < 64; ++i) {
+      uint32_t s0 = Rotr32(w[i - 15], 7) ^ Rotr32(w[i - 15], 18) ^
+                    (w[i - 15] >> 3);
+      uint32_t s1 = Rotr32(w[i - 2], 17) ^ Rotr32(w[i - 2], 19) ^
+                    (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
+    uint32_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
+    for (int i = 0; i < 64; ++i) {
+      uint32_t s1 = Rotr32(e, 6) ^ Rotr32(e, 11) ^ Rotr32(e, 25);
+      uint32_t ch = (e & f) ^ (~e & g);
+      uint32_t temp1 = h + s1 + ch + kSha256K[i] + w[i];
+      uint32_t s0 = Rotr32(a, 2) ^ Rotr32(a, 13) ^ Rotr32(a, 22);
+      uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      uint32_t temp2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + temp1;
+      d = c;
+      c = b;
+      b = a;
+      a = temp1 + temp2;
+    }
+    h_[0] += a;
+    h_[1] += b;
+    h_[2] += c;
+    h_[3] += d;
+    h_[4] += e;
+    h_[5] += f;
+    h_[6] += g;
+    h_[7] += h;
+  }
+
+  util::Bytes Digest() {
+    util::Bytes out(32);
+    for (int i = 0; i < 8; ++i) {
+      out[4 * i] = static_cast<uint8_t>(h_[i] >> 24);
+      out[4 * i + 1] = static_cast<uint8_t>(h_[i] >> 16);
+      out[4 * i + 2] = static_cast<uint8_t>(h_[i] >> 8);
+      out[4 * i + 3] = static_cast<uint8_t>(h_[i]);
+    }
+    return out;
+  }
+
+ private:
+  uint32_t h_[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+};
+
+constexpr uint32_t kMd5K[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+constexpr int kMd5Shift[64] = {7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+                               7, 12, 17, 22, 5, 9,  14, 20, 5, 9,  14, 20,
+                               5, 9,  14, 20, 5, 9,  14, 20, 4, 11, 16, 23,
+                               4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+                               6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+                               6, 10, 15, 21};
+
+class Md5Hasher : public Md64Base<Md5Hasher, 16, /*kBigEndianLength=*/false> {
+ public:
+  void Compress(const uint8_t block[64]) {
+    uint32_t m[16];
+    for (int i = 0; i < 16; ++i) {
+      m[i] = static_cast<uint32_t>(block[4 * i]) |
+             (static_cast<uint32_t>(block[4 * i + 1]) << 8) |
+             (static_cast<uint32_t>(block[4 * i + 2]) << 16) |
+             (static_cast<uint32_t>(block[4 * i + 3]) << 24);
+    }
+    uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
+    for (int i = 0; i < 64; ++i) {
+      uint32_t f;
+      int g;
+      if (i < 16) {
+        f = (b & c) | (~b & d);
+        g = i;
+      } else if (i < 32) {
+        f = (d & b) | (~d & c);
+        g = (5 * i + 1) % 16;
+      } else if (i < 48) {
+        f = b ^ c ^ d;
+        g = (3 * i + 5) % 16;
+      } else {
+        f = c ^ (b | ~d);
+        g = (7 * i) % 16;
+      }
+      uint32_t temp = d;
+      d = c;
+      c = b;
+      b = b + Rotl32(a + f + kMd5K[i] + m[g], kMd5Shift[i]);
+      a = temp;
+    }
+    h_[0] += a;
+    h_[1] += b;
+    h_[2] += c;
+    h_[3] += d;
+  }
+
+  util::Bytes Digest() {
+    util::Bytes out(16);
+    for (int i = 0; i < 4; ++i) {
+      out[4 * i] = static_cast<uint8_t>(h_[i]);
+      out[4 * i + 1] = static_cast<uint8_t>(h_[i] >> 8);
+      out[4 * i + 2] = static_cast<uint8_t>(h_[i] >> 16);
+      out[4 * i + 3] = static_cast<uint8_t>(h_[i] >> 24);
+    }
+    return out;
+  }
+
+ private:
+  uint32_t h_[4] = {0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476};
+};
+
+}  // namespace
+
+const char* HashKindName(HashKind kind) {
+  switch (kind) {
+    case HashKind::kSha1:
+      return "SHA-1";
+    case HashKind::kSha256:
+      return "SHA-256";
+    case HashKind::kMd5:
+      return "MD5";
+  }
+  return "unknown";
+}
+
+size_t DigestLength(HashKind kind) {
+  switch (kind) {
+    case HashKind::kSha1:
+      return 20;
+    case HashKind::kSha256:
+      return 32;
+    case HashKind::kMd5:
+      return 16;
+  }
+  return 0;
+}
+
+std::unique_ptr<Hasher> NewHasher(HashKind kind) {
+  switch (kind) {
+    case HashKind::kSha1:
+      return std::make_unique<Sha1Hasher>();
+    case HashKind::kSha256:
+      return std::make_unique<Sha256Hasher>();
+    case HashKind::kMd5:
+      return std::make_unique<Md5Hasher>();
+  }
+  assert(false && "unknown hash kind");
+  return nullptr;
+}
+
+util::Bytes Hash(HashKind kind, const util::Bytes& data) {
+  auto hasher = NewHasher(kind);
+  hasher->Update(data);
+  return hasher->Finalize();
+}
+
+util::Bytes Sha1(const util::Bytes& data) {
+  return Hash(HashKind::kSha1, data);
+}
+
+util::Bytes Sha256(const util::Bytes& data) {
+  return Hash(HashKind::kSha256, data);
+}
+
+util::Bytes Md5(const util::Bytes& data) { return Hash(HashKind::kMd5, data); }
+
+}  // namespace mws::crypto

@@ -1,0 +1,51 @@
+#ifndef MWSIBE_CRYPTO_HASH_H_
+#define MWSIBE_CRYPTO_HASH_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/util/bytes.h"
+
+namespace mws::crypto {
+
+/// Supported digest algorithms. The paper's prototype used SHA-1 and MD5
+/// (Perl Digest::SHA1/MD5); SHA-256 is provided as the modern default for
+/// MACs and KDFs.
+enum class HashKind {
+  kSha1,
+  kSha256,
+  kMd5,
+};
+
+const char* HashKindName(HashKind kind);
+
+/// Digest length in bytes for `kind`.
+size_t DigestLength(HashKind kind);
+
+/// Streaming hash interface.
+class Hasher {
+ public:
+  virtual ~Hasher() = default;
+
+  virtual void Update(const uint8_t* data, size_t len) = 0;
+  void Update(const util::Bytes& data) { Update(data.data(), data.size()); }
+
+  /// Finalizes and returns the digest. The hasher must not be used after.
+  virtual util::Bytes Finalize() = 0;
+
+  virtual size_t DigestLength() const = 0;
+  virtual size_t BlockLength() const = 0;
+};
+
+/// Creates a streaming hasher for `kind`.
+std::unique_ptr<Hasher> NewHasher(HashKind kind);
+
+/// One-shot helpers.
+util::Bytes Hash(HashKind kind, const util::Bytes& data);
+util::Bytes Sha1(const util::Bytes& data);
+util::Bytes Sha256(const util::Bytes& data);
+util::Bytes Md5(const util::Bytes& data);
+
+}  // namespace mws::crypto
+
+#endif  // MWSIBE_CRYPTO_HASH_H_

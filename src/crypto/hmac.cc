@@ -1,0 +1,41 @@
+#include "src/crypto/hmac.h"
+
+namespace mws::crypto {
+
+util::Bytes Hmac(HashKind kind, const util::Bytes& key,
+                 const util::Bytes& data) {
+  auto hasher = NewHasher(kind);
+  const size_t block = hasher->BlockLength();
+
+  util::Bytes k = key;
+  if (k.size() > block) {
+    k = Hash(kind, k);
+  }
+  k.resize(block, 0x00);
+
+  util::Bytes ipad(block), opad(block);
+  for (size_t i = 0; i < block; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  hasher->Update(ipad);
+  hasher->Update(data);
+  util::Bytes inner = hasher->Finalize();
+
+  auto outer = NewHasher(kind);
+  outer->Update(opad);
+  outer->Update(inner);
+  return outer->Finalize();
+}
+
+util::Bytes HmacSha256(const util::Bytes& key, const util::Bytes& data) {
+  return Hmac(HashKind::kSha256, key, data);
+}
+
+bool VerifyHmac(HashKind kind, const util::Bytes& key, const util::Bytes& data,
+                const util::Bytes& mac) {
+  return util::ConstantTimeEqual(Hmac(kind, key, data), mac);
+}
+
+}  // namespace mws::crypto

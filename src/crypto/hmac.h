@@ -1,0 +1,23 @@
+#ifndef MWSIBE_CRYPTO_HMAC_H_
+#define MWSIBE_CRYPTO_HMAC_H_
+
+#include "src/crypto/hash.h"
+#include "src/util/bytes.h"
+
+namespace mws::crypto {
+
+/// HMAC (RFC 2104) over any supported hash. This is the protocol's MAC:
+/// the paper's "HK(SecK_SD-MWS, ...)" message authentication code.
+util::Bytes Hmac(HashKind kind, const util::Bytes& key,
+                 const util::Bytes& data);
+
+/// Convenience: HMAC-SHA-256.
+util::Bytes HmacSha256(const util::Bytes& key, const util::Bytes& data);
+
+/// Constant-time verification of `mac` against HMAC(kind, key, data).
+bool VerifyHmac(HashKind kind, const util::Bytes& key, const util::Bytes& data,
+                const util::Bytes& mac);
+
+}  // namespace mws::crypto
+
+#endif  // MWSIBE_CRYPTO_HMAC_H_

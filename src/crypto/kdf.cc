@@ -1,0 +1,58 @@
+#include "src/crypto/kdf.h"
+
+#include <cassert>
+
+#include "src/crypto/hmac.h"
+
+namespace mws::crypto {
+
+util::Bytes HkdfExtract(const util::Bytes& salt, const util::Bytes& ikm) {
+  util::Bytes s = salt.empty() ? util::Bytes(32, 0x00) : salt;
+  return HmacSha256(s, ikm);
+}
+
+util::Bytes HkdfExpand(const util::Bytes& prk, const util::Bytes& info,
+                       size_t out_len) {
+  assert(out_len <= 255 * 32);
+  util::Bytes out;
+  out.reserve(out_len);
+  util::Bytes t;
+  uint8_t counter = 1;
+  while (out.size() < out_len) {
+    util::Bytes data = t;
+    data.insert(data.end(), info.begin(), info.end());
+    data.push_back(counter++);
+    t = HmacSha256(prk, data);
+    size_t take = std::min(t.size(), out_len - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + take);
+  }
+  return out;
+}
+
+util::Bytes Hkdf(const util::Bytes& salt, const util::Bytes& ikm,
+                 const util::Bytes& info, size_t out_len) {
+  return HkdfExpand(HkdfExtract(salt, ikm), info, out_len);
+}
+
+util::Bytes HashExpand(HashKind kind, const util::Bytes& input,
+                       size_t out_len) {
+  util::Bytes out;
+  out.reserve(out_len);
+  uint32_t counter = 0;
+  while (out.size() < out_len) {
+    auto hasher = NewHasher(kind);
+    uint8_t ctr_bytes[4] = {static_cast<uint8_t>(counter >> 24),
+                            static_cast<uint8_t>(counter >> 16),
+                            static_cast<uint8_t>(counter >> 8),
+                            static_cast<uint8_t>(counter)};
+    hasher->Update(ctr_bytes, 4);
+    hasher->Update(input);
+    util::Bytes digest = hasher->Finalize();
+    size_t take = std::min(digest.size(), out_len - out.size());
+    out.insert(out.end(), digest.begin(), digest.begin() + take);
+    ++counter;
+  }
+  return out;
+}
+
+}  // namespace mws::crypto

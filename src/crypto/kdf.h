@@ -1,0 +1,28 @@
+#ifndef MWSIBE_CRYPTO_KDF_H_
+#define MWSIBE_CRYPTO_KDF_H_
+
+#include "src/crypto/hash.h"
+#include "src/util/bytes.h"
+
+namespace mws::crypto {
+
+/// HKDF (RFC 5869) over SHA-256.
+///
+/// The protocol uses this to turn pairing values (elements of F_p2) into
+/// symmetric DEM keys: key = HkdfExpand(HkdfExtract(salt, e(...)), info, n).
+util::Bytes HkdfExtract(const util::Bytes& salt, const util::Bytes& ikm);
+util::Bytes HkdfExpand(const util::Bytes& prk, const util::Bytes& info,
+                       size_t out_len);
+/// Extract-then-expand in one call.
+util::Bytes Hkdf(const util::Bytes& salt, const util::Bytes& ikm,
+                 const util::Bytes& info, size_t out_len);
+
+/// The Boneh–Franklin H2-style hash: expands `input` into a mask of
+/// `out_len` bytes via counter-mode hashing with `kind` (used by the
+/// BasicIdent XOR pad and MapToPoint).
+util::Bytes HashExpand(HashKind kind, const util::Bytes& input,
+                       size_t out_len);
+
+}  // namespace mws::crypto
+
+#endif  // MWSIBE_CRYPTO_KDF_H_

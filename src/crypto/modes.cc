@@ -1,0 +1,115 @@
+#include "src/crypto/modes.h"
+
+namespace mws::crypto {
+
+util::Bytes Pkcs7Pad(const util::Bytes& data, size_t block) {
+  size_t pad = block - (data.size() % block);
+  util::Bytes out = data;
+  out.insert(out.end(), pad, static_cast<uint8_t>(pad));
+  return out;
+}
+
+util::Result<util::Bytes> Pkcs7Unpad(const util::Bytes& data, size_t block) {
+  if (data.empty() || data.size() % block != 0) {
+    return util::Status::InvalidArgument("padded data length invalid");
+  }
+  uint8_t pad = data.back();
+  if (pad == 0 || pad > block) {
+    return util::Status::Corruption("bad PKCS#7 padding byte");
+  }
+  for (size_t i = data.size() - pad; i < data.size(); ++i) {
+    if (data[i] != pad) return util::Status::Corruption("bad PKCS#7 padding");
+  }
+  return util::Bytes(data.begin(), data.end() - pad);
+}
+
+util::Result<util::Bytes> CbcEncrypt(CipherKind kind, const util::Bytes& key,
+                                     const util::Bytes& plaintext,
+                                     util::RandomSource& rng) {
+  MWS_ASSIGN_OR_RETURN(std::unique_ptr<BlockCipher> cipher,
+                       NewBlockCipher(kind, key));
+  const size_t block = cipher->block_length();
+  util::Bytes padded = Pkcs7Pad(plaintext, block);
+  util::Bytes out = rng.Generate(block);  // IV
+  out.reserve(block + padded.size());
+  util::Bytes prev(out.begin(), out.end());
+  util::Bytes buf(block);
+  for (size_t off = 0; off < padded.size(); off += block) {
+    for (size_t i = 0; i < block; ++i) buf[i] = padded[off + i] ^ prev[i];
+    cipher->EncryptBlock(buf.data(), buf.data());
+    out.insert(out.end(), buf.begin(), buf.end());
+    prev = buf;
+  }
+  return out;
+}
+
+util::Result<util::Bytes> CbcDecrypt(CipherKind kind, const util::Bytes& key,
+                                     const util::Bytes& ciphertext) {
+  MWS_ASSIGN_OR_RETURN(std::unique_ptr<BlockCipher> cipher,
+                       NewBlockCipher(kind, key));
+  const size_t block = cipher->block_length();
+  if (ciphertext.size() < 2 * block || ciphertext.size() % block != 0) {
+    return util::Status::InvalidArgument("ciphertext length invalid");
+  }
+  util::Bytes prev(ciphertext.begin(), ciphertext.begin() + block);
+  util::Bytes out;
+  out.reserve(ciphertext.size() - block);
+  util::Bytes buf(block);
+  for (size_t off = block; off < ciphertext.size(); off += block) {
+    cipher->DecryptBlock(ciphertext.data() + off, buf.data());
+    for (size_t i = 0; i < block; ++i) buf[i] ^= prev[i];
+    out.insert(out.end(), buf.begin(), buf.end());
+    prev.assign(ciphertext.begin() + off, ciphertext.begin() + off + block);
+  }
+  return Pkcs7Unpad(out, block);
+}
+
+namespace {
+
+/// CTR keystream transform starting from `counter0`; in-place over `data`.
+void CtrTransform(const BlockCipher& cipher, util::Bytes counter,
+                  util::Bytes& data) {
+  const size_t block = cipher.block_length();
+  util::Bytes keystream(block);
+  for (size_t off = 0; off < data.size(); off += block) {
+    cipher.EncryptBlock(counter.data(), keystream.data());
+    size_t n = std::min(block, data.size() - off);
+    for (size_t i = 0; i < n; ++i) data[off + i] ^= keystream[i];
+    // Increment big-endian counter.
+    for (size_t i = block; i-- > 0;) {
+      if (++counter[i] != 0) break;
+    }
+  }
+}
+
+}  // namespace
+
+util::Result<util::Bytes> CtrEncrypt(CipherKind kind, const util::Bytes& key,
+                                     const util::Bytes& plaintext,
+                                     util::RandomSource& rng) {
+  MWS_ASSIGN_OR_RETURN(std::unique_ptr<BlockCipher> cipher,
+                       NewBlockCipher(kind, key));
+  const size_t block = cipher->block_length();
+  util::Bytes nonce = rng.Generate(block);
+  util::Bytes body = plaintext;
+  CtrTransform(*cipher, nonce, body);
+  util::Bytes out = nonce;
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+util::Result<util::Bytes> CtrDecrypt(CipherKind kind, const util::Bytes& key,
+                                     const util::Bytes& ciphertext) {
+  MWS_ASSIGN_OR_RETURN(std::unique_ptr<BlockCipher> cipher,
+                       NewBlockCipher(kind, key));
+  const size_t block = cipher->block_length();
+  if (ciphertext.size() < block) {
+    return util::Status::InvalidArgument("ciphertext shorter than nonce");
+  }
+  util::Bytes nonce(ciphertext.begin(), ciphertext.begin() + block);
+  util::Bytes body(ciphertext.begin() + block, ciphertext.end());
+  CtrTransform(*cipher, nonce, body);
+  return body;
+}
+
+}  // namespace mws::crypto

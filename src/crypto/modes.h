@@ -1,0 +1,34 @@
+#ifndef MWSIBE_CRYPTO_MODES_H_
+#define MWSIBE_CRYPTO_MODES_H_
+
+#include "src/crypto/block_cipher.h"
+#include "src/util/random.h"
+#include "src/util/result.h"
+
+namespace mws::crypto {
+
+/// CBC mode with PKCS#7 padding. The IV is prepended to the ciphertext,
+/// so output length = block + padded-plaintext length.
+util::Result<util::Bytes> CbcEncrypt(CipherKind kind, const util::Bytes& key,
+                                     const util::Bytes& plaintext,
+                                     util::RandomSource& rng);
+
+/// Inverse of CbcEncrypt; fails on truncated input or bad padding.
+util::Result<util::Bytes> CbcDecrypt(CipherKind kind, const util::Bytes& key,
+                                     const util::Bytes& ciphertext);
+
+/// CTR mode (no padding; length-preserving plus the prepended nonce block).
+util::Result<util::Bytes> CtrEncrypt(CipherKind kind, const util::Bytes& key,
+                                     const util::Bytes& plaintext,
+                                     util::RandomSource& rng);
+util::Result<util::Bytes> CtrDecrypt(CipherKind kind, const util::Bytes& key,
+                                     const util::Bytes& ciphertext);
+
+/// PKCS#7: appends 1..block bytes each equal to the pad length.
+util::Bytes Pkcs7Pad(const util::Bytes& data, size_t block);
+/// Validates and strips PKCS#7 padding.
+util::Result<util::Bytes> Pkcs7Unpad(const util::Bytes& data, size_t block);
+
+}  // namespace mws::crypto
+
+#endif  // MWSIBE_CRYPTO_MODES_H_

@@ -1,0 +1,179 @@
+#include "src/crypto/rsa.h"
+
+#include "src/crypto/hash.h"
+#include "src/crypto/kdf.h"
+
+namespace mws::crypto {
+
+using math::BigInt;
+
+namespace {
+
+constexpr size_t kHashLen = 32;  // SHA-256
+
+/// MGF1 with SHA-256 (RFC 8017 B.2.1): same construction as HashExpand
+/// but with the counter appended rather than prepended.
+util::Bytes Mgf1(const util::Bytes& seed, size_t out_len) {
+  util::Bytes out;
+  out.reserve(out_len);
+  uint32_t counter = 0;
+  while (out.size() < out_len) {
+    util::Bytes data = seed;
+    data.push_back(static_cast<uint8_t>(counter >> 24));
+    data.push_back(static_cast<uint8_t>(counter >> 16));
+    data.push_back(static_cast<uint8_t>(counter >> 8));
+    data.push_back(static_cast<uint8_t>(counter));
+    util::Bytes digest = Sha256(data);
+    size_t take = std::min(digest.size(), out_len - out.size());
+    out.insert(out.end(), digest.begin(), digest.begin() + take);
+    ++counter;
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Result<RsaKeyPair> RsaGenerateKeyPair(size_t bits,
+                                            util::RandomSource& rng) {
+  if (bits < 512) {
+    return util::Status::InvalidArgument("RSA modulus must be >= 512 bits");
+  }
+  const BigInt e(65537);
+  RsaPrivateKey priv;
+  for (;;) {
+    BigInt p = BigInt::GeneratePrime(rng, bits / 2);
+    BigInt q = BigInt::GeneratePrime(rng, bits - bits / 2);
+    if (p == q) continue;
+    BigInt n = p * q;
+    if (n.BitLength() != bits) continue;
+    BigInt phi = (p - BigInt(1)) * (q - BigInt(1));
+    auto d = BigInt::ModInverse(e, phi);
+    if (!d.ok()) continue;  // gcd(e, phi) != 1; rare
+    priv.n = n;
+    priv.e = e;
+    priv.d = d.value();
+    priv.p = p;
+    priv.q = q;
+    priv.dp = BigInt::Mod(priv.d, p - BigInt(1));
+    priv.dq = BigInt::Mod(priv.d, q - BigInt(1));
+    priv.qinv = BigInt::ModInverse(q, p).value();
+    break;
+  }
+  return RsaKeyPair{priv.PublicKey(), priv};
+}
+
+util::Result<util::Bytes> RsaOaepEncrypt(const RsaPublicKey& key,
+                                         const util::Bytes& message,
+                                         util::RandomSource& rng) {
+  const size_t k = key.ByteLength();
+  if (k < 2 * kHashLen + 2) {
+    return util::Status::InvalidArgument("modulus too small for OAEP");
+  }
+  const size_t max_msg = k - 2 * kHashLen - 2;
+  if (message.size() > max_msg) {
+    return util::Status::InvalidArgument("message too long for RSA-OAEP");
+  }
+  // DB = lHash || PS (zeros) || 0x01 || M.
+  util::Bytes db = Sha256({});
+  db.insert(db.end(), k - message.size() - 2 * kHashLen - 2, 0x00);
+  db.push_back(0x01);
+  db.insert(db.end(), message.begin(), message.end());
+
+  util::Bytes seed = rng.Generate(kHashLen);
+  util::Bytes db_mask = Mgf1(seed, db.size());
+  for (size_t i = 0; i < db.size(); ++i) db[i] ^= db_mask[i];
+  util::Bytes seed_mask = Mgf1(db, kHashLen);
+  for (size_t i = 0; i < kHashLen; ++i) seed[i] ^= seed_mask[i];
+
+  util::Bytes em;
+  em.reserve(k);
+  em.push_back(0x00);
+  em.insert(em.end(), seed.begin(), seed.end());
+  em.insert(em.end(), db.begin(), db.end());
+
+  BigInt m = BigInt::FromBytesBe(em);
+  BigInt c = BigInt::ModPow(m, key.e, key.n);
+  return c.ToBytesBe(k);
+}
+
+util::Result<util::Bytes> RsaOaepDecrypt(const RsaPrivateKey& key,
+                                         const util::Bytes& ciphertext) {
+  const size_t k = (key.n.BitLength() + 7) / 8;
+  if (ciphertext.size() != k || k < 2 * kHashLen + 2) {
+    return util::Status::InvalidArgument("RSA ciphertext length invalid");
+  }
+  BigInt c = BigInt::FromBytesBe(ciphertext);
+  if (c >= key.n) {
+    return util::Status::InvalidArgument("RSA ciphertext out of range");
+  }
+  // CRT: m1 = c^dp mod p, m2 = c^dq mod q.
+  BigInt m1 = BigInt::ModPow(c, key.dp, key.p);
+  BigInt m2 = BigInt::ModPow(c, key.dq, key.q);
+  BigInt h = BigInt::Mod(key.qinv * (m1 - m2), key.p);
+  BigInt m = m2 + key.q * h;
+  util::Bytes em = m.ToBytesBe(k);
+
+  if (em[0] != 0x00) return util::Status::Corruption("OAEP decoding failed");
+  util::Bytes seed(em.begin() + 1, em.begin() + 1 + kHashLen);
+  util::Bytes db(em.begin() + 1 + kHashLen, em.end());
+  util::Bytes seed_mask = Mgf1(db, kHashLen);
+  for (size_t i = 0; i < kHashLen; ++i) seed[i] ^= seed_mask[i];
+  util::Bytes db_mask = Mgf1(seed, db.size());
+  for (size_t i = 0; i < db.size(); ++i) db[i] ^= db_mask[i];
+
+  util::Bytes lhash = Sha256({});
+  if (!util::ConstantTimeEqual(
+          util::Bytes(db.begin(), db.begin() + kHashLen), lhash)) {
+    return util::Status::Corruption("OAEP decoding failed");
+  }
+  size_t i = kHashLen;
+  while (i < db.size() && db[i] == 0x00) ++i;
+  if (i == db.size() || db[i] != 0x01) {
+    return util::Status::Corruption("OAEP decoding failed");
+  }
+  return util::Bytes(db.begin() + i + 1, db.end());
+}
+
+util::Bytes SerializeRsaPublicKey(const RsaPublicKey& key) {
+  auto put = [](util::Bytes& out, const util::Bytes& field) {
+    uint32_t len = static_cast<uint32_t>(field.size());
+    out.push_back(static_cast<uint8_t>(len >> 24));
+    out.push_back(static_cast<uint8_t>(len >> 16));
+    out.push_back(static_cast<uint8_t>(len >> 8));
+    out.push_back(static_cast<uint8_t>(len));
+    out.insert(out.end(), field.begin(), field.end());
+  };
+  util::Bytes out;
+  put(out, key.n.ToBytesBe());
+  put(out, key.e.ToBytesBe());
+  return out;
+}
+
+util::Result<RsaPublicKey> ParseRsaPublicKey(const util::Bytes& data) {
+  size_t pos = 0;
+  auto get = [&](util::Bytes* field) -> bool {
+    if (pos + 4 > data.size()) return false;
+    uint32_t len = (static_cast<uint32_t>(data[pos]) << 24) |
+                   (static_cast<uint32_t>(data[pos + 1]) << 16) |
+                   (static_cast<uint32_t>(data[pos + 2]) << 8) |
+                   data[pos + 3];
+    pos += 4;
+    if (pos + len > data.size()) return false;
+    field->assign(data.begin() + pos, data.begin() + pos + len);
+    pos += len;
+    return true;
+  };
+  util::Bytes n_bytes, e_bytes;
+  if (!get(&n_bytes) || !get(&e_bytes) || pos != data.size()) {
+    return util::Status::InvalidArgument("malformed RSA public key");
+  }
+  RsaPublicKey key;
+  key.n = BigInt::FromBytesBe(n_bytes);
+  key.e = BigInt::FromBytesBe(e_bytes);
+  if (key.n.IsZero() || key.e.IsZero()) {
+    return util::Status::InvalidArgument("degenerate RSA public key");
+  }
+  return key;
+}
+
+}  // namespace mws::crypto

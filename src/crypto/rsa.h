@@ -1,0 +1,60 @@
+#ifndef MWSIBE_CRYPTO_RSA_H_
+#define MWSIBE_CRYPTO_RSA_H_
+
+#include "src/math/bigint.h"
+#include "src/util/bytes.h"
+#include "src/util/random.h"
+#include "src/util/result.h"
+
+namespace mws::crypto {
+
+/// RSA public key (n, e). In the protocol the MWS token generator wraps
+/// the RC's token under this key (the paper's "E(PubKRC, ...)").
+struct RsaPublicKey {
+  math::BigInt n;
+  math::BigInt e;
+
+  /// Modulus size in bytes.
+  size_t ByteLength() const { return (n.BitLength() + 7) / 8; }
+};
+
+/// RSA private key with CRT components.
+struct RsaPrivateKey {
+  math::BigInt n;
+  math::BigInt e;
+  math::BigInt d;
+  math::BigInt p;
+  math::BigInt q;
+  math::BigInt dp;    // d mod (p-1)
+  math::BigInt dq;    // d mod (q-1)
+  math::BigInt qinv;  // q^-1 mod p
+
+  RsaPublicKey PublicKey() const { return {n, e}; }
+};
+
+struct RsaKeyPair {
+  RsaPublicKey public_key;
+  RsaPrivateKey private_key;
+};
+
+/// Generates an RSA key with a modulus of `bits` bits (e = 65537).
+/// Pre: bits >= 512 (OAEP needs room for two SHA-256 digests).
+util::Result<RsaKeyPair> RsaGenerateKeyPair(size_t bits,
+                                            util::RandomSource& rng);
+
+/// RSA-OAEP (SHA-256, MGF1-SHA-256, empty label).
+/// Message capacity: ByteLength() - 66 bytes.
+util::Result<util::Bytes> RsaOaepEncrypt(const RsaPublicKey& key,
+                                         const util::Bytes& message,
+                                         util::RandomSource& rng);
+util::Result<util::Bytes> RsaOaepDecrypt(const RsaPrivateKey& key,
+                                         const util::Bytes& ciphertext);
+
+/// Compact serialization of a public key (length-prefixed n and e), used
+/// by the MWS user database.
+util::Bytes SerializeRsaPublicKey(const RsaPublicKey& key);
+util::Result<RsaPublicKey> ParseRsaPublicKey(const util::Bytes& data);
+
+}  // namespace mws::crypto
+
+#endif  // MWSIBE_CRYPTO_RSA_H_

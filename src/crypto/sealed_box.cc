@@ -1,0 +1,42 @@
+#include "src/crypto/sealed_box.h"
+
+#include "src/crypto/modes.h"
+#include "src/util/serde.h"
+
+namespace mws::crypto {
+
+util::Result<util::Bytes> SealToPublicKey(const RsaPublicKey& key,
+                                          CipherKind cipher,
+                                          const util::Bytes& plaintext,
+                                          util::RandomSource& rng) {
+  util::Bytes wrap_key = rng.Generate(KeyLength(cipher));
+  MWS_ASSIGN_OR_RETURN(util::Bytes wrapped,
+                       RsaOaepEncrypt(key, wrap_key, rng));
+  MWS_ASSIGN_OR_RETURN(util::Bytes body,
+                       CbcEncrypt(cipher, wrap_key, plaintext, rng));
+  util::SecureWipe(wrap_key);
+  util::Writer w;
+  w.PutBytes(wrapped);
+  w.PutRaw(body);
+  return w.Take();
+}
+
+util::Result<util::Bytes> OpenSealedBox(const RsaPrivateKey& key,
+                                        CipherKind cipher,
+                                        const util::Bytes& sealed) {
+  util::Reader r(sealed);
+  util::Bytes wrapped;
+  if (!r.GetBytes(&wrapped)) {
+    return util::Status::InvalidArgument("malformed sealed box");
+  }
+  util::Bytes body;
+  if (!r.GetRaw(r.remaining(), &body)) {
+    return util::Status::InvalidArgument("malformed sealed box");
+  }
+  MWS_ASSIGN_OR_RETURN(util::Bytes wrap_key, RsaOaepDecrypt(key, wrapped));
+  auto plain = CbcDecrypt(cipher, wrap_key, body);
+  util::SecureWipe(wrap_key);
+  return plain;
+}
+
+}  // namespace mws::crypto

@@ -1,0 +1,27 @@
+#ifndef MWSIBE_CRYPTO_SEALED_BOX_H_
+#define MWSIBE_CRYPTO_SEALED_BOX_H_
+
+#include "src/crypto/block_cipher.h"
+#include "src/crypto/rsa.h"
+
+namespace mws::crypto {
+
+/// Hybrid RSA sealing: RSA-OAEP wraps a fresh symmetric key, the body is
+/// CBC-encrypted under it. The paper writes the token as a direct
+/// E(PubKRC, ...) — infeasible for multi-attribute tickets, which exceed
+/// OAEP capacity, so the MWS token generator uses this box instead
+/// (deviation recorded in DESIGN.md).
+///
+/// Layout: u32 rsa_len | RSA-OAEP(wrap_key) | CBC(wrap_key, plaintext).
+util::Result<util::Bytes> SealToPublicKey(const RsaPublicKey& key,
+                                          CipherKind cipher,
+                                          const util::Bytes& plaintext,
+                                          util::RandomSource& rng);
+
+util::Result<util::Bytes> OpenSealedBox(const RsaPrivateKey& key,
+                                        CipherKind cipher,
+                                        const util::Bytes& sealed);
+
+}  // namespace mws::crypto
+
+#endif  // MWSIBE_CRYPTO_SEALED_BOX_H_

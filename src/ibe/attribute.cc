@@ -1,0 +1,34 @@
+#include "src/ibe/attribute.h"
+
+#include "src/crypto/hash.h"
+
+namespace mws::ibe {
+
+util::Status ValidateAttribute(std::string_view attribute) {
+  if (attribute.empty() || attribute.size() > 128) {
+    return util::Status::InvalidArgument(
+        "attribute must be 1..128 characters");
+  }
+  for (char c : attribute) {
+    bool ok = (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '-' ||
+              c == '_' || c == '.';
+    if (!ok) {
+      return util::Status::InvalidArgument(
+          "attribute may contain only A-Z, 0-9, '-', '_', '.'");
+    }
+  }
+  return util::Status::Ok();
+}
+
+MessageNonce GenerateNonce(util::RandomSource& rng) {
+  return MessageNonce{rng.Generate(16)};
+}
+
+util::Bytes DeriveIdentity(const Attribute& attribute,
+                           const MessageNonce& nonce) {
+  util::Bytes input = util::BytesFromString(attribute);
+  input.insert(input.end(), nonce.value.begin(), nonce.value.end());
+  return crypto::Sha1(input);
+}
+
+}  // namespace mws::ibe

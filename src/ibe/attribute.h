@@ -1,0 +1,44 @@
+#ifndef MWSIBE_IBE_ATTRIBUTE_H_
+#define MWSIBE_IBE_ATTRIBUTE_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/util/bytes.h"
+#include "src/util/random.h"
+#include "src/util/result.h"
+
+namespace mws::ibe {
+
+/// An attribute string characterising eligible receiving clients, e.g.
+/// "ELECTRIC-BAYTOWER-SV-CA" (paper §V). Attributes are uppercase
+/// alphanumerics, '-', '_', '.'; 1..128 chars.
+using Attribute = std::string;
+
+/// Per-message nonce appended to the attribute before hashing. A fresh
+/// nonce per message means a fresh IBE public/private key pair per
+/// message, which is what makes revocation effective (paper §V.B).
+struct MessageNonce {
+  util::Bytes value;  // 16 bytes
+
+  friend bool operator==(const MessageNonce& a, const MessageNonce& b) {
+    return a.value == b.value;
+  }
+};
+
+/// Validates an attribute string against the grammar above.
+util::Status ValidateAttribute(std::string_view attribute);
+
+/// Draws a fresh 16-byte nonce.
+MessageNonce GenerateNonce(util::RandomSource& rng);
+
+/// The paper's identity derivation I = SHA1(A || Nonce): the byte string
+/// that BfIbe::HashToPoint maps onto the curve. Kept as SHA-1 for
+/// fidelity with §V.D ("It generates a Nonce and computes a hash I of the
+/// string A||Nonce").
+util::Bytes DeriveIdentity(const Attribute& attribute,
+                           const MessageNonce& nonce);
+
+}  // namespace mws::ibe
+
+#endif  // MWSIBE_IBE_ATTRIBUTE_H_

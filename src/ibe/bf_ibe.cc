@@ -1,0 +1,163 @@
+#include "src/ibe/bf_ibe.h"
+
+#include "src/crypto/hash.h"
+#include "src/crypto/kdf.h"
+
+namespace mws::ibe {
+
+using math::BigInt;
+using math::EcPoint;
+using math::Fp;
+using math::Fp2;
+
+namespace {
+
+// Domain-separation prefixes for the BF random oracles.
+constexpr uint8_t kTagH1 = 0x01;
+constexpr uint8_t kTagH2 = 0x02;
+constexpr uint8_t kTagH3 = 0x03;
+constexpr uint8_t kTagH4 = 0x04;
+
+util::Bytes Tagged(uint8_t tag, const util::Bytes& data) {
+  util::Bytes out;
+  out.reserve(data.size() + 1);
+  out.push_back(tag);
+  out.insert(out.end(), data.begin(), data.end());
+  return out;
+}
+
+/// H3: (sigma, M) -> scalar in [1, q-1].
+BigInt HashToScalar(const BigInt& q, const util::Bytes& sigma,
+                    const util::Bytes& message) {
+  util::Bytes input = Tagged(kTagH3, util::Concat(sigma, message));
+  // Expand to 16 bytes beyond the order size to make the bias negligible.
+  size_t len = (q.BitLength() + 7) / 8 + 16;
+  util::Bytes expanded =
+      crypto::HashExpand(crypto::HashKind::kSha256, input, len);
+  BigInt v = BigInt::FromBytesBe(expanded);
+  return BigInt::Mod(v, q - BigInt(1)) + BigInt(1);
+}
+
+}  // namespace
+
+std::pair<SystemParams, MasterKey> BfIbe::Setup(
+    util::RandomSource& rng) const {
+  MasterKey master{group_.RandomScalar(rng)};
+  SystemParams params;
+  params.group = &group_;
+  params.p_pub = group_.curve().ScalarMul(master.s, group_.generator());
+  return {params, master};
+}
+
+EcPoint BfIbe::HashToPoint(const util::Bytes& identity) const {
+  // Try-and-increment: x = H(counter || id) interpreted in F_p, lifted
+  // through the cofactor. Terminates in ~2 expected iterations.
+  const size_t flen = group_.FieldBytes();
+  for (uint32_t counter = 0;; ++counter) {
+    util::Bytes input = Tagged(kTagH1, identity);
+    input.push_back(static_cast<uint8_t>(counter >> 24));
+    input.push_back(static_cast<uint8_t>(counter >> 16));
+    input.push_back(static_cast<uint8_t>(counter >> 8));
+    input.push_back(static_cast<uint8_t>(counter));
+    util::Bytes xb =
+        crypto::HashExpand(crypto::HashKind::kSha256, input, flen);
+    Fp x = Fp::FromBytes(group_.ctx(), xb);
+    auto point = group_.LiftX(x);
+    if (point.ok()) return point.value();
+  }
+}
+
+IbePrivateKey BfIbe::Extract(const MasterKey& master,
+                             const util::Bytes& identity) const {
+  return ExtractFromPoint(master, HashToPoint(identity));
+}
+
+IbePrivateKey BfIbe::ExtractFromPoint(const MasterKey& master,
+                                      const EcPoint& q_id) const {
+  return IbePrivateKey{group_.curve().ScalarMul(master.s, q_id)};
+}
+
+util::Bytes BfIbe::PairingMask(const Fp2& g, size_t len) const {
+  return crypto::HashExpand(crypto::HashKind::kSha256,
+                            Tagged(kTagH2, g.ToBytes()), len);
+}
+
+BasicCiphertext BfIbe::Encrypt(const SystemParams& params,
+                               const util::Bytes& identity,
+                               const util::Bytes& message,
+                               util::RandomSource& rng) const {
+  EcPoint q_id = HashToPoint(identity);
+  BigInt r = group_.RandomScalar(rng);
+  BasicCiphertext ct;
+  ct.u = group_.curve().ScalarMul(r, group_.generator());
+  Fp2 g = group_.Pairing(params.p_pub, q_id).Pow(r);
+  ct.v = util::Xor(message, PairingMask(g, message.size()));
+  return ct;
+}
+
+util::Bytes BfIbe::Decrypt(const SystemParams& params, const IbePrivateKey& key,
+                           const BasicCiphertext& ct) const {
+  (void)params;
+  Fp2 g = group_.Pairing(key.d, ct.u);
+  return util::Xor(ct.v, PairingMask(g, ct.v.size()));
+}
+
+FullCiphertext BfIbe::EncryptFull(const SystemParams& params,
+                                  const util::Bytes& identity,
+                                  const util::Bytes& message,
+                                  util::RandomSource& rng) const {
+  EcPoint q_id = HashToPoint(identity);
+  util::Bytes sigma = rng.Generate(32);
+  BigInt r = HashToScalar(group_.q(), sigma, message);
+  FullCiphertext ct;
+  ct.u = group_.curve().ScalarMul(r, group_.generator());
+  Fp2 g = group_.Pairing(params.p_pub, q_id).Pow(r);
+  ct.v = util::Xor(sigma, PairingMask(g, sigma.size()));
+  ct.w = util::Xor(message,
+                   crypto::HashExpand(crypto::HashKind::kSha256,
+                                      Tagged(kTagH4, sigma), message.size()));
+  return ct;
+}
+
+util::Result<util::Bytes> BfIbe::DecryptFull(const SystemParams& params,
+                                             const IbePrivateKey& key,
+                                             const FullCiphertext& ct) const {
+  if (ct.v.size() != 32) {
+    return util::Status::InvalidArgument("FullIdent V must be 32 bytes");
+  }
+  Fp2 g = group_.Pairing(key.d, ct.u);
+  util::Bytes sigma = util::Xor(ct.v, PairingMask(g, ct.v.size()));
+  util::Bytes message = util::Xor(
+      ct.w, crypto::HashExpand(crypto::HashKind::kSha256,
+                               Tagged(kTagH4, sigma), ct.w.size()));
+  // Fujisaki–Okamoto check: re-derive r and verify U = rP.
+  BigInt r = HashToScalar(group_.q(), sigma, message);
+  if (group_.curve().ScalarMul(r, group_.generator()) != ct.u) {
+    return util::Status::Corruption("FullIdent ciphertext rejected");
+  }
+  (void)params;
+  return message;
+}
+
+KemOutput IbeKem::Encapsulate(const SystemParams& params,
+                              const util::Bytes& identity,
+                              util::RandomSource& rng) const {
+  const math::TypeAParams& group = ibe_.group();
+  EcPoint q_id = ibe_.HashToPoint(identity);
+  BigInt r = group.RandomScalar(rng);
+  KemOutput out;
+  out.u = group.curve().ScalarMul(r, group.generator());
+  Fp2 g = group.Pairing(params.p_pub, q_id).Pow(r);
+  out.key = crypto::Hkdf(/*salt=*/{}, g.ToBytes(),
+                         util::BytesFromString("mwsibe-kem"), key_len_);
+  return out;
+}
+
+util::Bytes IbeKem::Decapsulate(const IbePrivateKey& key,
+                                const EcPoint& u) const {
+  Fp2 g = ibe_.group().Pairing(key.d, u);
+  return crypto::Hkdf(/*salt=*/{}, g.ToBytes(),
+                      util::BytesFromString("mwsibe-kem"), key_len_);
+}
+
+}  // namespace mws::ibe

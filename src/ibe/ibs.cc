@@ -1,0 +1,54 @@
+#include "src/ibe/ibs.h"
+
+#include "src/crypto/kdf.h"
+
+namespace mws::ibe {
+
+using math::BigInt;
+
+BigInt IbSignatures::HashMessage(const util::Bytes& message) const {
+  const BigInt& q = ibe_.group().q();
+  // 0x05 tag: domain separation vs the H1..H4 oracles.
+  util::Bytes tagged = util::Concat(util::Bytes{0x05}, message);
+  size_t len = (q.BitLength() + 7) / 8 + 16;
+  util::Bytes expanded =
+      crypto::HashExpand(crypto::HashKind::kSha256, tagged, len);
+  return BigInt::Mod(BigInt::FromBytesBe(expanded), q - BigInt(1)) +
+         BigInt(1);
+}
+
+IbSignatures::Signature IbSignatures::Sign(const IbePrivateKey& key,
+                                           const util::Bytes& message) const {
+  BigInt h = HashMessage(message);
+  return Signature{ibe_.group().curve().ScalarMul(h, key.d)};
+}
+
+bool IbSignatures::Verify(const SystemParams& params,
+                          const util::Bytes& signer_identity,
+                          const util::Bytes& message,
+                          const Signature& signature) const {
+  const math::TypeAParams& group = ibe_.group();
+  if (signature.sigma.is_infinity() ||
+      !group.curve().IsOnCurve(signature.sigma)) {
+    return false;
+  }
+  BigInt h = HashMessage(message);
+  math::EcPoint q_id = ibe_.HashToPoint(signer_identity);
+  // e(sigma, P) == e(Q_ID, P_pub)^h
+  math::Fp2 lhs = group.Pairing(signature.sigma, group.generator());
+  math::Fp2 rhs = group.Pairing(q_id, params.p_pub).Pow(h);
+  return lhs == rhs;
+}
+
+util::Bytes IbSignatures::Serialize(const Signature& signature) const {
+  return ibe_.group().curve().SerializeCompressed(signature.sigma);
+}
+
+util::Result<IbSignatures::Signature> IbSignatures::Deserialize(
+    const util::Bytes& data) const {
+  MWS_ASSIGN_OR_RETURN(math::EcPoint sigma,
+                       ibe_.group().curve().DeserializeCompressed(data));
+  return Signature{sigma};
+}
+
+}  // namespace mws::ibe

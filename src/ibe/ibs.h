@@ -1,0 +1,54 @@
+#ifndef MWSIBE_IBE_IBS_H_
+#define MWSIBE_IBE_IBS_H_
+
+#include "src/ibe/bf_ibe.h"
+
+namespace mws::ibe {
+
+/// Identity-based signatures over the same type-A pairing group —
+/// the paper's §VIII hardening idea ("There may be a possibility of the
+/// SD to use IBE and the ID of the MWS to sign a message"), so a smart
+/// device can sign deposits under its *identity string* instead of a
+/// MAC, removing the per-device shared-key table at the MWS.
+///
+/// Scheme (BLS-style, short signature in G1):
+///   * the PKG extracts the signing key d_ID = s * H1(ID) — the very key
+///     IBE decryption uses, so no new key infrastructure;
+///   * Sign(d_ID, m):   sigma = h * d_ID where h = H(m) mod q;
+///   * Verify(ID, m, sigma): e(sigma, P) == e(Q_ID, P_pub)^h.
+/// Correctness: e(h*s*Q_ID, P) = e(Q_ID, P)^(h*s) = e(Q_ID, s*P)^h.
+class IbSignatures {
+ public:
+  explicit IbSignatures(const math::TypeAParams& group) : ibe_(group) {}
+
+  /// The signature is one compressed-size G1 point.
+  struct Signature {
+    math::EcPoint sigma;
+  };
+
+  /// Signs `message` with the extracted identity key.
+  Signature Sign(const IbePrivateKey& key, const util::Bytes& message) const;
+
+  /// Verifies against the signer's identity string and the system
+  /// parameters (two pairings; no per-signer public key needed).
+  bool Verify(const SystemParams& params, const util::Bytes& signer_identity,
+              const util::Bytes& message, const Signature& signature) const;
+
+  /// Serialized signature size in bytes (compressed point).
+  size_t SignatureBytes() const {
+    return 1 + ibe_.group().FieldBytes();
+  }
+
+  util::Bytes Serialize(const Signature& signature) const;
+  util::Result<Signature> Deserialize(const util::Bytes& data) const;
+
+ private:
+  /// H(m) as a scalar in [1, q-1].
+  math::BigInt HashMessage(const util::Bytes& message) const;
+
+  BfIbe ibe_;
+};
+
+}  // namespace mws::ibe
+
+#endif  // MWSIBE_IBE_IBS_H_

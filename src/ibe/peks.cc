@@ -1,0 +1,89 @@
+#include "src/ibe/peks.h"
+
+#include "src/crypto/kdf.h"
+#include "src/util/serde.h"
+
+namespace mws::ibe {
+
+using math::BigInt;
+using math::EcPoint;
+
+namespace {
+
+util::Bytes HashPairingValue(const math::Fp2& value) {
+  // 0x06 tag: domain separation from the IBE/IBS oracles.
+  return crypto::HashExpand(crypto::HashKind::kSha256,
+                            util::Concat(util::Bytes{0x06}, value.ToBytes()),
+                            32);
+}
+
+}  // namespace
+
+EcPoint Peks::HashKeyword(const util::Bytes& keyword) const {
+  // Reuse the BF H1 construction with its own tag.
+  util::Bytes tagged = util::Concat(util::Bytes{0x07}, keyword);
+  const size_t flen = group_.FieldBytes();
+  for (uint32_t counter = 0;; ++counter) {
+    util::Bytes input = tagged;
+    input.push_back(static_cast<uint8_t>(counter >> 24));
+    input.push_back(static_cast<uint8_t>(counter >> 16));
+    input.push_back(static_cast<uint8_t>(counter >> 8));
+    input.push_back(static_cast<uint8_t>(counter));
+    math::Fp x = math::Fp::FromBytes(
+        group_.ctx(),
+        crypto::HashExpand(crypto::HashKind::kSha256, input, flen));
+    auto point = group_.LiftX(x);
+    if (point.ok()) return point.value();
+  }
+}
+
+Peks::KeyPair Peks::GenerateKeyPair(util::RandomSource& rng) const {
+  KeyPair out;
+  out.secret = group_.RandomScalar(rng);
+  out.public_key =
+      group_.curve().ScalarMul(out.secret, group_.generator());
+  return out;
+}
+
+Peks::Tag Peks::MakeTag(const EcPoint& public_key, const util::Bytes& keyword,
+                        util::RandomSource& rng) const {
+  BigInt r = group_.RandomScalar(rng);
+  Tag out;
+  out.u = group_.curve().ScalarMul(r, group_.generator());
+  math::Fp2 t = group_.Pairing(HashKeyword(keyword), public_key).Pow(r);
+  out.check = HashPairingValue(t);
+  return out;
+}
+
+Peks::Trapdoor Peks::MakeTrapdoor(const BigInt& secret,
+                                  const util::Bytes& keyword) const {
+  return Trapdoor{group_.curve().ScalarMul(secret, HashKeyword(keyword))};
+}
+
+bool Peks::Test(const Tag& tag, const Trapdoor& trapdoor) const {
+  if (tag.u.is_infinity() || trapdoor.t.is_infinity()) return false;
+  math::Fp2 t = group_.Pairing(trapdoor.t, tag.u);
+  return util::ConstantTimeEqual(HashPairingValue(t), tag.check);
+}
+
+util::Bytes Peks::SerializeTag(const Tag& tag) const {
+  util::Writer w;
+  w.PutBytes(group_.curve().Serialize(tag.u));
+  w.PutBytes(tag.check);
+  return w.Take();
+}
+
+util::Result<Peks::Tag> Peks::ParseTag(const util::Bytes& data) const {
+  util::Reader r(data);
+  util::Bytes point_bytes, check;
+  if (!r.GetBytes(&point_bytes) || !r.GetBytes(&check) || !r.Done()) {
+    return util::Status::InvalidArgument("malformed PEKS tag");
+  }
+  if (check.size() != 32) {
+    return util::Status::InvalidArgument("PEKS check must be 32 bytes");
+  }
+  MWS_ASSIGN_OR_RETURN(EcPoint u, group_.curve().Deserialize(point_bytes));
+  return Tag{u, check};
+}
+
+}  // namespace mws::ibe

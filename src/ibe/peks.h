@@ -1,0 +1,71 @@
+#ifndef MWSIBE_IBE_PEKS_H_
+#define MWSIBE_IBE_PEKS_H_
+
+#include "src/math/pairing.h"
+#include "src/util/bytes.h"
+#include "src/util/random.h"
+#include "src/util/result.h"
+
+namespace mws::ibe {
+
+/// Public-key Encryption with Keyword Search (Boneh–Di Crescenzo–
+/// Ostrovsky–Persiano), the construction of the paper's related work [1]
+/// (Waters et al., encrypted audit logs) built from the same pairing.
+///
+/// In the warehouse this closes the one privacy gap the paper accepts:
+/// the MWS sees attribute strings in the clear for routing. With PEKS a
+/// device attaches searchable tags instead; the warehouse can test a tag
+/// against trapdoors provided by the receiver without learning the
+/// keyword.
+///
+///   KeyGen:            sk = alpha, pk = alpha * P
+///   Tag(pk, w):        r random; t = e(H1(w), pk)^r; (rP, H(t))
+///   Trapdoor(sk, w):   T_w = alpha * H1(w)
+///   Test(tag, T_w):    H(e(T_w, rP)) == tag.hash
+class Peks {
+ public:
+  explicit Peks(const math::TypeAParams& group) : group_(group) {}
+
+  struct KeyPair {
+    math::BigInt secret;     // alpha
+    math::EcPoint public_key;  // alpha * P
+  };
+
+  /// A searchable tag attached to a stored message.
+  struct Tag {
+    math::EcPoint u;     // rP
+    util::Bytes check;   // H(e(H1(w), pk)^r), 32 bytes
+  };
+
+  /// A trapdoor enabling equality tests for exactly one keyword.
+  struct Trapdoor {
+    math::EcPoint t;  // alpha * H1(w)
+  };
+
+  KeyPair GenerateKeyPair(util::RandomSource& rng) const;
+
+  /// Produces a tag for `keyword` searchable by the holder of `secret`.
+  Tag MakeTag(const math::EcPoint& public_key, const util::Bytes& keyword,
+              util::RandomSource& rng) const;
+
+  /// The receiver's trapdoor for `keyword` (handed to the warehouse).
+  Trapdoor MakeTrapdoor(const math::BigInt& secret,
+                        const util::Bytes& keyword) const;
+
+  /// Warehouse-side test: does `tag` match the trapdoor's keyword?
+  /// Learns nothing else about the tag's keyword.
+  bool Test(const Tag& tag, const Trapdoor& trapdoor) const;
+
+  /// Tag wire encoding (point + 32-byte check).
+  util::Bytes SerializeTag(const Tag& tag) const;
+  util::Result<Tag> ParseTag(const util::Bytes& data) const;
+
+ private:
+  math::EcPoint HashKeyword(const util::Bytes& keyword) const;
+
+  const math::TypeAParams& group_;
+};
+
+}  // namespace mws::ibe
+
+#endif  // MWSIBE_IBE_PEKS_H_

@@ -1,0 +1,600 @@
+#include "src/math/bigint.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+namespace mws::math {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+constexpr uint64_t kSmallPrimes[] = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+}  // namespace
+
+BigInt::BigInt(int64_t v) : negative_(v < 0) {
+  uint64_t mag =
+      v < 0 ? ~static_cast<uint64_t>(v) + 1 : static_cast<uint64_t>(v);
+  if (mag != 0) limbs_.push_back(mag);
+}
+
+BigInt::BigInt(uint64_t v) : negative_(false) {
+  if (v != 0) limbs_.push_back(v);
+}
+
+void BigInt::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+int BigInt::CompareMagnitude(const std::vector<uint64_t>& a,
+                             const std::vector<uint64_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<uint64_t> BigInt::AddMagnitude(const std::vector<uint64_t>& a,
+                                           const std::vector<uint64_t>& b) {
+  const std::vector<uint64_t>& big = a.size() >= b.size() ? a : b;
+  const std::vector<uint64_t>& small = a.size() >= b.size() ? b : a;
+  std::vector<uint64_t> out(big.size());
+  uint64_t carry = 0;
+  for (size_t i = 0; i < big.size(); ++i) {
+    u128 sum = static_cast<u128>(big[i]) + carry;
+    if (i < small.size()) sum += small[i];
+    out[i] = static_cast<uint64_t>(sum);
+    carry = static_cast<uint64_t>(sum >> 64);
+  }
+  if (carry) out.push_back(carry);
+  return out;
+}
+
+std::vector<uint64_t> BigInt::SubMagnitude(const std::vector<uint64_t>& a,
+                                           const std::vector<uint64_t>& b) {
+  assert(CompareMagnitude(a, b) >= 0);
+  std::vector<uint64_t> out(a.size());
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t bi = i < b.size() ? b[i] : 0;
+    uint64_t ai = a[i];
+    uint64_t d = ai - bi;
+    uint64_t borrow2 = (ai < bi) ? 1 : 0;
+    uint64_t d2 = d - borrow;
+    if (d < borrow) borrow2 = 1;
+    out[i] = d2;
+    borrow = borrow2;
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<uint64_t> BigInt::MulMagnitude(const std::vector<uint64_t>& a,
+                                           const std::vector<uint64_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<uint64_t> out(a.size() + b.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t carry = 0;
+    uint64_t ai = a[i];
+    if (ai == 0) continue;
+    for (size_t j = 0; j < b.size(); ++j) {
+      u128 cur = static_cast<u128>(ai) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    size_t k = i + b.size();
+    while (carry) {
+      u128 cur = static_cast<u128>(out[k]) + carry;
+      out[k] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+      ++k;
+    }
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+void BigInt::DivModMagnitude(const std::vector<uint64_t>& a,
+                             const std::vector<uint64_t>& b,
+                             std::vector<uint64_t>* q,
+                             std::vector<uint64_t>* r) {
+  assert(!b.empty());
+  if (CompareMagnitude(a, b) < 0) {
+    if (q) q->clear();
+    if (r) *r = a;
+    return;
+  }
+  if (b.size() == 1) {
+    // Fast path: single-limb divisor.
+    uint64_t d = b[0];
+    std::vector<uint64_t> quot(a.size(), 0);
+    uint64_t rem = 0;
+    for (size_t i = a.size(); i-- > 0;) {
+      u128 cur = (static_cast<u128>(rem) << 64) | a[i];
+      quot[i] = static_cast<uint64_t>(cur / d);
+      rem = static_cast<uint64_t>(cur % d);
+    }
+    while (!quot.empty() && quot.back() == 0) quot.pop_back();
+    if (q) *q = std::move(quot);
+    if (r) {
+      r->clear();
+      if (rem) r->push_back(rem);
+    }
+    return;
+  }
+
+  // Knuth TAOCP vol 2, Algorithm D.
+  const size_t n = b.size();
+  const size_t m = a.size() - n;
+
+  // D1: normalize so the divisor's top bit is set.
+  int shift = 0;
+  {
+    uint64_t top = b.back();
+    while ((top & (1ULL << 63)) == 0) {
+      top <<= 1;
+      ++shift;
+    }
+  }
+  auto shl = [&](const std::vector<uint64_t>& v, bool extra) {
+    std::vector<uint64_t> out(v.size() + (extra ? 1 : 0), 0);
+    if (shift == 0) {
+      std::copy(v.begin(), v.end(), out.begin());
+      return out;
+    }
+    uint64_t carry = 0;
+    for (size_t i = 0; i < v.size(); ++i) {
+      out[i] = (v[i] << shift) | carry;
+      carry = v[i] >> (64 - shift);
+    }
+    if (extra) {
+      out[v.size()] = carry;
+    } else {
+      assert(carry == 0);
+    }
+    return out;
+  };
+  std::vector<uint64_t> u = shl(a, /*extra=*/true);  // length m+n+1
+  std::vector<uint64_t> v = shl(b, /*extra=*/false);  // length n
+
+  std::vector<uint64_t> quot(m + 1, 0);
+  const uint64_t v1 = v[n - 1];
+  const uint64_t v2 = v[n - 2];
+
+  for (size_t j = m + 1; j-- > 0;) {
+    // D3: estimate qhat from the top three dividend limbs / top two
+    // divisor limbs.
+    u128 num = (static_cast<u128>(u[j + n]) << 64) | u[j + n - 1];
+    u128 qhat = num / v1;
+    u128 rhat = num % v1;
+    while (qhat >> 64 != 0 ||
+           qhat * v2 > ((rhat << 64) | u[j + n - 2])) {
+      --qhat;
+      rhat += v1;
+      if (rhat >> 64 != 0) break;
+    }
+
+    // D4: multiply and subtract u[j..j+n] -= qhat * v.
+    u128 borrow = 0;
+    u128 carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      u128 p = qhat * v[i] + carry;
+      carry = p >> 64;
+      uint64_t plo = static_cast<uint64_t>(p);
+      u128 sub = static_cast<u128>(u[i + j]) - plo - borrow;
+      u[i + j] = static_cast<uint64_t>(sub);
+      borrow = (sub >> 64) ? 1 : 0;
+    }
+    u128 sub = static_cast<u128>(u[j + n]) - carry - borrow;
+    u[j + n] = static_cast<uint64_t>(sub);
+    bool negative = (sub >> 64) != 0;
+
+    uint64_t qj = static_cast<uint64_t>(qhat);
+    if (negative) {
+      // D6: the estimate was one too large; add the divisor back.
+      --qj;
+      u128 c = 0;
+      for (size_t i = 0; i < n; ++i) {
+        u128 sum = static_cast<u128>(u[i + j]) + v[i] + c;
+        u[i + j] = static_cast<uint64_t>(sum);
+        c = sum >> 64;
+      }
+      u[j + n] = static_cast<uint64_t>(u[j + n] + c);
+    }
+    quot[j] = qj;
+  }
+
+  while (!quot.empty() && quot.back() == 0) quot.pop_back();
+  if (q) *q = std::move(quot);
+  if (r) {
+    // D8: denormalize the remainder (low n limbs of u, shifted back).
+    std::vector<uint64_t> rem(u.begin(), u.begin() + n);
+    if (shift != 0) {
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t hi = (i + 1 < n) ? rem[i + 1] : 0;
+        rem[i] = (rem[i] >> shift) | (hi << (64 - shift));
+      }
+    }
+    while (!rem.empty() && rem.back() == 0) rem.pop_back();
+    *r = std::move(rem);
+  }
+}
+
+int BigInt::Compare(const BigInt& other) const {
+  if (negative_ != other.negative_) return negative_ ? -1 : 1;
+  int mag = CompareMagnitude(limbs_, other.limbs_);
+  return negative_ ? -mag : mag;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.IsZero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt BigInt::operator+(const BigInt& b) const {
+  BigInt out;
+  if (negative_ == b.negative_) {
+    out.limbs_ = AddMagnitude(limbs_, b.limbs_);
+    out.negative_ = negative_;
+  } else {
+    int cmp = CompareMagnitude(limbs_, b.limbs_);
+    if (cmp == 0) return BigInt();
+    if (cmp > 0) {
+      out.limbs_ = SubMagnitude(limbs_, b.limbs_);
+      out.negative_ = negative_;
+    } else {
+      out.limbs_ = SubMagnitude(b.limbs_, limbs_);
+      out.negative_ = b.negative_;
+    }
+  }
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& b) const { return *this + (-b); }
+
+BigInt BigInt::operator*(const BigInt& b) const {
+  BigInt out;
+  out.limbs_ = MulMagnitude(limbs_, b.limbs_);
+  out.negative_ = negative_ != b.negative_;
+  out.Trim();
+  return out;
+}
+
+void BigInt::DivMod(const BigInt& a, const BigInt& b, BigInt* quotient,
+                    BigInt* remainder) {
+  assert(!b.IsZero());
+  std::vector<uint64_t> qm, rm;
+  DivModMagnitude(a.limbs_, b.limbs_, quotient ? &qm : nullptr,
+                  remainder ? &rm : nullptr);
+  if (quotient) {
+    quotient->limbs_ = std::move(qm);
+    quotient->negative_ = a.negative_ != b.negative_;
+    quotient->Trim();
+  }
+  if (remainder) {
+    remainder->limbs_ = std::move(rm);
+    remainder->negative_ = a.negative_;
+    remainder->Trim();
+  }
+}
+
+BigInt BigInt::operator/(const BigInt& b) const {
+  BigInt q;
+  DivMod(*this, b, &q, nullptr);
+  return q;
+}
+
+BigInt BigInt::operator%(const BigInt& b) const {
+  BigInt r;
+  DivMod(*this, b, nullptr, &r);
+  return r;
+}
+
+BigInt BigInt::Mod(const BigInt& a, const BigInt& m) {
+  assert(m > BigInt(0));
+  BigInt r = a % m;
+  if (r.IsNegative()) r = r + m;
+  return r;
+}
+
+BigInt BigInt::operator<<(size_t bits) const {
+  if (IsZero() || bits == 0) {
+    if (bits == 0) return *this;
+    return BigInt();
+  }
+  size_t limb_shift = bits / 64;
+  size_t bit_shift = bits % 64;
+  BigInt out;
+  out.negative_ = negative_;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= bit_shift ? (limbs_[i] << bit_shift)
+                                            : limbs_[i];
+    if (bit_shift) {
+      out.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::operator>>(size_t bits) const {
+  if (IsZero()) return BigInt();
+  size_t limb_shift = bits / 64;
+  size_t bit_shift = bits % 64;
+  if (limb_shift >= limbs_.size()) return BigInt();
+  BigInt out;
+  out.negative_ = negative_;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    out.limbs_[i] = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift && i + limb_shift + 1 < limbs_.size()) {
+      out.limbs_[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+  }
+  out.Trim();
+  return out;
+}
+
+size_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  uint64_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 64;
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::Bit(size_t i) const {
+  size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+util::Result<BigInt> BigInt::FromDecimal(std::string_view s) {
+  if (s.empty()) return util::Status::InvalidArgument("empty decimal string");
+  bool neg = false;
+  size_t i = 0;
+  if (s[0] == '-' || s[0] == '+') {
+    neg = s[0] == '-';
+    i = 1;
+  }
+  if (i == s.size()) return util::Status::InvalidArgument("no digits");
+  BigInt out;
+  const BigInt ten(10);
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (c < '0' || c > '9') {
+      return util::Status::InvalidArgument("invalid decimal digit");
+    }
+    out = out * ten + BigInt(static_cast<int64_t>(c - '0'));
+  }
+  if (neg && !out.IsZero()) out.negative_ = true;
+  return out;
+}
+
+util::Result<BigInt> BigInt::FromHex(std::string_view s) {
+  if (s.empty()) return util::Status::InvalidArgument("empty hex string");
+  bool neg = false;
+  size_t i = 0;
+  if (s[0] == '-' || s[0] == '+') {
+    neg = s[0] == '-';
+    i = 1;
+  }
+  if (i == s.size()) return util::Status::InvalidArgument("no digits");
+  BigInt out;
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    int d;
+    if (c >= '0' && c <= '9') {
+      d = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      d = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      d = c - 'A' + 10;
+    } else {
+      return util::Status::InvalidArgument("invalid hex digit");
+    }
+    out = (out << 4) + BigInt(static_cast<int64_t>(d));
+  }
+  if (neg && !out.IsZero()) out.negative_ = true;
+  return out;
+}
+
+BigInt BigInt::FromBytesBe(const util::Bytes& b) {
+  BigInt out;
+  size_t nlimbs = (b.size() + 7) / 8;
+  out.limbs_.assign(nlimbs, 0);
+  for (size_t i = 0; i < b.size(); ++i) {
+    size_t bit_index = (b.size() - 1 - i) * 8;
+    out.limbs_[bit_index / 64] |= static_cast<uint64_t>(b[i])
+                                  << (bit_index % 64);
+  }
+  out.Trim();
+  return out;
+}
+
+util::Bytes BigInt::ToBytesBe(size_t min_len) const {
+  assert(!negative_);
+  size_t nbytes = (BitLength() + 7) / 8;
+  size_t len = std::max(nbytes, min_len);
+  util::Bytes out(len, 0);
+  for (size_t i = 0; i < nbytes; ++i) {
+    size_t bit_index = i * 8;
+    uint8_t byte =
+        static_cast<uint8_t>(limbs_[bit_index / 64] >> (bit_index % 64));
+    out[len - 1 - i] = byte;
+  }
+  return out;
+}
+
+std::string BigInt::ToDecimal() const {
+  if (IsZero()) return "0";
+  std::vector<uint64_t> mag = limbs_;
+  std::string digits;
+  // Repeated division by 10^19 (largest power of ten in a uint64).
+  constexpr uint64_t kChunk = 10000000000000000000ULL;
+  while (!mag.empty()) {
+    uint64_t rem = 0;
+    for (size_t i = mag.size(); i-- > 0;) {
+      u128 cur = (static_cast<u128>(rem) << 64) | mag[i];
+      mag[i] = static_cast<uint64_t>(cur / kChunk);
+      rem = static_cast<uint64_t>(cur % kChunk);
+    }
+    while (!mag.empty() && mag.back() == 0) mag.pop_back();
+    for (int d = 0; d < 19; ++d) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::string BigInt::ToHex() const {
+  if (IsZero()) return "0";
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int nib = 15; nib >= 0; --nib) {
+      int d = static_cast<int>((limbs_[i] >> (nib * 4)) & 0xf);
+      if (out.empty() && d == 0) continue;
+      out.push_back(kDigits[d]);
+    }
+  }
+  if (negative_) out.insert(out.begin(), '-');
+  return out;
+}
+
+BigInt BigInt::ModPow(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  assert(!exp.IsNegative());
+  assert(m > BigInt(0));
+  if (m.IsOne()) return BigInt();
+  BigInt result(1);
+  BigInt b = Mod(base, m);
+  size_t bits = exp.BitLength();
+  for (size_t i = bits; i-- > 0;) {
+    result = Mod(result * result, m);
+    if (exp.Bit(i)) result = Mod(result * b, m);
+  }
+  return result;
+}
+
+util::Result<BigInt> BigInt::ModInverse(const BigInt& a, const BigInt& m) {
+  // Extended Euclid on (a mod m, m).
+  BigInt r0 = m;
+  BigInt r1 = Mod(a, m);
+  BigInt t0(0);
+  BigInt t1(1);
+  while (!r1.IsZero()) {
+    BigInt q = r0 / r1;
+    BigInt r2 = r0 - q * r1;
+    BigInt t2 = t0 - q * t1;
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    t0 = std::move(t1);
+    t1 = std::move(t2);
+  }
+  if (!r0.IsOne()) {
+    return util::Status::InvalidArgument("element not invertible");
+  }
+  return Mod(t0, m);
+}
+
+BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a.IsNegative() ? -a : a;
+  BigInt y = b.IsNegative() ? -b : b;
+  while (!y.IsZero()) {
+    BigInt r = x % y;
+    x = std::move(y);
+    y = std::move(r);
+  }
+  return x;
+}
+
+bool BigInt::IsProbablePrime(const BigInt& n, util::RandomSource& rng,
+                             int rounds) {
+  if (n < BigInt(2)) return false;
+  for (uint64_t p : kSmallPrimes) {
+    BigInt bp(p);
+    if (n == bp) return true;
+    if ((n % bp).IsZero()) return false;
+  }
+  // Write n-1 = d * 2^s.
+  BigInt n_minus_1 = n - BigInt(1);
+  BigInt d = n_minus_1;
+  size_t s = 0;
+  while (d.IsEven()) {
+    d = d >> 1;
+    ++s;
+  }
+  BigInt n_minus_3 = n - BigInt(3);
+  for (int round = 0; round < rounds; ++round) {
+    BigInt a = RandomBelow(rng, n_minus_3) + BigInt(2);  // [2, n-2]
+    BigInt x = ModPow(a, d, n);
+    if (x.IsOne() || x == n_minus_1) continue;
+    bool composite = true;
+    for (size_t i = 1; i < s; ++i) {
+      x = Mod(x * x, n);
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigInt BigInt::RandomBits(util::RandomSource& rng, size_t bits) {
+  assert(bits >= 1);
+  size_t nbytes = (bits + 7) / 8;
+  util::Bytes raw = rng.Generate(nbytes);
+  // Clear excess high bits, then set the top bit.
+  size_t excess = nbytes * 8 - bits;
+  raw[0] &= static_cast<uint8_t>(0xff >> excess);
+  raw[0] |= static_cast<uint8_t>(1u << ((bits - 1) % 8));
+  return FromBytesBe(raw);
+}
+
+BigInt BigInt::RandomBelow(util::RandomSource& rng, const BigInt& bound) {
+  assert(bound > BigInt(0));
+  size_t bits = bound.BitLength();
+  size_t nbytes = (bits + 7) / 8;
+  size_t excess = nbytes * 8 - bits;
+  for (;;) {
+    util::Bytes raw = rng.Generate(nbytes);
+    raw[0] &= static_cast<uint8_t>(0xff >> excess);
+    BigInt candidate = FromBytesBe(raw);
+    if (candidate < bound) return candidate;
+  }
+}
+
+BigInt BigInt::GeneratePrime(util::RandomSource& rng, size_t bits) {
+  assert(bits >= 2);
+  for (;;) {
+    BigInt candidate = RandomBits(rng, bits);
+    if (candidate.IsEven()) candidate = candidate + BigInt(1);
+    if (IsProbablePrime(candidate, rng)) return candidate;
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& v) {
+  return os << v.ToDecimal();
+}
+
+}  // namespace mws::math

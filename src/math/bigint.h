@@ -1,0 +1,163 @@
+#ifndef MWSIBE_MATH_BIGINT_H_
+#define MWSIBE_MATH_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/random.h"
+#include "src/util/result.h"
+
+namespace mws::math {
+
+/// Arbitrary-precision signed integer (sign–magnitude, 64-bit limbs,
+/// little-endian limb order). This is the foundation of the pairing and
+/// RSA substrates; it favours clarity and correctness, with the hot
+/// modular path delegated to the Montgomery code in fp.h.
+///
+/// Value semantics: copyable and movable. Zero is canonically represented
+/// by an empty limb vector with positive sign.
+class BigInt {
+ public:
+  BigInt() : negative_(false) {}
+  BigInt(int64_t v);   // NOLINT(runtime/explicit) - numeric literal init
+  BigInt(uint64_t v);  // NOLINT(runtime/explicit)
+  BigInt(int v) : BigInt(static_cast<int64_t>(v)) {}  // NOLINT
+
+  BigInt(const BigInt&) = default;
+  BigInt& operator=(const BigInt&) = default;
+  BigInt(BigInt&&) = default;
+  BigInt& operator=(BigInt&&) = default;
+
+  /// Parses an optionally signed decimal string.
+  static util::Result<BigInt> FromDecimal(std::string_view s);
+
+  /// Parses an optionally signed hex string (no 0x prefix).
+  static util::Result<BigInt> FromHex(std::string_view s);
+
+  /// Interprets `b` as an unsigned big-endian integer.
+  static BigInt FromBytesBe(const util::Bytes& b);
+
+  /// Unsigned big-endian encoding, left-padded with zeros to at least
+  /// `min_len` bytes. Pre: non-negative.
+  util::Bytes ToBytesBe(size_t min_len = 0) const;
+
+  std::string ToDecimal() const;
+  std::string ToHex() const;
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOne() const { return !negative_ && limbs_.size() == 1 && limbs_[0] == 1; }
+  bool IsNegative() const { return negative_; }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1) != 0; }
+  bool IsEven() const { return !IsOdd(); }
+
+  /// Number of significant bits of |x| (0 for zero).
+  size_t BitLength() const;
+
+  /// Bit `i` of |x| (i=0 is the least significant).
+  bool Bit(size_t i) const;
+
+  /// Low 64 bits of |x|.
+  uint64_t LowU64() const { return limbs_.empty() ? 0 : limbs_[0]; }
+
+  /// -1, 0, +1 comparison with full sign handling.
+  int Compare(const BigInt& other) const;
+
+  BigInt operator-() const;
+  BigInt operator+(const BigInt& b) const;
+  BigInt operator-(const BigInt& b) const;
+  BigInt operator*(const BigInt& b) const;
+  /// Truncated division (C semantics: quotient rounds toward zero,
+  /// remainder has the sign of the dividend). Pre: b != 0.
+  BigInt operator/(const BigInt& b) const;
+  BigInt operator%(const BigInt& b) const;
+  BigInt operator<<(size_t bits) const;
+  BigInt operator>>(size_t bits) const;
+
+  BigInt& operator+=(const BigInt& b) { return *this = *this + b; }
+  BigInt& operator-=(const BigInt& b) { return *this = *this - b; }
+  BigInt& operator*=(const BigInt& b) { return *this = *this * b; }
+
+  /// Computes quotient and remainder in one pass (truncated semantics).
+  /// Either output pointer may be null. Pre: !b.IsZero().
+  static void DivMod(const BigInt& a, const BigInt& b, BigInt* quotient,
+                     BigInt* remainder);
+
+  /// Canonical non-negative residue of `a` modulo `m`. Pre: m > 0.
+  static BigInt Mod(const BigInt& a, const BigInt& m);
+
+  /// (base^exp) mod m with exp >= 0, m > 0.
+  static BigInt ModPow(const BigInt& base, const BigInt& exp, const BigInt& m);
+
+  /// Multiplicative inverse of a mod m; fails if gcd(a, m) != 1.
+  static util::Result<BigInt> ModInverse(const BigInt& a, const BigInt& m);
+
+  /// Greatest common divisor of |a| and |b|.
+  static BigInt Gcd(const BigInt& a, const BigInt& b);
+
+  /// Miller–Rabin with `rounds` random bases (plus small-prime sieve).
+  static bool IsProbablePrime(const BigInt& n, util::RandomSource& rng,
+                              int rounds = 32);
+
+  /// Uniform integer with exactly `bits` bits (top bit set). Pre: bits >= 1.
+  static BigInt RandomBits(util::RandomSource& rng, size_t bits);
+
+  /// Uniform integer in [0, bound). Pre: bound > 0.
+  static BigInt RandomBelow(util::RandomSource& rng, const BigInt& bound);
+
+  /// Random prime with exactly `bits` bits. Pre: bits >= 2.
+  static BigInt GeneratePrime(util::RandomSource& rng, size_t bits);
+
+  /// Raw limb access (little-endian, no trailing zero limbs).
+  const std::vector<uint64_t>& limbs() const { return limbs_; }
+
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return a.Compare(b) == 0;
+  }
+  friend bool operator!=(const BigInt& a, const BigInt& b) {
+    return a.Compare(b) != 0;
+  }
+  friend bool operator<(const BigInt& a, const BigInt& b) {
+    return a.Compare(b) < 0;
+  }
+  friend bool operator<=(const BigInt& a, const BigInt& b) {
+    return a.Compare(b) <= 0;
+  }
+  friend bool operator>(const BigInt& a, const BigInt& b) {
+    return a.Compare(b) > 0;
+  }
+  friend bool operator>=(const BigInt& a, const BigInt& b) {
+    return a.Compare(b) >= 0;
+  }
+
+ private:
+  /// Drops trailing zero limbs and canonicalizes -0 to +0.
+  void Trim();
+
+  /// |a| vs |b| comparison.
+  static int CompareMagnitude(const std::vector<uint64_t>& a,
+                              const std::vector<uint64_t>& b);
+  static std::vector<uint64_t> AddMagnitude(const std::vector<uint64_t>& a,
+                                            const std::vector<uint64_t>& b);
+  /// Pre: |a| >= |b|.
+  static std::vector<uint64_t> SubMagnitude(const std::vector<uint64_t>& a,
+                                            const std::vector<uint64_t>& b);
+  static std::vector<uint64_t> MulMagnitude(const std::vector<uint64_t>& a,
+                                            const std::vector<uint64_t>& b);
+  /// Knuth Algorithm D on magnitudes. Pre: !b.empty().
+  static void DivModMagnitude(const std::vector<uint64_t>& a,
+                              const std::vector<uint64_t>& b,
+                              std::vector<uint64_t>* q,
+                              std::vector<uint64_t>* r);
+
+  bool negative_;
+  std::vector<uint64_t> limbs_;
+};
+
+std::ostream& operator<<(std::ostream& os, const BigInt& v);
+
+}  // namespace mws::math
+
+#endif  // MWSIBE_MATH_BIGINT_H_

@@ -1,0 +1,175 @@
+#include "src/math/ec.h"
+
+#include <cassert>
+
+namespace mws::math {
+
+namespace {
+
+/// Jacobian coordinates (X, Y, Z) with x = X/Z^2, y = Y/Z^3; Z = 0 is the
+/// point at infinity. Used internally for scalar multiplication.
+struct Jacobian {
+  Fp x, y, z;
+  bool infinity;
+};
+
+Jacobian ToJacobian(const FpCtx* ctx, const EcPoint& p) {
+  if (p.is_infinity()) {
+    return {Fp::One(ctx), Fp::One(ctx), Fp::Zero(ctx), true};
+  }
+  return {p.x(), p.y(), Fp::One(ctx), false};
+}
+
+EcPoint ToAffine(const Jacobian& p) {
+  if (p.infinity) return EcPoint::Infinity();
+  Fp zinv = p.z.Inv();
+  Fp zinv2 = zinv.Sqr();
+  Fp zinv3 = zinv2 * zinv;
+  return EcPoint(p.x * zinv2, p.y * zinv3);
+}
+
+Jacobian JacobianDouble(const Fp& a, const Jacobian& p) {
+  if (p.infinity || p.y.IsZero()) {
+    const FpCtx* ctx = p.x.ctx();
+    return {Fp::One(ctx), Fp::One(ctx), Fp::Zero(ctx), true};
+  }
+  // S = 4*X*Y^2, M = 3*X^2 + a*Z^4.
+  Fp y2 = p.y.Sqr();
+  Fp s = (p.x * y2).Double().Double();
+  Fp x2 = p.x.Sqr();
+  Fp m = x2.Double() + x2 + a * p.z.Sqr().Sqr();
+  Fp x3 = m.Sqr() - s.Double();
+  Fp y4_8 = y2.Sqr().Double().Double().Double();
+  Fp y3 = m * (s - x3) - y4_8;
+  Fp z3 = (p.y * p.z).Double();
+  return {x3, y3, z3, false};
+}
+
+Jacobian JacobianAdd(const Fp& a, const Jacobian& p, const Jacobian& q) {
+  if (p.infinity) return q;
+  if (q.infinity) return p;
+  Fp z1sq = p.z.Sqr();
+  Fp z2sq = q.z.Sqr();
+  Fp u1 = p.x * z2sq;
+  Fp u2 = q.x * z1sq;
+  Fp s1 = p.y * z2sq * q.z;
+  Fp s2 = q.y * z1sq * p.z;
+  Fp h = u2 - u1;
+  Fp r = s2 - s1;
+  if (h.IsZero()) {
+    if (r.IsZero()) return JacobianDouble(a, p);
+    const FpCtx* ctx = p.x.ctx();
+    return {Fp::One(ctx), Fp::One(ctx), Fp::Zero(ctx), true};
+  }
+  Fp h2 = h.Sqr();
+  Fp h3 = h2 * h;
+  Fp u1h2 = u1 * h2;
+  Fp x3 = r.Sqr() - h3 - u1h2.Double();
+  Fp y3 = r * (u1h2 - x3) - s1 * h3;
+  Fp z3 = p.z * q.z * h;
+  return {x3, y3, z3, false};
+}
+
+}  // namespace
+
+bool CurveGroup::IsOnCurve(const EcPoint& p) const {
+  if (p.is_infinity()) return true;
+  Fp lhs = p.y().Sqr();
+  Fp rhs = p.x().Sqr() * p.x() + a_ * p.x() + b_;
+  return lhs == rhs;
+}
+
+EcPoint CurveGroup::Negate(const EcPoint& p) const {
+  if (p.is_infinity()) return p;
+  return EcPoint(p.x(), p.y().Neg());
+}
+
+EcPoint CurveGroup::Double(const EcPoint& p) const {
+  return ToAffine(JacobianDouble(a_, ToJacobian(ctx_, p)));
+}
+
+EcPoint CurveGroup::Add(const EcPoint& p, const EcPoint& q) const {
+  return ToAffine(
+      JacobianAdd(a_, ToJacobian(ctx_, p), ToJacobian(ctx_, q)));
+}
+
+EcPoint CurveGroup::ScalarMul(const BigInt& k, const EcPoint& p) const {
+  if (k.IsZero() || p.is_infinity()) return EcPoint::Infinity();
+  BigInt scalar = k.IsNegative() ? -k : k;
+  Jacobian base = ToJacobian(ctx_, p);
+  Jacobian acc = {Fp::One(ctx_), Fp::One(ctx_), Fp::Zero(ctx_), true};
+  for (size_t i = scalar.BitLength(); i-- > 0;) {
+    acc = JacobianDouble(a_, acc);
+    if (scalar.Bit(i)) acc = JacobianAdd(a_, acc, base);
+  }
+  EcPoint out = ToAffine(acc);
+  return k.IsNegative() ? Negate(out) : out;
+}
+
+util::Bytes CurveGroup::Serialize(const EcPoint& p) const {
+  if (p.is_infinity()) return util::Bytes{0x00};
+  util::Bytes out;
+  out.reserve(1 + 2 * ctx_->byte_length());
+  out.push_back(0x04);
+  util::Bytes xb = p.x().ToBytes();
+  util::Bytes yb = p.y().ToBytes();
+  out.insert(out.end(), xb.begin(), xb.end());
+  out.insert(out.end(), yb.begin(), yb.end());
+  return out;
+}
+
+util::Bytes CurveGroup::SerializeCompressed(const EcPoint& p) const {
+  if (p.is_infinity()) return util::Bytes{0x00};
+  util::Bytes out;
+  out.reserve(1 + ctx_->byte_length());
+  out.push_back(p.y().ToBigInt().IsOdd() ? 0x03 : 0x02);
+  util::Bytes xb = p.x().ToBytes();
+  out.insert(out.end(), xb.begin(), xb.end());
+  return out;
+}
+
+util::Result<EcPoint> CurveGroup::DeserializeCompressed(
+    const util::Bytes& data) const {
+  if (data.size() == 1 && data[0] == 0x00) return EcPoint::Infinity();
+  size_t flen = ctx_->byte_length();
+  if (data.size() != 1 + flen || (data[0] != 0x02 && data[0] != 0x03)) {
+    return util::Status::InvalidArgument("bad compressed point encoding");
+  }
+  util::Bytes xb(data.begin() + 1, data.end());
+  BigInt xi = BigInt::FromBytesBe(xb);
+  if (xi >= ctx_->modulus()) {
+    return util::Status::InvalidArgument("EC coordinate out of range");
+  }
+  Fp x = Fp::FromBigInt(ctx_, xi);
+  Fp rhs = x.Sqr() * x + a_ * x + b_;
+  auto y = rhs.Sqrt();
+  if (!y.ok()) {
+    return util::Status::InvalidArgument("x is not on the curve");
+  }
+  bool want_odd = data[0] == 0x03;
+  Fp y_final = (y->ToBigInt().IsOdd() == want_odd) ? y.value() : y->Neg();
+  return EcPoint(x, y_final);
+}
+
+util::Result<EcPoint> CurveGroup::Deserialize(const util::Bytes& data) const {
+  if (data.size() == 1 && data[0] == 0x00) return EcPoint::Infinity();
+  size_t flen = ctx_->byte_length();
+  if (data.size() != 1 + 2 * flen || data[0] != 0x04) {
+    return util::Status::InvalidArgument("bad EC point encoding");
+  }
+  util::Bytes xb(data.begin() + 1, data.begin() + 1 + flen);
+  util::Bytes yb(data.begin() + 1 + flen, data.end());
+  // Reject non-canonical (>= p) coordinates.
+  BigInt xi = BigInt::FromBytesBe(xb);
+  BigInt yi = BigInt::FromBytesBe(yb);
+  if (xi >= ctx_->modulus() || yi >= ctx_->modulus()) {
+    return util::Status::InvalidArgument("EC coordinate out of range");
+  }
+  EcPoint p(Fp::FromBigInt(ctx_, xi), Fp::FromBigInt(ctx_, yi));
+  if (!IsOnCurve(p)) {
+    return util::Status::InvalidArgument("point not on curve");
+  }
+  return p;
+}
+
+}  // namespace mws::math

@@ -1,0 +1,81 @@
+#ifndef MWSIBE_MATH_EC_H_
+#define MWSIBE_MATH_EC_H_
+
+#include "src/math/fp.h"
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace mws::math {
+
+/// A point on a short-Weierstrass curve, stored affine, plus the point at
+/// infinity. Pure data; group operations live on CurveGroup.
+class EcPoint {
+ public:
+  /// The point at infinity (identity).
+  EcPoint() : infinity_(true) {}
+  EcPoint(Fp x, Fp y) : infinity_(false), x_(std::move(x)), y_(std::move(y)) {}
+
+  static EcPoint Infinity() { return EcPoint(); }
+
+  bool is_infinity() const { return infinity_; }
+  /// Pre: !is_infinity().
+  const Fp& x() const { return x_; }
+  const Fp& y() const { return y_; }
+
+  friend bool operator==(const EcPoint& a, const EcPoint& b) {
+    if (a.infinity_ || b.infinity_) return a.infinity_ == b.infinity_;
+    return a.x_ == b.x_ && a.y_ == b.y_;
+  }
+  friend bool operator!=(const EcPoint& a, const EcPoint& b) {
+    return !(a == b);
+  }
+
+ private:
+  bool infinity_;
+  Fp x_;
+  Fp y_;
+};
+
+/// The group E(F_p) of a short-Weierstrass curve y^2 = x^3 + a*x + b.
+///
+/// For the paper's type-A pairing curve a = 1, b = 0 (supersingular,
+/// #E = p + 1, embedding degree 2).
+class CurveGroup {
+ public:
+  CurveGroup(const FpCtx* ctx, Fp a, Fp b)
+      : ctx_(ctx), a_(std::move(a)), b_(std::move(b)) {}
+
+  const FpCtx* ctx() const { return ctx_; }
+  const Fp& a() const { return a_; }
+  const Fp& b() const { return b_; }
+
+  bool IsOnCurve(const EcPoint& p) const;
+
+  EcPoint Negate(const EcPoint& p) const;
+  EcPoint Add(const EcPoint& p, const EcPoint& q) const;
+  EcPoint Double(const EcPoint& p) const;
+  /// k*P by double-and-add over |k| bits; negative k negates the result.
+  EcPoint ScalarMul(const BigInt& k, const EcPoint& p) const;
+
+  /// Uncompressed encoding: 0x04 || x || y (fixed width), or 0x00 for the
+  /// point at infinity.
+  util::Bytes Serialize(const EcPoint& p) const;
+  /// Rejects encodings whose coordinates are not on the curve.
+  util::Result<EcPoint> Deserialize(const util::Bytes& data) const;
+
+  /// Compressed encoding: 0x02/0x03 (y parity) || x, or 0x00 for
+  /// infinity — half the wire size; decompression costs one field
+  /// square root. Requires p == 3 mod 4 (all type-A parameters).
+  util::Bytes SerializeCompressed(const EcPoint& p) const;
+  /// Accepts only compressed encodings (and 0x00 for infinity).
+  util::Result<EcPoint> DeserializeCompressed(const util::Bytes& data) const;
+
+ private:
+  const FpCtx* ctx_;
+  Fp a_;
+  Fp b_;
+};
+
+}  // namespace mws::math
+
+#endif  // MWSIBE_MATH_EC_H_

@@ -1,0 +1,340 @@
+#include "src/math/fp.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace mws::math {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+/// -x^-1 mod 2^64 for odd x, by Newton iteration.
+uint64_t NegInvU64(uint64_t x) {
+  uint64_t inv = x;  // correct to 3 bits
+  for (int i = 0; i < 5; ++i) inv *= 2 - x * inv;
+  return ~inv + 1;  // -inv
+}
+
+// --- Allocation-free helpers on n-limb little-endian arrays ---
+
+int CmpN(const uint64_t* a, const uint64_t* b, size_t n) {
+  for (size_t i = n; i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+/// out = a - b; returns the final borrow (1 if a < b).
+uint64_t SubN(const uint64_t* a, const uint64_t* b, uint64_t* out, size_t n) {
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t ai = a[i];
+    uint64_t bi = b[i];
+    uint64_t d = ai - bi;
+    uint64_t b2 = ai < bi ? 1 : 0;
+    uint64_t d2 = d - borrow;
+    if (d < borrow) b2 = 1;
+    out[i] = d2;
+    borrow = b2;
+  }
+  return borrow;
+}
+
+/// out = a + b; returns the final carry.
+uint64_t AddN(const uint64_t* a, const uint64_t* b, uint64_t* out, size_t n) {
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    u128 sum = static_cast<u128>(a[i]) + b[i] + carry;
+    out[i] = static_cast<uint64_t>(sum);
+    carry = static_cast<uint64_t>(sum >> 64);
+  }
+  return carry;
+}
+
+/// a >>= 1 with `top_bit` shifted into the most significant position.
+void Shr1N(uint64_t* a, size_t n, uint64_t top_bit) {
+  for (size_t i = 0; i + 1 < n; ++i) {
+    a[i] = (a[i] >> 1) | (a[i + 1] << 63);
+  }
+  a[n - 1] = (a[n - 1] >> 1) | (top_bit << 63);
+}
+
+bool IsZeroN(const uint64_t* a, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != 0) return false;
+  }
+  return true;
+}
+
+bool IsOneN(const uint64_t* a, size_t n) {
+  if (a[0] != 1) return false;
+  for (size_t i = 1; i < n; ++i) {
+    if (a[i] != 0) return false;
+  }
+  return true;
+}
+
+void CopyLimbs(const BigInt& v, uint64_t* out, size_t n) {
+  const auto& limbs = v.limbs();
+  assert(limbs.size() <= n);
+  std::memset(out, 0, n * sizeof(uint64_t));
+  std::memcpy(out, limbs.data(), limbs.size() * sizeof(uint64_t));
+}
+
+BigInt LimbsToBigInt(const uint64_t* limbs, size_t n) {
+  util::Bytes be(n * 8);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t limb = limbs[n - 1 - i];
+    for (int j = 0; j < 8; ++j) {
+      be[i * 8 + j] = static_cast<uint8_t>(limb >> (56 - 8 * j));
+    }
+  }
+  return BigInt::FromBytesBe(be);
+}
+
+}  // namespace
+
+util::Result<std::unique_ptr<const FpCtx>> FpCtx::Create(const BigInt& p) {
+  if (p < BigInt(3) || p.IsEven()) {
+    return util::Status::InvalidArgument("modulus must be an odd prime >= 3");
+  }
+  if (p.limbs().size() > kMaxFpLimbs) {
+    return util::Status::InvalidArgument("modulus exceeds kMaxFpLimbs");
+  }
+  auto ctx = std::unique_ptr<FpCtx>(new FpCtx());
+  ctx->p_ = p;
+  ctx->nlimbs_ = p.limbs().size();
+  CopyLimbs(p, ctx->p_limbs_.data(), ctx->nlimbs_);
+  ctx->n0inv_ = NegInvU64(ctx->p_limbs_[0]);
+  // R = 2^(64*nlimbs); one_mont = R mod p; r2 = R^2 mod p.
+  BigInt r = BigInt(1) << (64 * ctx->nlimbs_);
+  CopyLimbs(BigInt::Mod(r, p), ctx->one_mont_.data(), ctx->nlimbs_);
+  CopyLimbs(BigInt::Mod(r * r, p), ctx->r2_.data(), ctx->nlimbs_);
+  return std::unique_ptr<const FpCtx>(std::move(ctx));
+}
+
+bool FpCtx::GeqP(const uint64_t* a) const {
+  return CmpN(a, p_limbs_.data(), nlimbs_) >= 0;
+}
+
+void FpCtx::MontMul(const uint64_t* a, const uint64_t* b,
+                    uint64_t* out) const {
+  const size_t n = nlimbs_;
+  // CIOS accumulator; t stays < 2p after each shift.
+  uint64_t t[kMaxFpLimbs + 2] = {0};
+  for (size_t i = 0; i < n; ++i) {
+    // t += a[i] * b
+    uint64_t carry = 0;
+    for (size_t j = 0; j < n; ++j) {
+      u128 cur = static_cast<u128>(a[i]) * b[j] + t[j] + carry;
+      t[j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    u128 cur = static_cast<u128>(t[n]) + carry;
+    t[n] = static_cast<uint64_t>(cur);
+    t[n + 1] = static_cast<uint64_t>(cur >> 64);
+
+    // m = t[0] * n0inv mod 2^64; t += m * p (makes t[0] == 0).
+    uint64_t m = t[0] * n0inv_;
+    carry = 0;
+    for (size_t j = 0; j < n; ++j) {
+      u128 c2 = static_cast<u128>(m) * p_limbs_[j] + t[j] + carry;
+      t[j] = static_cast<uint64_t>(c2);
+      carry = static_cast<uint64_t>(c2 >> 64);
+    }
+    cur = static_cast<u128>(t[n]) + carry;
+    t[n] = static_cast<uint64_t>(cur);
+    t[n + 1] += static_cast<uint64_t>(cur >> 64);
+
+    // Shift t right by one limb (divide by 2^64).
+    for (size_t j = 0; j < n + 1; ++j) t[j] = t[j + 1];
+    t[n + 1] = 0;
+  }
+  // Result in t[0..n], < 2p. Conditionally subtract p.
+  if (t[n] != 0 || GeqP(t)) {
+    SubN(t, p_limbs_.data(), out, n);
+  } else {
+    std::memcpy(out, t, n * sizeof(uint64_t));
+  }
+}
+
+void FpCtx::AddMod(const uint64_t* a, const uint64_t* b, uint64_t* out) const {
+  const size_t n = nlimbs_;
+  uint64_t carry = AddN(a, b, out, n);
+  if (carry || GeqP(out)) {
+    SubN(out, p_limbs_.data(), out, n);
+  }
+}
+
+void FpCtx::SubMod(const uint64_t* a, const uint64_t* b, uint64_t* out) const {
+  const size_t n = nlimbs_;
+  if (SubN(a, b, out, n)) {
+    AddN(out, p_limbs_.data(), out, n);
+  }
+}
+
+void FpCtx::InvMod(const uint64_t* a, uint64_t* out) const {
+  // Binary extended GCD (HAC 14.61) on u = a, v = p with x1, x2 tracked
+  // mod p. For a in Montgomery form (aR) it yields (aR)^-1 = a^-1 R^-1;
+  // two extra Montgomery multiplications by R^2 lift it back to a^-1 R.
+  const size_t n = nlimbs_;
+  assert(!IsZeroN(a, n));
+  uint64_t u[kMaxFpLimbs], v[kMaxFpLimbs];
+  uint64_t x1[kMaxFpLimbs] = {0}, x2[kMaxFpLimbs] = {0};
+  std::memcpy(u, a, n * sizeof(uint64_t));
+  std::memcpy(v, p_limbs_.data(), n * sizeof(uint64_t));
+  x1[0] = 1;
+
+  auto halve = [&](uint64_t* x) {
+    if (x[0] & 1) {
+      uint64_t carry = AddN(x, p_limbs_.data(), x, n);
+      Shr1N(x, n, carry);
+    } else {
+      Shr1N(x, n, 0);
+    }
+  };
+
+  while (!IsOneN(u, n) && !IsOneN(v, n)) {
+    while ((u[0] & 1) == 0) {
+      Shr1N(u, n, 0);
+      halve(x1);
+    }
+    while ((v[0] & 1) == 0) {
+      Shr1N(v, n, 0);
+      halve(x2);
+    }
+    if (CmpN(u, v, n) >= 0) {
+      SubN(u, v, u, n);
+      SubMod(x1, x2, x1);
+    } else {
+      SubN(v, u, v, n);
+      SubMod(x2, x1, x2);
+    }
+  }
+  const uint64_t* result = IsOneN(u, n) ? x1 : x2;
+  // result = (aR)^-1 = a^-1 R^-1. MontMul twice by R^2:
+  //   a^-1 R^-1 * R^2 * R^-1 = a^-1, then a^-1 * R^2 * R^-1 = a^-1 R.
+  uint64_t tmp[kMaxFpLimbs];
+  MontMul(result, r2_.data(), tmp);
+  MontMul(tmp, r2_.data(), out);
+}
+
+Fp Fp::Zero(const FpCtx* ctx) { return Fp(ctx); }
+
+Fp Fp::One(const FpCtx* ctx) {
+  Fp out(ctx);
+  std::memcpy(out.v_.data(), ctx->one_mont(),
+              ctx->nlimbs() * sizeof(uint64_t));
+  return out;
+}
+
+Fp Fp::FromBigInt(const FpCtx* ctx, const BigInt& v) {
+  BigInt reduced = BigInt::Mod(v, ctx->modulus());
+  Fp out(ctx);
+  CopyLimbs(reduced, out.v_.data(), ctx->nlimbs());
+  // Convert to Montgomery form: a * R mod p = MontMul(a, R^2).
+  ctx->MontMul(out.v_.data(), ctx->r2(), out.v_.data());
+  return out;
+}
+
+Fp Fp::FromU64(const FpCtx* ctx, uint64_t v) {
+  return FromBigInt(ctx, BigInt(v));
+}
+
+Fp Fp::FromBytes(const FpCtx* ctx, const util::Bytes& b) {
+  return FromBigInt(ctx, BigInt::FromBytesBe(b));
+}
+
+BigInt Fp::ToBigInt() const {
+  assert(valid());
+  // Convert out of Montgomery form: MontMul(a, 1).
+  uint64_t one[kMaxFpLimbs] = {0};
+  one[0] = 1;
+  uint64_t plain[kMaxFpLimbs];
+  ctx_->MontMul(v_.data(), one, plain);
+  return LimbsToBigInt(plain, ctx_->nlimbs());
+}
+
+util::Bytes Fp::ToBytes() const {
+  return ToBigInt().ToBytesBe(ctx_->byte_length());
+}
+
+bool Fp::IsZero() const {
+  assert(valid());
+  return IsZeroN(v_.data(), ctx_->nlimbs());
+}
+
+bool Fp::IsOne() const {
+  assert(valid());
+  return CmpN(v_.data(), ctx_->one_mont(), ctx_->nlimbs()) == 0;
+}
+
+Fp Fp::operator+(const Fp& o) const {
+  assert(valid() && ctx_ == o.ctx_);
+  Fp out(ctx_);
+  ctx_->AddMod(v_.data(), o.v_.data(), out.v_.data());
+  return out;
+}
+
+Fp Fp::operator-(const Fp& o) const {
+  assert(valid() && ctx_ == o.ctx_);
+  Fp out(ctx_);
+  ctx_->SubMod(v_.data(), o.v_.data(), out.v_.data());
+  return out;
+}
+
+Fp Fp::operator*(const Fp& o) const {
+  assert(valid() && ctx_ == o.ctx_);
+  Fp out(ctx_);
+  ctx_->MontMul(v_.data(), o.v_.data(), out.v_.data());
+  return out;
+}
+
+Fp Fp::Neg() const {
+  assert(valid());
+  if (IsZero()) return *this;
+  Fp zero = Zero(ctx_);
+  Fp out(ctx_);
+  ctx_->SubMod(zero.v_.data(), v_.data(), out.v_.data());
+  return out;
+}
+
+Fp Fp::Pow(const BigInt& e) const {
+  assert(valid());
+  assert(!e.IsNegative());
+  Fp result = One(ctx_);
+  size_t bits = e.BitLength();
+  for (size_t i = bits; i-- > 0;) {
+    result = result.Sqr();
+    if (e.Bit(i)) result = result * *this;
+  }
+  return result;
+}
+
+Fp Fp::Inv() const {
+  assert(!IsZero());
+  Fp out(ctx_);
+  ctx_->InvMod(v_.data(), out.v_.data());
+  return out;
+}
+
+int Fp::Legendre() const {
+  if (IsZero()) return 0;
+  Fp sym = Pow((ctx_->modulus() - BigInt(1)) >> 1);
+  return sym.IsOne() ? 1 : -1;
+}
+
+util::Result<Fp> Fp::Sqrt() const {
+  assert(valid());
+  if (IsZero()) return *this;
+  const BigInt& p = ctx_->modulus();
+  if ((p % BigInt(4)) == BigInt(3)) {
+    Fp root = Pow((p + BigInt(1)) >> 2);
+    if (root.Sqr() == *this) return root;
+    return util::Status::InvalidArgument("not a quadratic residue");
+  }
+  return util::Status::Unimplemented("sqrt requires p == 3 mod 4");
+}
+
+}  // namespace mws::math

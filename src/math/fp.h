@@ -1,0 +1,126 @@
+#ifndef MWSIBE_MATH_FP_H_
+#define MWSIBE_MATH_FP_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/math/bigint.h"
+#include "src/util/result.h"
+
+namespace mws::math {
+
+/// Largest supported field size: 16 limbs = 1024 bits (the kLarge
+/// preset). Elements store limbs inline, so field arithmetic is
+/// allocation-free — this is the pairing's hot path.
+inline constexpr size_t kMaxFpLimbs = 16;
+
+/// Shared context for arithmetic modulo an odd prime p, holding the
+/// Montgomery constants. Field elements (`Fp`) reference a context by
+/// pointer; the context must outlive every element created from it
+/// (in this library contexts are owned by pairing parameter objects).
+class FpCtx {
+ public:
+  /// Pre: p is an odd prime >= 3 of at most kMaxFpLimbs limbs.
+  /// (Primality is the caller's contract; only oddness is checked.)
+  static util::Result<std::unique_ptr<const FpCtx>> Create(const BigInt& p);
+
+  const BigInt& modulus() const { return p_; }
+  size_t nlimbs() const { return nlimbs_; }
+  size_t byte_length() const { return (p_.BitLength() + 7) / 8; }
+
+  /// Montgomery product out = a*b*R^-1 mod p. All spans have nlimbs()
+  /// limbs; `out` may alias `a` or `b`.
+  void MontMul(const uint64_t* a, const uint64_t* b, uint64_t* out) const;
+
+  /// out = (a+b) mod p.
+  void AddMod(const uint64_t* a, const uint64_t* b, uint64_t* out) const;
+  /// out = (a-b) mod p.
+  void SubMod(const uint64_t* a, const uint64_t* b, uint64_t* out) const;
+
+  /// out = a^-1 * R^2 ... precisely: given a in Montgomery form, writes
+  /// the Montgomery form of the inverse. Pre: a != 0. Allocation-free
+  /// binary extended GCD.
+  void InvMod(const uint64_t* a, uint64_t* out) const;
+
+  const uint64_t* r2() const { return r2_.data(); }
+  const uint64_t* one_mont() const { return one_mont_.data(); }
+  const uint64_t* p_limbs() const { return p_limbs_.data(); }
+
+ private:
+  FpCtx() = default;
+
+  /// True if a >= p (limb comparison).
+  bool GeqP(const uint64_t* a) const;
+
+  BigInt p_;
+  size_t nlimbs_ = 0;
+  uint64_t n0inv_ = 0;  // -p^-1 mod 2^64
+  std::array<uint64_t, kMaxFpLimbs> p_limbs_{};
+  std::array<uint64_t, kMaxFpLimbs> r2_{};        // R^2 mod p
+  std::array<uint64_t, kMaxFpLimbs> one_mont_{};  // R mod p
+};
+
+/// An element of F_p in Montgomery representation. Value type with
+/// inline storage; trivially copyable. All binary operations require
+/// both operands to share a context.
+class Fp {
+ public:
+  /// An invalid element; using it in arithmetic asserts. Exists so
+  /// containers and out-params are expressible.
+  Fp() : ctx_(nullptr), v_{} {}
+
+  static Fp Zero(const FpCtx* ctx);
+  static Fp One(const FpCtx* ctx);
+  /// Reduces `v` mod p and converts to Montgomery form.
+  static Fp FromBigInt(const FpCtx* ctx, const BigInt& v);
+  static Fp FromU64(const FpCtx* ctx, uint64_t v);
+  /// Interprets big-endian bytes as an integer, reduces mod p.
+  static Fp FromBytes(const FpCtx* ctx, const util::Bytes& b);
+
+  BigInt ToBigInt() const;
+  /// Fixed-width big-endian encoding (ctx->byte_length() bytes).
+  util::Bytes ToBytes() const;
+
+  bool valid() const { return ctx_ != nullptr; }
+  const FpCtx* ctx() const { return ctx_; }
+  bool IsZero() const;
+  bool IsOne() const;
+
+  Fp operator+(const Fp& o) const;
+  Fp operator-(const Fp& o) const;
+  Fp operator*(const Fp& o) const;
+  Fp Neg() const;
+  Fp Sqr() const { return *this * *this; }
+  /// a^e mod p, e >= 0.
+  Fp Pow(const BigInt& e) const;
+  /// Multiplicative inverse. Pre: non-zero.
+  Fp Inv() const;
+  /// +1 if QR, -1 if non-residue, 0 if zero.
+  int Legendre() const;
+  /// Square root (p == 3 mod 4 fast path); fails for non-residues.
+  util::Result<Fp> Sqrt() const;
+  /// Doubling without general multiplication.
+  Fp Double() const { return *this + *this; }
+
+  friend bool operator==(const Fp& a, const Fp& b) {
+    if (a.ctx_ != b.ctx_) return false;
+    if (a.ctx_ == nullptr) return true;
+    for (size_t i = 0; i < a.ctx_->nlimbs(); ++i) {
+      if (a.v_[i] != b.v_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const Fp& a, const Fp& b) { return !(a == b); }
+
+ private:
+  explicit Fp(const FpCtx* ctx) : ctx_(ctx), v_{} {}
+
+  const FpCtx* ctx_;
+  std::array<uint64_t, kMaxFpLimbs> v_;  // Montgomery form
+};
+
+}  // namespace mws::math
+
+#endif  // MWSIBE_MATH_FP_H_

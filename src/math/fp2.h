@@ -1,0 +1,90 @@
+#ifndef MWSIBE_MATH_FP2_H_
+#define MWSIBE_MATH_FP2_H_
+
+#include "src/math/fp.h"
+
+namespace mws::math {
+
+/// The quadratic extension F_p2 = F_p[i] / (i^2 + 1).
+///
+/// Valid whenever -1 is a non-residue mod p, which holds for the type-A
+/// pairing primes (p == 3 mod 4). Elements are a + b*i.
+class Fp2 {
+ public:
+  Fp2() = default;
+  Fp2(Fp a, Fp b) : a_(std::move(a)), b_(std::move(b)) {}
+
+  static Fp2 Zero(const FpCtx* ctx) {
+    return Fp2(Fp::Zero(ctx), Fp::Zero(ctx));
+  }
+  static Fp2 One(const FpCtx* ctx) { return Fp2(Fp::One(ctx), Fp::Zero(ctx)); }
+  /// Embeds an F_p element as (a, 0).
+  static Fp2 FromFp(const Fp& a) { return Fp2(a, Fp::Zero(a.ctx())); }
+
+  const Fp& re() const { return a_; }
+  const Fp& im() const { return b_; }
+  const FpCtx* ctx() const { return a_.ctx(); }
+  bool valid() const { return a_.valid(); }
+
+  bool IsZero() const { return a_.IsZero() && b_.IsZero(); }
+  bool IsOne() const { return a_.IsOne() && b_.IsZero(); }
+
+  Fp2 operator+(const Fp2& o) const { return Fp2(a_ + o.a_, b_ + o.b_); }
+  Fp2 operator-(const Fp2& o) const { return Fp2(a_ - o.a_, b_ - o.b_); }
+
+  /// Karatsuba-style product: (a+bi)(c+di) = (ac-bd) + ((a+b)(c+d)-ac-bd)i.
+  Fp2 operator*(const Fp2& o) const {
+    Fp ac = a_ * o.a_;
+    Fp bd = b_ * o.b_;
+    Fp cross = (a_ + b_) * (o.a_ + o.b_) - ac - bd;
+    return Fp2(ac - bd, cross);
+  }
+
+  Fp2 Sqr() const {
+    // (a+bi)^2 = (a+b)(a-b) + (2ab)i.
+    Fp re = (a_ + b_) * (a_ - b_);
+    Fp im = (a_ * b_).Double();
+    return Fp2(re, im);
+  }
+
+  Fp2 Neg() const { return Fp2(a_.Neg(), b_.Neg()); }
+  Fp2 Conjugate() const { return Fp2(a_, b_.Neg()); }
+
+  /// Multiplicative inverse: conj / norm. Pre: non-zero.
+  Fp2 Inv() const {
+    Fp norm = a_.Sqr() + b_.Sqr();
+    Fp ninv = norm.Inv();
+    return Fp2(a_ * ninv, b_.Neg() * ninv);
+  }
+
+  /// x^e for e >= 0.
+  Fp2 Pow(const BigInt& e) const {
+    Fp2 result = One(ctx());
+    for (size_t i = e.BitLength(); i-- > 0;) {
+      result = result.Sqr();
+      if (e.Bit(i)) result = result * *this;
+    }
+    return result;
+  }
+
+  /// Fixed-width encoding: re || im (each ctx->byte_length() bytes).
+  util::Bytes ToBytes() const {
+    util::Bytes out = a_.ToBytes();
+    util::Bytes imb = b_.ToBytes();
+    out.insert(out.end(), imb.begin(), imb.end());
+    return out;
+  }
+
+  friend bool operator==(const Fp2& x, const Fp2& y) {
+    return x.a_ == y.a_ && x.b_ == y.b_;
+  }
+  friend bool operator!=(const Fp2& x, const Fp2& y) { return !(x == y); }
+
+ private:
+  Fp a_;
+  Fp b_;
+};
+
+}  // namespace mws::math
+
+#endif  // MWSIBE_MATH_FP2_H_

@@ -1,0 +1,212 @@
+#include "src/math/pairing.h"
+
+#include <cassert>
+
+namespace mws::math {
+
+util::Result<std::unique_ptr<const TypeAParams>> TypeAParams::Create(
+    const BigInt& p, const BigInt& q, const BigInt& gen_x,
+    const BigInt& gen_y, util::RandomSource& rng) {
+  if ((p % BigInt(4)) != BigInt(3)) {
+    return util::Status::InvalidArgument("p must be 3 mod 4");
+  }
+  BigInt h, rem;
+  BigInt::DivMod(p + BigInt(1), q, &h, &rem);
+  if (!rem.IsZero()) {
+    return util::Status::InvalidArgument("q must divide p+1");
+  }
+  if (!BigInt::IsProbablePrime(p, rng, 16) ||
+      !BigInt::IsProbablePrime(q, rng, 16)) {
+    return util::Status::InvalidArgument("p and q must be prime");
+  }
+  auto params = std::unique_ptr<TypeAParams>(new TypeAParams());
+  params->p_ = p;
+  params->q_ = q;
+  params->h_ = h;
+  MWS_ASSIGN_OR_RETURN(params->ctx_, FpCtx::Create(p));
+  const FpCtx* ctx = params->ctx_.get();
+  params->curve_ = std::make_unique<CurveGroup>(ctx, Fp::One(ctx),
+                                                Fp::Zero(ctx));
+  EcPoint gen(Fp::FromBigInt(ctx, gen_x), Fp::FromBigInt(ctx, gen_y));
+  if (!params->curve_->IsOnCurve(gen)) {
+    return util::Status::InvalidArgument("generator not on curve");
+  }
+  if (!params->curve_->ScalarMul(q, gen).is_infinity() || gen.is_infinity()) {
+    return util::Status::InvalidArgument("generator does not have order q");
+  }
+  params->generator_ = gen;
+  return std::unique_ptr<const TypeAParams>(std::move(params));
+}
+
+util::Result<std::unique_ptr<const TypeAParams>> TypeAParams::Generate(
+    size_t qbits, size_t pbits, util::RandomSource& rng) {
+  if (qbits + 3 > pbits) {
+    return util::Status::InvalidArgument("pbits must exceed qbits");
+  }
+  const BigInt q = BigInt::GeneratePrime(rng, qbits);
+  // p = h*q - 1 with h == 0 mod 4 (so p == 3 mod 4, because h*q == 0 mod 4
+  // and p = h*q - 1 == -1 == 3 mod 4).
+  const size_t hbits = pbits - qbits;
+  BigInt p;
+  for (;;) {
+    BigInt h = BigInt::RandomBits(rng, hbits);
+    // Force h to a multiple of 4 (clear the low two bits, keep top bit).
+    h = (h >> 2) << 2;
+    if (h.IsZero()) continue;
+    p = h * q - BigInt(1);
+    if (p.BitLength() != pbits) continue;
+    if (BigInt::IsProbablePrime(p, rng, 32)) break;
+  }
+
+  auto ctx_result = FpCtx::Create(p);
+  if (!ctx_result.ok()) return ctx_result.status();
+  auto params = std::unique_ptr<TypeAParams>(new TypeAParams());
+  params->p_ = p;
+  params->q_ = q;
+  params->h_ = (p + BigInt(1)) / q;
+  params->ctx_ = std::move(ctx_result).value();
+  const FpCtx* ctx = params->ctx_.get();
+  params->curve_ = std::make_unique<CurveGroup>(ctx, Fp::One(ctx),
+                                                Fp::Zero(ctx));
+  params->generator_ = params->RandomPoint(rng);
+  return std::unique_ptr<const TypeAParams>(std::move(params));
+}
+
+util::Result<EcPoint> TypeAParams::LiftX(const Fp& x) const {
+  Fp rhs = x.Sqr() * x + x;  // x^3 + x (a=1, b=0)
+  auto y = rhs.Sqrt();
+  if (!y.ok()) return y.status();
+  EcPoint candidate(x, y.value());
+  EcPoint point = curve_->ScalarMul(h_, candidate);
+  if (point.is_infinity()) {
+    return util::Status::InvalidArgument("cofactor multiple is identity");
+  }
+  return point;
+}
+
+EcPoint TypeAParams::RandomPoint(util::RandomSource& rng) const {
+  for (;;) {
+    Fp x = Fp::FromBigInt(ctx_.get(), BigInt::RandomBelow(rng, p_));
+    auto point = LiftX(x);
+    if (!point.ok()) continue;
+    // Randomize the sign of y (LiftX returns a fixed square root).
+    if (rng.UniformU64(2) == 1) return curve_->Negate(point.value());
+    return point.value();
+  }
+}
+
+BigInt TypeAParams::RandomScalar(util::RandomSource& rng) const {
+  return BigInt::RandomBelow(rng, q_ - BigInt(1)) + BigInt(1);
+}
+
+Fp2 TypeAParams::MillerLoop(const EcPoint& point_p,
+                            const EcPoint& point_q) const {
+  const FpCtx* ctx = ctx_.get();
+  if (point_p.is_infinity() || point_q.is_infinity()) return Fp2::One(ctx);
+
+  // Evaluate lines at the distorted point phi(Q) = (-xq, i*yq). A
+  // non-vertical line through V with slope lambda evaluates to
+  //   (lambda*(xq + xv) - yv) + i*yq        (element of F_p2).
+  // Vertical lines evaluate inside F_p and are erased by the final
+  // exponentiation (denominator elimination) — and so is any F_p* scalar
+  // multiple of a line value, which lets the whole loop run
+  // inversion-free: V is kept in Jacobian coordinates (x = X/Z^2,
+  // y = Y/Z^3) and each line is scaled by a point-dependent element of
+  // F_p* to clear the denominators.
+  const Fp& xq = point_q.x();
+  const Fp& yq = point_q.y();
+  const Fp& px = point_p.x();
+  const Fp& py = point_p.y();
+
+  Fp2 f = Fp2::One(ctx);
+  // V = P in Jacobian coordinates; v_infinity tracks Z == 0.
+  Fp vx = px;
+  Fp vy = py;
+  Fp vz = Fp::One(ctx);
+  bool v_infinity = false;
+
+  const size_t bits = q_.BitLength();
+  for (size_t i = bits - 1; i-- > 0;) {
+    f = f.Sqr();
+    if (!v_infinity) {
+      if (vy.IsZero()) {
+        // V is 2-torsion: the tangent is vertical, 2V = infinity.
+        // (Unreachable for prime q, kept for safety.)
+        v_infinity = true;
+      } else {
+        // Tangent line at V, scaled by 2*yv*Z^6:
+        //   (3X^2 + Z^4)(xq*Z^2 + X) - 2Y^2 + i * 2*Y*Z^3*yq.
+        Fp z2 = vz.Sqr();
+        Fp z4 = z2.Sqr();
+        Fp z3 = vz * z2;
+        Fp x2 = vx.Sqr();
+        Fp m = x2.Double() + x2 + z4;  // 3X^2 + a*Z^4 with a = 1
+        Fp y2 = vy.Sqr();
+        Fp line_re = m * (xq * z2 + vx) - y2.Double();
+        Fp line_im = (vy * z3).Double() * yq;
+        f = f * Fp2(line_re, line_im);
+        // Jacobian doubling (general a; m already holds M).
+        Fp s = (vx * y2).Double().Double();      // 4*X*Y^2
+        Fp x_new = m.Sqr() - s.Double();
+        Fp y4_8 = y2.Sqr().Double().Double().Double();  // 8*Y^4
+        Fp y_new = m * (s - x_new) - y4_8;
+        Fp z_new = (vy * vz).Double();
+        vx = x_new;
+        vy = y_new;
+        vz = z_new;
+      }
+    }
+    if (q_.Bit(i)) {
+      if (v_infinity) {
+        // O + P = P; the "line" is trivial.
+        vx = px;
+        vy = py;
+        vz = Fp::One(ctx);
+        v_infinity = false;
+      } else {
+        // Mixed addition V (Jacobian) + P (affine).
+        Fp z2 = vz.Sqr();
+        Fp z3 = vz * z2;
+        Fp u2 = px * z2;   // xp * Z^2
+        Fp s2 = py * z3;   // yp * Z^3
+        Fp h = u2 - vx;    // Z^2 * (xp - xv)
+        Fp r = s2 - vy;    // Z^3 * (yp - yv)
+        if (h.IsZero()) {
+          // V == -P (V == P cannot occur mid-loop for prime q): the
+          // chord is the vertical through P; sum is infinity.
+          v_infinity = true;
+        } else {
+          // Chord through V and P, scaled by Z*H = Z^3*(xp - xv):
+          //   R*(xq + xp) - yp*Z*H + i * Z*H*yq.
+          Fp zh = vz * h;
+          Fp line_re = r * (xq + px) - py * zh;
+          Fp line_im = zh * yq;
+          f = f * Fp2(line_re, line_im);
+          Fp h2 = h.Sqr();
+          Fp h3 = h2 * h;
+          Fp xh2 = vx * h2;
+          Fp x_new = r.Sqr() - h3 - xh2.Double();
+          Fp y_new = r * (xh2 - x_new) - vy * h3;
+          vx = x_new;
+          vy = y_new;
+          vz = zh;
+        }
+      }
+    }
+  }
+  return f;
+}
+
+Fp2 TypeAParams::FinalExponentiation(const Fp2& z) const {
+  // (p^2 - 1)/q = (p - 1) * h.  z^(p-1) = conj(z) / z because the
+  // Frobenius on F_p2 is conjugation.
+  Fp2 t = z.Conjugate() * z.Inv();
+  return t.Pow(h_);
+}
+
+Fp2 TypeAParams::Pairing(const EcPoint& point_p,
+                         const EcPoint& point_q) const {
+  return FinalExponentiation(MillerLoop(point_p, point_q));
+}
+
+}  // namespace mws::math

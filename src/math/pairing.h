@@ -1,0 +1,83 @@
+#ifndef MWSIBE_MATH_PAIRING_H_
+#define MWSIBE_MATH_PAIRING_H_
+
+#include <memory>
+
+#include "src/math/ec.h"
+#include "src/math/fp2.h"
+#include "src/util/random.h"
+
+namespace mws::math {
+
+/// Parameters of a "type A" symmetric pairing (the family PBC's a-param
+/// uses, and the setting of Boneh–Franklin IBE):
+///
+///   * p prime, p == 3 mod 4, p = h*q - 1
+///   * q prime (the group order), h the cofactor
+///   * E: y^2 = x^3 + x over F_p (supersingular, #E(F_p) = p + 1)
+///   * G1 = E(F_p)[q]; distortion map phi(x, y) = (-x, i*y) into E(F_p2)
+///   * e(P, Q) = Tate(P, phi(Q)) in mu_q of F_p2, via Miller's algorithm
+///     with denominator elimination and final exponentiation (p^2-1)/q.
+///
+/// Owns the field context; every Fp/EcPoint derived from an instance must
+/// not outlive it.
+class TypeAParams {
+ public:
+  /// Validates and assembles parameters (p, q prime contracts are checked
+  /// probabilistically; generator must be an order-q curve point).
+  static util::Result<std::unique_ptr<const TypeAParams>> Create(
+      const BigInt& p, const BigInt& q, const BigInt& gen_x,
+      const BigInt& gen_y, util::RandomSource& rng);
+
+  /// Generates a fresh parameter set: random q with `qbits` bits, then the
+  /// smallest-effort h with h*q - 1 prime of `pbits` bits and == 3 mod 4,
+  /// then a random order-q generator.
+  static util::Result<std::unique_ptr<const TypeAParams>> Generate(
+      size_t qbits, size_t pbits, util::RandomSource& rng);
+
+  const BigInt& p() const { return p_; }
+  const BigInt& q() const { return q_; }
+  const BigInt& cofactor() const { return h_; }
+  const FpCtx* ctx() const { return ctx_.get(); }
+  const CurveGroup& curve() const { return *curve_; }
+  const EcPoint& generator() const { return generator_; }
+
+  /// Field element size in bytes (serialized coordinate width).
+  size_t FieldBytes() const { return ctx_->byte_length(); }
+  /// Group element (uncompressed point) size in bytes.
+  size_t PointBytes() const { return 1 + 2 * FieldBytes(); }
+
+  /// The symmetric pairing e(P, Q) = Tate(P, phi(Q)). Both inputs must be
+  /// order-q points of E(F_p). Returns 1 for infinity inputs.
+  Fp2 Pairing(const EcPoint& point_p, const EcPoint& point_q) const;
+
+  /// Miller loop only (no final exponentiation); exposed for benchmarks.
+  Fp2 MillerLoop(const EcPoint& point_p, const EcPoint& point_q) const;
+  /// Final exponentiation z^((p^2-1)/q); exposed for benchmarks.
+  Fp2 FinalExponentiation(const Fp2& z) const;
+
+  /// Lifts an x-coordinate to an order-q point: solves for y, multiplies
+  /// by the cofactor. Fails if x^3 + x is a non-residue or the cofactor
+  /// multiple is the identity.
+  util::Result<EcPoint> LiftX(const Fp& x) const;
+
+  /// Uniform random point of order q (never infinity).
+  EcPoint RandomPoint(util::RandomSource& rng) const;
+
+  /// Uniform random scalar in [1, q-1].
+  BigInt RandomScalar(util::RandomSource& rng) const;
+
+ private:
+  TypeAParams() = default;
+
+  BigInt p_;
+  BigInt q_;
+  BigInt h_;  // (p+1)/q
+  std::unique_ptr<const FpCtx> ctx_;
+  std::unique_ptr<CurveGroup> curve_;
+  EcPoint generator_;
+};
+
+}  // namespace mws::math
+
+#endif  // MWSIBE_MATH_PAIRING_H_

@@ -1,0 +1,106 @@
+#include "src/math/params.h"
+
+#include <cassert>
+
+#include "src/util/random.h"
+
+namespace mws::math {
+
+namespace {
+
+struct PresetSpec {
+  const char* name;
+  const char* p_hex;
+  const char* q_hex;
+  const char* gx_hex;
+  const char* gy_hex;
+};
+
+// Generated once with tools/gen_params (see that target); validated by
+// params_test, which re-checks primality, divisibility, and generator
+// order on every run.
+constexpr PresetSpec kSmallSpec = {
+    "small-80/256",
+    "803d32c81d0e596b56b0c3895666fa3a7837e638b8a3860cddc2f5a675e4db47",
+    "80a55fffa64b9155e3d3",
+    "429638ba590cf279d65c737075bd502ccd7dfdead8916b227e01bdd4773f300c",
+    "63729fbe632702766056ef9574f6b0e3777e92975a3f5399918a733bb790690",
+};
+
+constexpr PresetSpec kTestSpec = {
+    "test-160/512",
+    "9a1287cce31ae2b3b706938878b4ae500e053ae64ca05091387e8f0f19e8ae20"
+    "221b8be56509725a9fc4a14484f4753593f278a953e3bc0f1ad920175348e087",
+    "ac5c0e5dc8547e091bd9071450e7c8079c931bb1",
+    "189ee04f04d01aacb4b9f8136dc5a79cf26e57c339a39fbee346ef18667226ed"
+    "c7a6f1377d5d6203e93afeeb910b8dce7af98436f0927c5060ab3630536ab2c6",
+    "61a3540d695bb86dd977434dd9fc7c4c4c71ece1a21ee5a20d368ea876585626"
+    "2436689fb86a54c1d2de129b3a708c9551e26af6a67e1f79c87fe15e98b5b16e",
+};
+
+constexpr PresetSpec kLargeSpec = {
+    "large-224/1024",
+    "8d1c47c97e228e144f5623f7f6fb3493a49a58f75179759e24b0edfa3bd7a9cd"
+    "9a1c368debbe49943013c0d1c1b370c4663e34149c080289dec217e556dbc574"
+    "9b55fa7c7185ff086c6c04de2f99a2f26089464587dd706a855a9fbe6c6335ee"
+    "d03d095486e887a575b290c7fb3bfb4c19697853e38763ead6642c01dc8d92e3",
+    "8ec7e7a8744da477e11bf8aab9ca8c274089bd51a27086f51fe4b5cb",
+    "82da356e0132c955a1f6e2b90d10069f77b5d968afe16e9ff8dfa96464c231bf"
+    "1c16a077c9e761a23e42afc501aaaa4e46701b995cd75a648a09ad67adf8684f"
+    "443182dc588fb4a5849a01cb09557ea86ade2b2e4175813a41c10ad68b08b24f"
+    "4d66d9719c543c9ff23244e8565e7277bdfff7ed34d06e75f63a1f7147dc9c4d",
+    "7b3c9bc20e343a34bb48ec70564c98446055f7343c53e6efaaa4ff54a59387bb"
+    "97be979d84cb5bee237847ae18b8e8ec0771076ef021f4227d7c65196cfea334"
+    "18b203c07955201410dd33fe9bc5f6bdd51c3185b850f4b2ae5415c7ebf1b970"
+    "496537b588cbd4ee7a9a5943d7347da27fd45308df001a060f1cbce4b41c98fc",
+};
+
+const TypeAParams* Build(const PresetSpec& spec) {
+  auto p = BigInt::FromHex(spec.p_hex);
+  auto q = BigInt::FromHex(spec.q_hex);
+  auto gx = BigInt::FromHex(spec.gx_hex);
+  auto gy = BigInt::FromHex(spec.gy_hex);
+  assert(p.ok() && q.ok() && gx.ok() && gy.ok());
+  auto params = TypeAParams::Create(p.value(), q.value(), gx.value(),
+                                    gy.value(), util::OsRandom::Instance());
+  assert(params.ok());
+  return std::move(params).value().release();
+}
+
+}  // namespace
+
+const char* ParamPresetName(ParamPreset preset) {
+  switch (preset) {
+    case ParamPreset::kSmall:
+      return kSmallSpec.name;
+    case ParamPreset::kTest:
+      return kTestSpec.name;
+    case ParamPreset::kLarge:
+      return kLargeSpec.name;
+  }
+  return "unknown";
+}
+
+const TypeAParams& GetParams(ParamPreset preset) {
+  // Function-local statics: built on first use, leaked intentionally
+  // (process-lifetime objects; trivially destructible pointers).
+  switch (preset) {
+    case ParamPreset::kSmall: {
+      static const TypeAParams* small = Build(kSmallSpec);
+      return *small;
+    }
+    case ParamPreset::kTest: {
+      static const TypeAParams* test = Build(kTestSpec);
+      return *test;
+    }
+    case ParamPreset::kLarge: {
+      static const TypeAParams* large = Build(kLargeSpec);
+      return *large;
+    }
+  }
+  assert(false && "unknown preset");
+  static const TypeAParams* fallback = Build(kTestSpec);
+  return *fallback;
+}
+
+}  // namespace mws::math

@@ -1,0 +1,30 @@
+#ifndef MWSIBE_MATH_PARAMS_H_
+#define MWSIBE_MATH_PARAMS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/math/pairing.h"
+
+namespace mws::math {
+
+/// Pre-generated type-A pairing parameter sets.
+enum class ParamPreset {
+  /// 80-bit group order / 256-bit field: fast, for unit tests only.
+  kSmall,
+  /// 160-bit group order / 512-bit field: the PBC a.param shape the paper's
+  /// prototype used; the library default.
+  kTest,
+  /// 224-bit group order / 1024-bit field: for scaling benchmarks.
+  kLarge,
+};
+
+const char* ParamPresetName(ParamPreset preset);
+
+/// Returns the shared instance for `preset`. The instance lives for the
+/// process lifetime; pointers into it (field/curve elements) stay valid.
+const TypeAParams& GetParams(ParamPreset preset);
+
+}  // namespace mws::math
+
+#endif  // MWSIBE_MATH_PARAMS_H_

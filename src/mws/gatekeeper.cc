@@ -1,0 +1,87 @@
+#include "src/mws/gatekeeper.h"
+
+#include <cstdlib>
+
+#include "src/crypto/modes.h"
+#include "src/util/hex.h"
+#include "src/wire/auth.h"
+
+namespace mws::mws {
+
+util::Result<wire::RcAuthResponse> Gatekeeper::Authenticate(
+    const wire::RcAuthRequest& request) {
+  auto user = users_->Get(request.rc_identity);
+  if (!user.ok()) {
+    return util::Status::Unauthenticated("unknown receiving client: " +
+                                         request.rc_identity);
+  }
+  // Decrypt the challenge with the stored password hash.
+  util::Bytes auth_key = wire::DeriveAuthKey(user->password_hash, cipher_);
+  auto plain_bytes = crypto::CbcDecrypt(cipher_, auth_key,
+                                        request.auth_ciphertext);
+  if (!plain_bytes.ok()) {
+    return util::Status::Unauthenticated("RC challenge decryption failed");
+  }
+  auto plain = wire::RcAuthPlain::Decode(plain_bytes.value());
+  if (!plain.ok()) {
+    return util::Status::Unauthenticated("RC challenge malformed");
+  }
+  // "If the IDRC in the decrypted message matches the IDRC sent out in
+  // the open text, RC is authenticated."
+  if (plain->rc_identity != request.rc_identity) {
+    return util::Status::Unauthenticated("RC identity mismatch");
+  }
+  int64_t now = clock_->NowMicros();
+  if (std::llabs(now - plain->timestamp_micros) > freshness_window_micros_) {
+    return util::Status::Unauthenticated("RC challenge expired");
+  }
+  PruneReplayCache(now);
+  std::string replay_key = request.rc_identity + "/" +
+                           std::to_string(plain->timestamp_micros) + "/" +
+                           util::HexEncode(plain->client_nonce);
+  auto inserted = replay_cache_.emplace(plain->timestamp_micros, replay_key);
+  if (!inserted.second) {
+    return util::Status::Unauthenticated("RC challenge replayed");
+  }
+
+  // Garbage-collect expired sessions so long-running deployments don't
+  // accumulate one entry per historical login.
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now - it->second.created_micros > freshness_window_micros_) {
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  wire::RcAuthResponse response;
+  response.session_id = rng_->Generate(16);
+  sessions_[SessionKeyString(response.session_id)] =
+      RcSession{request.rc_identity, request.rsa_public_key, now};
+  return response;
+}
+
+util::Result<RcSession> Gatekeeper::GetSession(
+    const util::Bytes& session_id) const {
+  auto it = sessions_.find(SessionKeyString(session_id));
+  if (it == sessions_.end()) {
+    return util::Status::Unauthenticated("unknown MWS session");
+  }
+  if (clock_->NowMicros() - it->second.created_micros >
+      freshness_window_micros_) {
+    return util::Status::Unauthenticated("MWS session expired");
+  }
+  return it->second;
+}
+
+void Gatekeeper::CloseSession(const util::Bytes& session_id) {
+  sessions_.erase(SessionKeyString(session_id));
+}
+
+void Gatekeeper::PruneReplayCache(int64_t now) {
+  auto cutoff = replay_cache_.lower_bound(
+      {now - 2 * freshness_window_micros_, std::string()});
+  replay_cache_.erase(replay_cache_.begin(), cutoff);
+}
+
+}  // namespace mws::mws

@@ -1,0 +1,73 @@
+#ifndef MWSIBE_MWS_GATEKEEPER_H_
+#define MWSIBE_MWS_GATEKEEPER_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/crypto/block_cipher.h"
+#include "src/store/user_db.h"
+#include "src/util/clock.h"
+#include "src/util/random.h"
+#include "src/wire/messages.h"
+
+namespace mws::mws {
+
+/// A live RC session at the gatekeeper.
+struct RcSession {
+  std::string rc_identity;
+  util::Bytes rsa_public_key;
+  int64_t created_micros = 0;
+};
+
+/// Gatekeeper (Fig. 3): authenticates receiving clients against the User
+/// Database via the paper's hashed-password challenge and maintains the
+/// session registry the MMS consults.
+///
+/// Replay protection: the (identity, timestamp, client-nonce) triple of
+/// every accepted authentication is remembered for the freshness window
+/// and duplicates are rejected.
+class Gatekeeper {
+ public:
+  Gatekeeper(const store::UserDb* users, const util::Clock* clock,
+             util::RandomSource* rng, crypto::CipherKind cipher,
+             int64_t freshness_window_micros)
+      : users_(users),
+        clock_(clock),
+        rng_(rng),
+        cipher_(cipher),
+        freshness_window_micros_(freshness_window_micros) {}
+
+  /// Verifies the challenge and opens a session.
+  util::Result<wire::RcAuthResponse> Authenticate(
+      const wire::RcAuthRequest& request);
+
+  /// Resolves a session id; Unauthenticated if unknown or expired.
+  util::Result<RcSession> GetSession(const util::Bytes& session_id) const;
+
+  /// Closes a session (logout); OK even if absent.
+  void CloseSession(const util::Bytes& session_id);
+
+  size_t ActiveSessions() const { return sessions_.size(); }
+
+ private:
+  std::string SessionKeyString(const util::Bytes& session_id) const {
+    return util::StringFromBytes(session_id);
+  }
+  void PruneReplayCache(int64_t now);
+
+  const store::UserDb* users_;
+  const util::Clock* clock_;
+  util::RandomSource* rng_;
+  crypto::CipherKind cipher_;
+  int64_t freshness_window_micros_;
+
+  std::map<std::string, RcSession> sessions_;
+  /// (identity, timestamp, nonce-hex) of accepted auths, with timestamps
+  /// for pruning.
+  std::set<std::pair<int64_t, std::string>> replay_cache_;
+};
+
+}  // namespace mws::mws
+
+#endif  // MWSIBE_MWS_GATEKEEPER_H_

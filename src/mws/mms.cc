@@ -1,0 +1,81 @@
+#include "src/mws/mms.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/mws/policy_expr.h"
+
+namespace mws::mws {
+
+util::Result<std::vector<store::PolicyRow>> MessageManagementSystem::GrantsFor(
+    const std::string& rc_identity) const {
+  MWS_ASSIGN_OR_RETURN(std::vector<store::PolicyRow> rows,
+                       policies_->RowsForIdentity(rc_identity));
+  MWS_ASSIGN_OR_RETURN(auto expressions,
+                       policies_->ExpressionsForIdentity(rc_identity));
+  if (expressions.empty()) return rows;
+
+  // Materialize expression matches against the attributes actually in
+  // the warehouse that have no concrete row yet.
+  std::set<std::string> granted;
+  for (const store::PolicyRow& row : rows) granted.insert(row.attribute);
+  for (const std::string& attribute : messages_->DistinctAttributes()) {
+    if (granted.count(attribute)) continue;
+    for (const auto& [seq, text] : expressions) {
+      auto expr = PolicyExpression::Parse(text);
+      if (!expr.ok()) continue;  // stored text validated at grant time
+      if (!expr->Matches(attribute)) continue;
+      MWS_ASSIGN_OR_RETURN(uint64_t aid,
+                           policies_->Grant(rc_identity, attribute, seq));
+      rows.push_back(store::PolicyRow{rc_identity, attribute, aid, seq});
+      granted.insert(attribute);
+      break;
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const store::PolicyRow& a, const store::PolicyRow& b) {
+              return a.attribute < b.attribute;
+            });
+  return rows;
+}
+
+util::Result<std::vector<wire::RetrievedMessage>>
+MessageManagementSystem::FetchFor(const std::string& rc_identity,
+                                  uint64_t after_id, int64_t from_micros,
+                                  int64_t to_micros) const {
+  MWS_ASSIGN_OR_RETURN(std::vector<store::PolicyRow> grants,
+                       GrantsFor(rc_identity));
+  const bool time_filtered = from_micros != 0 || to_micros != 0;
+  std::vector<wire::RetrievedMessage> out;
+  for (const store::PolicyRow& grant : grants) {
+    std::vector<store::StoredMessage> batch;
+    if (time_filtered) {
+      MWS_ASSIGN_OR_RETURN(batch, messages_->FindByAttributeInTimeRange(
+                                      grant.attribute, from_micros,
+                                      to_micros));
+      std::erase_if(batch, [after_id](const store::StoredMessage& m) {
+        return m.id <= after_id;
+      });
+    } else {
+      MWS_ASSIGN_OR_RETURN(batch, messages_->FindByAttributeAfter(
+                                      grant.attribute, after_id));
+    }
+    for (store::StoredMessage& m : batch) {
+      wire::RetrievedMessage r;
+      r.message_id = m.id;
+      r.u = std::move(m.u);
+      r.ciphertext = std::move(m.ciphertext);
+      r.aid = grant.aid;
+      r.nonce = std::move(m.nonce);
+      out.push_back(std::move(r));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const wire::RetrievedMessage& a,
+               const wire::RetrievedMessage& b) {
+              return a.message_id < b.message_id;
+            });
+  return out;
+}
+
+}  // namespace mws::mws

@@ -1,0 +1,49 @@
+#ifndef MWSIBE_MWS_MMS_H_
+#define MWSIBE_MWS_MMS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/store/message_db.h"
+#include "src/store/policy_db.h"
+#include "src/wire/messages.h"
+
+namespace mws::mws {
+
+/// Message Management System (Fig. 3): "the core of the MWS-RC as it has
+/// access to the Policy and Message Databases." Resolves an RC's grants
+/// to attributes, fetches matching records, and rewrites attributes to
+/// AIDs before anything leaves the warehouse.
+///
+/// Grants come from two sources: concrete operator grants (Table 1 rows)
+/// and policy expressions (§VIII XACML-style enhancement). Expression
+/// matches are materialized into concrete rows on first use, so the AID
+/// indirection and the PKG ticket path are identical for both.
+class MessageManagementSystem {
+ public:
+  MessageManagementSystem(const store::MessageDb* messages,
+                          store::PolicyDb* policies)
+      : messages_(messages), policies_(policies) {}
+
+  /// Grants currently held by `rc_identity` — concrete rows plus rows
+  /// freshly materialized from the RC's policy expressions. Consulted
+  /// per retrieval so revocation applies to the very next fetch.
+  util::Result<std::vector<store::PolicyRow>> GrantsFor(
+      const std::string& rc_identity) const;
+
+  /// Records visible to `rc_identity` with id > after_id, attribute field
+  /// replaced by the RC's AID for that attribute. A non-empty
+  /// [from_micros, to_micros) window additionally restricts results to
+  /// deposit timestamps in that range (billing-period queries).
+  util::Result<std::vector<wire::RetrievedMessage>> FetchFor(
+      const std::string& rc_identity, uint64_t after_id,
+      int64_t from_micros = 0, int64_t to_micros = 0) const;
+
+ private:
+  const store::MessageDb* messages_;
+  store::PolicyDb* policies_;
+};
+
+}  // namespace mws::mws
+
+#endif  // MWSIBE_MWS_MMS_H_

@@ -1,0 +1,141 @@
+#include "src/mws/mws_service.h"
+
+#include "src/ibe/attribute.h"
+#include "src/mws/policy_expr.h"
+
+namespace mws::mws {
+
+MwsService::MwsService(store::Table* storage, util::Bytes mws_pkg_key,
+                       const util::Clock* clock, util::RandomSource* rng,
+                       MwsOptions options)
+    : options_(options),
+      message_db_(storage),
+      policy_db_(storage),
+      user_db_(storage),
+      device_keys_(storage),
+      sda_(&device_keys_, clock, options.freshness_window_micros),
+      gatekeeper_(&user_db_, clock, rng, options.cipher,
+                  options.freshness_window_micros),
+      mms_(&message_db_, &policy_db_),
+      token_generator_(std::move(mws_pkg_key), options.cipher, clock, rng,
+                       options.ticket_lifetime_micros) {}
+
+util::Status MwsService::RegisterDevice(const std::string& device_id,
+                                        const util::Bytes& mac_key) {
+  if (device_id.empty() || mac_key.empty()) {
+    return util::Status::InvalidArgument("device id and key required");
+  }
+  return device_keys_.Register(device_id, mac_key);
+}
+
+util::Status MwsService::RegisterReceivingClient(
+    const std::string& rc_identity, const util::Bytes& password_hash,
+    const util::Bytes& rsa_public_key) {
+  if (rc_identity.empty() || password_hash.empty()) {
+    return util::Status::InvalidArgument("identity and password required");
+  }
+  return user_db_.Register({rc_identity, password_hash, rsa_public_key});
+}
+
+util::Result<uint64_t> MwsService::GrantAttribute(
+    const std::string& rc_identity, const std::string& attribute) {
+  MWS_RETURN_IF_ERROR(ibe::ValidateAttribute(attribute));
+  if (!user_db_.Get(rc_identity).ok()) {
+    return util::Status::NotFound("unknown receiving client: " + rc_identity);
+  }
+  return policy_db_.Grant(rc_identity, attribute);
+}
+
+util::Status MwsService::RevokeAttribute(const std::string& rc_identity,
+                                         const std::string& attribute) {
+  return policy_db_.Revoke(rc_identity, attribute);
+}
+
+util::Result<uint64_t> MwsService::GrantPolicyExpression(
+    const std::string& rc_identity, const std::string& expression) {
+  if (!user_db_.Get(rc_identity).ok()) {
+    return util::Status::NotFound("unknown receiving client: " + rc_identity);
+  }
+  // Validate the expression now so stored text always parses.
+  MWS_RETURN_IF_ERROR(PolicyExpression::Parse(expression).status());
+  return policy_db_.GrantExpression(rc_identity, expression);
+}
+
+util::Status MwsService::RevokePolicyExpression(const std::string& rc_identity,
+                                                uint64_t seq) {
+  return policy_db_.RevokeExpression(rc_identity, seq);
+}
+
+util::Result<std::vector<store::PolicyRow>> MwsService::PolicyTable() const {
+  return policy_db_.AllRows();
+}
+
+util::Result<wire::DepositResponse> MwsService::Deposit(
+    const wire::DepositRequest& request) {
+  MWS_RETURN_IF_ERROR(sda_.Verify(request));
+  MWS_RETURN_IF_ERROR(ibe::ValidateAttribute(request.attribute));
+  store::StoredMessage m;
+  m.u = request.u;
+  m.ciphertext = request.ciphertext;
+  m.attribute = request.attribute;
+  m.nonce = request.nonce;
+  m.device_id = request.device_id;
+  m.timestamp_micros = request.timestamp_micros;
+  MWS_ASSIGN_OR_RETURN(uint64_t id, message_db_.Append(m));
+  return wire::DepositResponse{id};
+}
+
+util::Result<wire::RcAuthResponse> MwsService::Authenticate(
+    const wire::RcAuthRequest& request) {
+  return gatekeeper_.Authenticate(request);
+}
+
+util::Result<wire::RetrieveResponse> MwsService::Retrieve(
+    const wire::RetrieveRequest& request) {
+  MWS_ASSIGN_OR_RETURN(RcSession session,
+                       gatekeeper_.GetSession(request.session_id));
+  wire::RetrieveResponse response;
+  MWS_ASSIGN_OR_RETURN(
+      response.messages,
+      mms_.FetchFor(session.rc_identity, request.after_message_id,
+                    request.from_micros, request.to_micros));
+  MWS_ASSIGN_OR_RETURN(std::vector<store::PolicyRow> grants,
+                       mms_.GrantsFor(session.rc_identity));
+  MWS_ASSIGN_OR_RETURN(
+      response.token,
+      token_generator_.IssueToken(session.rc_identity,
+                                  session.rsa_public_key, grants));
+  return response;
+}
+
+void MwsService::RegisterEndpoints(wire::InProcessTransport* transport) {
+  transport->Register(
+      "mws.deposit",
+      [this](const util::Bytes& raw) -> util::Result<util::Bytes> {
+        MWS_ASSIGN_OR_RETURN(wire::DepositRequest request,
+                             wire::DepositRequest::Decode(raw));
+        MWS_ASSIGN_OR_RETURN(wire::DepositResponse response,
+                             Deposit(request));
+        return response.Encode();
+      });
+  transport->Register(
+      "mws.auth",
+      [this](const util::Bytes& raw) -> util::Result<util::Bytes> {
+        MWS_ASSIGN_OR_RETURN(wire::RcAuthRequest request,
+                             wire::RcAuthRequest::Decode(raw));
+        MWS_ASSIGN_OR_RETURN(wire::RcAuthResponse response,
+                             Authenticate(request));
+        return response.Encode();
+      });
+  transport->Register(
+      "mws.retrieve",
+      [this](const util::Bytes& raw) -> util::Result<util::Bytes> {
+        MWS_ASSIGN_OR_RETURN(wire::RetrieveRequest request,
+                             wire::RetrieveRequest::Decode(raw));
+        MWS_ASSIGN_OR_RETURN(wire::RetrieveResponse response,
+                             Retrieve(request));
+        return response.Encode();
+      });
+}
+
+}  // namespace mws::mws

@@ -1,0 +1,121 @@
+#ifndef MWSIBE_MWS_MWS_SERVICE_H_
+#define MWSIBE_MWS_MWS_SERVICE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/mws/gatekeeper.h"
+#include "src/mws/mms.h"
+#include "src/mws/sda.h"
+#include "src/mws/token_generator.h"
+#include "src/store/message_db.h"
+#include "src/store/policy_db.h"
+#include "src/store/table.h"
+#include "src/store/user_db.h"
+#include "src/util/clock.h"
+#include "src/util/random.h"
+#include "src/wire/transport.h"
+
+namespace mws::mws {
+
+/// Tunables of a Message Warehousing Service instance.
+struct MwsOptions {
+  /// Symmetric cipher for tickets, tokens and auth exchanges. The paper
+  /// uses DES throughout; E10 sweeps the alternatives.
+  crypto::CipherKind cipher = crypto::CipherKind::kDes;
+  /// Accepted clock skew for deposits and RC challenges.
+  int64_t freshness_window_micros = 5ll * 60 * 1'000'000;
+  /// Lifetime of issued PKG tickets.
+  int64_t ticket_lifetime_micros = 10ll * 60 * 1'000'000;
+};
+
+/// The Message Warehousing Service: the composition of the architecture
+/// components of Fig. 3 (SDA, MD, MMS, PD, TG, User DB, Gatekeeper) plus
+/// the administrative operations the paper mentions ("administrative
+/// operations to manage client identities").
+///
+/// Crucially the MWS never holds IBE key material: it stores (rP, C,
+/// A||Nonce) and enforces access purely through the policy database and
+/// ticket issuance; decryption capability exists only at RCs that have
+/// been extracted keys by the PKG.
+class MwsService {
+ public:
+  /// `storage` must outlive the service; `mws_pkg_key` is the shared
+  /// secret with the PKG (paper assumption: "MWS shares a secret key
+  /// SecKMWS-PKG with PKG").
+  MwsService(store::Table* storage, util::Bytes mws_pkg_key,
+             const util::Clock* clock, util::RandomSource* rng,
+             MwsOptions options = {});
+
+  // --- Administrative operations ---
+
+  /// Registers a smart device and its shared MAC key (assumption ii).
+  util::Status RegisterDevice(const std::string& device_id,
+                              const util::Bytes& mac_key);
+
+  /// Registers a receiving client (password hash + RSA public key).
+  util::Status RegisterReceivingClient(const std::string& rc_identity,
+                                       const util::Bytes& password_hash,
+                                       const util::Bytes& rsa_public_key);
+
+  /// Grants/revokes `rc_identity` access to messages under `attribute`.
+  util::Result<uint64_t> GrantAttribute(const std::string& rc_identity,
+                                        const std::string& attribute);
+  util::Status RevokeAttribute(const std::string& rc_identity,
+                               const std::string& attribute);
+
+  /// Attaches a policy expression (see PolicyExpression) to an RC, e.g.
+  /// "ELECTRIC-* OR GAS-*"; matching attributes are granted lazily as
+  /// messages arrive. Returns the expression's sequence number.
+  util::Result<uint64_t> GrantPolicyExpression(const std::string& rc_identity,
+                                               const std::string& expression);
+
+  /// Detaches an expression and revokes every grant it materialized.
+  util::Status RevokePolicyExpression(const std::string& rc_identity,
+                                      uint64_t seq);
+
+  /// The full identity–attribute–AID table (paper Table 1).
+  util::Result<std::vector<store::PolicyRow>> PolicyTable() const;
+
+  // --- Protocol operations (Fig. 4 phases 1 and 2) ---
+
+  /// SD–MWS phase: authenticate the device, verify integrity, store.
+  util::Result<wire::DepositResponse> Deposit(
+      const wire::DepositRequest& request);
+
+  /// MWS–RC phase, step 1: gatekeeper authentication.
+  util::Result<wire::RcAuthResponse> Authenticate(
+      const wire::RcAuthRequest& request);
+
+  /// MWS–RC phase, step 2: fetch matching records + a fresh PKG token.
+  util::Result<wire::RetrieveResponse> Retrieve(
+      const wire::RetrieveRequest& request);
+
+  /// Binds the three protocol operations to "mws.deposit", "mws.auth",
+  /// "mws.retrieve" on `transport`.
+  void RegisterEndpoints(wire::InProcessTransport* transport);
+
+  // --- Component access (tests, component benches E4) ---
+  const SmartDeviceAuthenticator& sda() const { return sda_; }
+  Gatekeeper& gatekeeper() { return gatekeeper_; }
+  const MessageManagementSystem& mms() const { return mms_; }
+  const TokenGenerator& token_generator() const { return token_generator_; }
+  const store::MessageDb& message_db() const { return message_db_; }
+  const store::PolicyDb& policy_db() const { return policy_db_; }
+  const MwsOptions& options() const { return options_; }
+
+ private:
+  MwsOptions options_;
+  store::MessageDb message_db_;
+  store::PolicyDb policy_db_;
+  store::UserDb user_db_;
+  store::DeviceKeyDb device_keys_;
+  SmartDeviceAuthenticator sda_;
+  Gatekeeper gatekeeper_;
+  MessageManagementSystem mms_;
+  TokenGenerator token_generator_;
+};
+
+}  // namespace mws::mws
+
+#endif  // MWSIBE_MWS_MWS_SERVICE_H_

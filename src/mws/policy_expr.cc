@@ -1,0 +1,243 @@
+#include "src/mws/policy_expr.h"
+
+#include <vector>
+
+namespace mws::mws {
+
+struct PolicyExpression::Node {
+  enum class Kind { kPattern, kAnd, kOr, kNot };
+  Kind kind = Kind::kPattern;
+  std::string pattern;                       // kPattern
+  std::vector<std::shared_ptr<const Node>> children;  // kAnd/kOr/kNot
+};
+
+bool GlobMatch(std::string_view pattern, std::string_view text) {
+  // Iterative glob with backtracking over the last '*'.
+  size_t p = 0, t = 0;
+  size_t star = std::string_view::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+namespace {
+
+using Node = PolicyExpression::Node;
+using NodePtr = std::shared_ptr<const Node>;
+
+bool IsPatternChar(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '-' ||
+         c == '_' || c == '.' || c == '*';
+}
+
+struct Token {
+  enum class Kind { kPattern, kAnd, kOr, kNot, kLParen, kRParen, kEnd };
+  Kind kind;
+  std::string text;
+  size_t position;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::string_view input) : input_(input) {}
+
+  util::Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    size_t i = 0;
+    while (i < input_.size()) {
+      char c = input_[i];
+      if (c == ' ' || c == '\t' || c == '\n') {
+        ++i;
+        continue;
+      }
+      if (c == '(') {
+        out.push_back({Token::Kind::kLParen, "(", i++});
+        continue;
+      }
+      if (c == ')') {
+        out.push_back({Token::Kind::kRParen, ")", i++});
+        continue;
+      }
+      if (!IsPatternChar(c)) {
+        return util::Status::InvalidArgument(
+            "policy: unexpected character at position " + std::to_string(i));
+      }
+      size_t start = i;
+      while (i < input_.size() && IsPatternChar(input_[i])) ++i;
+      std::string word(input_.substr(start, i - start));
+      if (word == "AND") {
+        out.push_back({Token::Kind::kAnd, word, start});
+      } else if (word == "OR") {
+        out.push_back({Token::Kind::kOr, word, start});
+      } else if (word == "NOT") {
+        out.push_back({Token::Kind::kNot, word, start});
+      } else {
+        out.push_back({Token::Kind::kPattern, word, start});
+      }
+    }
+    out.push_back({Token::Kind::kEnd, "", input_.size()});
+    return out;
+  }
+
+ private:
+  std::string_view input_;
+};
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  util::Result<NodePtr> Run() {
+    MWS_ASSIGN_OR_RETURN(NodePtr root, ParseOr());
+    if (Peek().kind != Token::Kind::kEnd) {
+      return Error("trailing tokens");
+    }
+    return root;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  util::Status Error(const std::string& what) const {
+    return util::Status::InvalidArgument(
+        "policy: " + what + " at position " +
+        std::to_string(Peek().position));
+  }
+
+  util::Result<NodePtr> ParseOr() {
+    MWS_ASSIGN_OR_RETURN(NodePtr left, ParseAnd());
+    if (Peek().kind != Token::Kind::kOr) return left;
+    auto node = std::make_shared<Node>();
+    node->kind = Node::Kind::kOr;
+    node->children.push_back(std::move(left));
+    while (Peek().kind == Token::Kind::kOr) {
+      Advance();
+      MWS_ASSIGN_OR_RETURN(NodePtr right, ParseAnd());
+      node->children.push_back(std::move(right));
+    }
+    return NodePtr(node);
+  }
+
+  util::Result<NodePtr> ParseAnd() {
+    MWS_ASSIGN_OR_RETURN(NodePtr left, ParseUnary());
+    if (Peek().kind != Token::Kind::kAnd) return left;
+    auto node = std::make_shared<Node>();
+    node->kind = Node::Kind::kAnd;
+    node->children.push_back(std::move(left));
+    while (Peek().kind == Token::Kind::kAnd) {
+      Advance();
+      MWS_ASSIGN_OR_RETURN(NodePtr right, ParseUnary());
+      node->children.push_back(std::move(right));
+    }
+    return NodePtr(node);
+  }
+
+  util::Result<NodePtr> ParseUnary() {
+    if (Peek().kind == Token::Kind::kNot) {
+      Advance();
+      MWS_ASSIGN_OR_RETURN(NodePtr inner, ParseUnary());
+      auto node = std::make_shared<Node>();
+      node->kind = Node::Kind::kNot;
+      node->children.push_back(std::move(inner));
+      return NodePtr(node);
+    }
+    if (Peek().kind == Token::Kind::kLParen) {
+      Advance();
+      MWS_ASSIGN_OR_RETURN(NodePtr inner, ParseOr());
+      if (Peek().kind != Token::Kind::kRParen) {
+        return Error("expected ')'");
+      }
+      Advance();
+      return inner;
+    }
+    if (Peek().kind == Token::Kind::kPattern) {
+      auto node = std::make_shared<Node>();
+      node->kind = Node::Kind::kPattern;
+      node->pattern = Advance().text;
+      return NodePtr(node);
+    }
+    return Error("expected pattern, NOT, or '('");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+bool Evaluate(const Node& node, const std::string& attribute) {
+  switch (node.kind) {
+    case Node::Kind::kPattern:
+      return GlobMatch(node.pattern, attribute);
+    case Node::Kind::kAnd:
+      for (const auto& child : node.children) {
+        if (!Evaluate(*child, attribute)) return false;
+      }
+      return true;
+    case Node::Kind::kOr:
+      for (const auto& child : node.children) {
+        if (Evaluate(*child, attribute)) return true;
+      }
+      return false;
+    case Node::Kind::kNot:
+      return !Evaluate(*node.children[0], attribute);
+  }
+  return false;
+}
+
+void Print(const Node& node, std::string& out) {
+  switch (node.kind) {
+    case Node::Kind::kPattern:
+      out += node.pattern;
+      return;
+    case Node::Kind::kNot:
+      out += "NOT ";
+      Print(*node.children[0], out);
+      return;
+    case Node::Kind::kAnd:
+    case Node::Kind::kOr: {
+      const char* op = node.kind == Node::Kind::kAnd ? " AND " : " OR ";
+      out += "(";
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) out += op;
+        Print(*node.children[i], out);
+      }
+      out += ")";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+util::Result<PolicyExpression> PolicyExpression::Parse(std::string_view text) {
+  MWS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenizer(text).Run());
+  MWS_ASSIGN_OR_RETURN(NodePtr root, Parser(std::move(tokens)).Run());
+  return PolicyExpression(std::move(root));
+}
+
+bool PolicyExpression::Matches(const std::string& attribute) const {
+  return Evaluate(*root_, attribute);
+}
+
+std::string PolicyExpression::ToString() const {
+  std::string out;
+  Print(*root_, out);
+  return out;
+}
+
+}  // namespace mws::mws

@@ -1,0 +1,63 @@
+#ifndef MWSIBE_MWS_POLICY_EXPR_H_
+#define MWSIBE_MWS_POLICY_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/util/result.h"
+
+namespace mws::mws {
+
+/// XACML-flavoured access-policy expressions over attribute strings —
+/// the paper's §VIII enhancement ("The attributes that are currently
+/// used can be improved by considering an access policy, similar to
+/// XACML standards. In such a case, enhanced policies can be generated").
+///
+/// Grammar (whitespace-separated tokens, case-sensitive keywords):
+///
+///   expr    := or
+///   or      := and ( "OR" and )*
+///   and     := unary ( "AND" unary )*
+///   unary   := "NOT" unary | "(" expr ")" | pattern
+///   pattern := attribute characters [A-Z0-9._-] plus '*' wildcards
+///
+/// A pattern matches a full attribute string, '*' matching any (possibly
+/// empty) run of characters: "ELECTRIC-*-SV-CA" covers every electric
+/// meter in Silicon Valley.
+///
+/// Instead of enumerating concrete grants, an operator attaches an
+/// expression to an RC; the MMS materializes matching Table-1 rows
+/// lazily (see MessageManagementSystem), so the PKG ticket path is
+/// unchanged.
+class PolicyExpression {
+ public:
+  /// Parses `text`; fails on syntax errors with a position hint.
+  static util::Result<PolicyExpression> Parse(std::string_view text);
+
+  /// True iff `attribute` satisfies the expression.
+  bool Matches(const std::string& attribute) const;
+
+  /// Canonical text form (round-trips through Parse).
+  std::string ToString() const;
+
+  PolicyExpression(const PolicyExpression&) = default;
+  PolicyExpression& operator=(const PolicyExpression&) = default;
+  PolicyExpression(PolicyExpression&&) = default;
+  PolicyExpression& operator=(PolicyExpression&&) = default;
+
+  struct Node;  // implementation detail, exposed for the parser
+
+ private:
+  explicit PolicyExpression(std::shared_ptr<const Node> root)
+      : root_(std::move(root)) {}
+
+  std::shared_ptr<const Node> root_;
+};
+
+/// Standalone glob match ('*' wildcards, anchored both ends).
+bool GlobMatch(std::string_view pattern, std::string_view text);
+
+}  // namespace mws::mws
+
+#endif  // MWSIBE_MWS_POLICY_EXPR_H_

@@ -1,0 +1,28 @@
+#include "src/mws/sda.h"
+
+#include <cstdlib>
+
+#include "src/crypto/hmac.h"
+
+namespace mws::mws {
+
+util::Status SmartDeviceAuthenticator::Verify(
+    const wire::DepositRequest& request) const {
+  auto key = device_keys_->GetKey(request.device_id);
+  if (!key.ok()) {
+    return util::Status::Unauthenticated("unknown device: " +
+                                         request.device_id);
+  }
+  int64_t now = clock_->NowMicros();
+  int64_t skew = std::llabs(now - request.timestamp_micros);
+  if (skew > freshness_window_micros_) {
+    return util::Status::Unauthenticated("stale deposit timestamp");
+  }
+  if (!crypto::VerifyHmac(crypto::HashKind::kSha256, key.value(),
+                          request.AuthenticatedBytes(), request.mac)) {
+    return util::Status::Unauthenticated("deposit MAC verification failed");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace mws::mws

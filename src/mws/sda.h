@@ -1,0 +1,35 @@
+#ifndef MWSIBE_MWS_SDA_H_
+#define MWSIBE_MWS_SDA_H_
+
+#include "src/store/user_db.h"
+#include "src/util/clock.h"
+#include "src/wire/messages.h"
+
+namespace mws::mws {
+
+/// Smart Device Authenticator (Fig. 3): verifies the MAC and timestamp of
+/// a deposit before anything is stored. "If a message is not
+/// authenticated properly, the message is discarded."
+class SmartDeviceAuthenticator {
+ public:
+  /// `freshness_window_micros`: maximum |now - T| accepted.
+  SmartDeviceAuthenticator(const store::DeviceKeyDb* device_keys,
+                           const util::Clock* clock,
+                           int64_t freshness_window_micros)
+      : device_keys_(device_keys),
+        clock_(clock),
+        freshness_window_micros_(freshness_window_micros) {}
+
+  /// OK iff the device is registered, the timestamp is fresh, and the
+  /// HMAC over the authenticated prefix verifies.
+  util::Status Verify(const wire::DepositRequest& request) const;
+
+ private:
+  const store::DeviceKeyDb* device_keys_;
+  const util::Clock* clock_;
+  int64_t freshness_window_micros_;
+};
+
+}  // namespace mws::mws
+
+#endif  // MWSIBE_MWS_SDA_H_

@@ -1,0 +1,36 @@
+#include "src/mws/token_generator.h"
+
+#include "src/crypto/modes.h"
+#include "src/crypto/rsa.h"
+#include "src/crypto/sealed_box.h"
+#include "src/wire/auth.h"
+
+namespace mws::mws {
+
+util::Result<util::Bytes> TokenGenerator::IssueToken(
+    const std::string& rc_identity, const util::Bytes& rc_rsa_public_key,
+    const std::vector<store::PolicyRow>& grants) const {
+  MWS_ASSIGN_OR_RETURN(crypto::RsaPublicKey rc_key,
+                       crypto::ParseRsaPublicKey(rc_rsa_public_key));
+
+  wire::TicketPlain ticket;
+  ticket.rc_identity = rc_identity;
+  ticket.session_key = rng_->Generate(32);  // SecK_RC-PKG
+  for (const store::PolicyRow& row : grants) {
+    ticket.aid_attributes.emplace_back(row.aid, row.attribute);
+  }
+  ticket.expiry_micros = clock_->NowMicros() + ticket_lifetime_micros_;
+
+  util::Bytes ticket_key =
+      wire::DeriveChannelKey(mws_pkg_key_, cipher_, "mws-pkg-ticket");
+  MWS_ASSIGN_OR_RETURN(
+      util::Bytes sealed_ticket,
+      crypto::CbcEncrypt(cipher_, ticket_key, ticket.Encode(), *rng_));
+
+  wire::TokenPlain token;
+  token.session_key = ticket.session_key;
+  token.ticket = std::move(sealed_ticket);
+  return crypto::SealToPublicKey(rc_key, cipher_, token.Encode(), *rng_);
+}
+
+}  // namespace mws::mws

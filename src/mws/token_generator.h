@@ -1,0 +1,47 @@
+#ifndef MWSIBE_MWS_TOKEN_GENERATOR_H_
+#define MWSIBE_MWS_TOKEN_GENERATOR_H_
+
+#include <vector>
+
+#include "src/crypto/block_cipher.h"
+#include "src/store/policy_db.h"
+#include "src/util/clock.h"
+#include "src/util/random.h"
+#include "src/wire/messages.h"
+
+namespace mws::mws {
+
+/// Token Generator (Fig. 3): mints the Kerberos-style token the RC
+/// presents to the PKG. The ticket inside is encrypted under the
+/// MWS<->PKG service key and carries the AID->attribute mapping, so the
+/// RC never learns its attributes; the outer token is sealed to the RC's
+/// RSA public key.
+class TokenGenerator {
+ public:
+  TokenGenerator(const util::Bytes& mws_pkg_key, crypto::CipherKind cipher,
+                 const util::Clock* clock, util::RandomSource* rng,
+                 int64_t ticket_lifetime_micros)
+      : mws_pkg_key_(mws_pkg_key),
+        cipher_(cipher),
+        clock_(clock),
+        rng_(rng),
+        ticket_lifetime_micros_(ticket_lifetime_micros) {}
+
+  /// Issues a token for `rc_identity` covering `grants`. The fresh
+  /// SecK_RC-PKG session key lives inside both the token (for the RC) and
+  /// the ticket (for the PKG).
+  util::Result<util::Bytes> IssueToken(
+      const std::string& rc_identity, const util::Bytes& rc_rsa_public_key,
+      const std::vector<store::PolicyRow>& grants) const;
+
+ private:
+  util::Bytes mws_pkg_key_;
+  crypto::CipherKind cipher_;
+  const util::Clock* clock_;
+  util::RandomSource* rng_;
+  int64_t ticket_lifetime_micros_;
+};
+
+}  // namespace mws::mws
+
+#endif  // MWSIBE_MWS_TOKEN_GENERATOR_H_

@@ -1,0 +1,195 @@
+#include "src/pkg/pkg_service.h"
+
+#include <cstdlib>
+
+#include "src/crypto/hash.h"
+#include "src/crypto/modes.h"
+#include "src/ibe/attribute.h"
+#include "src/util/hex.h"
+#include "src/wire/auth.h"
+
+namespace mws::pkg {
+
+PkgService::PkgService(const math::TypeAParams& group,
+                       util::Bytes mws_pkg_key, const util::Clock* clock,
+                       util::RandomSource* rng, PkgOptions options)
+    : ibe_(group),
+      mws_pkg_key_(std::move(mws_pkg_key)),
+      clock_(clock),
+      rng_(rng),
+      options_(options) {
+  auto setup = ibe_.Setup(*rng);
+  params_ = setup.first;
+  master_ = setup.second;
+}
+
+util::Result<wire::PkgAuthResponse> PkgService::Authenticate(
+    const wire::PkgAuthRequest& request) {
+  // Decrypt the ticket with the MWS<->PKG service key.
+  util::Bytes ticket_key =
+      wire::DeriveChannelKey(mws_pkg_key_, options_.cipher, "mws-pkg-ticket");
+  auto ticket_bytes =
+      crypto::CbcDecrypt(options_.cipher, ticket_key, request.ticket);
+  if (!ticket_bytes.ok()) {
+    return util::Status::Unauthenticated("ticket decryption failed");
+  }
+  auto ticket = wire::TicketPlain::Decode(ticket_bytes.value());
+  if (!ticket.ok()) {
+    return util::Status::Unauthenticated("ticket malformed");
+  }
+  int64_t now = clock_->NowMicros();
+  if (now > ticket->expiry_micros) {
+    return util::Status::Unauthenticated("ticket expired");
+  }
+  if (ticket->rc_identity != request.rc_identity) {
+    return util::Status::Unauthenticated("ticket identity mismatch");
+  }
+  // Decrypt the authenticator with the session key carried in the ticket.
+  util::Bytes auth_key = wire::DeriveChannelKey(
+      ticket->session_key, options_.cipher, "rc-pkg-authenticator");
+  auto auth_bytes =
+      crypto::CbcDecrypt(options_.cipher, auth_key, request.authenticator);
+  if (!auth_bytes.ok()) {
+    return util::Status::Unauthenticated("authenticator decryption failed");
+  }
+  auto auth = wire::AuthenticatorPlain::Decode(auth_bytes.value());
+  if (!auth.ok()) {
+    return util::Status::Unauthenticated("authenticator malformed");
+  }
+  if (auth->rc_identity != request.rc_identity) {
+    return util::Status::Unauthenticated("authenticator identity mismatch");
+  }
+  if (std::llabs(now - auth->timestamp_micros) >
+      options_.freshness_window_micros) {
+    return util::Status::Unauthenticated("authenticator expired");
+  }
+  // Replay protection on the authenticator ciphertext.
+  auto cutoff = replay_cache_.lower_bound(
+      {now - 2 * options_.freshness_window_micros, std::string()});
+  replay_cache_.erase(replay_cache_.begin(), cutoff);
+  std::string replay_key = util::HexEncode(crypto::Sha256(
+      util::Concat(request.authenticator, request.ticket)));
+  if (!replay_cache_.emplace(auth->timestamp_micros, replay_key).second) {
+    return util::Status::Unauthenticated("authenticator replayed");
+  }
+
+  // Garbage-collect expired sessions (bounded state for long-running
+  // PKGs, mirroring the gatekeeper).
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now - it->second.created_micros > options_.session_lifetime_micros) {
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  PkgSession session;
+  session.rc_identity = ticket->rc_identity;
+  session.session_key = ticket->session_key;
+  for (const auto& [aid, attribute] : ticket->aid_attributes) {
+    session.aid_attributes[aid] = attribute;
+  }
+  session.created_micros = now;
+
+  wire::PkgAuthResponse response;
+  response.session_id = rng_->Generate(16);
+  sessions_[util::StringFromBytes(response.session_id)] = std::move(session);
+  return response;
+}
+
+util::Result<PkgSession> PkgService::GetSession(
+    const util::Bytes& session_id) const {
+  auto it = sessions_.find(util::StringFromBytes(session_id));
+  if (it == sessions_.end()) {
+    return util::Status::Unauthenticated("unknown PKG session");
+  }
+  if (clock_->NowMicros() - it->second.created_micros >
+      options_.session_lifetime_micros) {
+    return util::Status::Unauthenticated("PKG session expired");
+  }
+  return it->second;
+}
+
+util::Result<util::Bytes> PkgService::ExtractSealed(
+    const PkgSession& session, uint64_t aid, const util::Bytes& nonce) {
+  auto it = session.aid_attributes.find(aid);
+  if (it == session.aid_attributes.end()) {
+    // The AID is not in the RC's ticket: either never granted or revoked
+    // before the ticket was issued.
+    return util::Status::PermissionDenied(
+        "AID not authorized by ticket: " + std::to_string(aid));
+  }
+  // "PKG replaces AID with A to obtain A||Nonce ... and sends back sI."
+  util::Bytes identity =
+      ibe::DeriveIdentity(it->second, ibe::MessageNonce{nonce});
+  ibe::IbePrivateKey key = ibe_.Extract(master_, identity);
+  util::Bytes key_bytes = ibe_.group().curve().SerializeCompressed(key.d);
+
+  util::Bytes channel_key = wire::DeriveChannelKey(
+      session.session_key, options_.cipher, "rc-pkg-keydelivery");
+  return crypto::CbcEncrypt(options_.cipher, channel_key, key_bytes, *rng_);
+}
+
+util::Result<wire::KeyResponse> PkgService::ExtractKey(
+    const wire::KeyRequest& request) {
+  MWS_ASSIGN_OR_RETURN(PkgSession session, GetSession(request.session_id));
+  MWS_ASSIGN_OR_RETURN(util::Bytes sealed,
+                       ExtractSealed(session, request.aid, request.nonce));
+  return wire::KeyResponse{std::move(sealed)};
+}
+
+util::Result<wire::KeyBatchResponse> PkgService::ExtractKeyBatch(
+    const wire::KeyBatchRequest& request) {
+  MWS_ASSIGN_OR_RETURN(PkgSession session, GetSession(request.session_id));
+  wire::KeyBatchResponse response;
+  response.items.reserve(request.items.size());
+  for (const auto& [aid, nonce] : request.items) {
+    wire::KeyBatchResponse::Item item;
+    auto sealed = ExtractSealed(session, aid, nonce);
+    if (sealed.ok()) {
+      item.ok = true;
+      item.payload = std::move(sealed).value();
+    } else {
+      item.ok = false;
+      item.payload = util::BytesFromString(sealed.status().ToString());
+    }
+    response.items.push_back(std::move(item));
+  }
+  return response;
+}
+
+ibe::IbePrivateKey PkgService::ExtractForIdentity(
+    const util::Bytes& identity) const {
+  return ibe_.Extract(master_, identity);
+}
+
+void PkgService::RegisterEndpoints(wire::InProcessTransport* transport) {
+  transport->Register(
+      "pkg.auth",
+      [this](const util::Bytes& raw) -> util::Result<util::Bytes> {
+        MWS_ASSIGN_OR_RETURN(wire::PkgAuthRequest request,
+                             wire::PkgAuthRequest::Decode(raw));
+        MWS_ASSIGN_OR_RETURN(wire::PkgAuthResponse response,
+                             Authenticate(request));
+        return response.Encode();
+      });
+  transport->Register(
+      "pkg.extract",
+      [this](const util::Bytes& raw) -> util::Result<util::Bytes> {
+        MWS_ASSIGN_OR_RETURN(wire::KeyRequest request,
+                             wire::KeyRequest::Decode(raw));
+        MWS_ASSIGN_OR_RETURN(wire::KeyResponse response, ExtractKey(request));
+        return response.Encode();
+      });
+  transport->Register(
+      "pkg.extract_batch",
+      [this](const util::Bytes& raw) -> util::Result<util::Bytes> {
+        MWS_ASSIGN_OR_RETURN(wire::KeyBatchRequest request,
+                             wire::KeyBatchRequest::Decode(raw));
+        MWS_ASSIGN_OR_RETURN(wire::KeyBatchResponse response,
+                             ExtractKeyBatch(request));
+        return response.Encode();
+      });
+}
+
+}  // namespace mws::pkg

@@ -1,0 +1,102 @@
+#ifndef MWSIBE_PKG_PKG_SERVICE_H_
+#define MWSIBE_PKG_PKG_SERVICE_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/crypto/block_cipher.h"
+#include "src/ibe/bf_ibe.h"
+#include "src/util/clock.h"
+#include "src/util/random.h"
+#include "src/wire/messages.h"
+#include "src/wire/transport.h"
+
+namespace mws::pkg {
+
+/// Tunables of the Private Key Generator service.
+struct PkgOptions {
+  crypto::CipherKind cipher = crypto::CipherKind::kDes;
+  int64_t freshness_window_micros = 5ll * 60 * 1'000'000;
+  int64_t session_lifetime_micros = 10ll * 60 * 1'000'000;
+};
+
+/// A live RC session at the PKG, established by a verified ticket.
+struct PkgSession {
+  std::string rc_identity;
+  util::Bytes session_key;  // SecK_RC-PKG from the ticket
+  /// AID -> attribute map the RC may extract keys for.
+  std::map<uint64_t, std::string> aid_attributes;
+  int64_t created_micros = 0;
+};
+
+/// The Private Key Generator (paper §V.B): holds the master secret s,
+/// publishes the public parameters (P, sP), authenticates RCs via
+/// MWS-issued tickets, and extracts per-message private keys
+/// sI = s * H1(A || Nonce).
+///
+/// The PKG resolves AIDs to attributes *from the ticket*, so revocation
+/// at the MWS takes effect as soon as old tickets expire, and the RC
+/// never sees the attribute strings.
+class PkgService {
+ public:
+  /// Runs IBE Setup on construction: draws the master secret for `group`.
+  PkgService(const math::TypeAParams& group, util::Bytes mws_pkg_key,
+             const util::Clock* clock, util::RandomSource* rng,
+             PkgOptions options = {});
+
+  /// The public parameters every SD and RC needs (paper: "the parameters
+  /// that should be used by the complete system").
+  const ibe::SystemParams& PublicParams() const { return params_; }
+
+  // --- Protocol operations (Fig. 4 phase 3) ---
+
+  /// Verifies ticket + authenticator, opens a session.
+  util::Result<wire::PkgAuthResponse> Authenticate(
+      const wire::PkgAuthRequest& request);
+
+  /// Extracts sI for one (AID, Nonce) pair; the key travels encrypted
+  /// under the RC<->PKG session key.
+  util::Result<wire::KeyResponse> ExtractKey(const wire::KeyRequest& request);
+
+  /// Batched extraction: one round trip for many (AID, Nonce) pairs;
+  /// per-item success so one revoked AID doesn't fail the batch.
+  util::Result<wire::KeyBatchResponse> ExtractKeyBatch(
+      const wire::KeyBatchRequest& request);
+
+  /// Binds to "pkg.auth", "pkg.extract" and "pkg.extract_batch" on
+  /// `transport`.
+  void RegisterEndpoints(wire::InProcessTransport* transport);
+
+  // --- Trusted-path helpers (tests, benches; not exposed on the wire) ---
+
+  /// Direct extraction, bypassing ticket auth.
+  ibe::IbePrivateKey ExtractForIdentity(const util::Bytes& identity) const;
+
+  size_t ActiveSessions() const { return sessions_.size(); }
+
+ private:
+  util::Result<PkgSession> GetSession(const util::Bytes& session_id) const;
+
+  /// Core of both extraction paths: resolve the AID through the
+  /// session's ticket, extract, seal under the session channel key.
+  util::Result<util::Bytes> ExtractSealed(const PkgSession& session,
+                                          uint64_t aid,
+                                          const util::Bytes& nonce);
+
+  ibe::BfIbe ibe_;
+  ibe::SystemParams params_;
+  ibe::MasterKey master_;
+  util::Bytes mws_pkg_key_;
+  const util::Clock* clock_;
+  util::RandomSource* rng_;
+  PkgOptions options_;
+
+  std::map<std::string, PkgSession> sessions_;
+  /// Replay cache of accepted authenticators.
+  std::set<std::pair<int64_t, std::string>> replay_cache_;
+};
+
+}  // namespace mws::pkg
+
+#endif  // MWSIBE_PKG_PKG_SERVICE_H_

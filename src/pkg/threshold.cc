@@ -1,0 +1,127 @@
+#include "src/pkg/threshold.h"
+
+#include <set>
+
+namespace mws::pkg {
+
+using math::BigInt;
+using math::EcPoint;
+
+util::Result<ThresholdPkg::Dealing> ThresholdPkg::Deal(
+    util::RandomSource& rng) const {
+  if (threshold_ < 1 || threshold_ > n_) {
+    return util::Status::InvalidArgument("need 1 <= threshold <= n");
+  }
+  const BigInt& q = group_.q();
+  // f(x) = a_0 + a_1 x + ... + a_{t-1} x^{t-1}, a_0 = s.
+  std::vector<BigInt> coefficients;
+  coefficients.reserve(threshold_);
+  for (size_t k = 0; k < threshold_; ++k) {
+    coefficients.push_back(group_.RandomScalar(rng));
+  }
+
+  Dealing out;
+  out.params.group = &group_;
+  out.params.p_pub =
+      group_.curve().ScalarMul(coefficients[0], group_.generator());
+  for (const BigInt& a : coefficients) {
+    out.commitments.push_back(
+        group_.curve().ScalarMul(a, group_.generator()));
+  }
+  for (uint64_t x = 1; x <= n_; ++x) {
+    // Horner evaluation of f(x) mod q.
+    BigInt value;
+    for (size_t k = coefficients.size(); k-- > 0;) {
+      value = BigInt::Mod(value * BigInt(x) + coefficients[k], q);
+    }
+    out.shares.push_back(KeyShare{x, value});
+  }
+  return out;
+}
+
+bool ThresholdPkg::VerifyShare(const std::vector<EcPoint>& commitments,
+                               const KeyShare& share) const {
+  EcPoint expected = PublicShare(commitments, share.index);
+  EcPoint actual =
+      group_.curve().ScalarMul(share.value, group_.generator());
+  return expected == actual;
+}
+
+ThresholdPkg::PartialKey ThresholdPkg::PartialExtract(
+    const KeyShare& share, const EcPoint& q_id) const {
+  return PartialKey{share.index,
+                    group_.curve().ScalarMul(share.value, q_id)};
+}
+
+EcPoint ThresholdPkg::PublicShare(const std::vector<EcPoint>& commitments,
+                                  uint64_t index) const {
+  // sum_k index^k * C_k, Horner style: (((C_{t-1} * x) + C_{t-2}) * x ...).
+  EcPoint acc = EcPoint::Infinity();
+  for (size_t k = commitments.size(); k-- > 0;) {
+    acc = group_.curve().ScalarMul(BigInt(index), acc);
+    acc = group_.curve().Add(acc, commitments[k]);
+  }
+  return acc;
+}
+
+bool ThresholdPkg::VerifyPartial(const std::vector<EcPoint>& commitments,
+                                 const EcPoint& q_id,
+                                 const PartialKey& partial) const {
+  if (partial.d.is_infinity() || !group_.curve().IsOnCurve(partial.d)) {
+    return false;
+  }
+  EcPoint share_pub = PublicShare(commitments, partial.index);
+  math::Fp2 lhs = group_.Pairing(partial.d, group_.generator());
+  math::Fp2 rhs = group_.Pairing(q_id, share_pub);
+  return lhs == rhs;
+}
+
+util::Result<BigInt> ThresholdPkg::LagrangeAtZero(
+    const std::vector<uint64_t>& xs, size_t i) const {
+  const BigInt& q = group_.q();
+  BigInt numerator(1);
+  BigInt denominator(1);
+  for (size_t j = 0; j < xs.size(); ++j) {
+    if (j == i) continue;
+    numerator = BigInt::Mod(numerator * BigInt(xs[j]), q);
+    BigInt diff = BigInt::Mod(BigInt(xs[j]) - BigInt(xs[i]), q);
+    denominator = BigInt::Mod(denominator * diff, q);
+  }
+  MWS_ASSIGN_OR_RETURN(BigInt inv, BigInt::ModInverse(denominator, q));
+  return BigInt::Mod(numerator * inv, q);
+}
+
+util::Result<ibe::IbePrivateKey> ThresholdPkg::Combine(
+    const std::vector<PartialKey>& partials) const {
+  if (partials.size() < threshold_) {
+    return util::Status::FailedPrecondition(
+        "need at least " + std::to_string(threshold_) + " partials, got " +
+        std::to_string(partials.size()));
+  }
+  // Use the first `threshold_` distinct-index partials.
+  std::vector<const PartialKey*> used;
+  std::set<uint64_t> seen;
+  for (const PartialKey& p : partials) {
+    if (p.index == 0 || !seen.insert(p.index).second) {
+      return util::Status::InvalidArgument("duplicate or zero share index");
+    }
+    used.push_back(&p);
+    if (used.size() == threshold_) break;
+  }
+  if (used.size() < threshold_) {
+    return util::Status::FailedPrecondition("not enough distinct partials");
+  }
+  std::vector<uint64_t> xs;
+  xs.reserve(used.size());
+  for (const PartialKey* p : used) xs.push_back(p->index);
+
+  EcPoint acc = EcPoint::Infinity();
+  for (size_t i = 0; i < used.size(); ++i) {
+    MWS_ASSIGN_OR_RETURN(BigInt lambda, LagrangeAtZero(xs, i));
+    acc = group_.curve().Add(
+        acc, group_.curve().ScalarMul(lambda, used[i]->d));
+  }
+  return ibe::IbePrivateKey{acc};
+}
+
+}  // namespace mws::pkg

@@ -1,0 +1,93 @@
+#ifndef MWSIBE_PKG_THRESHOLD_H_
+#define MWSIBE_PKG_THRESHOLD_H_
+
+#include <vector>
+
+#include "src/ibe/bf_ibe.h"
+
+namespace mws::pkg {
+
+/// Threshold (distributed) PKG — the paper's §VIII mitigation for the
+/// key-escrow single point of failure ("A form of threshold cryptography
+/// may also be considered, to create a distributed PKG, instead of a key
+/// escrow").
+///
+/// The master secret s is Shamir-shared over Z_q among n share servers
+/// with reconstruction threshold t. Private-key extraction never
+/// reconstructs s: each server returns a partial d_i = s_i * Q_ID and
+/// any t partials combine via Lagrange interpolation in the exponent:
+///
+///   d_ID = sum_i lambda_i * d_i  where lambda_i = prod_{j!=i} x_j/(x_j-x_i).
+///
+/// Feldman commitments (a_k * P for each polynomial coefficient) make
+/// both shares and partials publicly verifiable.
+class ThresholdPkg {
+ public:
+  /// One server's share of the master secret.
+  struct KeyShare {
+    uint64_t index = 0;  // x-coordinate, >= 1
+    math::BigInt value;  // f(index) mod q
+  };
+
+  /// A server's response to an extraction request.
+  struct PartialKey {
+    uint64_t index = 0;
+    math::EcPoint d;  // s_i * Q_ID
+  };
+
+  /// Output of the trusted dealer.
+  struct Dealing {
+    ibe::SystemParams params;           // P_pub = f(0) * P = s * P
+    std::vector<KeyShare> shares;       // n shares
+    std::vector<math::EcPoint> commitments;  // a_k * P, k = 0..t-1
+  };
+
+  ThresholdPkg(const math::TypeAParams& group, size_t threshold, size_t n)
+      : group_(group), ibe_(group), threshold_(threshold), n_(n) {}
+
+  /// Trusted-dealer setup: samples f of degree t-1, returns shares and
+  /// Feldman commitments. Pre: 1 <= threshold <= n.
+  util::Result<Dealing> Deal(util::RandomSource& rng) const;
+
+  /// True iff `share` is consistent with the commitments
+  /// (share.value * P == sum_k index^k * C_k).
+  bool VerifyShare(const std::vector<math::EcPoint>& commitments,
+                   const KeyShare& share) const;
+
+  /// Server-side: partial extraction for one identity point.
+  PartialKey PartialExtract(const KeyShare& share,
+                            const math::EcPoint& q_id) const;
+
+  /// The public key s_i * P of server `index`, derived from the
+  /// commitments (no interaction with the server).
+  math::EcPoint PublicShare(const std::vector<math::EcPoint>& commitments,
+                            uint64_t index) const;
+
+  /// True iff `partial` was produced with the share committed for its
+  /// index: e(d_i, P) == e(Q_ID, s_i*P). Costs two pairings.
+  bool VerifyPartial(const std::vector<math::EcPoint>& commitments,
+                     const math::EcPoint& q_id,
+                     const PartialKey& partial) const;
+
+  /// Client-side: combines >= threshold partials (distinct indices) into
+  /// the full private key. Fails on too few or duplicate indices.
+  util::Result<ibe::IbePrivateKey> Combine(
+      const std::vector<PartialKey>& partials) const;
+
+  size_t threshold() const { return threshold_; }
+  size_t share_count() const { return n_; }
+
+ private:
+  /// Lagrange coefficient for x_i evaluated at 0, over Z_q.
+  util::Result<math::BigInt> LagrangeAtZero(
+      const std::vector<uint64_t>& xs, size_t i) const;
+
+  const math::TypeAParams& group_;
+  ibe::BfIbe ibe_;
+  size_t threshold_;
+  size_t n_;
+};
+
+}  // namespace mws::pkg
+
+#endif  // MWSIBE_PKG_THRESHOLD_H_

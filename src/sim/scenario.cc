@@ -1,0 +1,132 @@
+#include "src/sim/scenario.h"
+
+#include "src/wire/auth.h"
+
+namespace mws::sim {
+
+constexpr char UtilityScenario::kCServices[];
+constexpr char UtilityScenario::kElectricGas[];
+constexpr char UtilityScenario::kWaterResources[];
+constexpr char UtilityScenario::kElectricAttr[];
+constexpr char UtilityScenario::kWaterAttr[];
+constexpr char UtilityScenario::kGasAttr[];
+
+std::string UtilityScenario::AttributeFor(MeterClass klass) {
+  switch (klass) {
+    case MeterClass::kElectric:
+      return kElectricAttr;
+    case MeterClass::kWater:
+      return kWaterAttr;
+    case MeterClass::kGas:
+      return kGasAttr;
+  }
+  return "";
+}
+
+util::Result<std::unique_ptr<UtilityScenario>> UtilityScenario::Create(
+    const Options& options) {
+  auto scenario = std::unique_ptr<UtilityScenario>(
+      new UtilityScenario(options));
+
+  MWS_ASSIGN_OR_RETURN(scenario->storage_, store::KvStore::Open({.path = ""}));
+
+  // The MWS<->PKG service key (paper assumption: pre-shared).
+  util::Bytes mws_pkg_key = scenario->rng_.Generate(32);
+
+  mws::MwsOptions mws_options;
+  mws_options.cipher = options.cipher;
+  scenario->mws_ = std::make_unique<mws::MwsService>(
+      scenario->storage_.get(), mws_pkg_key, &scenario->clock_,
+      &scenario->rng_, mws_options);
+
+  pkg::PkgOptions pkg_options;
+  pkg_options.cipher = options.cipher;
+  const math::TypeAParams& group = math::GetParams(options.preset);
+  scenario->pkg_ = std::make_unique<pkg::PkgService>(
+      group, mws_pkg_key, &scenario->clock_, &scenario->rng_, pkg_options);
+
+  scenario->mws_->RegisterEndpoints(&scenario->transport_);
+  scenario->pkg_->RegisterEndpoints(&scenario->transport_);
+
+  // Register the meter fleet.
+  const ibe::SystemParams& params = scenario->pkg_->PublicParams();
+  for (MeterClass klass :
+       {MeterClass::kElectric, MeterClass::kWater, MeterClass::kGas}) {
+    for (size_t i = 0; i < options.devices_per_class; ++i) {
+      std::string device_id = DeviceId(klass, i);
+      util::Bytes mac_key = scenario->rng_.Generate(32);
+      MWS_RETURN_IF_ERROR(scenario->mws_->RegisterDevice(device_id, mac_key));
+      scenario->devices_.emplace_back(device_id, mac_key, params, options.dem,
+                                      &scenario->transport_,
+                                      &scenario->clock_, &scenario->rng_);
+    }
+  }
+
+  // Register the companies and their grants (the Fig. 1 access matrix).
+  struct CompanySpec {
+    const char* name;
+    std::vector<std::string> attributes;
+  };
+  const CompanySpec specs[] = {
+      {kCServices, {kElectricAttr, kWaterAttr, kGasAttr}},
+      {kElectricGas, {kElectricAttr, kGasAttr}},
+      {kWaterResources, {kWaterAttr}},
+  };
+  for (const CompanySpec& spec : specs) {
+    std::string password = std::string("pw-") + spec.name;
+    MWS_ASSIGN_OR_RETURN(
+        crypto::RsaKeyPair keys,
+        crypto::RsaGenerateKeyPair(options.rsa_bits, scenario->rng_));
+    MWS_RETURN_IF_ERROR(scenario->mws_->RegisterReceivingClient(
+        spec.name, wire::HashPassword(password),
+        crypto::SerializeRsaPublicKey(keys.public_key)));
+    for (const std::string& attribute : spec.attributes) {
+      MWS_RETURN_IF_ERROR(
+          scenario->mws_->GrantAttribute(spec.name, attribute).status());
+    }
+    scenario->companies_[spec.name] = std::make_unique<client::ReceivingClient>(
+        spec.name, password, std::move(keys), params, options.cipher,
+        options.dem, &scenario->transport_, &scenario->clock_,
+        &scenario->rng_);
+    scenario->company_names_.push_back(spec.name);
+  }
+  return scenario;
+}
+
+client::ReceivingClient& UtilityScenario::company(const std::string& name) {
+  auto it = companies_.find(name);
+  assert(it != companies_.end());
+  return *it->second;
+}
+
+util::Result<size_t> UtilityScenario::DepositReadings(size_t per_device) {
+  size_t deposited = 0;
+  for (client::SmartDevice& device : devices_) {
+    // Recover the class from the device id prefix.
+    MeterClass klass = MeterClass::kElectric;
+    if (device.device_id().rfind("WATER", 0) == 0) {
+      klass = MeterClass::kWater;
+    } else if (device.device_id().rfind("GAS", 0) == 0) {
+      klass = MeterClass::kGas;
+    }
+    for (size_t i = 0; i < per_device; ++i) {
+      clock_.AdvanceMicros(1'000'000);
+      MeterReading reading =
+          workload_.Next(device.device_id(), klass, clock_.NowMicros());
+      MWS_RETURN_IF_ERROR(
+          device
+              .DepositMessage(AttributeFor(klass),
+                              workload_.Pad(reading.ToPayload()))
+              .status());
+      ++deposited;
+    }
+  }
+  return deposited;
+}
+
+util::Result<std::vector<client::ReceivedMessage>>
+UtilityScenario::RetrieveFor(const std::string& name, uint64_t after_id) {
+  return company(name).FetchAndDecrypt(after_id);
+}
+
+}  // namespace mws::sim

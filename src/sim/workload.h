@@ -1,0 +1,73 @@
+#ifndef MWSIBE_SIM_WORKLOAD_H_
+#define MWSIBE_SIM_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/random.h"
+#include "src/util/result.h"
+
+namespace mws::sim {
+
+/// Meter classes of the paper's utility scenario (Fig. 1).
+enum class MeterClass { kElectric, kWater, kGas };
+
+const char* MeterClassName(MeterClass klass);
+
+/// One synthetic meter reading — the message payload a smart device
+/// bundles and deposits. Substitutes for the real smart-meter telemetry
+/// the paper assumes (we have no meters; the generator produces
+/// realistically shaped readings at controlled sizes and rates).
+struct MeterReading {
+  std::string device_id;
+  MeterClass klass = MeterClass::kElectric;
+  int64_t timestamp_micros = 0;
+  double consumption = 0;  // kWh or m^3
+  double peak_rate = 0;
+  std::string event;  // "" or an event/error code
+
+  /// Human-readable key=value payload (what the paper's web form sent).
+  util::Bytes ToPayload() const;
+  static util::Result<MeterReading> FromPayload(const util::Bytes& payload);
+};
+
+/// Deterministic synthetic meter fleet.
+class WorkloadGenerator {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    /// Probability (percent) a reading carries an event code.
+    int event_percent = 5;
+    /// Extra payload padding to sweep message sizes (0 = natural size).
+    size_t pad_to_bytes = 0;
+  };
+
+  explicit WorkloadGenerator(const Options& options)
+      : options_(options), rng_(options.seed) {}
+
+  /// The next reading for `device_id`; consumption follows a smooth
+  /// daily pattern plus noise.
+  MeterReading Next(const std::string& device_id, MeterClass klass,
+                    int64_t timestamp_micros);
+
+  /// A batch of readings across a fleet of `devices` per class.
+  std::vector<MeterReading> Batch(size_t devices_per_class, size_t per_device,
+                                  int64_t start_micros,
+                                  int64_t interval_micros);
+
+  /// Applies Options::pad_to_bytes to a payload.
+  util::Bytes Pad(util::Bytes payload) const;
+
+ private:
+  Options options_;
+  util::DeterministicRandom rng_;
+  uint64_t sequence_ = 0;
+};
+
+/// Canonical device-id naming: "<CLASS>-METER-<n>".
+std::string DeviceId(MeterClass klass, size_t index);
+
+}  // namespace mws::sim
+
+#endif  // MWSIBE_SIM_WORKLOAD_H_

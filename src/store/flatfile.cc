@@ -1,0 +1,88 @@
+#include "src/store/flatfile.h"
+
+#include <fstream>
+
+#include "src/util/hex.h"
+
+namespace mws::store {
+
+util::Result<std::unique_ptr<FlatFileStore>> FlatFileStore::Open(
+    const Options& options) {
+  auto store = std::unique_ptr<FlatFileStore>(new FlatFileStore(options));
+  if (store->persistent()) {
+    MWS_RETURN_IF_ERROR(store->Load());
+  }
+  return store;
+}
+
+util::Status FlatFileStore::Load() {
+  std::ifstream in(options_.path);
+  if (!in) return util::Status::Ok();  // fresh file
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return util::Status::Corruption("flat file line missing separator");
+    }
+    auto key = util::HexDecode(std::string_view(line).substr(0, tab));
+    auto value = util::HexDecode(std::string_view(line).substr(tab + 1));
+    if (!key.ok() || !value.ok()) {
+      return util::Status::Corruption("flat file line not hex");
+    }
+    entries_[util::StringFromBytes(key.value())] = value.value();
+  }
+  return util::Status::Ok();
+}
+
+util::Status FlatFileStore::Rewrite() {
+  if (!persistent()) return util::Status::Ok();
+  std::ofstream out(options_.path, std::ios::trunc);
+  if (!out) return util::Status::IoError("cannot rewrite " + options_.path);
+  for (const auto& [key, value] : entries_) {
+    out << util::HexEncode(util::BytesFromString(key)) << '\t'
+        << util::HexEncode(value) << '\n';
+  }
+  out.flush();
+  if (!out) return util::Status::IoError("flat file write failed");
+  return util::Status::Ok();
+}
+
+util::Status FlatFileStore::Put(const std::string& key,
+                                const util::Bytes& value) {
+  entries_[key] = value;
+  return Rewrite();
+}
+
+util::Result<util::Bytes> FlatFileStore::Get(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return util::Status::NotFound("key not found: " + key);
+  }
+  return it->second;
+}
+
+util::Status FlatFileStore::Delete(const std::string& key) {
+  if (entries_.erase(key) == 0) return util::Status::Ok();
+  return Rewrite();
+}
+
+bool FlatFileStore::Contains(const std::string& key) const {
+  return entries_.find(key) != entries_.end();
+}
+
+std::vector<std::pair<std::string, util::Bytes>> FlatFileStore::Scan(
+    const std::string& prefix) const {
+  std::vector<std::pair<std::string, util::Bytes>> out;
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+size_t FlatFileStore::Size() const { return entries_.size(); }
+
+util::Status FlatFileStore::Flush() { return Rewrite(); }
+
+}  // namespace mws::store

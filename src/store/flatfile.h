@@ -1,0 +1,49 @@
+#ifndef MWSIBE_STORE_FLATFILE_H_
+#define MWSIBE_STORE_FLATFILE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/store/table.h"
+
+namespace mws::store {
+
+/// The paper-prototype backend: one flat text file, rewritten in full on
+/// every mutation (§VI used Perl flat files the same way). Lines are
+/// "hex(key)<TAB>hex(value)". Deliberately naive — it exists to quantify
+/// what the paper's own future-work item ("move to a DBMS") buys (E11).
+class FlatFileStore : public Table {
+ public:
+  struct Options {
+    /// Empty path = in-memory only.
+    std::string path;
+  };
+
+  static util::Result<std::unique_ptr<FlatFileStore>> Open(
+      const Options& options);
+
+  util::Status Put(const std::string& key, const util::Bytes& value) override;
+  util::Result<util::Bytes> Get(const std::string& key) const override;
+  util::Status Delete(const std::string& key) override;
+  bool Contains(const std::string& key) const override;
+  std::vector<std::pair<std::string, util::Bytes>> Scan(
+      const std::string& prefix) const override;
+  size_t Size() const override;
+  util::Status Flush() override;
+
+ private:
+  explicit FlatFileStore(Options options) : options_(std::move(options)) {}
+
+  bool persistent() const { return !options_.path.empty(); }
+  /// Rewrites the whole file from the in-memory map.
+  util::Status Rewrite();
+  util::Status Load();
+
+  Options options_;
+  std::map<std::string, util::Bytes> entries_;
+};
+
+}  // namespace mws::store
+
+#endif  // MWSIBE_STORE_FLATFILE_H_

@@ -1,0 +1,189 @@
+#include "src/store/kvstore.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/util/serde.h"
+
+namespace mws::store {
+
+namespace {
+
+constexpr uint8_t kRecordPut = 1;
+constexpr uint8_t kRecordDelete = 2;
+
+util::Bytes EncodeRecord(uint8_t type, const std::string& key,
+                         const util::Bytes& value) {
+  util::Writer w;
+  w.PutU8(type);
+  w.PutU32(static_cast<uint32_t>(key.size()));
+  w.PutU32(static_cast<uint32_t>(value.size()));
+  w.PutRaw(util::BytesFromString(key));
+  w.PutRaw(value);
+  uint32_t crc = util::Crc32(w.data());
+  w.PutU32(crc);
+  return w.Take();
+}
+
+}  // namespace
+
+util::Result<std::unique_ptr<KvStore>> KvStore::Open(const Options& options) {
+  auto store = std::unique_ptr<KvStore>(new KvStore(options));
+  if (store->persistent()) {
+    MWS_RETURN_IF_ERROR(store->Recover());
+    store->log_.open(options.path, std::ios::binary | std::ios::app);
+    if (!store->log_) {
+      return util::Status::IoError("cannot open log for append: " +
+                                   options.path);
+    }
+  }
+  return store;
+}
+
+KvStore::~KvStore() {
+  if (log_.is_open()) log_.flush();
+}
+
+util::Status KvStore::Recover() {
+  std::ifstream in(options_.path, std::ios::binary);
+  if (!in) return util::Status::Ok();  // fresh store
+
+  util::Bytes content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  size_t pos = 0;
+  size_t valid_end = 0;
+  bool torn = false;
+  while (pos < content.size()) {
+    // Header: type(1) klen(4) vlen(4).
+    if (content.size() - pos < 9) {
+      torn = true;
+      break;
+    }
+    uint8_t type = content[pos];
+    auto read_u32 = [&](size_t at) {
+      return (static_cast<uint32_t>(content[at]) << 24) |
+             (static_cast<uint32_t>(content[at + 1]) << 16) |
+             (static_cast<uint32_t>(content[at + 2]) << 8) | content[at + 3];
+    };
+    uint32_t klen = read_u32(pos + 1);
+    uint32_t vlen = read_u32(pos + 5);
+    size_t body = static_cast<size_t>(klen) + vlen;
+    if (content.size() - pos < 9 + body + 4) {
+      torn = true;
+      break;
+    }
+    uint32_t stored_crc = read_u32(pos + 9 + body);
+    uint32_t actual_crc = util::Crc32(content.data() + pos, 9 + body);
+    if (stored_crc != actual_crc ||
+        (type != kRecordPut && type != kRecordDelete)) {
+      torn = true;
+      break;
+    }
+    std::string key(reinterpret_cast<const char*>(content.data() + pos + 9),
+                    klen);
+    if (type == kRecordPut) {
+      index_[key] = util::Bytes(content.begin() + pos + 9 + klen,
+                                content.begin() + pos + 9 + body);
+    } else {
+      index_.erase(key);
+    }
+    ++log_records_;
+    pos += 9 + body + 4;
+    valid_end = pos;
+  }
+  in.close();
+  if (torn) {
+    // Drop the torn tail so future appends produce a clean log.
+    std::filesystem::resize_file(options_.path, valid_end);
+  }
+  return util::Status::Ok();
+}
+
+util::Status KvStore::AppendRecord(uint8_t type, const std::string& key,
+                                   const util::Bytes& value) {
+  if (!persistent()) {
+    ++log_records_;
+    return util::Status::Ok();
+  }
+  util::Bytes record = EncodeRecord(type, key, value);
+  log_.write(reinterpret_cast<const char*>(record.data()),
+             static_cast<std::streamsize>(record.size()));
+  if (!log_) return util::Status::IoError("log append failed");
+  ++log_records_;
+  return util::Status::Ok();
+}
+
+util::Status KvStore::Put(const std::string& key, const util::Bytes& value) {
+  MWS_RETURN_IF_ERROR(AppendRecord(kRecordPut, key, value));
+  index_[key] = value;
+  return util::Status::Ok();
+}
+
+util::Result<util::Bytes> KvStore::Get(const std::string& key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return util::Status::NotFound("key not found: " + key);
+  }
+  return it->second;
+}
+
+util::Status KvStore::Delete(const std::string& key) {
+  if (index_.find(key) == index_.end()) return util::Status::Ok();
+  MWS_RETURN_IF_ERROR(AppendRecord(kRecordDelete, key, {}));
+  index_.erase(key);
+  return util::Status::Ok();
+}
+
+bool KvStore::Contains(const std::string& key) const {
+  return index_.find(key) != index_.end();
+}
+
+std::vector<std::pair<std::string, util::Bytes>> KvStore::Scan(
+    const std::string& prefix) const {
+  std::vector<std::pair<std::string, util::Bytes>> out;
+  for (auto it = index_.lower_bound(prefix); it != index_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+size_t KvStore::Size() const { return index_.size(); }
+
+util::Status KvStore::Flush() {
+  if (!persistent()) return util::Status::Ok();
+  log_.flush();
+  if (!log_) return util::Status::IoError("log flush failed");
+  return util::Status::Ok();
+}
+
+util::Result<size_t> KvStore::Compact() {
+  if (!persistent()) {
+    size_t dropped = log_records_ - index_.size();
+    log_records_ = index_.size();
+    return dropped;
+  }
+  std::string tmp = options_.path + ".compact";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return util::Status::IoError("cannot create compaction file");
+    for (const auto& [key, value] : index_) {
+      util::Bytes record = EncodeRecord(kRecordPut, key, value);
+      out.write(reinterpret_cast<const char*>(record.data()),
+                static_cast<std::streamsize>(record.size()));
+    }
+    out.flush();
+    if (!out) return util::Status::IoError("compaction write failed");
+  }
+  log_.close();
+  std::error_code ec;
+  std::filesystem::rename(tmp, options_.path, ec);
+  if (ec) return util::Status::IoError("compaction rename failed");
+  log_.open(options_.path, std::ios::binary | std::ios::app);
+  if (!log_) return util::Status::IoError("cannot reopen compacted log");
+  size_t dropped = log_records_ - index_.size();
+  log_records_ = index_.size();
+  return dropped;
+}
+
+}  // namespace mws::store

@@ -1,0 +1,176 @@
+#include "src/store/message_db.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+
+#include "src/util/serde.h"
+
+namespace mws::store {
+
+namespace {
+
+constexpr char kNextIdKey[] = "m.next";
+
+std::string MessageKey(uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "m/%016" PRIx64, id);
+  return buf;
+}
+
+std::string IndexKey(const std::string& attribute, uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/%016" PRIx64, id);
+  return "x/" + attribute + buf;
+}
+
+std::string IndexPrefix(const std::string& attribute) {
+  return "x/" + attribute + "/";
+}
+
+std::string TimeIndexKey(const std::string& attribute, int64_t ts,
+                         uint64_t id) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "/%016" PRIx64 "/%016" PRIx64,
+                static_cast<uint64_t>(ts), id);
+  return "t/" + attribute + buf;
+}
+
+std::string TimeIndexBound(const std::string& attribute, int64_t ts) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/%016" PRIx64,
+                static_cast<uint64_t>(ts));
+  return "t/" + attribute + buf;
+}
+
+}  // namespace
+
+util::Bytes StoredMessage::Encode() const {
+  util::Writer w;
+  w.PutU64(id);
+  w.PutBytes(u);
+  w.PutBytes(ciphertext);
+  w.PutString(attribute);
+  w.PutBytes(nonce);
+  w.PutString(device_id);
+  w.PutU64(static_cast<uint64_t>(timestamp_micros));
+  return w.Take();
+}
+
+util::Result<StoredMessage> StoredMessage::Decode(const util::Bytes& data) {
+  util::Reader r(data);
+  StoredMessage m;
+  uint64_t ts = 0;
+  r.GetU64(&m.id);
+  r.GetBytes(&m.u);
+  r.GetBytes(&m.ciphertext);
+  r.GetString(&m.attribute);
+  r.GetBytes(&m.nonce);
+  r.GetString(&m.device_id);
+  r.GetU64(&ts);
+  if (!r.Done()) {
+    return util::Status::Corruption("malformed stored message record");
+  }
+  m.timestamp_micros = static_cast<int64_t>(ts);
+  return m;
+}
+
+util::Result<uint64_t> MessageDb::Append(const StoredMessage& message) {
+  uint64_t next = 1;
+  auto counter = table_->Get(kNextIdKey);
+  if (counter.ok()) {
+    util::Reader r(counter.value());
+    if (!r.GetU64(&next) || !r.Done()) {
+      return util::Status::Corruption("bad message id counter");
+    }
+  }
+  StoredMessage stored = message;
+  stored.id = next;
+
+  MWS_RETURN_IF_ERROR(table_->Put(MessageKey(next), stored.Encode()));
+  MWS_RETURN_IF_ERROR(table_->Put(IndexKey(stored.attribute, next), {}));
+  MWS_RETURN_IF_ERROR(table_->Put(
+      TimeIndexKey(stored.attribute, stored.timestamp_micros, next), {}));
+  util::Writer w;
+  w.PutU64(next + 1);
+  MWS_RETURN_IF_ERROR(table_->Put(kNextIdKey, w.Take()));
+  return next;
+}
+
+util::Result<StoredMessage> MessageDb::Get(uint64_t id) const {
+  MWS_ASSIGN_OR_RETURN(util::Bytes raw, table_->Get(MessageKey(id)));
+  return StoredMessage::Decode(raw);
+}
+
+util::Result<std::vector<StoredMessage>> MessageDb::FindByAttribute(
+    const std::string& attribute) const {
+  return FindByAttributeAfter(attribute, 0);
+}
+
+util::Result<std::vector<StoredMessage>> MessageDb::FindByAttributeAfter(
+    const std::string& attribute, uint64_t after_id) const {
+  std::vector<StoredMessage> out;
+  for (const auto& [key, unused] : table_->Scan(IndexPrefix(attribute))) {
+    uint64_t id = std::strtoull(
+        key.substr(IndexPrefix(attribute).size()).c_str(), nullptr, 16);
+    if (id <= after_id) continue;
+    MWS_ASSIGN_OR_RETURN(StoredMessage m, Get(id));
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+util::Result<std::vector<StoredMessage>> MessageDb::FindByAttributeInTimeRange(
+    const std::string& attribute, int64_t from_micros,
+    int64_t to_micros) const {
+  std::vector<StoredMessage> out;
+  if (from_micros >= to_micros) return out;
+  const std::string lower = TimeIndexBound(attribute, from_micros);
+  const std::string upper = TimeIndexBound(attribute, to_micros);
+  for (const auto& [key, unused] : table_->Scan("t/" + attribute + "/")) {
+    // Keys sort by timestamp; stop once past the upper bound.
+    if (key < lower) continue;
+    if (key >= upper) break;
+    uint64_t id = std::strtoull(key.substr(key.rfind('/') + 1).c_str(),
+                                nullptr, 16);
+    MWS_ASSIGN_OR_RETURN(StoredMessage m, Get(id));
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+util::Result<std::vector<StoredMessage>> MessageDb::FindByAttributes(
+    const std::vector<std::string>& attributes) const {
+  std::set<uint64_t> seen;
+  std::vector<StoredMessage> out;
+  for (const std::string& attribute : attributes) {
+    MWS_ASSIGN_OR_RETURN(std::vector<StoredMessage> batch,
+                         FindByAttribute(attribute));
+    for (auto& m : batch) {
+      if (seen.insert(m.id).second) out.push_back(std::move(m));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StoredMessage& a, const StoredMessage& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+size_t MessageDb::Count() const { return table_->Scan("m/").size(); }
+
+std::vector<std::string> MessageDb::DistinctAttributes() const {
+  std::vector<std::string> out;
+  for (const auto& [key, unused] : table_->Scan("x/")) {
+    // Key shape: "x/<attribute>/<016x id>"; attributes contain no '/'.
+    size_t slash = key.rfind('/');
+    std::string attribute = key.substr(2, slash - 2);
+    if (out.empty() || out.back() != attribute) {
+      out.push_back(std::move(attribute));
+    }
+  }
+  return out;
+}
+
+}  // namespace mws::store

@@ -1,0 +1,72 @@
+#ifndef MWSIBE_STORE_MESSAGE_DB_H_
+#define MWSIBE_STORE_MESSAGE_DB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/store/table.h"
+
+namespace mws::store {
+
+/// One deposited message as the MWS stores it (paper §V.D: "rP || C ||
+/// (A || Nonce) is stored in the Message Database"). The MWS sees the
+/// attribute and nonce in the clear — by design it can route but not read.
+struct StoredMessage {
+  uint64_t id = 0;           // assigned by Append
+  util::Bytes u;             // rP, serialized curve point
+  util::Bytes ciphertext;    // C, the DEM ciphertext
+  std::string attribute;     // A
+  util::Bytes nonce;         // per-message nonce
+  std::string device_id;     // ID_SD
+  int64_t timestamp_micros = 0;  // T
+
+  util::Bytes Encode() const;
+  static util::Result<StoredMessage> Decode(const util::Bytes& data);
+};
+
+/// The Message Database (MD component of the architecture, Fig. 3).
+/// Maintains a secondary index attribute -> message ids so retrieval by
+/// attribute does not scan the full store.
+class MessageDb {
+ public:
+  /// Borrows `table`; the table must outlive the MessageDb.
+  explicit MessageDb(Table* table) : table_(table) {}
+
+  /// Stores `message` (its id field is ignored) and returns the assigned id.
+  util::Result<uint64_t> Append(const StoredMessage& message);
+
+  util::Result<StoredMessage> Get(uint64_t id) const;
+
+  /// All messages whose attribute equals `attribute`, in id order.
+  util::Result<std::vector<StoredMessage>> FindByAttribute(
+      const std::string& attribute) const;
+
+  /// Union over several attributes, deduplicated, in id order.
+  util::Result<std::vector<StoredMessage>> FindByAttributes(
+      const std::vector<std::string>& attributes) const;
+
+  /// Messages with id > `after_id` for one attribute (incremental fetch).
+  util::Result<std::vector<StoredMessage>> FindByAttributeAfter(
+      const std::string& attribute, uint64_t after_id) const;
+
+  /// Messages for one attribute with timestamp in [from, to) — billing
+  /// periods, the paper's motivating query. Served by a timestamp
+  /// secondary index, not a scan. Pre: timestamps are non-negative.
+  util::Result<std::vector<StoredMessage>> FindByAttributeInTimeRange(
+      const std::string& attribute, int64_t from_micros,
+      int64_t to_micros) const;
+
+  size_t Count() const;
+
+  /// The distinct attribute strings present in the warehouse (derived
+  /// from the secondary index; used by policy-expression matching).
+  std::vector<std::string> DistinctAttributes() const;
+
+ private:
+  Table* table_;
+};
+
+}  // namespace mws::store
+
+#endif  // MWSIBE_STORE_MESSAGE_DB_H_

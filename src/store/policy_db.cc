@@ -1,0 +1,165 @@
+#include "src/store/policy_db.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/util/serde.h"
+
+namespace mws::store {
+
+namespace {
+
+constexpr char kNextAidKey[] = "p.next";
+constexpr char kNextExprKey[] = "e.next";
+
+std::string GrantKey(const std::string& identity,
+                     const std::string& attribute) {
+  return "p/" + identity + "/" + attribute;
+}
+
+std::string AidKey(uint64_t aid) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "a/%016" PRIx64, aid);
+  return buf;
+}
+
+util::Bytes EncodeRow(const PolicyRow& row) {
+  util::Writer w;
+  w.PutString(row.identity);
+  w.PutString(row.attribute);
+  w.PutU64(row.aid);
+  w.PutU64(row.origin);
+  return w.Take();
+}
+
+std::string ExprKey(const std::string& identity, uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/%016" PRIx64, seq);
+  return "e/" + identity + buf;
+}
+
+util::Result<PolicyRow> DecodeRow(const util::Bytes& data) {
+  util::Reader r(data);
+  PolicyRow row;
+  r.GetString(&row.identity);
+  r.GetString(&row.attribute);
+  r.GetU64(&row.aid);
+  r.GetU64(&row.origin);
+  if (!r.Done()) return util::Status::Corruption("malformed policy row");
+  return row;
+}
+
+}  // namespace
+
+util::Result<uint64_t> PolicyDb::Grant(const std::string& identity,
+                                       const std::string& attribute,
+                                       uint64_t origin) {
+  const std::string key = GrantKey(identity, attribute);
+  if (table_->Contains(key)) {
+    return util::Status::AlreadyExists("grant already present");
+  }
+  uint64_t aid = 1;
+  auto counter = table_->Get(kNextAidKey);
+  if (counter.ok()) {
+    util::Reader r(counter.value());
+    if (!r.GetU64(&aid) || !r.Done()) {
+      return util::Status::Corruption("bad AID counter");
+    }
+  }
+  PolicyRow row{identity, attribute, aid, origin};
+  MWS_RETURN_IF_ERROR(table_->Put(key, EncodeRow(row)));
+  MWS_RETURN_IF_ERROR(table_->Put(AidKey(aid), EncodeRow(row)));
+  util::Writer w;
+  w.PutU64(aid + 1);
+  MWS_RETURN_IF_ERROR(table_->Put(kNextAidKey, w.Take()));
+  return aid;
+}
+
+util::Status PolicyDb::Revoke(const std::string& identity,
+                              const std::string& attribute) {
+  const std::string key = GrantKey(identity, attribute);
+  auto raw = table_->Get(key);
+  if (!raw.ok()) return util::Status::NotFound("grant not present");
+  MWS_ASSIGN_OR_RETURN(PolicyRow row, DecodeRow(raw.value()));
+  MWS_RETURN_IF_ERROR(table_->Delete(key));
+  return table_->Delete(AidKey(row.aid));
+}
+
+bool PolicyDb::HasAccess(const std::string& identity,
+                         const std::string& attribute) const {
+  return table_->Contains(GrantKey(identity, attribute));
+}
+
+util::Result<std::vector<PolicyRow>> PolicyDb::RowsForIdentity(
+    const std::string& identity) const {
+  std::vector<PolicyRow> out;
+  for (const auto& [key, value] : table_->Scan("p/" + identity + "/")) {
+    MWS_ASSIGN_OR_RETURN(PolicyRow row, DecodeRow(value));
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+util::Result<PolicyRow> PolicyDb::RowForAid(uint64_t aid) const {
+  MWS_ASSIGN_OR_RETURN(util::Bytes raw, table_->Get(AidKey(aid)));
+  return DecodeRow(raw);
+}
+
+util::Result<uint64_t> PolicyDb::GrantExpression(
+    const std::string& identity, const std::string& expression) {
+  uint64_t seq = 1;
+  auto counter = table_->Get(kNextExprKey);
+  if (counter.ok()) {
+    util::Reader r(counter.value());
+    if (!r.GetU64(&seq) || !r.Done()) {
+      return util::Status::Corruption("bad expression counter");
+    }
+  }
+  MWS_RETURN_IF_ERROR(table_->Put(ExprKey(identity, seq),
+                                  util::BytesFromString(expression)));
+  util::Writer w;
+  w.PutU64(seq + 1);
+  MWS_RETURN_IF_ERROR(table_->Put(kNextExprKey, w.Take()));
+  return seq;
+}
+
+util::Status PolicyDb::RevokeExpression(const std::string& identity,
+                                        uint64_t seq) {
+  const std::string key = ExprKey(identity, seq);
+  if (!table_->Contains(key)) {
+    return util::Status::NotFound("expression not present");
+  }
+  MWS_RETURN_IF_ERROR(table_->Delete(key));
+  // Revoke every row this expression materialized.
+  MWS_ASSIGN_OR_RETURN(std::vector<PolicyRow> rows,
+                       RowsForIdentity(identity));
+  for (const PolicyRow& row : rows) {
+    if (row.origin == seq) {
+      MWS_RETURN_IF_ERROR(Revoke(identity, row.attribute));
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Result<std::vector<std::pair<uint64_t, std::string>>>
+PolicyDb::ExpressionsForIdentity(const std::string& identity) const {
+  std::vector<std::pair<uint64_t, std::string>> out;
+  const std::string prefix = "e/" + identity + "/";
+  for (const auto& [key, value] : table_->Scan(prefix)) {
+    uint64_t seq =
+        std::strtoull(key.substr(prefix.size()).c_str(), nullptr, 16);
+    out.emplace_back(seq, util::StringFromBytes(value));
+  }
+  return out;
+}
+
+util::Result<std::vector<PolicyRow>> PolicyDb::AllRows() const {
+  std::vector<PolicyRow> out;
+  for (const auto& [key, value] : table_->Scan("p/")) {
+    MWS_ASSIGN_OR_RETURN(PolicyRow row, DecodeRow(value));
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace mws::store

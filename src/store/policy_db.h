@@ -1,0 +1,84 @@
+#ifndef MWSIBE_STORE_POLICY_DB_H_
+#define MWSIBE_STORE_POLICY_DB_H_
+
+#include <string>
+#include <vector>
+
+#include "src/store/table.h"
+
+namespace mws::store {
+
+/// One row of the paper's Table 1: Identity – Attribute – Attribute ID.
+/// Each grant gets a unique AID even when the same attribute is granted
+/// to several identities (IDRC1/A1 -> 1 but IDRC2/A1 -> 3 in the paper).
+struct PolicyRow {
+  std::string identity;
+  std::string attribute;
+  uint64_t aid = 0;
+  /// 0 for operator-created grants; otherwise the sequence number of the
+  /// policy expression that materialized this row (see GrantExpression).
+  uint64_t origin = 0;
+
+  friend bool operator==(const PolicyRow& a, const PolicyRow& b) {
+    return a.identity == b.identity && a.attribute == b.attribute &&
+           a.aid == b.aid && a.origin == b.origin;
+  }
+};
+
+/// The Policy Database (PD component, Fig. 3): identity<->attribute
+/// mappings plus the AID indirection that hides attribute strings from
+/// receiving clients.
+class PolicyDb {
+ public:
+  /// Borrows `table`; the table must outlive the PolicyDb.
+  explicit PolicyDb(Table* table) : table_(table) {}
+
+  /// Grants `identity` access to `attribute`; returns the fresh AID.
+  /// AlreadyExists if the grant is present. `origin` tags rows
+  /// materialized from a policy expression (0 = manual grant).
+  util::Result<uint64_t> Grant(const std::string& identity,
+                               const std::string& attribute,
+                               uint64_t origin = 0);
+
+  /// Removes a grant (and its AID row). NotFound if absent.
+  util::Status Revoke(const std::string& identity,
+                      const std::string& attribute);
+
+  /// True if the grant exists.
+  bool HasAccess(const std::string& identity,
+                 const std::string& attribute) const;
+
+  /// All grants for one identity, in attribute order.
+  util::Result<std::vector<PolicyRow>> RowsForIdentity(
+      const std::string& identity) const;
+
+  /// Resolves an AID back to its row (the PKG-side lookup when building
+  /// tickets). NotFound for revoked/unknown AIDs.
+  util::Result<PolicyRow> RowForAid(uint64_t aid) const;
+
+  /// The full table, ordered by identity then attribute — exactly the
+  /// paper's Table 1.
+  util::Result<std::vector<PolicyRow>> AllRows() const;
+
+  // --- Policy expressions (§VIII XACML-style enhancement) ---
+
+  /// Attaches a policy expression (already validated by the caller) to
+  /// `identity`; returns its sequence number.
+  util::Result<uint64_t> GrantExpression(const std::string& identity,
+                                         const std::string& expression);
+
+  /// Removes an expression and every grant it materialized.
+  /// NotFound if the expression does not exist.
+  util::Status RevokeExpression(const std::string& identity, uint64_t seq);
+
+  /// All (seq, expression) pairs attached to `identity`.
+  util::Result<std::vector<std::pair<uint64_t, std::string>>>
+  ExpressionsForIdentity(const std::string& identity) const;
+
+ private:
+  Table* table_;
+};
+
+}  // namespace mws::store
+
+#endif  // MWSIBE_STORE_POLICY_DB_H_

@@ -1,0 +1,51 @@
+#ifndef MWSIBE_STORE_TABLE_H_
+#define MWSIBE_STORE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace mws::store {
+
+/// Ordered key–value table. Two backends exist:
+///
+///  * KvStore      — append-only log + in-memory index with CRC-framed
+///                   records and crash recovery (the DBMS direction the
+///                   paper lists as future work),
+///  * FlatFileStore — rewrite-the-file-per-mutation flat files, mirroring
+///                   the paper's Perl prototype (§VI "Instead of
+///                   databases, flat files are used").
+///
+/// The E11 ablation benchmarks one against the other.
+class Table {
+ public:
+  virtual ~Table() = default;
+
+  /// Inserts or overwrites `key`.
+  virtual util::Status Put(const std::string& key,
+                           const util::Bytes& value) = 0;
+
+  /// NotFound if absent.
+  virtual util::Result<util::Bytes> Get(const std::string& key) const = 0;
+
+  /// Removes `key`; OK even if absent.
+  virtual util::Status Delete(const std::string& key) = 0;
+
+  virtual bool Contains(const std::string& key) const = 0;
+
+  /// All entries whose key starts with `prefix`, in key order.
+  virtual std::vector<std::pair<std::string, util::Bytes>> Scan(
+      const std::string& prefix) const = 0;
+
+  /// Number of live entries.
+  virtual size_t Size() const = 0;
+
+  /// Forces buffered mutations to stable storage (no-op in memory).
+  virtual util::Status Flush() = 0;
+};
+
+}  // namespace mws::store
+
+#endif  // MWSIBE_STORE_TABLE_H_

@@ -1,0 +1,87 @@
+#include "src/store/user_db.h"
+
+#include "src/util/serde.h"
+
+namespace mws::store {
+
+namespace {
+
+std::string UserKey(const std::string& identity) { return "u/" + identity; }
+std::string DeviceKey(const std::string& device_id) {
+  return "d/" + device_id;
+}
+
+util::Bytes EncodeUser(const UserRecord& record) {
+  util::Writer w;
+  w.PutString(record.identity);
+  w.PutBytes(record.password_hash);
+  w.PutBytes(record.rsa_public_key);
+  return w.Take();
+}
+
+util::Result<UserRecord> DecodeUser(const util::Bytes& data) {
+  util::Reader r(data);
+  UserRecord record;
+  r.GetString(&record.identity);
+  r.GetBytes(&record.password_hash);
+  r.GetBytes(&record.rsa_public_key);
+  if (!r.Done()) return util::Status::Corruption("malformed user record");
+  return record;
+}
+
+}  // namespace
+
+util::Status UserDb::Register(const UserRecord& record) {
+  const std::string key = UserKey(record.identity);
+  if (table_->Contains(key)) {
+    return util::Status::AlreadyExists("identity already registered: " +
+                                       record.identity);
+  }
+  return table_->Put(key, EncodeUser(record));
+}
+
+util::Result<UserRecord> UserDb::Get(const std::string& identity) const {
+  MWS_ASSIGN_OR_RETURN(util::Bytes raw, table_->Get(UserKey(identity)));
+  return DecodeUser(raw);
+}
+
+util::Status UserDb::Remove(const std::string& identity) {
+  if (!table_->Contains(UserKey(identity))) {
+    return util::Status::NotFound("identity not registered: " + identity);
+  }
+  return table_->Delete(UserKey(identity));
+}
+
+util::Result<std::vector<std::string>> UserDb::AllIdentities() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : table_->Scan("u/")) {
+    MWS_ASSIGN_OR_RETURN(UserRecord record, DecodeUser(value));
+    out.push_back(record.identity);
+  }
+  return out;
+}
+
+util::Status DeviceKeyDb::Register(const std::string& device_id,
+                                   const util::Bytes& mac_key) {
+  if (table_->Contains(DeviceKey(device_id))) {
+    return util::Status::AlreadyExists("device already registered: " +
+                                       device_id);
+  }
+  return table_->Put(DeviceKey(device_id), mac_key);
+}
+
+util::Result<util::Bytes> DeviceKeyDb::GetKey(
+    const std::string& device_id) const {
+  return table_->Get(DeviceKey(device_id));
+}
+
+util::Status DeviceKeyDb::Remove(const std::string& device_id) {
+  if (!table_->Contains(DeviceKey(device_id))) {
+    return util::Status::NotFound("device not registered: " + device_id);
+  }
+  return table_->Delete(DeviceKey(device_id));
+}
+
+size_t DeviceKeyDb::Count() const { return table_->Scan("d/").size(); }
+
+}  // namespace mws::store

@@ -1,0 +1,62 @@
+#ifndef MWSIBE_STORE_USER_DB_H_
+#define MWSIBE_STORE_USER_DB_H_
+
+#include <string>
+#include <vector>
+
+#include "src/store/table.h"
+
+namespace mws::store {
+
+/// A receiving client's registration record. Per the paper's scheme the
+/// Gatekeeper stores the *hashed password itself* and uses it as the
+/// shared symmetric key for the RC authentication exchange — i.e. the
+/// hash is password-equivalent, a deliberate fidelity choice (§V.D
+/// "It retrieves the hashed password from the User Database and decrypts
+/// the cipher text received").
+struct UserRecord {
+  std::string identity;        // ID_RC
+  util::Bytes password_hash;   // SHA-256(password), the shared key
+  util::Bytes rsa_public_key;  // serialized RsaPublicKey for token wrapping
+};
+
+/// The User Database (Fig. 3), consulted by the Gatekeeper.
+class UserDb {
+ public:
+  /// Borrows `table`; the table must outlive the UserDb.
+  explicit UserDb(Table* table) : table_(table) {}
+
+  /// AlreadyExists if the identity is registered.
+  util::Status Register(const UserRecord& record);
+
+  util::Result<UserRecord> Get(const std::string& identity) const;
+
+  /// Removes a registration. NotFound if absent.
+  util::Status Remove(const std::string& identity);
+
+  util::Result<std::vector<std::string>> AllIdentities() const;
+
+ private:
+  Table* table_;
+};
+
+/// Key-management store for smart devices: ID_SD -> shared MAC key
+/// (established at registration, paper assumption ii). Used by the Smart
+/// Device Authenticator.
+class DeviceKeyDb {
+ public:
+  explicit DeviceKeyDb(Table* table) : table_(table) {}
+
+  util::Status Register(const std::string& device_id,
+                        const util::Bytes& mac_key);
+  util::Result<util::Bytes> GetKey(const std::string& device_id) const;
+  util::Status Remove(const std::string& device_id);
+  size_t Count() const;
+
+ private:
+  Table* table_;
+};
+
+}  // namespace mws::store
+
+#endif  // MWSIBE_STORE_USER_DB_H_

@@ -1,0 +1,87 @@
+#include "src/util/base64.h"
+
+#include <array>
+
+namespace mws::util {
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<int8_t, 256> BuildReverse() {
+  std::array<int8_t, 256> rev{};
+  rev.fill(-1);
+  for (int i = 0; i < 64; ++i) {
+    rev[static_cast<uint8_t>(kAlphabet[i])] = static_cast<int8_t>(i);
+  }
+  return rev;
+}
+
+}  // namespace
+
+std::string Base64Encode(const Bytes& data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    uint32_t v = (static_cast<uint32_t>(data[i]) << 16) |
+                 (static_cast<uint32_t>(data[i + 1]) << 8) | data[i + 2];
+    out.push_back(kAlphabet[(v >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 6) & 0x3f]);
+    out.push_back(kAlphabet[v & 0x3f]);
+  }
+  size_t rem = data.size() - i;
+  if (rem == 1) {
+    uint32_t v = static_cast<uint32_t>(data[i]) << 16;
+    out.push_back(kAlphabet[(v >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3f]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rem == 2) {
+    uint32_t v = (static_cast<uint32_t>(data[i]) << 16) |
+                 (static_cast<uint32_t>(data[i + 1]) << 8);
+    out.push_back(kAlphabet[(v >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 6) & 0x3f]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Result<Bytes> Base64Decode(std::string_view text) {
+  static const std::array<int8_t, 256> kReverse = BuildReverse();
+  if (text.size() % 4 != 0) {
+    return Status::InvalidArgument("base64 length not a multiple of 4");
+  }
+  Bytes out;
+  out.reserve(text.size() / 4 * 3);
+  for (size_t i = 0; i < text.size(); i += 4) {
+    int pad = 0;
+    uint32_t v = 0;
+    for (size_t j = 0; j < 4; ++j) {
+      char c = text[i + j];
+      if (c == '=') {
+        // Padding may only appear in the final one or two positions.
+        if (i + 4 != text.size() || j < 2) {
+          return Status::InvalidArgument("misplaced base64 padding");
+        }
+        ++pad;
+        v <<= 6;
+        continue;
+      }
+      if (pad > 0) {
+        return Status::InvalidArgument("data after base64 padding");
+      }
+      int8_t d = kReverse[static_cast<uint8_t>(c)];
+      if (d < 0) return Status::InvalidArgument("invalid base64 character");
+      v = (v << 6) | static_cast<uint32_t>(d);
+    }
+    out.push_back(static_cast<uint8_t>((v >> 16) & 0xff));
+    if (pad < 2) out.push_back(static_cast<uint8_t>((v >> 8) & 0xff));
+    if (pad < 1) out.push_back(static_cast<uint8_t>(v & 0xff));
+  }
+  return out;
+}
+
+}  // namespace mws::util

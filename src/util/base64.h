@@ -1,0 +1,20 @@
+#ifndef MWSIBE_UTIL_BASE64_H_
+#define MWSIBE_UTIL_BASE64_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace mws::util {
+
+/// Standard (RFC 4648) base64 with padding.
+std::string Base64Encode(const Bytes& data);
+
+/// Decodes standard base64; padding required; rejects invalid characters.
+Result<Bytes> Base64Decode(std::string_view text);
+
+}  // namespace mws::util
+
+#endif  // MWSIBE_UTIL_BASE64_H_

@@ -1,0 +1,53 @@
+#include "src/util/bytes.h"
+
+#include <cassert>
+
+namespace mws::util {
+
+Bytes BytesFromString(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string StringFromBytes(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+Bytes Concat(std::initializer_list<const Bytes*> parts) {
+  size_t total = 0;
+  for (const Bytes* p : parts) total += p->size();
+  Bytes out;
+  out.reserve(total);
+  for (const Bytes* p : parts) out.insert(out.end(), p->begin(), p->end());
+  return out;
+}
+
+Bytes Concat(const Bytes& a, const Bytes& b) { return Concat({&a, &b}); }
+
+Bytes Concat(const Bytes& a, const Bytes& b, const Bytes& c) {
+  return Concat({&a, &b, &c});
+}
+
+void Append(Bytes& dst, const Bytes& src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+Bytes Xor(const Bytes& a, const Bytes& b) {
+  assert(a.size() == b.size());
+  Bytes out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] ^ b[i];
+  return out;
+}
+
+bool ConstantTimeEqual(const Bytes& a, const Bytes& b) {
+  if (a.size() != b.size()) return false;
+  volatile uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) acc = acc | (a[i] ^ b[i]);
+  return acc == 0;
+}
+
+void SecureWipe(Bytes& b) {
+  volatile uint8_t* p = b.data();
+  for (size_t i = 0; i < b.size(); ++i) p[i] = 0;
+}
+
+}  // namespace mws::util

@@ -1,0 +1,42 @@
+#ifndef MWSIBE_UTIL_BYTES_H_
+#define MWSIBE_UTIL_BYTES_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mws::util {
+
+/// The library-wide octet-string type.
+using Bytes = std::vector<uint8_t>;
+
+/// Copies the characters of `s` into a byte vector (no encoding change).
+Bytes BytesFromString(std::string_view s);
+
+/// Interprets `b` as raw characters.
+std::string StringFromBytes(const Bytes& b);
+
+/// Concatenates the given byte strings in order.
+Bytes Concat(std::initializer_list<const Bytes*> parts);
+Bytes Concat(const Bytes& a, const Bytes& b);
+Bytes Concat(const Bytes& a, const Bytes& b, const Bytes& c);
+
+/// Appends `src` to `dst`.
+void Append(Bytes& dst, const Bytes& src);
+
+/// XOR of two equal-length byte strings. Asserts on length mismatch.
+Bytes Xor(const Bytes& a, const Bytes& b);
+
+/// Compares in time dependent only on the lengths; returns false on
+/// length mismatch. Use for MACs, keys, and password hashes.
+bool ConstantTimeEqual(const Bytes& a, const Bytes& b);
+
+/// Overwrites the buffer with zeros (best effort; not guaranteed against
+/// compiler elision for stack copies).
+void SecureWipe(Bytes& b);
+
+}  // namespace mws::util
+
+#endif  // MWSIBE_UTIL_BYTES_H_

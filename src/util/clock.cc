@@ -1,0 +1,18 @@
+#include "src/util/clock.h"
+
+#include <chrono>
+
+namespace mws::util {
+
+int64_t SystemClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+SystemClock& SystemClock::Instance() {
+  static SystemClock& instance = *new SystemClock();
+  return instance;
+}
+
+}  // namespace mws::util

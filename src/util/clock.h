@@ -1,0 +1,47 @@
+#ifndef MWSIBE_UTIL_CLOCK_H_
+#define MWSIBE_UTIL_CLOCK_H_
+
+#include <cstdint>
+
+namespace mws::util {
+
+/// Source of protocol timestamps (microseconds since the Unix epoch).
+///
+/// The protocol uses timestamps for replay protection; tests and the
+/// simulator inject a SimulatedClock so freshness windows are exercised
+/// deterministically.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds since the Unix epoch.
+  virtual int64_t NowMicros() const = 0;
+};
+
+/// Wall-clock time from the operating system.
+class SystemClock : public Clock {
+ public:
+  int64_t NowMicros() const override;
+
+  /// Process-wide instance (trivially destructible is not required for a
+  /// function-local static reference).
+  static SystemClock& Instance();
+};
+
+/// A manually advanced clock for tests and simulation.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(int64_t start_micros = 0) : now_(start_micros) {}
+
+  int64_t NowMicros() const override { return now_; }
+
+  void AdvanceMicros(int64_t delta) { now_ += delta; }
+  void SetMicros(int64_t t) { now_ = t; }
+
+ private:
+  int64_t now_;
+};
+
+}  // namespace mws::util
+
+#endif  // MWSIBE_UTIL_CLOCK_H_

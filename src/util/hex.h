@@ -1,0 +1,21 @@
+#ifndef MWSIBE_UTIL_HEX_H_
+#define MWSIBE_UTIL_HEX_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace mws::util {
+
+/// Lowercase hex encoding of `data`.
+std::string HexEncode(const Bytes& data);
+
+/// Decodes a hex string (case-insensitive). Fails on odd length or
+/// non-hex characters.
+Result<Bytes> HexDecode(std::string_view hex);
+
+}  // namespace mws::util
+
+#endif  // MWSIBE_UTIL_HEX_H_

@@ -1,0 +1,74 @@
+#include "src/util/random.h"
+
+#include <random>
+
+namespace mws::util {
+
+uint64_t RandomSource::UniformU64(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = UINT64_MAX - (UINT64_MAX % bound);
+  for (;;) {
+    uint64_t v;
+    Fill(reinterpret_cast<uint8_t*>(&v), sizeof(v));
+    if (v < limit) return v % bound;
+  }
+}
+
+void OsRandom::Fill(uint8_t* out, size_t len) {
+  static thread_local std::random_device rd;
+  size_t i = 0;
+  while (i < len) {
+    unsigned int v = rd();
+    for (size_t j = 0; j < sizeof(v) && i < len; ++j, ++i) {
+      out[i] = static_cast<uint8_t>(v >> (8 * j));
+    }
+  }
+}
+
+OsRandom& OsRandom::Instance() {
+  static OsRandom& instance = *new OsRandom();
+  return instance;
+}
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+DeterministicRandom::DeterministicRandom(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : state_) s = SplitMix64(x);
+}
+
+uint64_t DeterministicRandom::NextU64() {
+  uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+void DeterministicRandom::Fill(uint8_t* out, size_t len) {
+  size_t i = 0;
+  while (i < len) {
+    uint64_t v = NextU64();
+    for (size_t j = 0; j < 8 && i < len; ++j, ++i) {
+      out[i] = static_cast<uint8_t>(v >> (8 * j));
+    }
+  }
+}
+
+}  // namespace mws::util

@@ -1,0 +1,56 @@
+#ifndef MWSIBE_UTIL_RANDOM_H_
+#define MWSIBE_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace mws::util {
+
+/// Source of random octets. Cryptographic call sites take a RandomSource&
+/// so tests can substitute a deterministic generator; production code uses
+/// OsRandom (or crypto::HmacDrbg seeded from it).
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  /// Fills `out[0..len)` with random bytes.
+  virtual void Fill(uint8_t* out, size_t len) = 0;
+
+  /// Convenience: a fresh byte string of length `len`.
+  Bytes Generate(size_t len) {
+    Bytes out(len);
+    if (len > 0) Fill(out.data(), len);
+    return out;
+  }
+
+  /// Uniform value in [0, bound). Pre: bound > 0.
+  uint64_t UniformU64(uint64_t bound);
+};
+
+/// Entropy from the operating system (std::random_device).
+class OsRandom : public RandomSource {
+ public:
+  void Fill(uint8_t* out, size_t len) override;
+
+  static OsRandom& Instance();
+};
+
+/// Fast deterministic generator (xoshiro256**) for tests and workload
+/// generation. NOT cryptographically secure.
+class DeterministicRandom : public RandomSource {
+ public:
+  explicit DeterministicRandom(uint64_t seed);
+
+  void Fill(uint8_t* out, size_t len) override;
+
+  /// Next raw 64-bit output.
+  uint64_t NextU64();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace mws::util
+
+#endif  // MWSIBE_UTIL_RANDOM_H_

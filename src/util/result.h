@@ -1,0 +1,74 @@
+#ifndef MWSIBE_UTIL_RESULT_H_
+#define MWSIBE_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace mws::util {
+
+/// Holds either a value of type `T` or a non-OK `Status`, like
+/// absl::StatusOr. Constructing from an OK status without a value is a
+/// programming error and asserts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status needs a value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// Pre: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ present.
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns the status,
+/// otherwise moves the value into `lhs`.
+#define MWS_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  MWS_ASSIGN_OR_RETURN_IMPL_(                                 \
+      MWS_RESULT_CONCAT_(_mws_result, __LINE__), lhs, rexpr)
+
+#define MWS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define MWS_RESULT_CONCAT_(a, b) MWS_RESULT_CONCAT_IMPL_(a, b)
+#define MWS_RESULT_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace mws::util
+
+#endif  // MWSIBE_UTIL_RESULT_H_

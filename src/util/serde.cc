@@ -1,0 +1,130 @@
+#include "src/util/serde.h"
+
+#include <array>
+
+namespace mws::util {
+
+void Writer::PutU16(uint16_t v) {
+  out_.push_back(static_cast<uint8_t>(v >> 8));
+  out_.push_back(static_cast<uint8_t>(v));
+}
+
+void Writer::PutU32(uint32_t v) {
+  out_.push_back(static_cast<uint8_t>(v >> 24));
+  out_.push_back(static_cast<uint8_t>(v >> 16));
+  out_.push_back(static_cast<uint8_t>(v >> 8));
+  out_.push_back(static_cast<uint8_t>(v));
+}
+
+void Writer::PutU64(uint64_t v) {
+  PutU32(static_cast<uint32_t>(v >> 32));
+  PutU32(static_cast<uint32_t>(v));
+}
+
+void Writer::PutBytes(const Bytes& b) {
+  PutU32(static_cast<uint32_t>(b.size()));
+  out_.insert(out_.end(), b.begin(), b.end());
+}
+
+void Writer::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  out_.insert(out_.end(), s.begin(), s.end());
+}
+
+void Writer::PutRaw(const Bytes& b) {
+  out_.insert(out_.end(), b.begin(), b.end());
+}
+
+bool Reader::Take(size_t n, const uint8_t** p) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *p = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool Reader::GetU8(uint8_t* v) {
+  const uint8_t* p;
+  if (!Take(1, &p)) return false;
+  *v = p[0];
+  return true;
+}
+
+bool Reader::GetU16(uint16_t* v) {
+  const uint8_t* p;
+  if (!Take(2, &p)) return false;
+  *v = static_cast<uint16_t>((p[0] << 8) | p[1]);
+  return true;
+}
+
+bool Reader::GetU32(uint32_t* v) {
+  const uint8_t* p;
+  if (!Take(4, &p)) return false;
+  *v = (static_cast<uint32_t>(p[0]) << 24) |
+       (static_cast<uint32_t>(p[1]) << 16) |
+       (static_cast<uint32_t>(p[2]) << 8) | p[3];
+  return true;
+}
+
+bool Reader::GetU64(uint64_t* v) {
+  uint32_t hi, lo;
+  if (!GetU32(&hi) || !GetU32(&lo)) return false;
+  *v = (static_cast<uint64_t>(hi) << 32) | lo;
+  return true;
+}
+
+bool Reader::GetBytes(Bytes* b) {
+  uint32_t len;
+  if (!GetU32(&len)) return false;
+  const uint8_t* p;
+  if (!Take(len, &p)) return false;
+  b->assign(p, p + len);
+  return true;
+}
+
+bool Reader::GetString(std::string* s) {
+  uint32_t len;
+  if (!GetU32(&len)) return false;
+  const uint8_t* p;
+  if (!Take(len, &p)) return false;
+  s->assign(reinterpret_cast<const char*>(p), len);
+  return true;
+}
+
+bool Reader::GetRaw(size_t len, Bytes* b) {
+  const uint8_t* p;
+  if (!Take(len, &p)) return false;
+  b->assign(p, p + len);
+  return true;
+}
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t c = 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    c = kTable[(c ^ data[i]) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+uint32_t Crc32(const Bytes& data) { return Crc32(data.data(), data.size()); }
+
+}  // namespace mws::util

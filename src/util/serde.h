@@ -1,0 +1,70 @@
+#ifndef MWSIBE_UTIL_SERDE_H_
+#define MWSIBE_UTIL_SERDE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/bytes.h"
+
+namespace mws::util {
+
+/// Canonical binary encoder (big-endian integers, u32-length-prefixed
+/// byte fields). Every wire message and stored record uses this format.
+class Writer {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// Length-prefixed byte string (u32 length).
+  void PutBytes(const Bytes& b);
+  /// Length-prefixed UTF-8/ASCII string.
+  void PutString(const std::string& s);
+  /// Raw bytes with no length prefix (fixed-width fields).
+  void PutRaw(const Bytes& b);
+
+  const Bytes& data() const { return out_; }
+  Bytes Take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+/// Matching decoder. Getters return false once the input is exhausted or
+/// malformed; after a failure every subsequent getter also fails, so a
+/// parse can be written as a straight-line sequence followed by one
+/// `ok() && Done()` check.
+class Reader {
+ public:
+  explicit Reader(const Bytes& data) : data_(data) {}
+
+  bool GetU8(uint8_t* v);
+  bool GetU16(uint16_t* v);
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetBytes(Bytes* b);
+  bool GetString(std::string* s);
+  /// Exactly `len` raw bytes.
+  bool GetRaw(size_t len, Bytes* b);
+
+  /// False once any getter has failed.
+  bool ok() const { return ok_; }
+  /// True when the whole input has been consumed.
+  bool Done() const { return ok_ && pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool Take(size_t n, const uint8_t** p);
+
+  const Bytes& data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial), used by the KV store's log records.
+uint32_t Crc32(const uint8_t* data, size_t len);
+uint32_t Crc32(const Bytes& data);
+
+}  // namespace mws::util
+
+#endif  // MWSIBE_UTIL_SERDE_H_

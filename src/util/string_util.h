@@ -1,0 +1,25 @@
+#ifndef MWSIBE_UTIL_STRING_UTIL_H_
+#define MWSIBE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mws::util {
+
+/// Splits `s` on `sep`; empty fields are kept ("a||b" -> {"a","","b"}).
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// ASCII uppercase copy.
+std::string ToUpperAscii(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace mws::util
+
+#endif  // MWSIBE_UTIL_STRING_UTIL_H_

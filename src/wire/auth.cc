@@ -1,0 +1,26 @@
+#include "src/wire/auth.h"
+
+#include "src/crypto/hash.h"
+#include "src/crypto/kdf.h"
+
+namespace mws::wire {
+
+util::Bytes HashPassword(const std::string& password) {
+  return crypto::Sha256(util::BytesFromString(password));
+}
+
+util::Bytes DeriveAuthKey(const util::Bytes& password_hash,
+                          crypto::CipherKind cipher) {
+  return crypto::Hkdf(/*salt=*/{}, password_hash,
+                      util::BytesFromString("mws-rc-auth"),
+                      crypto::KeyLength(cipher));
+}
+
+util::Bytes DeriveChannelKey(const util::Bytes& secret,
+                             crypto::CipherKind cipher,
+                             const std::string& purpose) {
+  return crypto::Hkdf(/*salt=*/{}, secret, util::BytesFromString(purpose),
+                      crypto::KeyLength(cipher));
+}
+
+}  // namespace mws::wire

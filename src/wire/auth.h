@@ -1,0 +1,31 @@
+#ifndef MWSIBE_WIRE_AUTH_H_
+#define MWSIBE_WIRE_AUTH_H_
+
+#include <string>
+
+#include "src/crypto/block_cipher.h"
+#include "src/util/bytes.h"
+
+namespace mws::wire {
+
+/// Shared definitions both sides of the RC<->MWS authentication use.
+/// Per the paper, the RC "computes a hash of its password" and uses it as
+/// the symmetric key; the Gatekeeper stores the same hash.
+
+/// HashPassword = SHA-256(password).
+util::Bytes HashPassword(const std::string& password);
+
+/// Derives the cipher key for the auth exchange from the password hash
+/// (the hash is 32 bytes; DES needs 8 — both sides derive the same key).
+util::Bytes DeriveAuthKey(const util::Bytes& password_hash,
+                          crypto::CipherKind cipher);
+
+/// Derives the cipher key for ticket/authenticator/key-response traffic
+/// from a session or service key of arbitrary length.
+util::Bytes DeriveChannelKey(const util::Bytes& secret,
+                             crypto::CipherKind cipher,
+                             const std::string& purpose);
+
+}  // namespace mws::wire
+
+#endif  // MWSIBE_WIRE_AUTH_H_

@@ -1,0 +1,382 @@
+#include "src/wire/messages.h"
+
+#include "src/util/serde.h"
+
+namespace mws::wire {
+
+namespace {
+
+util::Status Malformed(const char* what) {
+  return util::Status::InvalidArgument(std::string("malformed ") + what);
+}
+
+}  // namespace
+
+util::Bytes DepositRequest::AuthenticatedBytes() const {
+  util::Writer w;
+  w.PutBytes(u);
+  w.PutBytes(ciphertext);
+  w.PutString(attribute);
+  w.PutBytes(nonce);
+  w.PutString(device_id);
+  w.PutU64(static_cast<uint64_t>(timestamp_micros));
+  return w.Take();
+}
+
+util::Bytes DepositRequest::Encode() const {
+  util::Writer w;
+  w.PutRaw(AuthenticatedBytes());
+  w.PutBytes(mac);
+  return w.Take();
+}
+
+util::Result<DepositRequest> DepositRequest::Decode(const util::Bytes& data) {
+  util::Reader r(data);
+  DepositRequest m;
+  uint64_t ts = 0;
+  r.GetBytes(&m.u);
+  r.GetBytes(&m.ciphertext);
+  r.GetString(&m.attribute);
+  r.GetBytes(&m.nonce);
+  r.GetString(&m.device_id);
+  r.GetU64(&ts);
+  r.GetBytes(&m.mac);
+  if (!r.Done()) return Malformed("DepositRequest");
+  m.timestamp_micros = static_cast<int64_t>(ts);
+  return m;
+}
+
+util::Bytes DepositResponse::Encode() const {
+  util::Writer w;
+  w.PutU64(message_id);
+  return w.Take();
+}
+
+util::Result<DepositResponse> DepositResponse::Decode(
+    const util::Bytes& data) {
+  util::Reader r(data);
+  DepositResponse m;
+  r.GetU64(&m.message_id);
+  if (!r.Done()) return Malformed("DepositResponse");
+  return m;
+}
+
+util::Bytes RcAuthRequest::Encode() const {
+  util::Writer w;
+  w.PutString(rc_identity);
+  w.PutBytes(rsa_public_key);
+  w.PutBytes(auth_ciphertext);
+  return w.Take();
+}
+
+util::Result<RcAuthRequest> RcAuthRequest::Decode(const util::Bytes& data) {
+  util::Reader r(data);
+  RcAuthRequest m;
+  r.GetString(&m.rc_identity);
+  r.GetBytes(&m.rsa_public_key);
+  r.GetBytes(&m.auth_ciphertext);
+  if (!r.Done()) return Malformed("RcAuthRequest");
+  return m;
+}
+
+util::Bytes RcAuthPlain::Encode() const {
+  util::Writer w;
+  w.PutString(rc_identity);
+  w.PutU64(static_cast<uint64_t>(timestamp_micros));
+  w.PutBytes(client_nonce);
+  return w.Take();
+}
+
+util::Result<RcAuthPlain> RcAuthPlain::Decode(const util::Bytes& data) {
+  util::Reader r(data);
+  RcAuthPlain m;
+  uint64_t ts = 0;
+  r.GetString(&m.rc_identity);
+  r.GetU64(&ts);
+  r.GetBytes(&m.client_nonce);
+  if (!r.Done()) return Malformed("RcAuthPlain");
+  m.timestamp_micros = static_cast<int64_t>(ts);
+  return m;
+}
+
+util::Bytes RcAuthResponse::Encode() const {
+  util::Writer w;
+  w.PutBytes(session_id);
+  return w.Take();
+}
+
+util::Result<RcAuthResponse> RcAuthResponse::Decode(const util::Bytes& data) {
+  util::Reader r(data);
+  RcAuthResponse m;
+  r.GetBytes(&m.session_id);
+  if (!r.Done()) return Malformed("RcAuthResponse");
+  return m;
+}
+
+util::Bytes RetrieveRequest::Encode() const {
+  util::Writer w;
+  w.PutBytes(session_id);
+  w.PutU64(after_message_id);
+  w.PutU64(static_cast<uint64_t>(from_micros));
+  w.PutU64(static_cast<uint64_t>(to_micros));
+  return w.Take();
+}
+
+util::Result<RetrieveRequest> RetrieveRequest::Decode(
+    const util::Bytes& data) {
+  util::Reader r(data);
+  RetrieveRequest m;
+  uint64_t from = 0, to = 0;
+  r.GetBytes(&m.session_id);
+  r.GetU64(&m.after_message_id);
+  r.GetU64(&from);
+  r.GetU64(&to);
+  if (!r.Done()) return Malformed("RetrieveRequest");
+  m.from_micros = static_cast<int64_t>(from);
+  m.to_micros = static_cast<int64_t>(to);
+  return m;
+}
+
+util::Bytes RetrievedMessage::Encode() const {
+  util::Writer w;
+  w.PutU64(message_id);
+  w.PutBytes(u);
+  w.PutBytes(ciphertext);
+  w.PutU64(aid);
+  w.PutBytes(nonce);
+  return w.Take();
+}
+
+util::Result<RetrievedMessage> RetrievedMessage::Decode(
+    const util::Bytes& data) {
+  util::Reader r(data);
+  RetrievedMessage m;
+  r.GetU64(&m.message_id);
+  r.GetBytes(&m.u);
+  r.GetBytes(&m.ciphertext);
+  r.GetU64(&m.aid);
+  r.GetBytes(&m.nonce);
+  if (!r.Done()) return Malformed("RetrievedMessage");
+  return m;
+}
+
+util::Bytes RetrieveResponse::Encode() const {
+  util::Writer w;
+  w.PutU32(static_cast<uint32_t>(messages.size()));
+  for (const RetrievedMessage& m : messages) w.PutBytes(m.Encode());
+  w.PutBytes(token);
+  return w.Take();
+}
+
+util::Result<RetrieveResponse> RetrieveResponse::Decode(
+    const util::Bytes& data) {
+  util::Reader r(data);
+  RetrieveResponse out;
+  uint32_t count = 0;
+  if (!r.GetU32(&count)) return Malformed("RetrieveResponse");
+  for (uint32_t i = 0; i < count; ++i) {
+    util::Bytes item;
+    if (!r.GetBytes(&item)) return Malformed("RetrieveResponse");
+    MWS_ASSIGN_OR_RETURN(RetrievedMessage m, RetrievedMessage::Decode(item));
+    out.messages.push_back(std::move(m));
+  }
+  r.GetBytes(&out.token);
+  if (!r.Done()) return Malformed("RetrieveResponse");
+  return out;
+}
+
+util::Bytes TicketPlain::Encode() const {
+  util::Writer w;
+  w.PutString(rc_identity);
+  w.PutBytes(session_key);
+  w.PutU32(static_cast<uint32_t>(aid_attributes.size()));
+  for (const auto& [aid, attribute] : aid_attributes) {
+    w.PutU64(aid);
+    w.PutString(attribute);
+  }
+  w.PutU64(static_cast<uint64_t>(expiry_micros));
+  return w.Take();
+}
+
+util::Result<TicketPlain> TicketPlain::Decode(const util::Bytes& data) {
+  util::Reader r(data);
+  TicketPlain out;
+  uint32_t count = 0;
+  r.GetString(&out.rc_identity);
+  r.GetBytes(&out.session_key);
+  if (!r.GetU32(&count)) return Malformed("TicketPlain");
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t aid = 0;
+    std::string attribute;
+    if (!r.GetU64(&aid) || !r.GetString(&attribute)) {
+      return Malformed("TicketPlain");
+    }
+    out.aid_attributes.emplace_back(aid, attribute);
+  }
+  uint64_t expiry = 0;
+  r.GetU64(&expiry);
+  if (!r.Done()) return Malformed("TicketPlain");
+  out.expiry_micros = static_cast<int64_t>(expiry);
+  return out;
+}
+
+util::Bytes TokenPlain::Encode() const {
+  util::Writer w;
+  w.PutBytes(session_key);
+  w.PutBytes(ticket);
+  return w.Take();
+}
+
+util::Result<TokenPlain> TokenPlain::Decode(const util::Bytes& data) {
+  util::Reader r(data);
+  TokenPlain out;
+  r.GetBytes(&out.session_key);
+  r.GetBytes(&out.ticket);
+  if (!r.Done()) return Malformed("TokenPlain");
+  return out;
+}
+
+util::Bytes AuthenticatorPlain::Encode() const {
+  util::Writer w;
+  w.PutString(rc_identity);
+  w.PutU64(static_cast<uint64_t>(timestamp_micros));
+  return w.Take();
+}
+
+util::Result<AuthenticatorPlain> AuthenticatorPlain::Decode(
+    const util::Bytes& data) {
+  util::Reader r(data);
+  AuthenticatorPlain out;
+  uint64_t ts = 0;
+  r.GetString(&out.rc_identity);
+  r.GetU64(&ts);
+  if (!r.Done()) return Malformed("AuthenticatorPlain");
+  out.timestamp_micros = static_cast<int64_t>(ts);
+  return out;
+}
+
+util::Bytes PkgAuthRequest::Encode() const {
+  util::Writer w;
+  w.PutString(rc_identity);
+  w.PutBytes(ticket);
+  w.PutBytes(authenticator);
+  return w.Take();
+}
+
+util::Result<PkgAuthRequest> PkgAuthRequest::Decode(const util::Bytes& data) {
+  util::Reader r(data);
+  PkgAuthRequest out;
+  r.GetString(&out.rc_identity);
+  r.GetBytes(&out.ticket);
+  r.GetBytes(&out.authenticator);
+  if (!r.Done()) return Malformed("PkgAuthRequest");
+  return out;
+}
+
+util::Bytes PkgAuthResponse::Encode() const {
+  util::Writer w;
+  w.PutBytes(session_id);
+  return w.Take();
+}
+
+util::Result<PkgAuthResponse> PkgAuthResponse::Decode(
+    const util::Bytes& data) {
+  util::Reader r(data);
+  PkgAuthResponse out;
+  r.GetBytes(&out.session_id);
+  if (!r.Done()) return Malformed("PkgAuthResponse");
+  return out;
+}
+
+util::Bytes KeyRequest::Encode() const {
+  util::Writer w;
+  w.PutBytes(session_id);
+  w.PutU64(aid);
+  w.PutBytes(nonce);
+  return w.Take();
+}
+
+util::Result<KeyRequest> KeyRequest::Decode(const util::Bytes& data) {
+  util::Reader r(data);
+  KeyRequest out;
+  r.GetBytes(&out.session_id);
+  r.GetU64(&out.aid);
+  r.GetBytes(&out.nonce);
+  if (!r.Done()) return Malformed("KeyRequest");
+  return out;
+}
+
+util::Bytes KeyResponse::Encode() const {
+  util::Writer w;
+  w.PutBytes(encrypted_private_key);
+  return w.Take();
+}
+
+util::Result<KeyResponse> KeyResponse::Decode(const util::Bytes& data) {
+  util::Reader r(data);
+  KeyResponse out;
+  r.GetBytes(&out.encrypted_private_key);
+  if (!r.Done()) return Malformed("KeyResponse");
+  return out;
+}
+
+util::Bytes KeyBatchRequest::Encode() const {
+  util::Writer w;
+  w.PutBytes(session_id);
+  w.PutU32(static_cast<uint32_t>(items.size()));
+  for (const auto& [aid, nonce] : items) {
+    w.PutU64(aid);
+    w.PutBytes(nonce);
+  }
+  return w.Take();
+}
+
+util::Result<KeyBatchRequest> KeyBatchRequest::Decode(
+    const util::Bytes& data) {
+  util::Reader r(data);
+  KeyBatchRequest out;
+  uint32_t count = 0;
+  r.GetBytes(&out.session_id);
+  if (!r.GetU32(&count)) return Malformed("KeyBatchRequest");
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t aid = 0;
+    util::Bytes nonce;
+    if (!r.GetU64(&aid) || !r.GetBytes(&nonce)) {
+      return Malformed("KeyBatchRequest");
+    }
+    out.items.emplace_back(aid, std::move(nonce));
+  }
+  if (!r.Done()) return Malformed("KeyBatchRequest");
+  return out;
+}
+
+util::Bytes KeyBatchResponse::Encode() const {
+  util::Writer w;
+  w.PutU32(static_cast<uint32_t>(items.size()));
+  for (const Item& item : items) {
+    w.PutU8(item.ok ? 1 : 0);
+    w.PutBytes(item.payload);
+  }
+  return w.Take();
+}
+
+util::Result<KeyBatchResponse> KeyBatchResponse::Decode(
+    const util::Bytes& data) {
+  util::Reader r(data);
+  KeyBatchResponse out;
+  uint32_t count = 0;
+  if (!r.GetU32(&count)) return Malformed("KeyBatchResponse");
+  for (uint32_t i = 0; i < count; ++i) {
+    Item item;
+    uint8_t ok = 0;
+    if (!r.GetU8(&ok) || !r.GetBytes(&item.payload)) {
+      return Malformed("KeyBatchResponse");
+    }
+    item.ok = ok != 0;
+    out.items.push_back(std::move(item));
+  }
+  if (!r.Done()) return Malformed("KeyBatchResponse");
+  return out;
+}
+
+}  // namespace mws::wire

@@ -1,0 +1,204 @@
+#ifndef MWSIBE_WIRE_MESSAGES_H_
+#define MWSIBE_WIRE_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace mws::wire {
+
+/// Protocol messages for the three phases of paper §V.C/D (Fig. 4).
+/// Every message has a canonical binary encoding (util::Writer framing);
+/// MACs are computed over exactly the encoded authenticated prefix.
+
+// ---------------------------------------------------------------------
+// Phase 1: SD -> MWS ("SD sends rP || C || (A || Nonce) || IDSD || T ||
+// MAC to MWS").
+
+struct DepositRequest {
+  util::Bytes u;           // rP (serialized curve point)
+  util::Bytes ciphertext;  // C
+  std::string attribute;   // A
+  util::Bytes nonce;       // per-message nonce
+  std::string device_id;   // ID_SD
+  int64_t timestamp_micros = 0;  // T
+  util::Bytes mac;         // HMAC-SHA256 over the authenticated prefix
+
+  /// The exact bytes the MAC covers (everything except the MAC itself).
+  util::Bytes AuthenticatedBytes() const;
+
+  util::Bytes Encode() const;
+  static util::Result<DepositRequest> Decode(const util::Bytes& data);
+};
+
+struct DepositResponse {
+  uint64_t message_id = 0;
+
+  util::Bytes Encode() const;
+  static util::Result<DepositResponse> Decode(const util::Bytes& data);
+};
+
+// ---------------------------------------------------------------------
+// Phase 2: MWS <-> RC ("RC sends IDRC || PubKRC || E(HashPassword,
+// IDRC || T || N)").
+
+struct RcAuthRequest {
+  std::string rc_identity;      // ID_RC, in the clear
+  util::Bytes rsa_public_key;   // PubK_RC (serialized)
+  util::Bytes auth_ciphertext;  // E(HashPassword, IDRC || T || N)
+
+  util::Bytes Encode() const;
+  static util::Result<RcAuthRequest> Decode(const util::Bytes& data);
+};
+
+/// The inner plaintext of auth_ciphertext.
+struct RcAuthPlain {
+  std::string rc_identity;
+  int64_t timestamp_micros = 0;
+  util::Bytes client_nonce;  // N
+
+  util::Bytes Encode() const;
+  static util::Result<RcAuthPlain> Decode(const util::Bytes& data);
+};
+
+struct RcAuthResponse {
+  util::Bytes session_id;  // gatekeeper session handle
+
+  util::Bytes Encode() const;
+  static util::Result<RcAuthResponse> Decode(const util::Bytes& data);
+};
+
+struct RetrieveRequest {
+  util::Bytes session_id;
+  uint64_t after_message_id = 0;  // incremental fetch; 0 = everything
+  /// Optional deposit-timestamp window [from, to) in µs — the billing-
+  /// period query of the utility scenario. Both 0 = no time filter.
+  int64_t from_micros = 0;
+  int64_t to_micros = 0;
+
+  bool HasTimeRange() const { return from_micros != 0 || to_micros != 0; }
+
+  util::Bytes Encode() const;
+  static util::Result<RetrieveRequest> Decode(const util::Bytes& data);
+};
+
+/// One record as handed to the RC: the attribute is replaced by its AID
+/// ("attribute A is encrypted inside the ticket and AID is sent to the RC
+/// in plain text").
+struct RetrievedMessage {
+  uint64_t message_id = 0;
+  util::Bytes u;
+  util::Bytes ciphertext;
+  uint64_t aid = 0;
+  util::Bytes nonce;
+
+  util::Bytes Encode() const;
+  static util::Result<RetrievedMessage> Decode(const util::Bytes& data);
+};
+
+struct RetrieveResponse {
+  std::vector<RetrievedMessage> messages;
+  util::Bytes token;  // E(PubKRC, SecK_RC-PKG || Ticket)
+
+  util::Bytes Encode() const;
+  static util::Result<RetrieveResponse> Decode(const util::Bytes& data);
+};
+
+/// The ticket body, encrypted under SecK_MWS-PKG inside the token. It
+/// carries the AID -> attribute mapping so the RC never learns A, plus
+/// the RC<->PKG session key and an expiry.
+struct TicketPlain {
+  std::string rc_identity;
+  util::Bytes session_key;  // SecK_RC-PKG
+  std::vector<std::pair<uint64_t, std::string>> aid_attributes;
+  int64_t expiry_micros = 0;
+
+  util::Bytes Encode() const;
+  static util::Result<TicketPlain> Decode(const util::Bytes& data);
+};
+
+/// The token body: what RsaOaepDecrypt(PubKRC) yields.
+struct TokenPlain {
+  util::Bytes session_key;  // SecK_RC-PKG (for the RC's own use)
+  util::Bytes ticket;       // E(SecK_MWS-PKG, TicketPlain) — opaque to RC
+
+  util::Bytes Encode() const;
+  static util::Result<TokenPlain> Decode(const util::Bytes& data);
+};
+
+// ---------------------------------------------------------------------
+// Phase 3: RC <-> PKG ("RC sends IDRC || Ticket || Authenticator").
+
+/// Authenticator plaintext: E(SecK_RC-PKG, IDRC || T).
+struct AuthenticatorPlain {
+  std::string rc_identity;
+  int64_t timestamp_micros = 0;
+
+  util::Bytes Encode() const;
+  static util::Result<AuthenticatorPlain> Decode(const util::Bytes& data);
+};
+
+struct PkgAuthRequest {
+  std::string rc_identity;
+  util::Bytes ticket;
+  util::Bytes authenticator;
+
+  util::Bytes Encode() const;
+  static util::Result<PkgAuthRequest> Decode(const util::Bytes& data);
+};
+
+struct PkgAuthResponse {
+  util::Bytes session_id;
+
+  util::Bytes Encode() const;
+  static util::Result<PkgAuthResponse> Decode(const util::Bytes& data);
+};
+
+/// "RC now starts sending AID || Nonce to PKG."
+struct KeyRequest {
+  util::Bytes session_id;
+  uint64_t aid = 0;
+  util::Bytes nonce;
+
+  util::Bytes Encode() const;
+  static util::Result<KeyRequest> Decode(const util::Bytes& data);
+};
+
+/// "...and sends back sI to RC" — over the session-key channel.
+struct KeyResponse {
+  util::Bytes encrypted_private_key;  // E(SecK_RC-PKG, serialized sI)
+
+  util::Bytes Encode() const;
+  static util::Result<KeyResponse> Decode(const util::Bytes& data);
+};
+
+/// Batched extraction (protocol extension): one round trip for many
+/// (AID, Nonce) pairs — the per-message-key design otherwise costs one
+/// RC–PKG round trip per stored message.
+struct KeyBatchRequest {
+  util::Bytes session_id;
+  std::vector<std::pair<uint64_t, util::Bytes>> items;  // (aid, nonce)
+
+  util::Bytes Encode() const;
+  static util::Result<KeyBatchRequest> Decode(const util::Bytes& data);
+};
+
+/// Per-item results, aligned with the request order.
+struct KeyBatchResponse {
+  struct Item {
+    bool ok = false;
+    /// E(SecK, sI) when ok; a status message otherwise.
+    util::Bytes payload;
+  };
+  std::vector<Item> items;
+
+  util::Bytes Encode() const;
+  static util::Result<KeyBatchResponse> Decode(const util::Bytes& data);
+};
+
+}  // namespace mws::wire
+
+#endif  // MWSIBE_WIRE_MESSAGES_H_

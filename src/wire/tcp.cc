@@ -1,0 +1,224 @@
+#include "src/wire/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace mws::wire {
+
+namespace {
+
+/// Reads exactly `len` bytes; false on EOF or error.
+bool ReadFull(int fd, uint8_t* out, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::read(fd, out + done, len - done);
+    if (n <= 0) return false;
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteFull(int fd, const uint8_t* data, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::write(fd, data + done, len - done);
+    if (n <= 0) return false;
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void PutU16(util::Bytes& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+void PutU32(util::Bytes& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 24));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+constexpr uint32_t kMaxFrame = 64 * 1024 * 1024;
+
+}  // namespace
+
+util::Result<std::unique_ptr<TcpServer>> TcpServer::Start(
+    InProcessTransport* backend, uint16_t port) {
+  auto server = std::unique_ptr<TcpServer>(new TcpServer());
+  server->backend_ = backend;
+  server->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (server->listen_fd_ < 0) {
+    return util::Status::IoError("socket() failed");
+  }
+  int one = 1;
+  ::setsockopt(server->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+               sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(server->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(server->listen_fd_);
+    return util::Status::IoError("bind() failed");
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(server->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                &addr_len);
+  server->port_ = ntohs(addr.sin_port);
+  if (::listen(server->listen_fd_, 16) != 0) {
+    ::close(server->listen_fd_);
+    return util::Status::IoError("listen() failed");
+  }
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+TcpServer::~TcpServer() { Shutdown(); }
+
+void TcpServer::Shutdown() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TcpServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;  // listener closed
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    connection_threads_.emplace_back(
+        [this, fd] { ServeConnection(fd); });
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  for (;;) {
+    uint8_t header[2];
+    if (!ReadFull(fd, header, 2)) break;
+    uint16_t endpoint_len = static_cast<uint16_t>((header[0] << 8) |
+                                                  header[1]);
+    util::Bytes endpoint_bytes(endpoint_len);
+    if (endpoint_len > 0 &&
+        !ReadFull(fd, endpoint_bytes.data(), endpoint_len)) {
+      break;
+    }
+    uint8_t len_bytes[4];
+    if (!ReadFull(fd, len_bytes, 4)) break;
+    uint32_t body_len = (static_cast<uint32_t>(len_bytes[0]) << 24) |
+                        (static_cast<uint32_t>(len_bytes[1]) << 16) |
+                        (static_cast<uint32_t>(len_bytes[2]) << 8) |
+                        len_bytes[3];
+    if (body_len > kMaxFrame) break;
+    util::Bytes body(body_len);
+    if (body_len > 0 && !ReadFull(fd, body.data(), body_len)) break;
+
+    util::Result<util::Bytes> result = [&]() {
+      std::lock_guard<std::mutex> lock(dispatch_mutex_);
+      return backend_->Call(util::StringFromBytes(endpoint_bytes), body);
+    }();
+
+    util::Bytes response;
+    if (result.ok()) {
+      response.push_back(1);
+      PutU32(response, static_cast<uint32_t>(result.value().size()));
+      response.insert(response.end(), result.value().begin(),
+                      result.value().end());
+    } else {
+      std::string message = result.status().ToString();
+      response.push_back(0);
+      PutU32(response, static_cast<uint32_t>(message.size()));
+      response.insert(response.end(), message.begin(), message.end());
+    }
+    if (!WriteFull(fd, response.data(), response.size())) break;
+  }
+  ::close(fd);
+}
+
+TcpClientTransport::~TcpClientTransport() { CloseConnection(); }
+
+void TcpClientTransport::CloseConnection() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Status TcpClientTransport::EnsureConnected() {
+  if (fd_ >= 0) return util::Status::Ok();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return util::Status::IoError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return util::Status::InvalidArgument("bad host address: " + host_);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return util::Status::IoError("connect() to " + host_ + ":" +
+                                 std::to_string(port_) + " failed");
+  }
+  fd_ = fd;
+  return util::Status::Ok();
+}
+
+util::Result<util::Bytes> TcpClientTransport::Call(
+    const std::string& endpoint, const util::Bytes& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MWS_RETURN_IF_ERROR(EnsureConnected());
+
+  util::Bytes frame;
+  frame.reserve(6 + endpoint.size() + request.size());
+  PutU16(frame, static_cast<uint16_t>(endpoint.size()));
+  frame.insert(frame.end(), endpoint.begin(), endpoint.end());
+  PutU32(frame, static_cast<uint32_t>(request.size()));
+  frame.insert(frame.end(), request.begin(), request.end());
+  if (!WriteFull(fd_, frame.data(), frame.size())) {
+    CloseConnection();
+    return util::Status::IoError("request write failed");
+  }
+
+  uint8_t header[5];
+  if (!ReadFull(fd_, header, 5)) {
+    CloseConnection();
+    return util::Status::IoError("response read failed");
+  }
+  uint32_t len = (static_cast<uint32_t>(header[1]) << 24) |
+                 (static_cast<uint32_t>(header[2]) << 16) |
+                 (static_cast<uint32_t>(header[3]) << 8) | header[4];
+  if (len > kMaxFrame) {
+    CloseConnection();
+    return util::Status::IoError("oversized response frame");
+  }
+  util::Bytes payload(len);
+  if (len > 0 && !ReadFull(fd_, payload.data(), len)) {
+    CloseConnection();
+    return util::Status::IoError("response body read failed");
+  }
+  if (header[0] != 1) {
+    // Remote error, relayed with its message.
+    return util::Status::Internal("remote: " +
+                                  util::StringFromBytes(payload));
+  }
+  return payload;
+}
+
+}  // namespace mws::wire

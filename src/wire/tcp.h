@@ -1,0 +1,85 @@
+#ifndef MWSIBE_WIRE_TCP_H_
+#define MWSIBE_WIRE_TCP_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/wire/transport.h"
+
+namespace mws::wire {
+
+/// A real TCP server fronting a handler registry — the deployment shape
+/// of the paper's prototype ("a simple server that listens for messages
+/// on a particular port"; MWS-SD, MWS-Client and PKG each ran as one).
+///
+/// Framing (all integers big-endian):
+///   request:  u16 endpoint_len | endpoint | u32 body_len | body
+///   response: u8 ok | u32 len | payload            (ok == 1)
+///             u8 ok | u32 len | status_message     (ok == 0)
+///
+/// Connections are persistent (one request/response per round trip until
+/// the client closes). Each connection gets a thread; handler dispatch
+/// is serialized with a mutex because the services are single-threaded.
+class TcpServer {
+ public:
+  /// Serves the handlers registered on `backend` (which must outlive the
+  /// server). Binds 127.0.0.1:`port`; port 0 picks an ephemeral port.
+  static util::Result<std::unique_ptr<TcpServer>> Start(
+      InProcessTransport* backend, uint16_t port);
+
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// The actual bound port.
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting and joins all connection threads.
+  void Shutdown();
+
+ private:
+  TcpServer() = default;
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  InProcessTransport* backend_ = nullptr;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex dispatch_mutex_;
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connection_threads_;
+};
+
+/// Client-side Transport speaking the TcpServer framing. Opens one
+/// persistent connection on first use; reconnects after errors.
+class TcpClientTransport : public Transport {
+ public:
+  TcpClientTransport(std::string host, uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+
+  ~TcpClientTransport() override;
+
+  util::Result<util::Bytes> Call(const std::string& endpoint,
+                                 const util::Bytes& request) override;
+
+ private:
+  util::Status EnsureConnected();
+  void CloseConnection();
+
+  std::string host_;
+  uint16_t port_;
+  int fd_ = -1;
+  std::mutex mutex_;
+};
+
+}  // namespace mws::wire
+
+#endif  // MWSIBE_WIRE_TCP_H_

@@ -1,0 +1,35 @@
+#include "src/wire/transport.h"
+
+namespace mws::wire {
+
+void InProcessTransport::Register(const std::string& endpoint,
+                                  Handler handler) {
+  handlers_[endpoint] = std::move(handler);
+}
+
+int64_t InProcessTransport::TransferMicros(size_t bytes) const {
+  int64_t cost = model_.latency_micros;
+  if (model_.bytes_per_second > 0) {
+    cost += static_cast<int64_t>(bytes) * 1'000'000 / model_.bytes_per_second;
+  }
+  return cost;
+}
+
+util::Result<util::Bytes> InProcessTransport::Call(
+    const std::string& endpoint, const util::Bytes& request) {
+  auto it = handlers_.find(endpoint);
+  if (it == handlers_.end()) {
+    return util::Status::NotFound("no handler for endpoint: " + endpoint);
+  }
+  ++stats_.calls;
+  stats_.request_bytes += request.size();
+  stats_.simulated_network_micros += TransferMicros(request.size());
+  auto response = it->second(request);
+  if (response.ok()) {
+    stats_.response_bytes += response.value().size();
+    stats_.simulated_network_micros += TransferMicros(response.value().size());
+  }
+  return response;
+}
+
+}  // namespace mws::wire

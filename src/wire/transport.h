@@ -1,0 +1,82 @@
+#ifndef MWSIBE_WIRE_TRANSPORT_H_
+#define MWSIBE_WIRE_TRANSPORT_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace mws::wire {
+
+/// Synthetic network model. The paper's prototype ran four servers over
+/// TCP on one host; we substitute an in-process transport with an
+/// explicit latency/bandwidth model so experiments can account for (and
+/// sweep) deployment network cost without real sockets or sleeps.
+struct NetworkModel {
+  /// One-way propagation delay per message, microseconds.
+  int64_t latency_micros = 0;
+  /// Serialization bandwidth; 0 = infinite.
+  int64_t bytes_per_second = 0;
+
+  /// Constrained-device uplink shapes used by the benches.
+  static NetworkModel Loopback() { return {0, 0}; }
+  static NetworkModel Lan() { return {200, 1'000'000'000 / 8}; }
+  static NetworkModel Wan() { return {20'000, 100'000'000 / 8}; }
+  /// GPRS-class link of a 2010 smart meter.
+  static NetworkModel MeterUplink() { return {300'000, 40'000 / 8}; }
+};
+
+/// Traffic and simulated-time accounting for one transport.
+struct TransportStats {
+  uint64_t calls = 0;
+  uint64_t request_bytes = 0;
+  uint64_t response_bytes = 0;
+  /// Total modeled network time (both directions, all calls).
+  int64_t simulated_network_micros = 0;
+};
+
+/// Request/response transport between clients and services. Handlers are
+/// registered per endpoint name ("mws.deposit", "pkg.extract", ...).
+class Transport {
+ public:
+  using Handler =
+      std::function<util::Result<util::Bytes>(const util::Bytes& request)>;
+
+  virtual ~Transport() = default;
+
+  virtual util::Result<util::Bytes> Call(const std::string& endpoint,
+                                         const util::Bytes& request) = 0;
+};
+
+/// In-process transport: dispatches to registered handlers, charging the
+/// network model's cost to its stats counter.
+class InProcessTransport : public Transport {
+ public:
+  explicit InProcessTransport(NetworkModel model = NetworkModel::Loopback())
+      : model_(model) {}
+
+  /// Registers `handler`; overwrites any previous registration.
+  void Register(const std::string& endpoint, Handler handler);
+
+  util::Result<util::Bytes> Call(const std::string& endpoint,
+                                 const util::Bytes& request) override;
+
+  const TransportStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = TransportStats{}; }
+  const NetworkModel& model() const { return model_; }
+  void set_model(const NetworkModel& model) { model_ = model; }
+
+ private:
+  /// Modeled one-way cost of sending `bytes`.
+  int64_t TransferMicros(size_t bytes) const;
+
+  NetworkModel model_;
+  TransportStats stats_;
+  std::map<std::string, Handler> handlers_;
+};
+
+}  // namespace mws::wire
+
+#endif  // MWSIBE_WIRE_TRANSPORT_H_

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/math/bigint.h"
+#include "src/util/random.h"
+
+namespace mws::math {
+namespace {
+
+using util::DeterministicRandom;
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.BitLength(), 0u);
+  EXPECT_EQ(z.ToDecimal(), "0");
+}
+
+TEST(BigIntTest, SmallConstruction) {
+  EXPECT_EQ(BigInt(42).ToDecimal(), "42");
+  EXPECT_EQ(BigInt(-42).ToDecimal(), "-42");
+  EXPECT_EQ(BigInt(int64_t{-1}).ToDecimal(), "-1");
+  EXPECT_EQ(BigInt(uint64_t{UINT64_MAX}).ToDecimal(), "18446744073709551615");
+  EXPECT_EQ(BigInt(INT64_MIN).ToDecimal(), "-9223372036854775808");
+}
+
+TEST(BigIntTest, DecimalRoundTrip) {
+  const char* cases[] = {"0",
+                         "1",
+                         "-1",
+                         "999999999999999999999999999999",
+                         "123456789012345678901234567890123456789",
+                         "-98765432109876543210"};
+  for (const char* s : cases) {
+    auto v = BigInt::FromDecimal(s);
+    ASSERT_TRUE(v.ok()) << s;
+    EXPECT_EQ(v.value().ToDecimal(), s);
+  }
+}
+
+TEST(BigIntTest, HexRoundTrip) {
+  auto v = BigInt::FromHex("deadbeefcafe1234567890abcdef");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().ToHex(), "deadbeefcafe1234567890abcdef");
+}
+
+TEST(BigIntTest, ParseErrors) {
+  EXPECT_FALSE(BigInt::FromDecimal("").ok());
+  EXPECT_FALSE(BigInt::FromDecimal("-").ok());
+  EXPECT_FALSE(BigInt::FromDecimal("12a").ok());
+  EXPECT_FALSE(BigInt::FromHex("").ok());
+  EXPECT_FALSE(BigInt::FromHex("xyz").ok());
+}
+
+TEST(BigIntTest, AdditionCarries) {
+  auto a = BigInt::FromHex("ffffffffffffffffffffffffffffffff").value();
+  BigInt b = a + BigInt(1);
+  EXPECT_EQ(b.ToHex(), "100000000000000000000000000000000");
+  EXPECT_EQ((b - BigInt(1)).ToHex(), "ffffffffffffffffffffffffffffffff");
+}
+
+TEST(BigIntTest, SignedArithmetic) {
+  BigInt a(100), b(-30);
+  EXPECT_EQ((a + b).ToDecimal(), "70");
+  EXPECT_EQ((b + a).ToDecimal(), "70");
+  EXPECT_EQ((a - b).ToDecimal(), "130");
+  EXPECT_EQ((b - a).ToDecimal(), "-130");
+  EXPECT_EQ((a * b).ToDecimal(), "-3000");
+  EXPECT_EQ((b * b).ToDecimal(), "900");
+  EXPECT_EQ((-a).ToDecimal(), "-100");
+}
+
+TEST(BigIntTest, TruncatedDivision) {
+  // C semantics: quotient toward zero, remainder sign of dividend.
+  EXPECT_EQ((BigInt(7) / BigInt(2)).ToDecimal(), "3");
+  EXPECT_EQ((BigInt(7) % BigInt(2)).ToDecimal(), "1");
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).ToDecimal(), "-3");
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).ToDecimal(), "-1");
+  EXPECT_EQ((BigInt(7) / BigInt(-2)).ToDecimal(), "-3");
+  EXPECT_EQ((BigInt(7) % BigInt(-2)).ToDecimal(), "1");
+}
+
+TEST(BigIntTest, ModAlwaysNonNegative) {
+  EXPECT_EQ(BigInt::Mod(BigInt(-7), BigInt(3)).ToDecimal(), "2");
+  EXPECT_EQ(BigInt::Mod(BigInt(7), BigInt(3)).ToDecimal(), "1");
+  EXPECT_EQ(BigInt::Mod(BigInt(-9), BigInt(3)).ToDecimal(), "0");
+}
+
+TEST(BigIntTest, MultiLimbDivision) {
+  auto a = BigInt::FromDecimal(
+               "340282366920938463463374607431768211456123456789")
+               .value();
+  auto b = BigInt::FromDecimal("18446744073709551629").value();
+  BigInt q, r;
+  BigInt::DivMod(a, b, &q, &r);
+  EXPECT_EQ(q * b + r, a);
+  EXPECT_TRUE(r < b);
+  EXPECT_FALSE(r.IsNegative());
+}
+
+TEST(BigIntTest, DivisionPropertyRandomized) {
+  DeterministicRandom rng(7);
+  for (int i = 0; i < 200; ++i) {
+    BigInt a = BigInt::RandomBits(rng, 40 + rng.UniformU64(400));
+    BigInt b = BigInt::RandomBits(rng, 1 + rng.UniformU64(200));
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_TRUE(r < b);
+  }
+}
+
+TEST(BigIntTest, KnuthD6AddBackCase) {
+  // Crafted operands that exercise the rare "add back" correction step:
+  // dividend with high limbs just below the divisor pattern.
+  auto a = BigInt::FromHex(
+               "800000000000000000000000000000000000000000000000"
+               "0000000000000003")
+               .value();
+  auto b = BigInt::FromHex("8000000000000000000000000000000000000001")
+               .value();
+  BigInt q, r;
+  BigInt::DivMod(a, b, &q, &r);
+  EXPECT_EQ(q * b + r, a);
+  EXPECT_TRUE(r < b);
+}
+
+TEST(BigIntTest, Shifts) {
+  BigInt one(1);
+  EXPECT_EQ((one << 0), one);
+  EXPECT_EQ((one << 64).ToHex(), "10000000000000000");
+  EXPECT_EQ((one << 127).BitLength(), 128u);
+  EXPECT_EQ(((one << 127) >> 127), one);
+  EXPECT_EQ((BigInt(0xff) >> 4).ToDecimal(), "15");
+  EXPECT_EQ((BigInt(1) >> 1).ToDecimal(), "0");
+}
+
+TEST(BigIntTest, BitAccess) {
+  BigInt v = BigInt::FromHex("8000000000000001").value();
+  EXPECT_TRUE(v.Bit(0));
+  EXPECT_TRUE(v.Bit(63));
+  EXPECT_FALSE(v.Bit(1));
+  EXPECT_FALSE(v.Bit(64));
+  EXPECT_EQ(v.BitLength(), 64u);
+}
+
+TEST(BigIntTest, Comparisons) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_GT(BigInt(5), BigInt(3));
+  EXPECT_LE(BigInt(3), BigInt(3));
+  EXPECT_EQ(BigInt(0), -BigInt(0));
+}
+
+TEST(BigIntTest, BytesRoundTrip) {
+  util::Bytes b = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09};
+  BigInt v = BigInt::FromBytesBe(b);
+  EXPECT_EQ(v.ToHex(), "10203040506070809");
+  EXPECT_EQ(v.ToBytesBe(9), b);
+  // Padding.
+  EXPECT_EQ(BigInt(1).ToBytesBe(4), (util::Bytes{0, 0, 0, 1}));
+  EXPECT_EQ(BigInt(0).ToBytesBe(2), (util::Bytes{0, 0}));
+}
+
+TEST(BigIntTest, BytesLeadingZeros) {
+  util::Bytes b = {0x00, 0x00, 0x12};
+  EXPECT_EQ(BigInt::FromBytesBe(b).ToDecimal(), "18");
+}
+
+TEST(BigIntTest, ModPow) {
+  // 2^10 mod 1000 = 24.
+  EXPECT_EQ(BigInt::ModPow(BigInt(2), BigInt(10), BigInt(1000)).ToDecimal(),
+            "24");
+  // Fermat's little theorem for a prime.
+  auto p = BigInt::FromDecimal("1000000007").value();
+  EXPECT_TRUE(
+      BigInt::ModPow(BigInt(12345), p - BigInt(1), p).IsOne());
+  // Exponent zero.
+  EXPECT_TRUE(BigInt::ModPow(BigInt(5), BigInt(0), BigInt(7)).IsOne());
+  // Modulus one.
+  EXPECT_TRUE(BigInt::ModPow(BigInt(5), BigInt(3), BigInt(1)).IsZero());
+}
+
+TEST(BigIntTest, ModInverse) {
+  auto inv = BigInt::ModInverse(BigInt(3), BigInt(7));
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(inv.value().ToDecimal(), "5");  // 3*5 = 15 = 1 mod 7
+  EXPECT_FALSE(BigInt::ModInverse(BigInt(6), BigInt(9)).ok());
+}
+
+TEST(BigIntTest, ModInversePropertyRandomized) {
+  DeterministicRandom rng(11);
+  auto p = BigInt::FromDecimal("170141183460469231731687303715884105727")
+               .value();  // 2^127 - 1 (prime)
+  for (int i = 0; i < 50; ++i) {
+    BigInt a = BigInt::RandomBelow(rng, p - BigInt(1)) + BigInt(1);
+    auto inv = BigInt::ModInverse(a, p);
+    ASSERT_TRUE(inv.ok());
+    EXPECT_TRUE(BigInt::Mod(a * inv.value(), p).IsOne());
+  }
+}
+
+TEST(BigIntTest, Gcd) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(48), BigInt(18)).ToDecimal(), "6");
+  EXPECT_EQ(BigInt::Gcd(BigInt(-48), BigInt(18)).ToDecimal(), "6");
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)).ToDecimal(), "5");
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(13)).ToDecimal(), "1");
+}
+
+TEST(BigIntTest, PrimalityKnownValues) {
+  DeterministicRandom rng(3);
+  EXPECT_FALSE(BigInt::IsProbablePrime(BigInt(0), rng));
+  EXPECT_FALSE(BigInt::IsProbablePrime(BigInt(1), rng));
+  EXPECT_TRUE(BigInt::IsProbablePrime(BigInt(2), rng));
+  EXPECT_TRUE(BigInt::IsProbablePrime(BigInt(3), rng));
+  EXPECT_FALSE(BigInt::IsProbablePrime(BigInt(4), rng));
+  EXPECT_TRUE(BigInt::IsProbablePrime(BigInt(65537), rng));
+  EXPECT_FALSE(BigInt::IsProbablePrime(BigInt(65535), rng));
+  // Carmichael number 561 = 3*11*17 must be rejected.
+  EXPECT_FALSE(BigInt::IsProbablePrime(BigInt(561), rng));
+  // 2^127 - 1 is a Mersenne prime.
+  auto m127 = BigInt::FromDecimal("170141183460469231731687303715884105727")
+                  .value();
+  EXPECT_TRUE(BigInt::IsProbablePrime(m127, rng));
+  // 2^128 + 1 is composite (known factor 59649589127497217).
+  auto f7 = (BigInt(1) << 128) + BigInt(1);
+  EXPECT_FALSE(BigInt::IsProbablePrime(f7, rng));
+}
+
+TEST(BigIntTest, RandomBitsExactWidth) {
+  DeterministicRandom rng(5);
+  for (size_t bits : {1u, 8u, 63u, 64u, 65u, 160u}) {
+    BigInt v = BigInt::RandomBits(rng, bits);
+    EXPECT_EQ(v.BitLength(), bits);
+  }
+}
+
+TEST(BigIntTest, RandomBelowInRange) {
+  DeterministicRandom rng(6);
+  BigInt bound = BigInt::FromDecimal("1000000000000000000000").value();
+  for (int i = 0; i < 100; ++i) {
+    BigInt v = BigInt::RandomBelow(rng, bound);
+    EXPECT_TRUE(v < bound);
+    EXPECT_FALSE(v.IsNegative());
+  }
+}
+
+TEST(BigIntTest, GeneratePrimeSmall) {
+  DeterministicRandom rng(8);
+  BigInt p = BigInt::GeneratePrime(rng, 48);
+  EXPECT_EQ(p.BitLength(), 48u);
+  EXPECT_TRUE(BigInt::IsProbablePrime(p, rng));
+}
+
+TEST(BigIntTest, MulCommutesAndAssociatesRandomized) {
+  DeterministicRandom rng(9);
+  for (int i = 0; i < 50; ++i) {
+    BigInt a = BigInt::RandomBits(rng, 100);
+    BigInt b = BigInt::RandomBits(rng, 200);
+    BigInt c = BigInt::RandomBits(rng, 60);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+}  // namespace
+}  // namespace mws::math

@@ -1,0 +1,377 @@
+#include <gtest/gtest.h>
+
+#include "src/crypto/block_cipher.h"
+#include "src/crypto/drbg.h"
+#include "src/crypto/modes.h"
+#include "src/crypto/rsa.h"
+#include "src/util/hex.h"
+#include "src/util/random.h"
+
+namespace mws::crypto {
+namespace {
+
+using util::Bytes;
+using util::BytesFromString;
+using util::DeterministicRandom;
+using util::HexDecode;
+using util::HexEncode;
+
+Bytes H(const char* hex) { return HexDecode(hex).value(); }
+
+TEST(DesTest, ClassicKnownAnswer) {
+  // The widely published worked example (used in many DES tutorials).
+  auto cipher = NewBlockCipher(CipherKind::kDes, H("133457799bbcdff1")).value();
+  Bytes pt = H("0123456789abcdef");
+  Bytes ct(8);
+  cipher->EncryptBlock(pt.data(), ct.data());
+  EXPECT_EQ(HexEncode(ct), "85e813540f0ab405");
+  Bytes back(8);
+  cipher->DecryptBlock(ct.data(), back.data());
+  EXPECT_EQ(back, pt);
+}
+
+TEST(DesTest, ZeroCiphertextVector) {
+  auto cipher = NewBlockCipher(CipherKind::kDes, H("0e329232ea6d0d73")).value();
+  Bytes pt = H("8787878787878787");
+  Bytes ct(8);
+  cipher->EncryptBlock(pt.data(), ct.data());
+  EXPECT_EQ(HexEncode(ct), "0000000000000000");
+}
+
+TEST(DesTest, InPlaceOperation) {
+  auto cipher = NewBlockCipher(CipherKind::kDes, H("133457799bbcdff1")).value();
+  Bytes buf = H("0123456789abcdef");
+  cipher->EncryptBlock(buf.data(), buf.data());
+  EXPECT_EQ(HexEncode(buf), "85e813540f0ab405");
+  cipher->DecryptBlock(buf.data(), buf.data());
+  EXPECT_EQ(HexEncode(buf), "0123456789abcdef");
+}
+
+TEST(DesTest, RoundTripRandomized) {
+  DeterministicRandom rng(1);
+  for (int i = 0; i < 50; ++i) {
+    Bytes key = rng.Generate(8);
+    Bytes pt = rng.Generate(8);
+    auto cipher = NewBlockCipher(CipherKind::kDes, key).value();
+    Bytes ct(8), back(8);
+    cipher->EncryptBlock(pt.data(), ct.data());
+    cipher->DecryptBlock(ct.data(), back.data());
+    EXPECT_EQ(back, pt);
+    EXPECT_NE(ct, pt);
+  }
+}
+
+TEST(TripleDesTest, DegeneratesToSingleDes) {
+  // EDE with K1 == K2 == K3 must equal single DES.
+  Bytes k = H("133457799bbcdff1");
+  Bytes k3 = k;
+  k3.insert(k3.end(), k.begin(), k.end());
+  k3.insert(k3.end(), k.begin(), k.end());
+  auto des = NewBlockCipher(CipherKind::kDes, k).value();
+  auto tdes = NewBlockCipher(CipherKind::kTripleDes, k3).value();
+  Bytes pt = H("0123456789abcdef");
+  Bytes a(8), b(8);
+  des->EncryptBlock(pt.data(), a.data());
+  tdes->EncryptBlock(pt.data(), b.data());
+  EXPECT_EQ(a, b);
+}
+
+TEST(TripleDesTest, RoundTripRandomized) {
+  DeterministicRandom rng(2);
+  for (int i = 0; i < 20; ++i) {
+    Bytes key = rng.Generate(24);
+    Bytes pt = rng.Generate(8);
+    auto cipher = NewBlockCipher(CipherKind::kTripleDes, key).value();
+    Bytes ct(8), back(8);
+    cipher->EncryptBlock(pt.data(), ct.data());
+    cipher->DecryptBlock(ct.data(), back.data());
+    EXPECT_EQ(back, pt);
+  }
+}
+
+TEST(AesTest, Fips197Vector) {
+  auto cipher = NewBlockCipher(CipherKind::kAes128,
+                               H("000102030405060708090a0b0c0d0e0f"))
+                    .value();
+  Bytes pt = H("00112233445566778899aabbccddeeff");
+  Bytes ct(16);
+  cipher->EncryptBlock(pt.data(), ct.data());
+  EXPECT_EQ(HexEncode(ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  Bytes back(16);
+  cipher->DecryptBlock(ct.data(), back.data());
+  EXPECT_EQ(back, pt);
+}
+
+TEST(AesTest, NistSp800_38aVector) {
+  auto cipher = NewBlockCipher(CipherKind::kAes128,
+                               H("2b7e151628aed2a6abf7158809cf4f3c"))
+                    .value();
+  Bytes pt = H("6bc1bee22e409f96e93d7e117393172a");
+  Bytes ct(16);
+  cipher->EncryptBlock(pt.data(), ct.data());
+  EXPECT_EQ(HexEncode(ct), "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+TEST(AesTest, RoundTripRandomized) {
+  DeterministicRandom rng(3);
+  for (int i = 0; i < 50; ++i) {
+    Bytes key = rng.Generate(16);
+    Bytes pt = rng.Generate(16);
+    auto cipher = NewBlockCipher(CipherKind::kAes128, key).value();
+    Bytes ct(16), back(16);
+    cipher->EncryptBlock(pt.data(), ct.data());
+    cipher->DecryptBlock(ct.data(), back.data());
+    EXPECT_EQ(back, pt);
+  }
+}
+
+TEST(BlockCipherTest, KeyLengthValidation) {
+  EXPECT_FALSE(NewBlockCipher(CipherKind::kDes, Bytes(7)).ok());
+  EXPECT_FALSE(NewBlockCipher(CipherKind::kDes, Bytes(16)).ok());
+  EXPECT_FALSE(NewBlockCipher(CipherKind::kTripleDes, Bytes(8)).ok());
+  EXPECT_FALSE(NewBlockCipher(CipherKind::kAes128, Bytes(24)).ok());
+  EXPECT_TRUE(NewBlockCipher(CipherKind::kDes, Bytes(8)).ok());
+  EXPECT_TRUE(NewBlockCipher(CipherKind::kTripleDes, Bytes(24)).ok());
+  EXPECT_TRUE(NewBlockCipher(CipherKind::kAes128, Bytes(16)).ok());
+}
+
+TEST(BlockCipherTest, Metadata) {
+  EXPECT_EQ(BlockLength(CipherKind::kDes), 8u);
+  EXPECT_EQ(BlockLength(CipherKind::kTripleDes), 8u);
+  EXPECT_EQ(BlockLength(CipherKind::kAes128), 16u);
+  EXPECT_EQ(KeyLength(CipherKind::kDes), 8u);
+  EXPECT_EQ(KeyLength(CipherKind::kTripleDes), 24u);
+  EXPECT_EQ(KeyLength(CipherKind::kAes128), 16u);
+  EXPECT_STREQ(CipherKindName(CipherKind::kDes), "DES");
+}
+
+// --- PKCS#7 ---
+
+TEST(Pkcs7Test, PadUnpadAllResidues) {
+  for (size_t len = 0; len <= 24; ++len) {
+    Bytes data(len, 0x42);
+    Bytes padded = Pkcs7Pad(data, 8);
+    EXPECT_EQ(padded.size() % 8, 0u);
+    EXPECT_GT(padded.size(), data.size());
+    auto back = Pkcs7Unpad(padded, 8);
+    ASSERT_TRUE(back.ok()) << len;
+    EXPECT_EQ(back.value(), data);
+  }
+}
+
+TEST(Pkcs7Test, RejectsCorruptPadding) {
+  Bytes padded = Pkcs7Pad(BytesFromString("hello"), 8);
+  padded.back() = 0;  // pad byte 0 invalid
+  EXPECT_FALSE(Pkcs7Unpad(padded, 8).ok());
+  padded.back() = 9;  // pad longer than block
+  EXPECT_FALSE(Pkcs7Unpad(padded, 8).ok());
+  padded.back() = 2;  // claims 2 pad bytes but the one before is 0x03
+  EXPECT_FALSE(Pkcs7Unpad(padded, 8).ok());
+  EXPECT_FALSE(Pkcs7Unpad({}, 8).ok());
+  EXPECT_FALSE(Pkcs7Unpad(Bytes(7, 1), 8).ok());
+}
+
+// --- Modes ---
+
+class ModeTest : public ::testing::TestWithParam<CipherKind> {};
+
+TEST_P(ModeTest, CbcRoundTripVariousLengths) {
+  DeterministicRandom rng(4);
+  Bytes key = rng.Generate(KeyLength(GetParam()));
+  for (size_t len : {0u, 1u, 7u, 8u, 9u, 15u, 16u, 17u, 100u, 1000u}) {
+    Bytes pt = rng.Generate(len);
+    auto ct = CbcEncrypt(GetParam(), key, pt, rng);
+    ASSERT_TRUE(ct.ok());
+    auto back = CbcDecrypt(GetParam(), key, ct.value());
+    ASSERT_TRUE(back.ok()) << len;
+    EXPECT_EQ(back.value(), pt);
+  }
+}
+
+TEST_P(ModeTest, CbcFreshIvPerEncryption) {
+  DeterministicRandom rng(5);
+  Bytes key = rng.Generate(KeyLength(GetParam()));
+  Bytes pt = BytesFromString("same message");
+  auto a = CbcEncrypt(GetParam(), key, pt, rng);
+  auto b = CbcEncrypt(GetParam(), key, pt, rng);
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST_P(ModeTest, CbcRejectsTamperedPaddingOrLength) {
+  DeterministicRandom rng(6);
+  Bytes key = rng.Generate(KeyLength(GetParam()));
+  auto ct = CbcEncrypt(GetParam(), key, BytesFromString("attack at dawn"),
+                       rng);
+  ASSERT_TRUE(ct.ok());
+  Bytes truncated(ct.value().begin(), ct.value().end() - 1);
+  EXPECT_FALSE(CbcDecrypt(GetParam(), key, truncated).ok());
+  EXPECT_FALSE(CbcDecrypt(GetParam(), key, {}).ok());
+}
+
+TEST_P(ModeTest, CbcWrongKeyFailsOrGarbles) {
+  DeterministicRandom rng(7);
+  Bytes key = rng.Generate(KeyLength(GetParam()));
+  Bytes key2 = rng.Generate(KeyLength(GetParam()));
+  Bytes pt = BytesFromString("confidential meter reading 12345");
+  auto ct = CbcEncrypt(GetParam(), key, pt, rng);
+  auto back = CbcDecrypt(GetParam(), key2, ct.value());
+  if (back.ok()) {
+    EXPECT_NE(back.value(), pt);
+  }
+}
+
+TEST_P(ModeTest, CtrRoundTripAndLengthPreserving) {
+  DeterministicRandom rng(8);
+  Bytes key = rng.Generate(KeyLength(GetParam()));
+  for (size_t len : {0u, 1u, 8u, 13u, 64u, 1000u}) {
+    Bytes pt = rng.Generate(len);
+    auto ct = CtrEncrypt(GetParam(), key, pt, rng);
+    ASSERT_TRUE(ct.ok());
+    EXPECT_EQ(ct.value().size(), len + BlockLength(GetParam()));
+    auto back = CtrDecrypt(GetParam(), key, ct.value());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), pt);
+  }
+  EXPECT_FALSE(CtrDecrypt(GetParam(), key, Bytes(3)).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCiphers, ModeTest,
+                         ::testing::Values(CipherKind::kDes,
+                                           CipherKind::kTripleDes,
+                                           CipherKind::kAes128),
+                         [](const ::testing::TestParamInfo<CipherKind>& info) {
+                           switch (info.param) {
+                             case CipherKind::kDes:
+                               return "Des";
+                             case CipherKind::kTripleDes:
+                               return "TripleDes";
+                             case CipherKind::kAes128:
+                               return "Aes128";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(CbcTest, KnownNistAesVectorFirstBlock) {
+  // SP 800-38A F.2.1 (CBC-AES128) block 1: we can't inject the IV through
+  // the public API, so check the core transform via a hand-rolled step:
+  // C1 = E(K, P1 xor IV).
+  Bytes key = H("2b7e151628aed2a6abf7158809cf4f3c");
+  Bytes iv = H("000102030405060708090a0b0c0d0e0f");
+  Bytes p1 = H("6bc1bee22e409f96e93d7e117393172a");
+  auto cipher = NewBlockCipher(CipherKind::kAes128, key).value();
+  Bytes x(16);
+  for (int i = 0; i < 16; ++i) x[i] = p1[i] ^ iv[i];
+  Bytes c1(16);
+  cipher->EncryptBlock(x.data(), c1.data());
+  EXPECT_EQ(HexEncode(c1), "7649abac8119b246cee98e9b12e9197d");
+}
+
+// --- DRBG ---
+
+TEST(DrbgTest, DeterministicFromSeed) {
+  HmacDrbg a(BytesFromString("seed"));
+  HmacDrbg b(BytesFromString("seed"));
+  EXPECT_EQ(a.Generate(64), b.Generate(64));
+  HmacDrbg c(BytesFromString("other-seed"));
+  EXPECT_NE(a.Generate(64), c.Generate(64));
+}
+
+TEST(DrbgTest, SequentialOutputsDiffer) {
+  HmacDrbg drbg(BytesFromString("seed"));
+  EXPECT_NE(drbg.Generate(32), drbg.Generate(32));
+}
+
+TEST(DrbgTest, ReseedChangesStream) {
+  HmacDrbg a(BytesFromString("seed"));
+  HmacDrbg b(BytesFromString("seed"));
+  (void)a.Generate(16);
+  (void)b.Generate(16);
+  b.Reseed(BytesFromString("fresh entropy"));
+  EXPECT_NE(a.Generate(32), b.Generate(32));
+}
+
+TEST(DrbgTest, UniformU64RespectsBound) {
+  HmacDrbg drbg(BytesFromString("seed"));
+  for (int i = 0; i < 200; ++i) EXPECT_LT(drbg.UniformU64(10), 10u);
+}
+
+// --- RSA ---
+
+TEST(RsaTest, KeyGenAndOaepRoundTrip) {
+  DeterministicRandom rng(9);
+  auto kp = RsaGenerateKeyPair(768, rng);
+  ASSERT_TRUE(kp.ok());
+  Bytes msg = BytesFromString("session-key-and-ticket");
+  auto ct = RsaOaepEncrypt(kp->public_key, msg, rng);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(ct->size(), kp->public_key.ByteLength());
+  auto back = RsaOaepDecrypt(kp->private_key, ct.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), msg);
+}
+
+TEST(RsaTest, EncryptionIsRandomized) {
+  DeterministicRandom rng(10);
+  auto kp = RsaGenerateKeyPair(768, rng);
+  ASSERT_TRUE(kp.ok());
+  Bytes msg = BytesFromString("m");
+  auto a = RsaOaepEncrypt(kp->public_key, msg, rng);
+  auto b = RsaOaepEncrypt(kp->public_key, msg, rng);
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(RsaTest, RejectsOversizeMessage) {
+  DeterministicRandom rng(11);
+  auto kp = RsaGenerateKeyPair(768, rng);
+  ASSERT_TRUE(kp.ok());
+  size_t capacity = kp->public_key.ByteLength() - 66;
+  EXPECT_TRUE(
+      RsaOaepEncrypt(kp->public_key, Bytes(capacity, 1), rng).ok());
+  EXPECT_FALSE(
+      RsaOaepEncrypt(kp->public_key, Bytes(capacity + 1, 1), rng).ok());
+}
+
+TEST(RsaTest, TamperedCiphertextRejected) {
+  DeterministicRandom rng(12);
+  auto kp = RsaGenerateKeyPair(768, rng);
+  ASSERT_TRUE(kp.ok());
+  auto ct = RsaOaepEncrypt(kp->public_key, BytesFromString("msg"), rng);
+  ASSERT_TRUE(ct.ok());
+  Bytes tampered = ct.value();
+  tampered[tampered.size() / 2] ^= 0x40;
+  EXPECT_FALSE(RsaOaepDecrypt(kp->private_key, tampered).ok());
+  EXPECT_FALSE(RsaOaepDecrypt(kp->private_key, Bytes(5)).ok());
+}
+
+TEST(RsaTest, WrongKeyRejected) {
+  DeterministicRandom rng(13);
+  auto kp1 = RsaGenerateKeyPair(768, rng);
+  auto kp2 = RsaGenerateKeyPair(768, rng);
+  ASSERT_TRUE(kp1.ok() && kp2.ok());
+  auto ct = RsaOaepEncrypt(kp1->public_key, BytesFromString("msg"), rng);
+  EXPECT_FALSE(RsaOaepDecrypt(kp2->private_key, ct.value()).ok());
+}
+
+TEST(RsaTest, PublicKeySerializationRoundTrip) {
+  DeterministicRandom rng(14);
+  auto kp = RsaGenerateKeyPair(768, rng);
+  ASSERT_TRUE(kp.ok());
+  Bytes ser = SerializeRsaPublicKey(kp->public_key);
+  auto parsed = ParseRsaPublicKey(ser);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->n, kp->public_key.n);
+  EXPECT_EQ(parsed->e, kp->public_key.e);
+  // Malformed inputs.
+  EXPECT_FALSE(ParseRsaPublicKey({}).ok());
+  EXPECT_FALSE(ParseRsaPublicKey(Bytes(3, 0xff)).ok());
+  Bytes truncated(ser.begin(), ser.end() - 2);
+  EXPECT_FALSE(ParseRsaPublicKey(truncated).ok());
+}
+
+TEST(RsaTest, RejectsTooSmallModulus) {
+  DeterministicRandom rng(15);
+  EXPECT_FALSE(RsaGenerateKeyPair(256, rng).ok());
+}
+
+}  // namespace
+}  // namespace mws::crypto

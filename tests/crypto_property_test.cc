@@ -1,0 +1,202 @@
+// Property-style sweeps over the crypto substrate: classical DES
+// properties (weak keys, complementation), avalanche behaviour of the
+// hash functions and ciphers, and randomized cross-checks that CBC/CTR
+// compose correctly with every cipher.
+
+#include <gtest/gtest.h>
+
+#include <bitset>
+
+#include "src/crypto/block_cipher.h"
+#include "src/crypto/hash.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/modes.h"
+#include "src/util/hex.h"
+#include "src/util/random.h"
+
+namespace mws::crypto {
+namespace {
+
+using util::Bytes;
+using util::BytesFromString;
+using util::DeterministicRandom;
+using util::HexDecode;
+
+Bytes H(const char* hex) { return HexDecode(hex).value(); }
+
+int HammingDistance(const Bytes& a, const Bytes& b) {
+  int bits = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    bits += std::bitset<8>(a[i] ^ b[i]).count();
+  }
+  return bits;
+}
+
+// --- Classical DES algebraic properties ---
+
+TEST(DesPropertyTest, WeakKeysAreInvolutions) {
+  // For the four DES weak keys, encryption is its own inverse.
+  const char* weak_keys[] = {
+      "0101010101010101",
+      "fefefefefefefefe",
+      "e0e0e0e0f1f1f1f1",
+      "1f1f1f1f0e0e0e0e",
+  };
+  DeterministicRandom rng(1);
+  for (const char* key_hex : weak_keys) {
+    auto cipher = NewBlockCipher(CipherKind::kDes, H(key_hex)).value();
+    for (int i = 0; i < 10; ++i) {
+      Bytes block = rng.Generate(8);
+      Bytes once(8), twice(8);
+      cipher->EncryptBlock(block.data(), once.data());
+      cipher->EncryptBlock(once.data(), twice.data());
+      EXPECT_EQ(twice, block) << key_hex;
+    }
+  }
+}
+
+TEST(DesPropertyTest, ComplementationProperty) {
+  // DES(~K, ~P) == ~DES(K, P) — a structural property of the Feistel
+  // network that any correct implementation must exhibit.
+  DeterministicRandom rng(2);
+  for (int i = 0; i < 20; ++i) {
+    Bytes key = rng.Generate(8);
+    Bytes plain = rng.Generate(8);
+    Bytes key_c(8), plain_c(8);
+    for (int j = 0; j < 8; ++j) {
+      key_c[j] = static_cast<uint8_t>(~key[j]);
+      plain_c[j] = static_cast<uint8_t>(~plain[j]);
+    }
+    Bytes ct(8), ct_c(8);
+    NewBlockCipher(CipherKind::kDes, key).value()->EncryptBlock(plain.data(),
+                                                                ct.data());
+    NewBlockCipher(CipherKind::kDes, key_c)
+        .value()
+        ->EncryptBlock(plain_c.data(), ct_c.data());
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_EQ(static_cast<uint8_t>(~ct[j]), ct_c[j]);
+    }
+  }
+}
+
+// --- Avalanche sweeps ---
+
+class CipherAvalancheTest : public ::testing::TestWithParam<CipherKind> {};
+
+TEST_P(CipherAvalancheTest, SingleBitFlipChangesHalfTheOutput) {
+  DeterministicRandom rng(3);
+  const size_t block = BlockLength(GetParam());
+  int total_distance = 0;
+  const int kTrials = 50;
+  for (int i = 0; i < kTrials; ++i) {
+    Bytes key = rng.Generate(KeyLength(GetParam()));
+    auto cipher = NewBlockCipher(GetParam(), key).value();
+    Bytes plain = rng.Generate(block);
+    Bytes flipped = plain;
+    flipped[rng.UniformU64(block)] ^= static_cast<uint8_t>(
+        1u << rng.UniformU64(8));
+    Bytes a(block), b(block);
+    cipher->EncryptBlock(plain.data(), a.data());
+    cipher->EncryptBlock(flipped.data(), b.data());
+    total_distance += HammingDistance(a, b);
+  }
+  double mean = static_cast<double>(total_distance) / kTrials;
+  double expected = 8.0 * block / 2;  // half the bits
+  EXPECT_GT(mean, expected * 0.8);
+  EXPECT_LT(mean, expected * 1.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCiphers, CipherAvalancheTest,
+                         ::testing::Values(CipherKind::kDes,
+                                           CipherKind::kTripleDes,
+                                           CipherKind::kAes128),
+                         [](const ::testing::TestParamInfo<CipherKind>& info) {
+                           switch (info.param) {
+                             case CipherKind::kDes:
+                               return "Des";
+                             case CipherKind::kTripleDes:
+                               return "TripleDes";
+                             case CipherKind::kAes128:
+                               return "Aes128";
+                           }
+                           return "Unknown";
+                         });
+
+class HashAvalancheTest : public ::testing::TestWithParam<HashKind> {};
+
+TEST_P(HashAvalancheTest, SingleBitFlipChangesHalfTheDigest) {
+  DeterministicRandom rng(4);
+  int total_distance = 0;
+  const int kTrials = 50;
+  const size_t digest_bits = 8 * DigestLength(GetParam());
+  for (int i = 0; i < kTrials; ++i) {
+    Bytes message = rng.Generate(40);
+    Bytes flipped = message;
+    flipped[rng.UniformU64(message.size())] ^= static_cast<uint8_t>(
+        1u << rng.UniformU64(8));
+    total_distance +=
+        HammingDistance(Hash(GetParam(), message), Hash(GetParam(), flipped));
+  }
+  double mean = static_cast<double>(total_distance) / kTrials;
+  EXPECT_GT(mean, digest_bits / 2.0 * 0.8);
+  EXPECT_LT(mean, digest_bits / 2.0 * 1.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHashes, HashAvalancheTest,
+                         ::testing::Values(HashKind::kSha1, HashKind::kSha256,
+                                           HashKind::kMd5),
+                         [](const ::testing::TestParamInfo<HashKind>& info) {
+                           switch (info.param) {
+                             case HashKind::kSha1:
+                               return "Sha1";
+                             case HashKind::kSha256:
+                               return "Sha256";
+                             case HashKind::kMd5:
+                               return "Md5";
+                           }
+                           return "Unknown";
+                         });
+
+// --- Mode composition properties ---
+
+TEST(ModePropertyTest, CbcIdenticalBlocksProduceDistinctCiphertext) {
+  // The ECB weakness CBC exists to fix: equal plaintext blocks must not
+  // yield equal ciphertext blocks.
+  DeterministicRandom rng(5);
+  Bytes key = rng.Generate(8);
+  Bytes plain(64, 0x41);  // 8 identical DES blocks
+  Bytes ct = CbcEncrypt(CipherKind::kDes, key, plain, rng).value();
+  // Compare consecutive ciphertext blocks (skip the IV).
+  for (size_t b = 1; b + 1 < ct.size() / 8; ++b) {
+    Bytes blk1(ct.begin() + 8 * b, ct.begin() + 8 * (b + 1));
+    Bytes blk2(ct.begin() + 8 * (b + 1), ct.begin() + 8 * (b + 2));
+    EXPECT_NE(blk1, blk2);
+  }
+}
+
+TEST(ModePropertyTest, CtrIsXorOfKeystream) {
+  // ct(m1) xor ct(m2) == m1 xor m2 under the same nonce — verified by
+  // decrypting a ciphertext spliced from another encryption's nonce.
+  DeterministicRandom rng(6);
+  Bytes key = rng.Generate(16);
+  Bytes m1 = rng.Generate(48);
+  Bytes ct1 = CtrEncrypt(CipherKind::kAes128, key, m1, rng).value();
+  // Flip bits of the body: decryption flips exactly those plaintext bits.
+  Bytes tampered = ct1;
+  tampered[16] ^= 0xff;  // first body byte (after 16-byte nonce)
+  Bytes out = CtrDecrypt(CipherKind::kAes128, key, tampered).value();
+  EXPECT_EQ(static_cast<uint8_t>(out[0] ^ m1[0]), 0xff);
+  for (size_t i = 1; i < m1.size(); ++i) EXPECT_EQ(out[i], m1[i]);
+}
+
+TEST(ModePropertyTest, HmacDistributesOverNoStructure) {
+  // MACs of related messages are unrelated (sanity avalanche on HMAC).
+  Bytes key = BytesFromString("k");
+  Bytes a = HmacSha256(key, BytesFromString("message-A"));
+  Bytes b = HmacSha256(key, BytesFromString("message-B"));
+  int distance = HammingDistance(a, b);
+  EXPECT_GT(distance, 256 / 2 * 0.6);
+}
+
+}  // namespace
+}  // namespace mws::crypto

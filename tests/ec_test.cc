@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/math/ec.h"
+#include "src/util/random.h"
+
+namespace mws::math {
+namespace {
+
+using util::DeterministicRandom;
+
+/// Tiny curve with known group structure for exhaustive checks:
+/// y^2 = x^3 + x over F_103 (103 == 3 mod 4, supersingular, #E = 104).
+class SmallCurveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ctx = FpCtx::Create(BigInt(103));
+    ASSERT_TRUE(ctx.ok());
+    ctx_ = std::move(ctx).value();
+    curve_ = std::make_unique<CurveGroup>(ctx_.get(), Fp::One(ctx_.get()),
+                                          Fp::Zero(ctx_.get()));
+  }
+
+  Fp El(uint64_t v) { return Fp::FromU64(ctx_.get(), v); }
+
+  EcPoint FindPoint() {
+    // Smallest x whose x^3 + x is a residue.
+    for (uint64_t x = 1; x < 103; ++x) {
+      Fp fx = El(x);
+      auto y = (fx.Sqr() * fx + fx).Sqrt();
+      if (y.ok() && !y.value().IsZero()) return EcPoint(fx, y.value());
+    }
+    ADD_FAILURE() << "no point found";
+    return EcPoint::Infinity();
+  }
+
+  std::unique_ptr<const FpCtx> ctx_;
+  std::unique_ptr<CurveGroup> curve_;
+};
+
+TEST_F(SmallCurveTest, InfinityIsIdentity) {
+  EcPoint p = FindPoint();
+  EcPoint inf = EcPoint::Infinity();
+  EXPECT_TRUE(curve_->IsOnCurve(inf));
+  EXPECT_EQ(curve_->Add(p, inf), p);
+  EXPECT_EQ(curve_->Add(inf, p), p);
+  EXPECT_EQ(curve_->Add(inf, inf), inf);
+}
+
+TEST_F(SmallCurveTest, AdditionInverse) {
+  EcPoint p = FindPoint();
+  EXPECT_EQ(curve_->Add(p, curve_->Negate(p)), EcPoint::Infinity());
+}
+
+TEST_F(SmallCurveTest, GroupOrderIs104) {
+  // Supersingular curve over F_p with p == 3 mod 4 has exactly p+1 points.
+  EcPoint p = FindPoint();
+  EXPECT_EQ(curve_->ScalarMul(BigInt(104), p), EcPoint::Infinity());
+}
+
+TEST_F(SmallCurveTest, ExhaustivePointCount) {
+  // Count solutions directly: sum over x of (1 + legendre(x^3+x)) plus 1
+  // for infinity.
+  int count = 1;
+  for (uint64_t x = 0; x < 103; ++x) {
+    Fp fx = El(x);
+    Fp rhs = fx.Sqr() * fx + fx;
+    if (rhs.IsZero()) {
+      count += 1;
+    } else if (rhs.Legendre() == 1) {
+      count += 2;
+    }
+  }
+  EXPECT_EQ(count, 104);
+}
+
+TEST_F(SmallCurveTest, ScalarMulMatchesRepeatedAdd) {
+  EcPoint p = FindPoint();
+  EcPoint acc = EcPoint::Infinity();
+  for (int k = 0; k <= 20; ++k) {
+    EXPECT_EQ(curve_->ScalarMul(BigInt(k), p), acc) << "k=" << k;
+    acc = curve_->Add(acc, p);
+  }
+}
+
+TEST_F(SmallCurveTest, NegativeScalar) {
+  EcPoint p = FindPoint();
+  EXPECT_EQ(curve_->ScalarMul(BigInt(-3), p),
+            curve_->Negate(curve_->ScalarMul(BigInt(3), p)));
+}
+
+TEST_F(SmallCurveTest, DoubleMatchesAdd) {
+  EcPoint p = FindPoint();
+  EXPECT_EQ(curve_->Double(p), curve_->Add(p, p));
+}
+
+TEST_F(SmallCurveTest, TwoTorsionPoint) {
+  // (0, 0) is on y^2 = x^3 + x and has order 2.
+  EcPoint t(El(0), El(0));
+  EXPECT_TRUE(curve_->IsOnCurve(t));
+  EXPECT_EQ(curve_->Double(t), EcPoint::Infinity());
+  EXPECT_EQ(curve_->Add(t, t), EcPoint::Infinity());
+}
+
+TEST_F(SmallCurveTest, AssociativityExhaustiveSample) {
+  EcPoint p = FindPoint();
+  for (int i = 1; i <= 6; ++i) {
+    for (int j = 1; j <= 6; ++j) {
+      EcPoint a = curve_->ScalarMul(BigInt(i), p);
+      EcPoint b = curve_->ScalarMul(BigInt(j), p);
+      EcPoint c = curve_->ScalarMul(BigInt(5), p);
+      EXPECT_EQ(curve_->Add(curve_->Add(a, b), c),
+                curve_->Add(a, curve_->Add(b, c)));
+    }
+  }
+}
+
+TEST_F(SmallCurveTest, SerializeRoundTrip) {
+  EcPoint p = FindPoint();
+  auto bytes = curve_->Serialize(p);
+  auto back = curve_->Deserialize(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), p);
+
+  auto inf_bytes = curve_->Serialize(EcPoint::Infinity());
+  EXPECT_EQ(inf_bytes, (util::Bytes{0x00}));
+  EXPECT_EQ(curve_->Deserialize(inf_bytes).value(), EcPoint::Infinity());
+}
+
+TEST_F(SmallCurveTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(curve_->Deserialize({}).ok());
+  EXPECT_FALSE(curve_->Deserialize({0x05}).ok());
+  // Valid shape but not on the curve: x=1,y=1 (1 != 2 mod 103).
+  util::Bytes bad = {0x04, 1, 1};
+  EXPECT_FALSE(curve_->Deserialize(bad).ok());
+}
+
+TEST_F(SmallCurveTest, CompressedRoundTrip) {
+  EcPoint p = FindPoint();
+  auto bytes = curve_->SerializeCompressed(p);
+  EXPECT_EQ(bytes.size(), 1 + ctx_->byte_length());
+  auto back = curve_->DeserializeCompressed(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back.value(), p);
+  // The negated point round-trips to itself (opposite parity tag).
+  EcPoint neg = curve_->Negate(p);
+  auto neg_bytes = curve_->SerializeCompressed(neg);
+  EXPECT_NE(neg_bytes[0], bytes[0]);
+  EXPECT_EQ(curve_->DeserializeCompressed(neg_bytes).value(), neg);
+  // Infinity.
+  EXPECT_EQ(curve_->SerializeCompressed(EcPoint::Infinity()),
+            (util::Bytes{0x00}));
+  EXPECT_EQ(curve_->DeserializeCompressed({0x00}).value(),
+            EcPoint::Infinity());
+  // Compressed is half the uncompressed size (plus tag).
+  EXPECT_LT(bytes.size(), curve_->Serialize(p).size());
+}
+
+TEST_F(SmallCurveTest, CompressedRejectsGarbage) {
+  EXPECT_FALSE(curve_->DeserializeCompressed({}).ok());
+  EXPECT_FALSE(curve_->DeserializeCompressed({0x04, 1}).ok());
+  // x with no curve point (x=2: 2^3+2=10, QR? try a few x until a
+  // non-residue is found).
+  bool found_invalid = false;
+  for (uint64_t x = 1; x < 103 && !found_invalid; ++x) {
+    Fp fx = El(x);
+    if ((fx.Sqr() * fx + fx).Legendre() == -1) {
+      util::Bytes bad = {0x02, static_cast<uint8_t>(x)};
+      EXPECT_FALSE(curve_->DeserializeCompressed(bad).ok());
+      found_invalid = true;
+    }
+  }
+  EXPECT_TRUE(found_invalid);
+  // Out-of-range coordinate.
+  EXPECT_FALSE(curve_->DeserializeCompressed({0x02, 200}).ok());
+}
+
+TEST_F(SmallCurveTest, CompressedExhaustiveOverSubgroup) {
+  EcPoint p = FindPoint();
+  EcPoint acc = p;
+  for (int k = 1; k < 30; ++k) {
+    auto back = curve_->DeserializeCompressed(
+        curve_->SerializeCompressed(acc));
+    ASSERT_TRUE(back.ok()) << "k=" << k;
+    EXPECT_EQ(back.value(), acc);
+    acc = curve_->Add(acc, p);
+  }
+}
+
+TEST_F(SmallCurveTest, DeserializeRejectsNonCanonicalCoordinate) {
+  EcPoint p = FindPoint();
+  auto bytes = curve_->Serialize(p);
+  // Add p (=103) to the x coordinate: same residue, non-canonical bytes.
+  bytes[1] = static_cast<uint8_t>(bytes[1] + 103);
+  EXPECT_FALSE(curve_->Deserialize(bytes).ok());
+}
+
+/// Larger-field sanity with a 256-bit prime.
+TEST(LargeCurveTest, ScalarArithmetic) {
+  auto p = BigInt::FromHex(
+               "fffffffffffffffffffffffffffffffffffffffffffffffffffffffe"
+               "fffffc2f")
+               .value();
+  auto ctx = FpCtx::Create(p).value();
+  CurveGroup curve(ctx.get(), Fp::One(ctx.get()), Fp::Zero(ctx.get()));
+  DeterministicRandom rng(1);
+  // Find a point by incrementing x.
+  EcPoint base = EcPoint::Infinity();
+  for (uint64_t x = 1;; ++x) {
+    Fp fx = Fp::FromU64(ctx.get(), x);
+    auto y = (fx.Sqr() * fx + fx).Sqrt();
+    if (y.ok()) {
+      base = EcPoint(fx, y.value());
+      break;
+    }
+  }
+  ASSERT_TRUE(curve.IsOnCurve(base));
+  BigInt a = BigInt::RandomBits(rng, 128);
+  BigInt b = BigInt::RandomBits(rng, 128);
+  // (a+b)P == aP + bP.
+  EXPECT_EQ(curve.ScalarMul(a + b, base),
+            curve.Add(curve.ScalarMul(a, base), curve.ScalarMul(b, base)));
+  // a(bP) == (ab)P.
+  EXPECT_EQ(curve.ScalarMul(a, curve.ScalarMul(b, base)),
+            curve.ScalarMul(a * b, base));
+  // Results stay on the curve.
+  EXPECT_TRUE(curve.IsOnCurve(curve.ScalarMul(a, base)));
+}
+
+}  // namespace
+}  // namespace mws::math

@@ -1,0 +1,169 @@
+// Failure-injection tests: a Table decorator that fails on command wraps
+// the typed databases and the MWS service, verifying that storage
+// failures surface as Status errors (never crashes) and that the
+// databases stay consistent after a failed multi-key operation.
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/hmac.h"
+#include "src/mws/mws_service.h"
+#include "src/store/kvstore.h"
+#include "src/store/message_db.h"
+#include "src/store/policy_db.h"
+#include "src/util/clock.h"
+
+namespace mws::store {
+namespace {
+
+using util::Bytes;
+using util::BytesFromString;
+
+/// Delegating table that can be armed to fail writes (optionally after a
+/// countdown, to hit the middle of multi-key operations).
+class FaultyTable : public Table {
+ public:
+  explicit FaultyTable(Table* base) : base_(base) {}
+
+  void FailWritesAfter(int countdown) {
+    countdown_ = countdown;
+    armed_ = true;
+  }
+  void Heal() { armed_ = false; }
+
+  util::Status Put(const std::string& key, const Bytes& value) override {
+    MWS_RETURN_IF_ERROR(MaybeFail());
+    return base_->Put(key, value);
+  }
+  util::Result<Bytes> Get(const std::string& key) const override {
+    return base_->Get(key);
+  }
+  util::Status Delete(const std::string& key) override {
+    MWS_RETURN_IF_ERROR(MaybeFail());
+    return base_->Delete(key);
+  }
+  bool Contains(const std::string& key) const override {
+    return base_->Contains(key);
+  }
+  std::vector<std::pair<std::string, Bytes>> Scan(
+      const std::string& prefix) const override {
+    return base_->Scan(prefix);
+  }
+  size_t Size() const override { return base_->Size(); }
+  util::Status Flush() override { return base_->Flush(); }
+
+ private:
+  util::Status MaybeFail() {
+    if (!armed_) return util::Status::Ok();
+    if (countdown_ > 0) {
+      --countdown_;
+      return util::Status::Ok();
+    }
+    return util::Status::IoError("injected write failure");
+  }
+
+  Table* base_;
+  bool armed_ = false;
+  int countdown_ = 0;
+};
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  FaultInjectionTest()
+      : base_(KvStore::Open({.path = ""}).value()), faulty_(base_.get()) {}
+
+  std::unique_ptr<KvStore> base_;
+  FaultyTable faulty_;
+};
+
+TEST_F(FaultInjectionTest, MessageDbAppendPropagatesFailure) {
+  MessageDb db(&faulty_);
+  StoredMessage m;
+  m.u = Bytes(10, 1);
+  m.ciphertext = Bytes(10, 2);
+  m.attribute = "A";
+  m.nonce = Bytes(16, 3);
+  m.device_id = "SD";
+
+  faulty_.FailWritesAfter(0);
+  auto result = db.Append(m);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kIoError);
+
+  // After healing, appends work and ids remain sequential from 1.
+  faulty_.Heal();
+  EXPECT_EQ(db.Append(m).value(), 1u);
+}
+
+TEST_F(FaultInjectionTest, MessageDbPartialAppendDoesNotCorruptReads) {
+  MessageDb db(&faulty_);
+  StoredMessage m;
+  m.u = Bytes(10, 1);
+  m.ciphertext = Bytes(10, 2);
+  m.attribute = "A";
+  m.nonce = Bytes(16, 3);
+  m.device_id = "SD";
+  ASSERT_TRUE(db.Append(m).ok());
+
+  // Fail on the second write of the three-write append (the index).
+  faulty_.FailWritesAfter(1);
+  EXPECT_FALSE(db.Append(m).ok());
+  faulty_.Heal();
+
+  // The first message is still fully readable; a dangling record may
+  // exist but must not break queries.
+  auto visible = db.FindByAttribute("A");
+  ASSERT_TRUE(visible.ok());
+  EXPECT_GE(visible->size(), 1u);
+  EXPECT_EQ(visible->at(0).id, 1u);
+}
+
+TEST_F(FaultInjectionTest, PolicyDbGrantPropagatesFailure) {
+  PolicyDb db(&faulty_);
+  faulty_.FailWritesAfter(0);
+  EXPECT_FALSE(db.Grant("RC", "A").ok());
+  faulty_.Heal();
+  EXPECT_TRUE(db.Grant("RC", "A").ok());
+  EXPECT_TRUE(db.HasAccess("RC", "A"));
+}
+
+TEST_F(FaultInjectionTest, PolicyDbRevokeMidFailureStaysQueryable) {
+  PolicyDb db(&faulty_);
+  uint64_t aid = db.Grant("RC", "A").value();
+  // Fail the second delete (the AID row).
+  faulty_.FailWritesAfter(1);
+  auto status = db.Revoke("RC", "A");
+  EXPECT_FALSE(status.ok());
+  faulty_.Heal();
+  // The grant row is gone; access is already revoked (fail-closed), and
+  // re-granting produces a fresh AID.
+  EXPECT_FALSE(db.HasAccess("RC", "A"));
+  uint64_t aid2 = db.Grant("RC", "A").value();
+  EXPECT_GT(aid2, aid);
+}
+
+TEST_F(FaultInjectionTest, MwsDepositSurfacesStorageErrors) {
+  util::SimulatedClock clock(1'000'000);
+  util::DeterministicRandom rng(1);
+  mws::MwsService service(&faulty_, Bytes(32, 1), &clock, &rng);
+  Bytes mac_key(32, 9);
+  ASSERT_TRUE(service.RegisterDevice("SD-1", mac_key).ok());
+
+  wire::DepositRequest request;
+  request.u = BytesFromString("u");
+  request.ciphertext = BytesFromString("c");
+  request.attribute = "A1";
+  request.nonce = Bytes(16, 0);
+  request.device_id = "SD-1";
+  request.timestamp_micros = clock.NowMicros();
+  request.mac = crypto::HmacSha256(mac_key, request.AuthenticatedBytes());
+
+  faulty_.FailWritesAfter(0);
+  auto result = service.Deposit(request);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kIoError);
+  faulty_.Heal();
+  EXPECT_TRUE(service.Deposit(request).ok());
+}
+
+}  // namespace
+}  // namespace mws::store

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "src/crypto/hash.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/kdf.h"
+#include "src/util/hex.h"
+
+namespace mws::crypto {
+namespace {
+
+using util::Bytes;
+using util::BytesFromString;
+using util::HexDecode;
+using util::HexEncode;
+
+std::string HexHash(HashKind kind, const std::string& msg) {
+  return HexEncode(Hash(kind, BytesFromString(msg)));
+}
+
+TEST(Sha1Test, Fips180Vectors) {
+  EXPECT_EQ(HexHash(HashKind::kSha1, ""),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(HexHash(HashKind::kSha1, "abc"),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(HexHash(HashKind::kSha1,
+                    "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionAs) {
+  auto hasher = NewHasher(HashKind::kSha1);
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher->Update(chunk);
+  EXPECT_EQ(HexEncode(hasher->Finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha256Test, Fips180Vectors) {
+  EXPECT_EQ(HexHash(HashKind::kSha256, ""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(HexHash(HashKind::kSha256, "abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(HexHash(HashKind::kSha256,
+                    "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Md5Test, Rfc1321Vectors) {
+  EXPECT_EQ(HexHash(HashKind::kMd5, ""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(HexHash(HashKind::kMd5, "abc"),
+            "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(HexHash(HashKind::kMd5, "message digest"),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(HexHash(HashKind::kMd5,
+                    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+                    "0123456789"),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+}
+
+TEST(HashTest, StreamingMatchesOneShot) {
+  for (HashKind kind : {HashKind::kSha1, HashKind::kSha256, HashKind::kMd5}) {
+    Bytes data = BytesFromString(
+        "the quick brown fox jumps over the lazy dog, repeatedly, to cross "
+        "block boundaries in interesting ways 0123456789 0123456789");
+    auto hasher = NewHasher(kind);
+    // Feed in awkward chunk sizes (1, 3, 63, rest).
+    size_t offsets[] = {1, 3, 63};
+    size_t pos = 0;
+    for (size_t n : offsets) {
+      hasher->Update(data.data() + pos, n);
+      pos += n;
+    }
+    hasher->Update(data.data() + pos, data.size() - pos);
+    EXPECT_EQ(hasher->Finalize(), Hash(kind, data)) << HashKindName(kind);
+  }
+}
+
+TEST(HashTest, PaddingBoundaries) {
+  // Lengths around the 55/56/64-byte padding edges must all differ.
+  for (HashKind kind : {HashKind::kSha1, HashKind::kSha256, HashKind::kMd5}) {
+    std::set<std::string> digests;
+    for (size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+      digests.insert(HexEncode(Hash(kind, Bytes(len, 'x'))));
+    }
+    EXPECT_EQ(digests.size(), 10u) << HashKindName(kind);
+  }
+}
+
+TEST(HashTest, MetadataConsistent) {
+  for (HashKind kind : {HashKind::kSha1, HashKind::kSha256, HashKind::kMd5}) {
+    auto hasher = NewHasher(kind);
+    EXPECT_EQ(hasher->DigestLength(), DigestLength(kind));
+    EXPECT_EQ(hasher->BlockLength(), 64u);
+    EXPECT_EQ(Hash(kind, {}).size(), DigestLength(kind));
+  }
+}
+
+TEST(HashTest, ConvenienceWrappers) {
+  Bytes msg = BytesFromString("abc");
+  EXPECT_EQ(Sha1(msg), Hash(HashKind::kSha1, msg));
+  EXPECT_EQ(Sha256(msg), Hash(HashKind::kSha256, msg));
+  EXPECT_EQ(Md5(msg), Hash(HashKind::kMd5, msg));
+}
+
+// --- HMAC (RFC 4231 / RFC 2202 vectors) ---
+
+TEST(HmacTest, Rfc4231Sha256Case1) {
+  Bytes key(20, 0x0b);
+  Bytes data = BytesFromString("Hi There");
+  EXPECT_EQ(HexEncode(HmacSha256(key, data)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Sha256Case2) {
+  Bytes key = BytesFromString("Jefe");
+  Bytes data = BytesFromString("what do ya want for nothing?");
+  EXPECT_EQ(HexEncode(HmacSha256(key, data)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Sha256LongKey) {
+  // Case 6: 131-byte key (forces key hashing).
+  Bytes key(131, 0xaa);
+  Bytes data = BytesFromString("Test Using Larger Than Block-Size Key - "
+                               "Hash Key First");
+  EXPECT_EQ(HexEncode(HmacSha256(key, data)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, Rfc2202Sha1Case2) {
+  Bytes key = BytesFromString("Jefe");
+  Bytes data = BytesFromString("what do ya want for nothing?");
+  EXPECT_EQ(HexEncode(Hmac(HashKind::kSha1, key, data)),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(HmacTest, Rfc2202Md5Case2) {
+  Bytes key = BytesFromString("Jefe");
+  Bytes data = BytesFromString("what do ya want for nothing?");
+  EXPECT_EQ(HexEncode(Hmac(HashKind::kMd5, key, data)),
+            "750c783e6ab0b503eaa86e310a5db738");
+}
+
+TEST(HmacTest, VerifyAcceptsAndRejects) {
+  Bytes key = BytesFromString("secret");
+  Bytes data = BytesFromString("message");
+  Bytes mac = HmacSha256(key, data);
+  EXPECT_TRUE(VerifyHmac(HashKind::kSha256, key, data, mac));
+  Bytes tampered_mac = mac;
+  tampered_mac[0] ^= 1;
+  EXPECT_FALSE(VerifyHmac(HashKind::kSha256, key, data, tampered_mac));
+  Bytes tampered_data = data;
+  tampered_data[0] ^= 1;
+  EXPECT_FALSE(VerifyHmac(HashKind::kSha256, key, tampered_data, mac));
+  EXPECT_FALSE(VerifyHmac(HashKind::kSha256, key, data, {}));
+}
+
+TEST(HmacTest, KeySensitivity) {
+  Bytes data = BytesFromString("message");
+  EXPECT_NE(HmacSha256(BytesFromString("k1"), data),
+            HmacSha256(BytesFromString("k2"), data));
+}
+
+// --- HKDF (RFC 5869 vectors) ---
+
+TEST(HkdfTest, Rfc5869Case1) {
+  Bytes ikm(22, 0x0b);
+  Bytes salt = HexDecode("000102030405060708090a0b0c").value();
+  Bytes info = HexDecode("f0f1f2f3f4f5f6f7f8f9").value();
+  Bytes prk = HkdfExtract(salt, ikm);
+  EXPECT_EQ(HexEncode(prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+  Bytes okm = HkdfExpand(prk, info, 42);
+  EXPECT_EQ(HexEncode(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(HkdfTest, Rfc5869Case3EmptySaltInfo) {
+  Bytes ikm(22, 0x0b);
+  Bytes okm = Hkdf({}, ikm, {}, 42);
+  EXPECT_EQ(HexEncode(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(HkdfTest, OutputLengths) {
+  Bytes ikm = BytesFromString("input");
+  EXPECT_EQ(Hkdf({}, ikm, {}, 1).size(), 1u);
+  EXPECT_EQ(Hkdf({}, ikm, {}, 32).size(), 32u);
+  EXPECT_EQ(Hkdf({}, ikm, {}, 100).size(), 100u);
+  // Prefix property: shorter output is a prefix of longer.
+  Bytes long_out = Hkdf({}, ikm, {}, 64);
+  Bytes short_out = Hkdf({}, ikm, {}, 16);
+  EXPECT_TRUE(std::equal(short_out.begin(), short_out.end(),
+                         long_out.begin()));
+}
+
+TEST(HashExpandTest, DeterministicAndLengthExact) {
+  Bytes input = BytesFromString("pairing-value");
+  for (size_t len : {1u, 16u, 20u, 21u, 64u, 100u}) {
+    Bytes a = HashExpand(HashKind::kSha1, input, len);
+    Bytes b = HashExpand(HashKind::kSha1, input, len);
+    EXPECT_EQ(a.size(), len);
+    EXPECT_EQ(a, b);
+  }
+  EXPECT_NE(HashExpand(HashKind::kSha1, input, 32),
+            HashExpand(HashKind::kSha256, input, 32));
+  EXPECT_NE(HashExpand(HashKind::kSha1, BytesFromString("a"), 32),
+            HashExpand(HashKind::kSha1, BytesFromString("b"), 32));
+}
+
+}  // namespace
+}  // namespace mws::crypto

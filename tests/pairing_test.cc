@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/math/pairing.h"
+#include "src/util/random.h"
+
+namespace mws::math {
+namespace {
+
+using util::DeterministicRandom;
+
+/// Generates one small parameter set per suite run (64/192 bits keeps the
+/// whole suite fast) and checks every pairing property on it.
+class PairingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DeterministicRandom rng(20100106);
+    auto params = TypeAParams::Generate(64, 192, rng);
+    ASSERT_TRUE(params.ok()) << params.status();
+    params_ = params.value().release();
+  }
+
+  const TypeAParams& P() { return *params_; }
+
+  static const TypeAParams* params_;
+};
+
+const TypeAParams* PairingTest::params_ = nullptr;
+
+TEST_F(PairingTest, ParameterStructure) {
+  DeterministicRandom rng(1);
+  EXPECT_EQ((P().p() % BigInt(4)).ToDecimal(), "3");
+  EXPECT_EQ(P().cofactor() * P().q(), P().p() + BigInt(1));
+  EXPECT_TRUE(BigInt::IsProbablePrime(P().p(), rng));
+  EXPECT_TRUE(BigInt::IsProbablePrime(P().q(), rng));
+}
+
+TEST_F(PairingTest, GeneratorHasOrderQ) {
+  const EcPoint& g = P().generator();
+  EXPECT_FALSE(g.is_infinity());
+  EXPECT_TRUE(P().curve().IsOnCurve(g));
+  EXPECT_TRUE(P().curve().ScalarMul(P().q(), g).is_infinity());
+}
+
+TEST_F(PairingTest, PairingIsNonDegenerate) {
+  const EcPoint& g = P().generator();
+  Fp2 e = P().Pairing(g, g);
+  EXPECT_FALSE(e.IsOne());
+  EXPECT_FALSE(e.IsZero());
+}
+
+TEST_F(PairingTest, PairingValueHasOrderQ) {
+  const EcPoint& g = P().generator();
+  Fp2 e = P().Pairing(g, g);
+  EXPECT_TRUE(e.Pow(P().q()).IsOne());
+}
+
+TEST_F(PairingTest, BilinearInFirstArgument) {
+  DeterministicRandom rng(2);
+  const EcPoint& g = P().generator();
+  BigInt a = P().RandomScalar(rng);
+  Fp2 lhs = P().Pairing(P().curve().ScalarMul(a, g), g);
+  Fp2 rhs = P().Pairing(g, g).Pow(a);
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST_F(PairingTest, BilinearInSecondArgument) {
+  DeterministicRandom rng(3);
+  const EcPoint& g = P().generator();
+  BigInt b = P().RandomScalar(rng);
+  Fp2 lhs = P().Pairing(g, P().curve().ScalarMul(b, g));
+  Fp2 rhs = P().Pairing(g, g).Pow(b);
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST_F(PairingTest, FullBilinearity) {
+  DeterministicRandom rng(4);
+  const EcPoint& g = P().generator();
+  for (int i = 0; i < 5; ++i) {
+    BigInt a = P().RandomScalar(rng);
+    BigInt b = P().RandomScalar(rng);
+    EcPoint ap = P().curve().ScalarMul(a, g);
+    EcPoint bp = P().curve().ScalarMul(b, g);
+    Fp2 lhs = P().Pairing(ap, bp);
+    Fp2 rhs = P().Pairing(g, g).Pow(BigInt::Mod(a * b, P().q()));
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST_F(PairingTest, TheBonehFranklinKeyAgreementIdentity) {
+  // The identity the paper's protocol relies on: e(rP, sQ) == e(sP, rQ),
+  // i.e. the RC with private key sI and the SD with randomness r derive
+  // the same symmetric key.
+  DeterministicRandom rng(5);
+  const EcPoint& g = P().generator();
+  BigInt r = P().RandomScalar(rng);
+  BigInt s = P().RandomScalar(rng);
+  EcPoint q_id = P().RandomPoint(rng);
+
+  // SD computes e(sP, Q_ID)^r.
+  EcPoint s_p = P().curve().ScalarMul(s, g);
+  Fp2 sender_key = P().Pairing(s_p, q_id).Pow(r);
+  // RC computes e(rP, sQ_ID).
+  EcPoint r_p = P().curve().ScalarMul(r, g);
+  EcPoint s_q = P().curve().ScalarMul(s, q_id);
+  Fp2 receiver_key = P().Pairing(r_p, s_q);
+  EXPECT_EQ(sender_key, receiver_key);
+}
+
+TEST_F(PairingTest, InfinityInputsGiveOne) {
+  const EcPoint& g = P().generator();
+  EXPECT_TRUE(P().Pairing(EcPoint::Infinity(), g).IsOne());
+  EXPECT_TRUE(P().Pairing(g, EcPoint::Infinity()).IsOne());
+}
+
+TEST_F(PairingTest, PairingWithNegatedPointIsInverse) {
+  DeterministicRandom rng(6);
+  const EcPoint& g = P().generator();
+  EcPoint q = P().RandomPoint(rng);
+  Fp2 e = P().Pairing(g, q);
+  Fp2 e_neg = P().Pairing(g, P().curve().Negate(q));
+  EXPECT_TRUE((e * e_neg).IsOne());
+}
+
+TEST_F(PairingTest, DistinctPointsDistinctValues) {
+  DeterministicRandom rng(7);
+  const EcPoint& g = P().generator();
+  EcPoint q1 = P().RandomPoint(rng);
+  EcPoint q2 = P().RandomPoint(rng);
+  if (q1 == q2) return;  // negligible
+  EXPECT_NE(P().Pairing(g, q1), P().Pairing(g, q2));
+}
+
+TEST_F(PairingTest, MillerPlusFinalExpEqualsPairing) {
+  DeterministicRandom rng(8);
+  EcPoint a = P().RandomPoint(rng);
+  EcPoint b = P().RandomPoint(rng);
+  EXPECT_EQ(P().FinalExponentiation(P().MillerLoop(a, b)), P().Pairing(a, b));
+}
+
+TEST_F(PairingTest, LiftXProducesOrderQPoints) {
+  DeterministicRandom rng(9);
+  int produced = 0;
+  for (int i = 0; i < 20 && produced < 5; ++i) {
+    Fp x = Fp::FromBigInt(P().ctx(), BigInt::RandomBelow(rng, P().p()));
+    auto point = P().LiftX(x);
+    if (!point.ok()) continue;
+    ++produced;
+    EXPECT_TRUE(P().curve().IsOnCurve(point.value()));
+    EXPECT_TRUE(
+        P().curve().ScalarMul(P().q(), point.value()).is_infinity());
+  }
+  EXPECT_GE(produced, 1);
+}
+
+TEST_F(PairingTest, RandomScalarInRange) {
+  DeterministicRandom rng(10);
+  for (int i = 0; i < 50; ++i) {
+    BigInt s = P().RandomScalar(rng);
+    EXPECT_TRUE(s >= BigInt(1));
+    EXPECT_TRUE(s < P().q());
+  }
+}
+
+TEST_F(PairingTest, CreateValidatesInputs) {
+  DeterministicRandom rng(11);
+  // Wrong q (does not divide p+1).
+  auto bad = TypeAParams::Create(P().p(), P().q() + BigInt(2),
+                                 P().generator().x().ToBigInt(),
+                                 P().generator().y().ToBigInt(), rng);
+  EXPECT_FALSE(bad.ok());
+  // Good parameters round-trip.
+  auto good = TypeAParams::Create(P().p(), P().q(),
+                                  P().generator().x().ToBigInt(),
+                                  P().generator().y().ToBigInt(), rng);
+  EXPECT_TRUE(good.ok()) << good.status();
+}
+
+TEST_F(PairingTest, CreateRejectsOffCurveGenerator) {
+  DeterministicRandom rng(12);
+  auto bad = TypeAParams::Create(P().p(), P().q(), BigInt(12345),
+                                 BigInt(67890), rng);
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace mws::math

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "src/mws/policy_expr.h"
+#include "src/sim/scenario.h"
+#include "src/wire/auth.h"
+
+namespace mws::mws {
+namespace {
+
+bool Match(const std::string& expr, const std::string& attribute) {
+  auto parsed = PolicyExpression::Parse(expr);
+  EXPECT_TRUE(parsed.ok()) << expr << ": " << parsed.status();
+  return parsed.ok() && parsed->Matches(attribute);
+}
+
+TEST(GlobMatchTest, Basics) {
+  EXPECT_TRUE(GlobMatch("ABC", "ABC"));
+  EXPECT_FALSE(GlobMatch("ABC", "ABCD"));
+  EXPECT_FALSE(GlobMatch("ABC", "AB"));
+  EXPECT_TRUE(GlobMatch("*", ""));
+  EXPECT_TRUE(GlobMatch("*", "ANYTHING"));
+  EXPECT_TRUE(GlobMatch("A*", "A"));
+  EXPECT_TRUE(GlobMatch("A*", "ABCDE"));
+  EXPECT_FALSE(GlobMatch("A*", "BA"));
+  EXPECT_TRUE(GlobMatch("*A", "BBBA"));
+  EXPECT_TRUE(GlobMatch("A*B*C", "AXXBYYC"));
+  EXPECT_FALSE(GlobMatch("A*B*C", "AXXCYYB"));
+  EXPECT_TRUE(GlobMatch("ELECTRIC-*-SV-CA", "ELECTRIC-BAYTOWER-SV-CA"));
+  EXPECT_FALSE(GlobMatch("ELECTRIC-*-SV-CA", "WATER-BAYTOWER-SV-CA"));
+  // Consecutive stars collapse.
+  EXPECT_TRUE(GlobMatch("A**B", "AXB"));
+  EXPECT_TRUE(GlobMatch("**", "X"));
+}
+
+TEST(PolicyExprTest, SinglePattern) {
+  EXPECT_TRUE(Match("ELECTRIC-*", "ELECTRIC-BAYTOWER-SV-CA"));
+  EXPECT_FALSE(Match("ELECTRIC-*", "GAS-BAYTOWER-SV-CA"));
+}
+
+TEST(PolicyExprTest, OrAndNot) {
+  EXPECT_TRUE(Match("ELECTRIC-* OR GAS-*", "GAS-X"));
+  EXPECT_TRUE(Match("ELECTRIC-* OR GAS-*", "ELECTRIC-X"));
+  EXPECT_FALSE(Match("ELECTRIC-* OR GAS-*", "WATER-X"));
+  EXPECT_TRUE(Match("*-SV-CA AND ELECTRIC-*", "ELECTRIC-APT-SV-CA"));
+  EXPECT_FALSE(Match("*-SV-CA AND ELECTRIC-*", "ELECTRIC-APT-LA-CA"));
+  EXPECT_TRUE(Match("NOT WATER-*", "GAS-X"));
+  EXPECT_FALSE(Match("NOT WATER-*", "WATER-X"));
+}
+
+TEST(PolicyExprTest, PrecedenceAndParens) {
+  // AND binds tighter than OR.
+  EXPECT_TRUE(Match("A* AND *1 OR B*", "B9"));
+  EXPECT_TRUE(Match("A* AND *1 OR B*", "A1"));
+  EXPECT_FALSE(Match("A* AND *1 OR B*", "A2"));
+  // Parentheses override.
+  EXPECT_FALSE(Match("A* AND (*1 OR B*)", "A2"));
+  EXPECT_TRUE(Match("A* AND (*1 OR AB*)", "AB7"));
+  // NOT binds tightest.
+  EXPECT_TRUE(Match("NOT A* AND B*", "B1"));
+  EXPECT_FALSE(Match("NOT A* AND B*", "A1"));
+  EXPECT_TRUE(Match("NOT (A* AND B*)", "A1"));
+}
+
+TEST(PolicyExprTest, ChainedOperators) {
+  EXPECT_TRUE(Match("A* OR B* OR C*", "C1"));
+  EXPECT_TRUE(Match("*1 AND *-1 AND A*", "A-1"));
+  EXPECT_FALSE(Match("*1 AND *2", "X1"));
+  EXPECT_TRUE(Match("NOT NOT A*", "A1"));
+}
+
+TEST(PolicyExprTest, ParseErrors) {
+  EXPECT_FALSE(PolicyExpression::Parse("").ok());
+  EXPECT_FALSE(PolicyExpression::Parse("AND").ok());
+  EXPECT_FALSE(PolicyExpression::Parse("A* OR").ok());
+  EXPECT_FALSE(PolicyExpression::Parse("(A*").ok());
+  EXPECT_FALSE(PolicyExpression::Parse("A*)").ok());
+  EXPECT_FALSE(PolicyExpression::Parse("A* B*").ok());
+  EXPECT_FALSE(PolicyExpression::Parse("lower").ok());
+  EXPECT_FALSE(PolicyExpression::Parse("A* && B*").ok());
+  EXPECT_FALSE(PolicyExpression::Parse("NOT").ok());
+}
+
+TEST(PolicyExprTest, ToStringRoundTrips) {
+  const char* cases[] = {
+      "ELECTRIC-*",
+      "A* OR B*",
+      "A* AND (B* OR C*)",
+      "NOT WATER-* AND *-SV-CA",
+  };
+  for (const char* text : cases) {
+    auto expr = PolicyExpression::Parse(text);
+    ASSERT_TRUE(expr.ok()) << text;
+    auto reparsed = PolicyExpression::Parse(expr->ToString());
+    ASSERT_TRUE(reparsed.ok()) << expr->ToString();
+    // Semantics preserved on probe inputs.
+    for (const char* attr : {"ELECTRIC-1", "WATER-X-SV-CA", "A9", "B7",
+                             "C-SV-CA", "GAS-APT-SV-CA"}) {
+      EXPECT_EQ(expr->Matches(attr), reparsed->Matches(attr))
+          << text << " vs " << expr->ToString() << " on " << attr;
+    }
+  }
+}
+
+// --- End-to-end integration through the scenario ---
+
+class PolicyExprE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto scenario = sim::UtilityScenario::Create({});
+    ASSERT_TRUE(scenario.ok());
+    s_ = std::move(scenario).value();
+    // A fourth company with no concrete grants, only an expression.
+    auto keys = crypto::RsaGenerateKeyPair(768, s_->rng()).value();
+    ASSERT_TRUE(s_->mws()
+                    .RegisterReceivingClient(
+                        "GRID-ANALYTICS", wire::HashPassword("pw-grid"),
+                        crypto::SerializeRsaPublicKey(keys.public_key))
+                    .ok());
+    rc_ = std::make_unique<client::ReceivingClient>(
+        "GRID-ANALYTICS", "pw-grid", std::move(keys),
+        s_->pkg().PublicParams(), s_->options().cipher, s_->options().dem,
+        &s_->transport(), &s_->clock(), &s_->rng());
+  }
+
+  std::unique_ptr<sim::UtilityScenario> s_;
+  std::unique_ptr<client::ReceivingClient> rc_;
+};
+
+TEST_F(PolicyExprE2eTest, ExpressionGrantsMaterializeAndDecrypt) {
+  uint64_t seq = s_->mws()
+                     .GrantPolicyExpression("GRID-ANALYTICS",
+                                            "ELECTRIC-* OR GAS-*")
+                     .value();
+  ASSERT_GT(seq, 0u);
+  s_->DepositReadings(1).value();
+
+  auto messages = rc_->FetchAndDecrypt();
+  ASSERT_TRUE(messages.ok()) << messages.status();
+  EXPECT_EQ(messages->size(), 2u);  // electric + gas, not water
+  for (const auto& m : messages.value()) {
+    auto reading = sim::MeterReading::FromPayload(m.plaintext).value();
+    EXPECT_NE(reading.klass, sim::MeterClass::kWater);
+  }
+  // Materialized rows are visible in the policy table with provenance.
+  int materialized = 0;
+  const auto table = s_->mws().PolicyTable().value();
+  for (const auto& row : table) {
+    if (row.identity == "GRID-ANALYTICS") {
+      EXPECT_EQ(row.origin, seq);
+      ++materialized;
+    }
+  }
+  EXPECT_EQ(materialized, 2);
+}
+
+TEST_F(PolicyExprE2eTest, NewAttributesCoveredAsTheyAppear) {
+  s_->mws().GrantPolicyExpression("GRID-ANALYTICS", "*-BAYTOWER-SV-CA")
+      .value();
+  s_->DepositReadings(1).value();
+  EXPECT_EQ(rc_->FetchAndDecrypt()->size(), 3u);
+
+  // A brand-new device class appears; the expression covers it with no
+  // operator action ("dynamic recipients", requirement v).
+  auto& device = s_->devices()[0];
+  device
+      .DepositMessage("SOLAR-BAYTOWER-SV-CA",
+                      util::BytesFromString("meter=S-1 class=ELECTRIC "
+                                            "ts=1 consumption=5.0 peak=5.5 "
+                                            "event=none"))
+      .value();
+  EXPECT_EQ(rc_->FetchAndDecrypt()->size(), 4u);
+}
+
+TEST_F(PolicyExprE2eTest, RevokingExpressionRevokesMaterializedGrants) {
+  uint64_t seq =
+      s_->mws().GrantPolicyExpression("GRID-ANALYTICS", "ELECTRIC-*").value();
+  s_->DepositReadings(1).value();
+  ASSERT_EQ(rc_->FetchAndDecrypt()->size(), 1u);
+
+  ASSERT_TRUE(s_->mws().RevokePolicyExpression("GRID-ANALYTICS", seq).ok());
+  s_->DepositReadings(1).value();
+  EXPECT_TRUE(rc_->FetchAndDecrypt()->empty());
+  // Manual grants are untouched by expression revocation.
+  const auto table = s_->mws().PolicyTable().value();
+  for (const auto& row : table) {
+    EXPECT_NE(row.identity, "GRID-ANALYTICS");
+  }
+}
+
+TEST_F(PolicyExprE2eTest, InvalidExpressionRejectedAtGrantTime) {
+  EXPECT_FALSE(
+      s_->mws().GrantPolicyExpression("GRID-ANALYTICS", "A* OR").ok());
+  EXPECT_FALSE(
+      s_->mws().GrantPolicyExpression("NOBODY", "ELECTRIC-*").ok());
+  EXPECT_TRUE(
+      s_->mws().RevokePolicyExpression("GRID-ANALYTICS", 77).IsNotFound());
+}
+
+}  // namespace
+}  // namespace mws::mws

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/scenario.h"
+#include "src/sim/workload.h"
+
+namespace mws::sim {
+namespace {
+
+TEST(WorkloadTest, PayloadRoundTrip) {
+  WorkloadGenerator gen({.seed = 1});
+  MeterReading r = gen.Next("ELECTRIC-METER-0", MeterClass::kElectric,
+                            1'000'000'000);
+  auto parsed = MeterReading::FromPayload(r.ToPayload());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->device_id, r.device_id);
+  EXPECT_EQ(parsed->klass, r.klass);
+  EXPECT_EQ(parsed->timestamp_micros, r.timestamp_micros);
+  EXPECT_NEAR(parsed->consumption, r.consumption, 0.001);
+  EXPECT_EQ(parsed->event, r.event);
+}
+
+TEST(WorkloadTest, EventPayloadRoundTrip) {
+  MeterReading r;
+  r.device_id = "GAS-METER-3";
+  r.klass = MeterClass::kGas;
+  r.timestamp_micros = 42;
+  r.consumption = 1.5;
+  r.peak_rate = 2.0;
+  r.event = "E117";
+  auto parsed = MeterReading::FromPayload(r.ToPayload());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->event, "E117");
+}
+
+TEST(WorkloadTest, RejectsGarbagePayload) {
+  EXPECT_FALSE(
+      MeterReading::FromPayload(util::BytesFromString("not a reading")).ok());
+  EXPECT_FALSE(MeterReading::FromPayload(
+                   util::BytesFromString("meter=X class=PLASMA"))
+                   .ok());
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  WorkloadGenerator a({.seed = 5});
+  WorkloadGenerator b({.seed = 5});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.Next("D", MeterClass::kWater, i * 1000).ToPayload(),
+              b.Next("D", MeterClass::kWater, i * 1000).ToPayload());
+  }
+}
+
+TEST(WorkloadTest, BatchShape) {
+  WorkloadGenerator gen({.seed = 2});
+  auto batch = gen.Batch(/*devices_per_class=*/2, /*per_device=*/3,
+                         /*start_micros=*/0, /*interval_micros=*/1000);
+  EXPECT_EQ(batch.size(), 2u * 3u * 3u);
+  // Timestamps advance per device.
+  EXPECT_EQ(batch[0].timestamp_micros, 0);
+  EXPECT_EQ(batch[1].timestamp_micros, 1000);
+}
+
+TEST(WorkloadTest, PaddingSweepsMessageSize) {
+  WorkloadGenerator gen({.seed = 3, .pad_to_bytes = 512});
+  MeterReading r = gen.Next("D", MeterClass::kElectric, 0);
+  EXPECT_EQ(gen.Pad(r.ToPayload()).size(), 512u);
+  // Padded payload still parses.
+  EXPECT_TRUE(MeterReading::FromPayload(gen.Pad(r.ToPayload())).ok());
+}
+
+TEST(WorkloadTest, ConsumptionFollowsDailyCurve) {
+  WorkloadGenerator gen({.seed = 4, .event_percent = 0});
+  // Noon consumption should exceed 3am consumption on average.
+  double noon = 0, night = 0;
+  for (int day = 0; day < 20; ++day) {
+    int64_t base = day * 24ll * 3'600'000'000ll;
+    noon += gen.Next("D", MeterClass::kElectric, base + 12ll * 3'600'000'000ll)
+                .consumption;
+    night += gen.Next("D", MeterClass::kElectric, base + 3ll * 3'600'000'000ll)
+                 .consumption;
+  }
+  EXPECT_GT(noon, night);
+}
+
+TEST(WorkloadTest, DeviceIdNaming) {
+  EXPECT_EQ(DeviceId(MeterClass::kElectric, 0), "ELECTRIC-METER-0");
+  EXPECT_EQ(DeviceId(MeterClass::kWater, 12), "WATER-METER-12");
+}
+
+TEST(ScenarioTest, BuildsFig1World) {
+  auto scenario = UtilityScenario::Create({.devices_per_class = 2});
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  auto& s = *scenario.value();
+  EXPECT_EQ(s.devices().size(), 6u);
+  EXPECT_EQ(s.company_names().size(), 3u);
+  // The policy table has 3 + 2 + 1 = 6 grants.
+  EXPECT_EQ(s.mws().PolicyTable().value().size(), 6u);
+}
+
+TEST(ScenarioTest, AttributeForClass) {
+  EXPECT_EQ(UtilityScenario::AttributeFor(MeterClass::kElectric),
+            UtilityScenario::kElectricAttr);
+  EXPECT_EQ(UtilityScenario::AttributeFor(MeterClass::kWater),
+            UtilityScenario::kWaterAttr);
+  EXPECT_EQ(UtilityScenario::AttributeFor(MeterClass::kGas),
+            UtilityScenario::kGasAttr);
+}
+
+TEST(ScenarioTest, DepositCountsMatch) {
+  auto scenario = UtilityScenario::Create({.devices_per_class = 2});
+  ASSERT_TRUE(scenario.ok());
+  auto& s = *scenario.value();
+  auto deposited = s.DepositReadings(3);
+  ASSERT_TRUE(deposited.ok());
+  EXPECT_EQ(deposited.value(), 18u);  // 6 devices x 3 readings
+  EXPECT_EQ(s.mws().message_db().Count(), 18u);
+}
+
+}  // namespace
+}  // namespace mws::sim

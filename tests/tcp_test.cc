@@ -1,0 +1,178 @@
+// Tests the real-socket deployment shape: the full protocol running over
+// TCP between client objects and MWS/PKG servers on loopback ports —
+// the paper prototype's "four servers" arrangement.
+
+#include <gtest/gtest.h>
+
+#include "src/client/receiving_client.h"
+#include "src/client/smart_device.h"
+#include "src/crypto/rsa.h"
+#include "src/math/params.h"
+#include "src/mws/mws_service.h"
+#include "src/pkg/pkg_service.h"
+#include "src/store/kvstore.h"
+#include "src/wire/auth.h"
+#include "src/wire/tcp.h"
+
+namespace mws::wire {
+namespace {
+
+using util::Bytes;
+using util::BytesFromString;
+
+TEST(TcpTransportTest, EchoRoundTrip) {
+  InProcessTransport backend;
+  backend.Register("echo", [](const Bytes& b) -> util::Result<Bytes> {
+    return b;
+  });
+  auto server = TcpServer::Start(&backend, 0);
+  ASSERT_TRUE(server.ok()) << server.status();
+  TcpClientTransport client("127.0.0.1", server.value()->port());
+  auto response = client.Call("echo", BytesFromString("over the wire"));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response.value(), BytesFromString("over the wire"));
+}
+
+TEST(TcpTransportTest, MultipleSequentialCallsOneConnection) {
+  InProcessTransport backend;
+  int counter = 0;
+  backend.Register("count", [&](const Bytes&) -> util::Result<Bytes> {
+    return BytesFromString(std::to_string(++counter));
+  });
+  auto server = TcpServer::Start(&backend, 0).value();
+  TcpClientTransport client("127.0.0.1", server->port());
+  for (int i = 1; i <= 10; ++i) {
+    auto response = client.Call("count", {});
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(util::StringFromBytes(response.value()), std::to_string(i));
+  }
+}
+
+TEST(TcpTransportTest, RemoteErrorsRelayed) {
+  InProcessTransport backend;
+  backend.Register("fail", [](const Bytes&) -> util::Result<Bytes> {
+    return util::Status::PermissionDenied("computer says no");
+  });
+  auto server = TcpServer::Start(&backend, 0).value();
+  TcpClientTransport client("127.0.0.1", server->port());
+  auto response = client.Call("fail", {});
+  ASSERT_FALSE(response.ok());
+  EXPECT_NE(response.status().message().find("computer says no"),
+            std::string::npos);
+  // Unknown endpoint also comes back as an error, connection stays alive.
+  EXPECT_FALSE(client.Call("missing", {}).ok());
+  backend.Register("ok", [](const Bytes& b) -> util::Result<Bytes> {
+    return b;
+  });
+  EXPECT_TRUE(client.Call("ok", BytesFromString("still alive")).ok());
+}
+
+TEST(TcpTransportTest, ConnectionRefusedSurfaces) {
+  TcpClientTransport client("127.0.0.1", 1);  // nothing listens on port 1
+  auto response = client.Call("x", {});
+  EXPECT_FALSE(response.ok());
+}
+
+TEST(TcpTransportTest, LargePayload) {
+  InProcessTransport backend;
+  backend.Register("echo", [](const Bytes& b) -> util::Result<Bytes> {
+    return b;
+  });
+  auto server = TcpServer::Start(&backend, 0).value();
+  TcpClientTransport client("127.0.0.1", server->port());
+  Bytes big(1 << 20);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<uint8_t>(i);
+  auto response = client.Call("echo", big);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value(), big);
+}
+
+TEST(TcpTransportTest, ConcurrentClients) {
+  InProcessTransport backend;
+  backend.Register("echo", [](const Bytes& b) -> util::Result<Bytes> {
+    return b;
+  });
+  auto server = TcpServer::Start(&backend, 0).value();
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      TcpClientTransport client("127.0.0.1", server->port());
+      for (int i = 0; i < 25; ++i) {
+        Bytes payload = BytesFromString("t" + std::to_string(t) + "-" +
+                                        std::to_string(i));
+        auto response = client.Call("echo", payload);
+        if (!response.ok() || response.value() != payload) ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+/// The paper's deployment: MWS and PKG as separate TCP servers, the
+/// full three-phase protocol over real sockets.
+TEST(TcpTransportTest, FullProtocolOverSockets) {
+  util::SimulatedClock clock(1'000'000'000);
+  util::DeterministicRandom rng(7);
+  auto storage = store::KvStore::Open({.path = ""}).value();
+  Bytes service_key(32, 0x3c);
+
+  mws::MwsService warehouse(storage.get(), service_key, &clock, &rng);
+  pkg::PkgService pkg(math::GetParams(math::ParamPreset::kSmall),
+                      service_key, &clock, &rng);
+
+  // Two backends, two servers — MWS and PKG on their own ports.
+  InProcessTransport mws_backend, pkg_backend;
+  warehouse.RegisterEndpoints(&mws_backend);
+  pkg.RegisterEndpoints(&pkg_backend);
+  auto mws_server = TcpServer::Start(&mws_backend, 0).value();
+  auto pkg_server = TcpServer::Start(&pkg_backend, 0).value();
+
+  // A client-side mux routing mws.* and pkg.* to the right socket.
+  TcpClientTransport mws_conn("127.0.0.1", mws_server->port());
+  TcpClientTransport pkg_conn("127.0.0.1", pkg_server->port());
+  class Mux : public Transport {
+   public:
+    Mux(Transport* mws, Transport* pkg) : mws_(mws), pkg_(pkg) {}
+    util::Result<Bytes> Call(const std::string& endpoint,
+                             const Bytes& request) override {
+      if (endpoint.rfind("pkg.", 0) == 0) return pkg_->Call(endpoint, request);
+      return mws_->Call(endpoint, request);
+    }
+
+   private:
+    Transport* mws_;
+    Transport* pkg_;
+  } mux(&mws_conn, &pkg_conn);
+
+  // Registration and policy.
+  Bytes mac_key(32, 0x11);
+  ASSERT_TRUE(warehouse.RegisterDevice("SD-1", mac_key).ok());
+  auto keys = crypto::RsaGenerateKeyPair(768, rng).value();
+  ASSERT_TRUE(warehouse
+                  .RegisterReceivingClient(
+                      "RC-1", HashPassword("pw"),
+                      crypto::SerializeRsaPublicKey(keys.public_key))
+                  .ok());
+  ASSERT_TRUE(warehouse.GrantAttribute("RC-1", "ELECTRIC-TCP-TEST").ok());
+
+  // Protocol over the wire.
+  client::SmartDevice device("SD-1", mac_key, pkg.PublicParams(),
+                             crypto::CipherKind::kDes, &mux, &clock, &rng);
+  auto id = device.DepositMessage("ELECTRIC-TCP-TEST",
+                                  BytesFromString("kWh=2.5 over tcp"));
+  ASSERT_TRUE(id.ok()) << id.status();
+
+  client::ReceivingClient rc("RC-1", "pw", std::move(keys),
+                             pkg.PublicParams(), crypto::CipherKind::kDes,
+                             crypto::CipherKind::kDes, &mux, &clock, &rng);
+  auto messages = rc.FetchAndDecrypt();
+  ASSERT_TRUE(messages.ok()) << messages.status();
+  ASSERT_EQ(messages->size(), 1u);
+  EXPECT_EQ(util::StringFromBytes(messages->at(0).plaintext),
+            "kWh=2.5 over tcp");
+}
+
+}  // namespace
+}  // namespace mws::wire

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "src/ibe/hybrid.h"
+#include "src/math/params.h"
+#include "src/pkg/threshold.h"
+#include "src/util/random.h"
+
+namespace mws::pkg {
+namespace {
+
+using ibe::BfIbe;
+using math::GetParams;
+using math::ParamPreset;
+using util::Bytes;
+using util::BytesFromString;
+using util::DeterministicRandom;
+
+struct ThresholdCase {
+  size_t threshold;
+  size_t n;
+};
+
+class ThresholdPkgTest : public ::testing::TestWithParam<ThresholdCase> {
+ protected:
+  ThresholdPkgTest()
+      : group_(GetParams(ParamPreset::kSmall)),
+        tpkg_(group_, GetParam().threshold, GetParam().n),
+        ibe_(group_),
+        rng_(5) {}
+
+  const math::TypeAParams& group_;
+  ThresholdPkg tpkg_;
+  BfIbe ibe_;
+  DeterministicRandom rng_;
+};
+
+TEST_P(ThresholdPkgTest, DealProducesVerifiableShares) {
+  auto dealing = tpkg_.Deal(rng_);
+  ASSERT_TRUE(dealing.ok()) << dealing.status();
+  EXPECT_EQ(dealing->shares.size(), GetParam().n);
+  EXPECT_EQ(dealing->commitments.size(), GetParam().threshold);
+  for (const auto& share : dealing->shares) {
+    EXPECT_TRUE(tpkg_.VerifyShare(dealing->commitments, share));
+  }
+  // A corrupted share fails verification.
+  auto bad = dealing->shares[0];
+  bad.value = math::BigInt::Mod(bad.value + math::BigInt(1), group_.q());
+  EXPECT_FALSE(tpkg_.VerifyShare(dealing->commitments, bad));
+}
+
+TEST_P(ThresholdPkgTest, ThresholdExtractionMatchesCentralized) {
+  auto dealing = tpkg_.Deal(rng_).value();
+  Bytes identity = BytesFromString("ELECTRIC-APT-SV-CA-nonce1");
+  math::EcPoint q_id = ibe_.HashToPoint(identity);
+
+  // Any `threshold` of the n servers respond.
+  std::vector<ThresholdPkg::PartialKey> partials;
+  for (size_t i = 0; i < GetParam().threshold; ++i) {
+    partials.push_back(
+        tpkg_.PartialExtract(dealing.shares[dealing.shares.size() - 1 - i],
+                             q_id));
+  }
+  auto combined = tpkg_.Combine(partials);
+  ASSERT_TRUE(combined.ok()) << combined.status();
+
+  // The combined key must decrypt a message encrypted under the dealt
+  // P_pub — i.e. it equals s * Q_ID without s ever existing in one place.
+  Bytes message = BytesFromString("threshold-extracted decryption works");
+  auto ct = ibe_.Encrypt(dealing.params, identity, message, rng_);
+  EXPECT_EQ(ibe_.Decrypt(dealing.params, combined.value(), ct), message);
+}
+
+TEST_P(ThresholdPkgTest, DifferentSubsetsSameKey) {
+  if (GetParam().threshold == GetParam().n) GTEST_SKIP();
+  auto dealing = tpkg_.Deal(rng_).value();
+  math::EcPoint q_id = ibe_.HashToPoint(BytesFromString("id"));
+  std::vector<ThresholdPkg::PartialKey> first, second;
+  for (size_t i = 0; i < GetParam().threshold; ++i) {
+    first.push_back(tpkg_.PartialExtract(dealing.shares[i], q_id));
+    second.push_back(
+        tpkg_.PartialExtract(dealing.shares[i + 1], q_id));
+  }
+  EXPECT_EQ(tpkg_.Combine(first).value().d,
+            tpkg_.Combine(second).value().d);
+}
+
+TEST_P(ThresholdPkgTest, TooFewPartialsFail) {
+  if (GetParam().threshold < 2) GTEST_SKIP();
+  auto dealing = tpkg_.Deal(rng_).value();
+  math::EcPoint q_id = ibe_.HashToPoint(BytesFromString("id"));
+  std::vector<ThresholdPkg::PartialKey> partials;
+  for (size_t i = 0; i + 1 < GetParam().threshold; ++i) {
+    partials.push_back(tpkg_.PartialExtract(dealing.shares[i], q_id));
+  }
+  EXPECT_FALSE(tpkg_.Combine(partials).ok());
+}
+
+TEST_P(ThresholdPkgTest, DuplicatePartialsRejected) {
+  auto dealing = tpkg_.Deal(rng_).value();
+  math::EcPoint q_id = ibe_.HashToPoint(BytesFromString("id"));
+  std::vector<ThresholdPkg::PartialKey> partials;
+  for (size_t i = 0; i < GetParam().threshold; ++i) {
+    partials.push_back(tpkg_.PartialExtract(dealing.shares[0], q_id));
+  }
+  if (GetParam().threshold > 1) {
+    EXPECT_FALSE(tpkg_.Combine(partials).ok());
+  }
+}
+
+TEST_P(ThresholdPkgTest, PartialVerification) {
+  auto dealing = tpkg_.Deal(rng_).value();
+  math::EcPoint q_id = ibe_.HashToPoint(BytesFromString("id"));
+  auto good = tpkg_.PartialExtract(dealing.shares[0], q_id);
+  EXPECT_TRUE(tpkg_.VerifyPartial(dealing.commitments, q_id, good));
+
+  // A malicious server's bogus partial is caught before combining.
+  auto bad = good;
+  bad.d = group_.curve().Double(bad.d);
+  EXPECT_FALSE(tpkg_.VerifyPartial(dealing.commitments, q_id, bad));
+  auto infinity = good;
+  infinity.d = math::EcPoint::Infinity();
+  EXPECT_FALSE(tpkg_.VerifyPartial(dealing.commitments, q_id, infinity));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, ThresholdPkgTest,
+    ::testing::Values(ThresholdCase{1, 1}, ThresholdCase{2, 3},
+                      ThresholdCase{3, 5}, ThresholdCase{5, 5}),
+    [](const ::testing::TestParamInfo<ThresholdCase>& info) {
+      return "t" + std::to_string(info.param.threshold) + "of" +
+             std::to_string(info.param.n);
+    });
+
+TEST(ThresholdPkgValidationTest, RejectsBadConfiguration) {
+  const auto& group = GetParams(ParamPreset::kSmall);
+  DeterministicRandom rng(1);
+  EXPECT_FALSE(ThresholdPkg(group, 0, 3).Deal(rng).ok());
+  EXPECT_FALSE(ThresholdPkg(group, 4, 3).Deal(rng).ok());
+}
+
+TEST(ThresholdPkgValidationTest, ZeroIndexPartialRejected) {
+  const auto& group = GetParams(ParamPreset::kSmall);
+  DeterministicRandom rng(2);
+  ThresholdPkg tpkg(group, 1, 1);
+  auto dealing = tpkg.Deal(rng).value();
+  BfIbe ibe(group);
+  auto partial = tpkg.PartialExtract(dealing.shares[0],
+                                     ibe.HashToPoint(BytesFromString("id")));
+  partial.index = 0;
+  EXPECT_FALSE(tpkg.Combine({partial}).ok());
+}
+
+}  // namespace
+}  // namespace mws::pkg

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+#include "src/wire/auth.h"
+#include "src/wire/messages.h"
+#include "src/wire/transport.h"
+
+namespace mws::wire {
+namespace {
+
+using util::Bytes;
+using util::BytesFromString;
+using util::DeterministicRandom;
+
+template <typename T>
+void ExpectRoundTrip(const T& message) {
+  Bytes encoded = message.Encode();
+  auto decoded = T::Decode(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->Encode(), encoded);
+}
+
+DepositRequest SampleDeposit() {
+  DepositRequest m;
+  m.u = BytesFromString("point-bytes");
+  m.ciphertext = BytesFromString("ciphertext");
+  m.attribute = "ELECTRIC-APT-SV-CA";
+  m.nonce = Bytes(16, 0xaa);
+  m.device_id = "SD-42";
+  m.timestamp_micros = 1234567890;
+  m.mac = Bytes(32, 0xbb);
+  return m;
+}
+
+TEST(WireMessagesTest, DepositRequestRoundTrip) {
+  DepositRequest m = SampleDeposit();
+  auto decoded = DepositRequest::Decode(m.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->u, m.u);
+  EXPECT_EQ(decoded->ciphertext, m.ciphertext);
+  EXPECT_EQ(decoded->attribute, m.attribute);
+  EXPECT_EQ(decoded->nonce, m.nonce);
+  EXPECT_EQ(decoded->device_id, m.device_id);
+  EXPECT_EQ(decoded->timestamp_micros, m.timestamp_micros);
+  EXPECT_EQ(decoded->mac, m.mac);
+}
+
+TEST(WireMessagesTest, AuthenticatedBytesExcludeMac) {
+  DepositRequest m = SampleDeposit();
+  Bytes auth1 = m.AuthenticatedBytes();
+  m.mac = Bytes(32, 0x00);
+  EXPECT_EQ(m.AuthenticatedBytes(), auth1);  // MAC not covered
+  m.ciphertext[0] ^= 1;
+  EXPECT_NE(m.AuthenticatedBytes(), auth1);  // payload covered
+}
+
+TEST(WireMessagesTest, AllMessageTypesRoundTrip) {
+  ExpectRoundTrip(SampleDeposit());
+  ExpectRoundTrip(DepositResponse{42});
+
+  RcAuthRequest auth;
+  auth.rc_identity = "C-SERVICES";
+  auth.rsa_public_key = BytesFromString("rsa-pub");
+  auth.auth_ciphertext = BytesFromString("sealed");
+  ExpectRoundTrip(auth);
+
+  RcAuthPlain plain;
+  plain.rc_identity = "C-SERVICES";
+  plain.timestamp_micros = 99;
+  plain.client_nonce = Bytes(16, 1);
+  ExpectRoundTrip(plain);
+
+  ExpectRoundTrip(RcAuthResponse{BytesFromString("session")});
+  ExpectRoundTrip(RetrieveRequest{BytesFromString("session"), 7});
+
+  RetrievedMessage rm;
+  rm.message_id = 3;
+  rm.u = BytesFromString("u");
+  rm.ciphertext = BytesFromString("c");
+  rm.aid = 12;
+  rm.nonce = Bytes(16, 2);
+  ExpectRoundTrip(rm);
+
+  RetrieveResponse rr;
+  rr.messages = {rm, rm};
+  rr.token = BytesFromString("token");
+  ExpectRoundTrip(rr);
+
+  TicketPlain ticket;
+  ticket.rc_identity = "RC";
+  ticket.session_key = Bytes(32, 3);
+  ticket.aid_attributes = {{1, "A1"}, {2, "A2"}};
+  ticket.expiry_micros = 1000;
+  ExpectRoundTrip(ticket);
+
+  ExpectRoundTrip(TokenPlain{Bytes(32, 4), BytesFromString("ticket")});
+  ExpectRoundTrip(AuthenticatorPlain{"RC", 55});
+  ExpectRoundTrip(PkgAuthRequest{"RC", BytesFromString("t"),
+                                 BytesFromString("a")});
+  ExpectRoundTrip(PkgAuthResponse{BytesFromString("ps")});
+  ExpectRoundTrip(KeyRequest{BytesFromString("ps"), 9, Bytes(16, 5)});
+  ExpectRoundTrip(KeyResponse{BytesFromString("sealed-key")});
+}
+
+TEST(WireMessagesTest, EmptyRetrieveResponse) {
+  RetrieveResponse rr;
+  rr.token = {};
+  auto decoded = RetrieveResponse::Decode(rr.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->messages.empty());
+}
+
+TEST(WireMessagesTest, DecodeRejectsTruncationEverywhere) {
+  // Property: every strict prefix of a valid encoding fails to decode.
+  DepositRequest m = SampleDeposit();
+  Bytes encoded = m.Encode();
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    Bytes prefix(encoded.begin(), encoded.begin() + len);
+    EXPECT_FALSE(DepositRequest::Decode(prefix).ok()) << "len=" << len;
+  }
+}
+
+TEST(WireMessagesTest, DecodeRejectsTrailingGarbage) {
+  Bytes encoded = SampleDeposit().Encode();
+  encoded.push_back(0x00);
+  EXPECT_FALSE(DepositRequest::Decode(encoded).ok());
+}
+
+TEST(WireMessagesTest, DecodeRandomGarbageNeverCrashes) {
+  DeterministicRandom rng(13);
+  for (int i = 0; i < 500; ++i) {
+    Bytes junk = rng.Generate(rng.UniformU64(200));
+    (void)DepositRequest::Decode(junk);
+    (void)RetrieveResponse::Decode(junk);
+    (void)TicketPlain::Decode(junk);
+    (void)PkgAuthRequest::Decode(junk);
+    (void)KeyRequest::Decode(junk);
+  }
+  SUCCEED();
+}
+
+TEST(WireMessagesTest, TicketWithManyAttributes) {
+  TicketPlain ticket;
+  ticket.rc_identity = "RC";
+  ticket.session_key = Bytes(32, 1);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ticket.aid_attributes.emplace_back(i, "ATTR-" + std::to_string(i));
+  }
+  auto decoded = TicketPlain::Decode(ticket.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->aid_attributes.size(), 1000u);
+  EXPECT_EQ(decoded->aid_attributes[999].second, "ATTR-999");
+}
+
+// --- Auth helpers ---
+
+TEST(AuthTest, HashPasswordDeterministic) {
+  EXPECT_EQ(HashPassword("secret"), HashPassword("secret"));
+  EXPECT_NE(HashPassword("secret"), HashPassword("Secret"));
+  EXPECT_EQ(HashPassword("x").size(), 32u);
+}
+
+TEST(AuthTest, DeriveAuthKeyMatchesCipher) {
+  Bytes hash = HashPassword("pw");
+  EXPECT_EQ(DeriveAuthKey(hash, crypto::CipherKind::kDes).size(), 8u);
+  EXPECT_EQ(DeriveAuthKey(hash, crypto::CipherKind::kAes128).size(), 16u);
+  EXPECT_NE(DeriveAuthKey(hash, crypto::CipherKind::kDes),
+            DeriveAuthKey(HashPassword("pw2"), crypto::CipherKind::kDes));
+}
+
+TEST(AuthTest, ChannelKeysDomainSeparated) {
+  Bytes secret(32, 7);
+  EXPECT_NE(DeriveChannelKey(secret, crypto::CipherKind::kDes, "purpose-a"),
+            DeriveChannelKey(secret, crypto::CipherKind::kDes, "purpose-b"));
+}
+
+// --- Transport ---
+
+TEST(TransportTest, DispatchAndStats) {
+  InProcessTransport transport;
+  transport.Register("echo",
+                     [](const Bytes& request) -> util::Result<Bytes> {
+                       return request;
+                     });
+  auto response = transport.Call("echo", BytesFromString("hello"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value(), BytesFromString("hello"));
+  EXPECT_EQ(transport.stats().calls, 1u);
+  EXPECT_EQ(transport.stats().request_bytes, 5u);
+  EXPECT_EQ(transport.stats().response_bytes, 5u);
+}
+
+TEST(TransportTest, UnknownEndpoint) {
+  InProcessTransport transport;
+  EXPECT_TRUE(transport.Call("nope", {}).status().IsNotFound());
+}
+
+TEST(TransportTest, HandlerErrorsPropagate) {
+  InProcessTransport transport;
+  transport.Register("fail", [](const Bytes&) -> util::Result<Bytes> {
+    return util::Status::PermissionDenied("no");
+  });
+  auto result = transport.Call("fail", {});
+  EXPECT_EQ(result.status().code(), util::StatusCode::kPermissionDenied);
+}
+
+TEST(TransportTest, NetworkModelAccounting) {
+  InProcessTransport transport(wire::NetworkModel{1000, 1'000'000});
+  transport.Register("svc", [](const Bytes&) -> util::Result<Bytes> {
+    return Bytes(500, 0);
+  });
+  ASSERT_TRUE(transport.Call("svc", Bytes(1000, 0)).ok());
+  // Request: 1000us latency + 1000B/1MBps = 1000us. Response: 1000 + 500.
+  EXPECT_EQ(transport.stats().simulated_network_micros, 1000 + 1000 + 1000 + 500);
+}
+
+TEST(TransportTest, ModelPresetsOrdered) {
+  // Meter uplink is far slower than LAN which is slower than loopback.
+  EXPECT_GT(NetworkModel::MeterUplink().latency_micros,
+            NetworkModel::Wan().latency_micros);
+  EXPECT_GT(NetworkModel::Wan().latency_micros,
+            NetworkModel::Lan().latency_micros);
+  EXPECT_EQ(NetworkModel::Loopback().latency_micros, 0);
+}
+
+TEST(TransportTest, ResetStats) {
+  InProcessTransport transport;
+  transport.Register("e", [](const Bytes& b) -> util::Result<Bytes> {
+    return b;
+  });
+  transport.Call("e", Bytes(10, 0)).ok();
+  transport.ResetStats();
+  EXPECT_EQ(transport.stats().calls, 0u);
+  EXPECT_EQ(transport.stats().request_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace mws::wire

@@ -1,0 +1,42 @@
+// Generates the pre-baked type-A pairing parameter presets in
+// src/math/params.cc. Run manually; output is C++-pasteable hex.
+//
+//   ./gen_params <qbits> <pbits>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/math/pairing.h"
+#include "src/util/random.h"
+
+int main(int argc, char** argv) {
+  size_t qbits = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 160;
+  size_t pbits = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 512;
+  auto params = mws::math::TypeAParams::Generate(
+      qbits, pbits, mws::util::OsRandom::Instance());
+  if (!params.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 params.status().ToString().c_str());
+    return 1;
+  }
+  const auto& tp = *params.value();
+  std::printf("// q=%zu bits, p=%zu bits\n", qbits, pbits);
+  std::printf("p  = \"%s\"\n", tp.p().ToHex().c_str());
+  std::printf("q  = \"%s\"\n", tp.q().ToHex().c_str());
+  std::printf("gx = \"%s\"\n", tp.generator().x().ToBigInt().ToHex().c_str());
+  std::printf("gy = \"%s\"\n", tp.generator().y().ToBigInt().ToHex().c_str());
+
+  // Smoke-test bilinearity before accepting the parameters.
+  auto& rng = mws::util::OsRandom::Instance();
+  mws::math::BigInt a = tp.RandomScalar(rng);
+  mws::math::BigInt b = tp.RandomScalar(rng);
+  auto P = tp.RandomPoint(rng);
+  auto Q = tp.RandomPoint(rng);
+  auto lhs = tp.Pairing(tp.curve().ScalarMul(a, P), tp.curve().ScalarMul(b, Q));
+  auto rhs = tp.Pairing(P, Q).Pow(mws::math::BigInt::Mod(a * b, tp.q()));
+  auto unity = tp.Pairing(P, Q).Pow(tp.q());
+  std::printf("bilinear: %s\n", lhs == rhs ? "OK" : "FAIL");
+  std::printf("order-q:  %s\n", unity.IsOne() ? "OK" : "FAIL");
+  std::printf("nondegen: %s\n", !tp.Pairing(P, P).IsOne() ? "OK" : "FAIL");
+  return (lhs == rhs && unity.IsOne()) ? 0 : 2;
+}
