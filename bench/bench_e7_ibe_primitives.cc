@@ -1,19 +1,42 @@
 // E7 — §IV primitive costs: the four Boneh–Franklin algorithms (Setup,
 // Extract, Encrypt, Decrypt) across security presets, plus the pairing
 // breakdown (Miller loop vs final exponentiation) and hash-to-point.
+//
+// Besides the Google Benchmark suite, this binary emits a machine-
+// readable comparison of every precomputation fast path against its
+// reference implementation:
+//
+//   bench_e7_ibe_primitives --json=BENCH_e7.json   # write the report
+//   bench_e7_ibe_primitives --no-precompute        # report reference ns
+//   bench_e7_ibe_primitives --smoke                # quick ctest pass
+//
+// The JSON records ns/op for the fast path, ns/op for the reference,
+// and the speedup ratio per primitive.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "src/crypto/drbg.h"
 #include "src/ibe/bf_ibe.h"
 #include "src/math/params.h"
+#include "src/math/precompute.h"
 
 namespace {
 
 using mws::crypto::HmacDrbg;
 using mws::ibe::BasicCiphertext;
 using mws::ibe::BfIbe;
+using mws::math::BigInt;
+using mws::math::EcPoint;
+using mws::math::Fp2;
 using mws::math::GetParams;
+using mws::math::PairingPrecomp;
 using mws::math::ParamPreset;
 using mws::math::TypeAParams;
 using mws::util::Bytes;
@@ -183,6 +206,224 @@ void BM_ScalarMul(benchmark::State& state) {
 }
 BENCHMARK(BM_ScalarMul)->Arg(0)->Arg(1)->Arg(2);
 
+// --- Precomputation fast paths ---
+
+void BM_ScalarMulFixedBase(benchmark::State& state) {
+  const TypeAParams& group = Preset(state.range(0));
+  HmacDrbg rng = MakeRng();
+  auto k = group.RandomScalar(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group.MulGenerator(k));
+  }
+  SetPresetLabel(state);
+}
+BENCHMARK(BM_ScalarMulFixedBase)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_PairingPrecompEval(benchmark::State& state) {
+  const TypeAParams& group = Preset(state.range(0));
+  HmacDrbg rng = MakeRng();
+  auto q = group.RandomPoint(rng);
+  const PairingPrecomp& precomp = group.generator_pairing();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(precomp.Pairing(q));
+  }
+  SetPresetLabel(state);
+}
+BENCHMARK(BM_PairingPrecompEval)->Arg(0)->Arg(1)->Arg(2);
+
+// --- Machine-readable fast-path vs reference report ---
+
+struct Row {
+  std::string name;
+  double fast_ns = 0;
+  double reference_ns = 0;
+};
+
+/// Mean ns/op via steady_clock: one warmup call, then at least
+/// `min_iters` iterations and at least `min_ms` of wall time.
+template <typename F>
+double MeasureNs(F&& fn, int min_iters, double min_ms) {
+  fn();
+  int iters = 0;
+  auto start = std::chrono::steady_clock::now();
+  double elapsed_ns = 0;
+  do {
+    fn();
+    ++iters;
+    elapsed_ns = std::chrono::duration<double, std::nano>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  } while (iters < min_iters || elapsed_ns < min_ms * 1e6);
+  return elapsed_ns / iters;
+}
+
+std::vector<Row> MeasureFastPaths(const TypeAParams& group, bool smoke) {
+  const int min_iters = smoke ? 2 : 20;
+  const double min_ms = smoke ? 0.0 : 100.0;
+  const mws::math::CurveGroup& curve = group.curve();
+
+  BfIbe ibe(group);
+  HmacDrbg rng = MakeRng();
+  auto [params, master] = ibe.Setup(rng);
+
+  // Rotating pre-generated inputs so no iteration sees a warm value twice.
+  constexpr size_t kInputs = 16;
+  std::vector<BigInt> scalars;
+  std::vector<EcPoint> points;
+  for (size_t i = 0; i < kInputs; ++i) {
+    scalars.push_back(group.RandomScalar(rng));
+    points.push_back(group.RandomPoint(rng));
+  }
+  Fp2 unit = group.Pairing(points[0], points[1]);
+
+  std::vector<Row> rows;
+  size_t n = 0;
+
+  rows.push_back(
+      {"scalar_mul_fixed_base",
+       MeasureNs([&] { benchmark::DoNotOptimize(
+                           group.MulGenerator(scalars[n++ % kInputs])); },
+                 min_iters, min_ms),
+       MeasureNs([&] { benchmark::DoNotOptimize(curve.ScalarMulBinary(
+                           scalars[n++ % kInputs], group.generator())); },
+                 min_iters, min_ms)});
+
+  rows.push_back(
+      {"scalar_mul_p_pub_fixed_base",
+       MeasureNs([&] { benchmark::DoNotOptimize(
+                           params.p_pub_table->Mul(scalars[n++ % kInputs])); },
+                 min_iters, min_ms),
+       MeasureNs([&] { benchmark::DoNotOptimize(curve.ScalarMulBinary(
+                           scalars[n++ % kInputs], params.p_pub)); },
+                 min_iters, min_ms)});
+
+  rows.push_back(
+      {"scalar_mul_variable_base",
+       MeasureNs([&] { benchmark::DoNotOptimize(curve.ScalarMul(
+                           scalars[n % kInputs], points[n++ % kInputs])); },
+                 min_iters, min_ms),
+       MeasureNs([&] { benchmark::DoNotOptimize(curve.ScalarMulBinary(
+                           scalars[n % kInputs], points[n++ % kInputs])); },
+                 min_iters, min_ms)});
+
+  const PairingPrecomp& precomp = *params.p_pub_pairing;
+  rows.push_back(
+      {"miller_loop_fixed_g1",
+       MeasureNs([&] { benchmark::DoNotOptimize(
+                           precomp.Miller(points[n++ % kInputs])); },
+                 min_iters, min_ms),
+       MeasureNs([&] { benchmark::DoNotOptimize(group.MillerLoop(
+                           params.p_pub, points[n++ % kInputs])); },
+                 min_iters, min_ms)});
+
+  rows.push_back(
+      {"pairing_fixed_g1",
+       MeasureNs([&] { benchmark::DoNotOptimize(
+                           precomp.Pairing(points[n++ % kInputs])); },
+                 min_iters, min_ms),
+       MeasureNs([&] { benchmark::DoNotOptimize(group.Pairing(
+                           params.p_pub, points[n++ % kInputs])); },
+                 min_iters, min_ms)});
+
+  rows.push_back(
+      {"fp2_pow_window",
+       MeasureNs([&] { benchmark::DoNotOptimize(
+                           unit.Pow(scalars[n++ % kInputs])); },
+                 min_iters, min_ms),
+       MeasureNs([&] { benchmark::DoNotOptimize(
+                           unit.PowBinary(scalars[n++ % kInputs])); },
+                 min_iters, min_ms)});
+
+  // LRU-hit hash-to-point vs a cold cache: rotate over 8 ids (all warm
+  // after one pass) against fresh never-seen identities.
+  std::vector<Bytes> warm_ids;
+  for (int i = 0; i < 8; ++i) {
+    warm_ids.push_back(BytesFromString("warm-" + std::to_string(i)));
+    ibe.HashToPoint(warm_ids.back());
+  }
+  uint64_t cold = 0;
+  rows.push_back(
+      {"hash_to_point_lru",
+       MeasureNs([&] { benchmark::DoNotOptimize(
+                           ibe.HashToPoint(warm_ids[n++ % 8])); },
+                 min_iters, min_ms),
+       MeasureNs([&] { benchmark::DoNotOptimize(ibe.HashToPoint(
+                           BytesFromString("cold-" +
+                                           std::to_string(cold++)))); },
+                 min_iters, min_ms)});
+
+  return rows;
+}
+
+void EmitJson(const std::string& path, bool no_precompute, bool smoke) {
+  // Smoke keeps ctest fast: the tiny preset with a couple iterations.
+  ParamPreset preset = smoke ? ParamPreset::kSmall : ParamPreset::kTest;
+  const TypeAParams& group = GetParams(preset);
+  std::vector<Row> rows = MeasureFastPaths(group, smoke);
+
+  std::string out = "{\n";
+  out += "  \"preset\": \"" + std::string(ParamPresetName(preset)) + "\",\n";
+  out += std::string("  \"no_precompute\": ") +
+         (no_precompute ? "true" : "false") + ",\n";
+  out += "  \"results\": [\n";
+  char buf[256];
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    // Under --no-precompute the primary column reports the reference
+    // path — the "before" numbers a regression check diffs against.
+    double primary = no_precompute ? r.reference_ns : r.fast_ns;
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"ns_per_op\": %.1f, "
+                  "\"reference_ns_per_op\": %.1f, \"speedup\": %.2f}%s\n",
+                  r.name.c_str(), primary, r.reference_ns,
+                  r.reference_ns / r.fast_ns,
+                  i + 1 < rows.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ]\n}\n";
+
+  if (path.empty()) {
+    std::printf("%s", out.c_str());
+  } else {
+    std::ofstream f(path);
+    f << out;
+    std::printf("wrote %s\n", path.c_str());
+  }
+  for (const Row& r : rows) {
+    std::printf("  %-28s fast %10.1f ns  reference %12.1f ns  (%.2fx)\n",
+                r.name.c_str(), r.fast_ns, r.reference_ns,
+                r.reference_ns / r.fast_ns);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool no_precompute = false;
+  std::string json_path;
+  // Strip our flags before benchmark::Initialize — gbench only consumes
+  // --benchmark_* and aborts on anything it does not recognize.
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--no-precompute") == 0) {
+      no_precompute = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
+
+  std::printf("=== E7: IBE primitive costs ===\n\n");
+  EmitJson(json_path, no_precompute, smoke);
+  if (smoke) return 0;
+
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

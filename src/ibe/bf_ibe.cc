@@ -1,5 +1,11 @@
 #include "src/ibe/bf_ibe.h"
 
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
 #include "src/crypto/hash.h"
 #include "src/crypto/kdf.h"
 
@@ -40,19 +46,56 @@ BigInt HashToScalar(const BigInt& q, const util::Bytes& sigma,
 
 }  // namespace
 
+void SystemParams::Precompute() {
+  if (group == nullptr || has_precompute()) return;
+  p_pub_table = std::make_shared<const math::FixedBaseTable>(
+      group->curve(), p_pub, group->q());
+  p_pub_pairing =
+      std::make_shared<const math::PairingPrecomp>(*group, p_pub);
+}
+
+/// Fixed-capacity LRU: list front = most recently used; the map indexes
+/// list nodes by identity bytes.
+struct BfIbe::HashCache {
+  static constexpr size_t kCapacity = 64;
+
+  std::mutex mu;
+  std::list<std::pair<std::string, EcPoint>> order;
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string, EcPoint>>::iterator>
+      index;
+};
+
+BfIbe::BfIbe(const math::TypeAParams& group)
+    : group_(group), hash_cache_(std::make_shared<HashCache>()) {}
+
 std::pair<SystemParams, MasterKey> BfIbe::Setup(
     util::RandomSource& rng) const {
   MasterKey master{group_.RandomScalar(rng)};
   SystemParams params;
   params.group = &group_;
-  params.p_pub = group_.curve().ScalarMul(master.s, group_.generator());
+  params.p_pub = group_.MulGenerator(master.s);
+  params.Precompute();
   return {params, master};
 }
 
 EcPoint BfIbe::HashToPoint(const util::Bytes& identity) const {
+  std::string key(identity.begin(), identity.end());
+  {
+    std::lock_guard<std::mutex> lock(hash_cache_->mu);
+    auto it = hash_cache_->index.find(key);
+    if (it != hash_cache_->index.end()) {
+      hash_cache_->order.splice(hash_cache_->order.begin(),
+                                hash_cache_->order, it->second);
+      return it->second->second;
+    }
+  }
   // Try-and-increment: x = H(counter || id) interpreted in F_p, lifted
-  // through the cofactor. Terminates in ~2 expected iterations.
+  // through the cofactor. Terminates in ~2 expected iterations. Computed
+  // outside the lock — concurrent misses for the same identity just race
+  // benignly to insert the same value.
   const size_t flen = group_.FieldBytes();
+  EcPoint result;
   for (uint32_t counter = 0;; ++counter) {
     util::Bytes input = Tagged(kTagH1, identity);
     input.push_back(static_cast<uint8_t>(counter >> 24));
@@ -63,8 +106,21 @@ EcPoint BfIbe::HashToPoint(const util::Bytes& identity) const {
         crypto::HashExpand(crypto::HashKind::kSha256, input, flen);
     Fp x = Fp::FromBytes(group_.ctx(), xb);
     auto point = group_.LiftX(x);
-    if (point.ok()) return point.value();
+    if (point.ok()) {
+      result = point.value();
+      break;
+    }
   }
+  std::lock_guard<std::mutex> lock(hash_cache_->mu);
+  if (hash_cache_->index.find(key) == hash_cache_->index.end()) {
+    hash_cache_->order.emplace_front(key, result);
+    hash_cache_->index[key] = hash_cache_->order.begin();
+    if (hash_cache_->order.size() > HashCache::kCapacity) {
+      hash_cache_->index.erase(hash_cache_->order.back().first);
+      hash_cache_->order.pop_back();
+    }
+  }
+  return result;
 }
 
 IbePrivateKey BfIbe::Extract(const MasterKey& master,
@@ -82,6 +138,11 @@ util::Bytes BfIbe::PairingMask(const Fp2& g, size_t len) const {
                             Tagged(kTagH2, g.ToBytes()), len);
 }
 
+Fp2 BfIbe::PairPpub(const SystemParams& params, const EcPoint& q_id) const {
+  if (params.p_pub_pairing) return params.p_pub_pairing->Pairing(q_id);
+  return group_.Pairing(params.p_pub, q_id);
+}
+
 BasicCiphertext BfIbe::Encrypt(const SystemParams& params,
                                const util::Bytes& identity,
                                const util::Bytes& message,
@@ -89,8 +150,8 @@ BasicCiphertext BfIbe::Encrypt(const SystemParams& params,
   EcPoint q_id = HashToPoint(identity);
   BigInt r = group_.RandomScalar(rng);
   BasicCiphertext ct;
-  ct.u = group_.curve().ScalarMul(r, group_.generator());
-  Fp2 g = group_.Pairing(params.p_pub, q_id).Pow(r);
+  ct.u = group_.MulGenerator(r);
+  Fp2 g = PairPpub(params, q_id).Pow(r);
   ct.v = util::Xor(message, PairingMask(g, message.size()));
   return ct;
 }
@@ -110,8 +171,8 @@ FullCiphertext BfIbe::EncryptFull(const SystemParams& params,
   util::Bytes sigma = rng.Generate(32);
   BigInt r = HashToScalar(group_.q(), sigma, message);
   FullCiphertext ct;
-  ct.u = group_.curve().ScalarMul(r, group_.generator());
-  Fp2 g = group_.Pairing(params.p_pub, q_id).Pow(r);
+  ct.u = group_.MulGenerator(r);
+  Fp2 g = PairPpub(params, q_id).Pow(r);
   ct.v = util::Xor(sigma, PairingMask(g, sigma.size()));
   ct.w = util::Xor(message,
                    crypto::HashExpand(crypto::HashKind::kSha256,
@@ -132,7 +193,7 @@ util::Result<util::Bytes> BfIbe::DecryptFull(const SystemParams& params,
                                Tagged(kTagH4, sigma), ct.w.size()));
   // Fujisaki–Okamoto check: re-derive r and verify U = rP.
   BigInt r = HashToScalar(group_.q(), sigma, message);
-  if (group_.curve().ScalarMul(r, group_.generator()) != ct.u) {
+  if (group_.MulGenerator(r) != ct.u) {
     return util::Status::Corruption("FullIdent ciphertext rejected");
   }
   (void)params;
@@ -146,8 +207,8 @@ KemOutput IbeKem::Encapsulate(const SystemParams& params,
   EcPoint q_id = ibe_.HashToPoint(identity);
   BigInt r = group.RandomScalar(rng);
   KemOutput out;
-  out.u = group.curve().ScalarMul(r, group.generator());
-  Fp2 g = group.Pairing(params.p_pub, q_id).Pow(r);
+  out.u = group.MulGenerator(r);
+  Fp2 g = ibe_.PairPpub(params, q_id).Pow(r);
   out.key = crypto::Hkdf(/*salt=*/{}, g.ToBytes(),
                          util::BytesFromString("mwsibe-kem"), key_len_);
   return out;

@@ -1,6 +1,8 @@
 #ifndef MWSIBE_IBE_BF_IBE_H_
 #define MWSIBE_IBE_BF_IBE_H_
 
+#include <memory>
+
 #include "src/math/pairing.h"
 #include "src/util/bytes.h"
 #include "src/util/random.h"
@@ -16,6 +18,24 @@ struct SystemParams {
   const math::TypeAParams* group = nullptr;
   /// P_pub = s * generator.
   math::EcPoint p_pub;
+
+  /// Optional precomputation for the deposit hot path, shared (immutable)
+  /// across copies of the params. When present, Encrypt/EncryptFull/
+  /// Encapsulate evaluate e(P_pub, ·) from the cached Miller-loop lines
+  /// instead of re-running the full loop per message; absent, they fall
+  /// back to the generic pairing. Setup attaches both by default.
+  std::shared_ptr<const math::FixedBaseTable> p_pub_table;
+  std::shared_ptr<const math::PairingPrecomp> p_pub_pairing;
+
+  /// Builds the P_pub tables (idempotent; no-op without a group).
+  void Precompute();
+  /// Drops the tables — the cold path, used by benchmarks to measure
+  /// construction cost honestly.
+  void ClearPrecompute() {
+    p_pub_table.reset();
+    p_pub_pairing.reset();
+  }
+  bool has_precompute() const { return p_pub_pairing != nullptr; }
 };
 
 /// The PKG's master secret s. Never leaves the PKG.
@@ -48,7 +68,7 @@ struct FullCiphertext {
 /// and the CCA-secure FullIdent variant (our implemented extension).
 class BfIbe {
  public:
-  explicit BfIbe(const math::TypeAParams& group) : group_(group) {}
+  explicit BfIbe(const math::TypeAParams& group);
 
   /// Setup: draws the master secret s and publishes P_pub = sP.
   std::pair<SystemParams, MasterKey> Setup(util::RandomSource& rng) const;
@@ -88,11 +108,22 @@ class BfIbe {
 
   const math::TypeAParams& group() const { return group_; }
 
+  /// e(P_pub, Q_ID) via the params' cached lines when available, falling
+  /// back to the generic pairing otherwise.
+  math::Fp2 PairPpub(const SystemParams& params,
+                     const math::EcPoint& q_id) const;
+
  private:
   /// g_ID^r -> mask of `len` bytes (the H2 pad).
   util::Bytes PairingMask(const math::Fp2& g, size_t len) const;
 
+  /// Bounded LRU over identity -> H1(identity): deposit bursts for the
+  /// same attribute skip the try-and-increment lifting. Shared across
+  /// copies (guarded by its own mutex); see DESIGN.md §performance.
+  struct HashCache;
+
   const math::TypeAParams& group_;
+  std::shared_ptr<HashCache> hash_cache_;
 };
 
 /// IBE key-encapsulation: the hybrid construction the paper's protocol

@@ -34,8 +34,10 @@ bool IbSignatures::Verify(const SystemParams& params,
   }
   BigInt h = HashMessage(message);
   math::EcPoint q_id = ibe_.HashToPoint(signer_identity);
-  // e(sigma, P) == e(Q_ID, P_pub)^h
-  math::Fp2 lhs = group.Pairing(signature.sigma, group.generator());
+  // e(sigma, P) == e(Q_ID, P_pub)^h. The pairing is symmetric, so
+  // e(sigma, P) = e(P, sigma) and the generator's cached Miller lines
+  // apply to the left side.
+  math::Fp2 lhs = group.generator_pairing().Pairing(signature.sigma);
   math::Fp2 rhs = group.Pairing(q_id, params.p_pub).Pow(h);
   return lhs == rhs;
 }

@@ -40,8 +40,7 @@ EcPoint Peks::HashKeyword(const util::Bytes& keyword) const {
 Peks::KeyPair Peks::GenerateKeyPair(util::RandomSource& rng) const {
   KeyPair out;
   out.secret = group_.RandomScalar(rng);
-  out.public_key =
-      group_.curve().ScalarMul(out.secret, group_.generator());
+  out.public_key = group_.MulGenerator(out.secret);
   return out;
 }
 
@@ -49,7 +48,7 @@ Peks::Tag Peks::MakeTag(const EcPoint& public_key, const util::Bytes& keyword,
                         util::RandomSource& rng) const {
   BigInt r = group_.RandomScalar(rng);
   Tag out;
-  out.u = group_.curve().ScalarMul(r, group_.generator());
+  out.u = group_.MulGenerator(r);
   math::Fp2 t = group_.Pairing(HashKeyword(keyword), public_key).Pow(r);
   out.check = HashPairingValue(t);
   return out;

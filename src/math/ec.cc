@@ -1,38 +1,19 @@
 #include "src/math/ec.h"
 
 #include <cassert>
+#include <vector>
 
 namespace mws::math {
 
 namespace {
 
-/// Jacobian coordinates (X, Y, Z) with x = X/Z^2, y = Y/Z^3; Z = 0 is the
-/// point at infinity. Used internally for scalar multiplication.
-struct Jacobian {
-  Fp x, y, z;
-  bool infinity;
-};
-
-Jacobian ToJacobian(const FpCtx* ctx, const EcPoint& p) {
-  if (p.is_infinity()) {
-    return {Fp::One(ctx), Fp::One(ctx), Fp::Zero(ctx), true};
-  }
-  return {p.x(), p.y(), Fp::One(ctx), false};
+JacPoint MakeInfinity(const FpCtx* ctx) {
+  return {Fp::One(ctx), Fp::One(ctx), Fp::Zero(ctx), true};
 }
 
-EcPoint ToAffine(const Jacobian& p) {
-  if (p.infinity) return EcPoint::Infinity();
-  Fp zinv = p.z.Inv();
-  Fp zinv2 = zinv.Sqr();
-  Fp zinv3 = zinv2 * zinv;
-  return EcPoint(p.x * zinv2, p.y * zinv3);
-}
-
-Jacobian JacobianDouble(const Fp& a, const Jacobian& p) {
-  if (p.infinity || p.y.IsZero()) {
-    const FpCtx* ctx = p.x.ctx();
-    return {Fp::One(ctx), Fp::One(ctx), Fp::Zero(ctx), true};
-  }
+JacPoint JacobianDouble(const Fp& a, const JacPoint& p) {
+  if (p.infinity) return p;
+  if (p.y.IsZero()) return MakeInfinity(p.x.ctx());
   // S = 4*X*Y^2, M = 3*X^2 + a*Z^4.
   Fp y2 = p.y.Sqr();
   Fp s = (p.x * y2).Double().Double();
@@ -45,7 +26,7 @@ Jacobian JacobianDouble(const Fp& a, const Jacobian& p) {
   return {x3, y3, z3, false};
 }
 
-Jacobian JacobianAdd(const Fp& a, const Jacobian& p, const Jacobian& q) {
+JacPoint JacobianAdd(const Fp& a, const JacPoint& p, const JacPoint& q) {
   if (p.infinity) return q;
   if (q.infinity) return p;
   Fp z1sq = p.z.Sqr();
@@ -58,8 +39,7 @@ Jacobian JacobianAdd(const Fp& a, const Jacobian& p, const Jacobian& q) {
   Fp r = s2 - s1;
   if (h.IsZero()) {
     if (r.IsZero()) return JacobianDouble(a, p);
-    const FpCtx* ctx = p.x.ctx();
-    return {Fp::One(ctx), Fp::One(ctx), Fp::Zero(ctx), true};
+    return MakeInfinity(p.x.ctx());
   }
   Fp h2 = h.Sqr();
   Fp h3 = h2 * h;
@@ -68,6 +48,130 @@ Jacobian JacobianAdd(const Fp& a, const Jacobian& p, const Jacobian& q) {
   Fp y3 = r * (u1h2 - x3) - s1 * h3;
   Fp z3 = p.z * q.z * h;
   return {x3, y3, z3, false};
+}
+
+/// Mixed addition with an affine second operand (Z2 = 1 saves four
+/// multiplications and two squarings over the general formula).
+JacPoint JacobianAddAffine(const Fp& a, const FpCtx* ctx, const JacPoint& p,
+                           const EcPoint& q) {
+  if (q.is_infinity()) return p;
+  if (p.infinity) return {q.x(), q.y(), Fp::One(ctx), false};
+  Fp z1sq = p.z.Sqr();
+  Fp u2 = q.x() * z1sq;
+  Fp s2 = q.y() * z1sq * p.z;
+  Fp h = u2 - p.x;
+  Fp r = s2 - p.y;
+  if (h.IsZero()) {
+    if (r.IsZero()) return JacobianDouble(a, p);
+    return MakeInfinity(ctx);
+  }
+  Fp h2 = h.Sqr();
+  Fp h3 = h2 * h;
+  Fp u1h2 = p.x * h2;
+  Fp x3 = r.Sqr() - h3 - u1h2.Double();
+  Fp y3 = r * (u1h2 - x3) - p.y * h3;
+  Fp z3 = p.z * h;
+  return {x3, y3, z3, false};
+}
+
+// --- wNAF digit expansion over raw limbs ---
+//
+// Standard width-w non-adjacent form: every non-zero digit is odd, in
+// (-2^(w-1), 2^(w-1)), and followed by at least w-1 zeros, so a scalar
+// of n bits costs n doublings but only ~n/(w+1) additions.
+
+bool LimbsZero(const std::vector<uint64_t>& v) {
+  for (uint64_t x : v) {
+    if (x != 0) return false;
+  }
+  return true;
+}
+
+void LimbsSubSmall(std::vector<uint64_t>& v, uint64_t d) {
+  uint64_t borrow = d;
+  for (size_t i = 0; i < v.size() && borrow != 0; ++i) {
+    uint64_t before = v[i];
+    v[i] -= borrow;
+    borrow = (v[i] > before) ? 1 : 0;
+  }
+}
+
+void LimbsAddSmall(std::vector<uint64_t>& v, uint64_t d) {
+  uint64_t carry = d;
+  for (size_t i = 0; i < v.size() && carry != 0; ++i) {
+    v[i] += carry;
+    carry = (v[i] < carry) ? 1 : 0;
+  }
+  if (carry != 0) v.push_back(carry);
+}
+
+void LimbsShiftRight1(std::vector<uint64_t>& v) {
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] >>= 1;
+    if (i + 1 < v.size()) v[i] |= v[i + 1] << 63;
+  }
+}
+
+/// Pre: k > 0, 2 <= w <= 7.
+std::vector<int8_t> WnafDigits(const BigInt& k, unsigned w) {
+  std::vector<uint64_t> v = k.limbs();
+  std::vector<int8_t> out;
+  out.reserve(k.BitLength() + 1);
+  const uint64_t mask = (uint64_t{1} << w) - 1;
+  const int64_t full = int64_t{1} << w;
+  const int64_t half = full >> 1;
+  while (!LimbsZero(v)) {
+    int8_t digit = 0;
+    if (v[0] & 1) {
+      int64_t m = static_cast<int64_t>(v[0] & mask);
+      if (m >= half) {
+        digit = static_cast<int8_t>(m - full);
+        LimbsAddSmall(v, static_cast<uint64_t>(full - m));
+      } else {
+        digit = static_cast<int8_t>(m);
+        LimbsSubSmall(v, static_cast<uint64_t>(m));
+      }
+    }
+    out.push_back(digit);
+    LimbsShiftRight1(v);
+  }
+  return out;
+}
+
+/// |k| * base for k > 0 via wNAF with on-the-fly odd-multiple table.
+JacPoint WnafMul(const Fp& a, const FpCtx* ctx, const BigInt& k,
+                 const JacPoint& base) {
+  if (base.infinity) return base;
+  // Small scalars: the odd-multiple table does not pay for itself.
+  if (k.BitLength() <= 8) {
+    JacPoint acc = MakeInfinity(ctx);
+    for (size_t i = k.BitLength(); i-- > 0;) {
+      acc = JacobianDouble(a, acc);
+      if (k.Bit(i)) acc = JacobianAdd(a, acc, base);
+    }
+    return acc;
+  }
+  constexpr unsigned w = 4;
+  std::vector<int8_t> digits = WnafDigits(k, w);
+  // Odd multiples 1P, 3P, ..., (2^(w-1)-1)P.
+  std::vector<JacPoint> odd(size_t{1} << (w - 2));
+  odd[0] = base;
+  JacPoint twice = JacobianDouble(a, base);
+  for (size_t i = 1; i < odd.size(); ++i) {
+    odd[i] = JacobianAdd(a, odd[i - 1], twice);
+  }
+  JacPoint acc = MakeInfinity(ctx);
+  for (size_t i = digits.size(); i-- > 0;) {
+    acc = JacobianDouble(a, acc);
+    int8_t d = digits[i];
+    if (d > 0) {
+      acc = JacobianAdd(a, acc, odd[static_cast<size_t>(d) >> 1]);
+    } else if (d < 0) {
+      const JacPoint& m = odd[static_cast<size_t>(-d) >> 1];
+      acc = JacobianAdd(a, acc, JacPoint{m.x, m.y.Neg(), m.z, m.infinity});
+    }
+  }
+  return acc;
 }
 
 }  // namespace
@@ -84,20 +188,65 @@ EcPoint CurveGroup::Negate(const EcPoint& p) const {
   return EcPoint(p.x(), p.y().Neg());
 }
 
+JacPoint CurveGroup::JacInfinity() const { return MakeInfinity(ctx_); }
+
+JacPoint CurveGroup::ToJacobian(const EcPoint& p) const {
+  if (p.is_infinity()) return MakeInfinity(ctx_);
+  return {p.x(), p.y(), Fp::One(ctx_), false};
+}
+
+EcPoint CurveGroup::ToAffine(const JacPoint& p) const {
+  if (p.infinity) return EcPoint::Infinity();
+  Fp zinv = p.z.Inv();
+  Fp zinv2 = zinv.Sqr();
+  Fp zinv3 = zinv2 * zinv;
+  return EcPoint(p.x * zinv2, p.y * zinv3);
+}
+
+JacPoint CurveGroup::Negate(const JacPoint& p) const {
+  if (p.infinity) return p;
+  return {p.x, p.y.Neg(), p.z, false};
+}
+
+JacPoint CurveGroup::Add(const JacPoint& p, const JacPoint& q) const {
+  return JacobianAdd(a_, p, q);
+}
+
+JacPoint CurveGroup::Add(const JacPoint& p, const EcPoint& q) const {
+  return JacobianAddAffine(a_, ctx_, p, q);
+}
+
+JacPoint CurveGroup::Double(const JacPoint& p) const {
+  return JacobianDouble(a_, p);
+}
+
 EcPoint CurveGroup::Double(const EcPoint& p) const {
-  return ToAffine(JacobianDouble(a_, ToJacobian(ctx_, p)));
+  return ToAffine(JacobianDouble(a_, ToJacobian(p)));
 }
 
 EcPoint CurveGroup::Add(const EcPoint& p, const EcPoint& q) const {
-  return ToAffine(
-      JacobianAdd(a_, ToJacobian(ctx_, p), ToJacobian(ctx_, q)));
+  return ToAffine(JacobianAdd(a_, ToJacobian(p), ToJacobian(q)));
 }
 
 EcPoint CurveGroup::ScalarMul(const BigInt& k, const EcPoint& p) const {
   if (k.IsZero() || p.is_infinity()) return EcPoint::Infinity();
   BigInt scalar = k.IsNegative() ? -k : k;
-  Jacobian base = ToJacobian(ctx_, p);
-  Jacobian acc = {Fp::One(ctx_), Fp::One(ctx_), Fp::Zero(ctx_), true};
+  EcPoint out = ToAffine(WnafMul(a_, ctx_, scalar, ToJacobian(p)));
+  return k.IsNegative() ? Negate(out) : out;
+}
+
+JacPoint CurveGroup::ScalarMul(const BigInt& k, const JacPoint& p) const {
+  if (k.IsZero() || p.infinity) return MakeInfinity(ctx_);
+  BigInt scalar = k.IsNegative() ? -k : k;
+  JacPoint out = WnafMul(a_, ctx_, scalar, p);
+  return k.IsNegative() ? Negate(out) : out;
+}
+
+EcPoint CurveGroup::ScalarMulBinary(const BigInt& k, const EcPoint& p) const {
+  if (k.IsZero() || p.is_infinity()) return EcPoint::Infinity();
+  BigInt scalar = k.IsNegative() ? -k : k;
+  JacPoint base = ToJacobian(p);
+  JacPoint acc = MakeInfinity(ctx_);
   for (size_t i = scalar.BitLength(); i-- > 0;) {
     acc = JacobianDouble(a_, acc);
     if (scalar.Bit(i)) acc = JacobianAdd(a_, acc, base);

@@ -36,6 +36,16 @@ class EcPoint {
   Fp y_;
 };
 
+/// A point in Jacobian coordinates (X, Y, Z) with x = X/Z^2, y = Y/Z^3;
+/// infinity is flagged explicitly. Exposed so callers that chain many
+/// group operations (key reconstruction, table construction, scalar
+/// multiplication) can defer the per-operation field inversion the
+/// affine API pays until one final ToAffine.
+struct JacPoint {
+  Fp x, y, z;
+  bool infinity = true;
+};
+
 /// The group E(F_p) of a short-Weierstrass curve y^2 = x^3 + a*x + b.
 ///
 /// For the paper's type-A pairing curve a = 1, b = 0 (supersingular,
@@ -54,8 +64,27 @@ class CurveGroup {
   EcPoint Negate(const EcPoint& p) const;
   EcPoint Add(const EcPoint& p, const EcPoint& q) const;
   EcPoint Double(const EcPoint& p) const;
-  /// k*P by double-and-add over |k| bits; negative k negates the result.
+
+  // --- Jacobian-in/Jacobian-out operations (no inversions) ---
+
+  JacPoint JacInfinity() const;
+  JacPoint ToJacobian(const EcPoint& p) const;
+  /// One inversion; batch conversions should use precompute.h helpers.
+  EcPoint ToAffine(const JacPoint& p) const;
+  JacPoint Negate(const JacPoint& p) const;
+  JacPoint Add(const JacPoint& p, const JacPoint& q) const;
+  /// Mixed addition: `q` affine (Z = 1), ~30% cheaper than general Add.
+  JacPoint Add(const JacPoint& p, const EcPoint& q) const;
+  JacPoint Double(const JacPoint& p) const;
+
+  /// k*P via signed windowed NAF (w=4); negative k negates the result.
+  /// The general variable-base path.
   EcPoint ScalarMul(const BigInt& k, const EcPoint& p) const;
+  /// k*P with a Jacobian base and result (for operation chains).
+  JacPoint ScalarMul(const BigInt& k, const JacPoint& p) const;
+  /// Reference k*P by plain binary double-and-add. Kept as the baseline
+  /// for property tests and the `--no-precompute` benchmark path.
+  EcPoint ScalarMulBinary(const BigInt& k, const EcPoint& p) const;
 
   /// Uncompressed encoding: 0x04 || x || y (fixed width), or 0x00 for the
   /// point at infinity.

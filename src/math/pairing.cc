@@ -35,6 +35,7 @@ util::Result<std::unique_ptr<const TypeAParams>> TypeAParams::Create(
     return util::Status::InvalidArgument("generator does not have order q");
   }
   params->generator_ = gen;
+  params->BuildPrecomputation();
   return std::unique_ptr<const TypeAParams>(std::move(params));
 }
 
@@ -69,7 +70,14 @@ util::Result<std::unique_ptr<const TypeAParams>> TypeAParams::Generate(
   params->curve_ = std::make_unique<CurveGroup>(ctx, Fp::One(ctx),
                                                 Fp::Zero(ctx));
   params->generator_ = params->RandomPoint(rng);
+  params->BuildPrecomputation();
   return std::unique_ptr<const TypeAParams>(std::move(params));
+}
+
+void TypeAParams::BuildPrecomputation() {
+  gen_table_ =
+      std::make_unique<FixedBaseTable>(*curve_, generator_, q_);
+  gen_pairing_ = std::make_unique<PairingPrecomp>(*this, generator_);
 }
 
 util::Result<EcPoint> TypeAParams::LiftX(const Fp& x) const {

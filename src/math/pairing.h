@@ -5,6 +5,7 @@
 
 #include "src/math/ec.h"
 #include "src/math/fp2.h"
+#include "src/math/precompute.h"
 #include "src/util/random.h"
 
 namespace mws::math {
@@ -42,6 +43,16 @@ class TypeAParams {
   const CurveGroup& curve() const { return *curve_; }
   const EcPoint& generator() const { return generator_; }
 
+  /// Fixed-base table for the generator, built once at construction.
+  const FixedBaseTable& generator_table() const { return *gen_table_; }
+  /// k * generator through the fixed-base table — the fast path for
+  /// every rP/sP the protocols compute.
+  EcPoint MulGenerator(const BigInt& k) const { return gen_table_->Mul(k); }
+  /// Cached Miller-loop lines for pairings whose first argument is the
+  /// generator, e.g. e(sigma, P) in IBS verification (the pairing is
+  /// symmetric, so fixing either slot works).
+  const PairingPrecomp& generator_pairing() const { return *gen_pairing_; }
+
   /// Field element size in bytes (serialized coordinate width).
   size_t FieldBytes() const { return ctx_->byte_length(); }
   /// Group element (uncompressed point) size in bytes.
@@ -70,12 +81,19 @@ class TypeAParams {
  private:
   TypeAParams() = default;
 
+  /// Builds the generator fixed-base table and Miller-loop line cache
+  /// (called once at the end of Create/Generate; the tables are
+  /// immutable afterwards).
+  void BuildPrecomputation();
+
   BigInt p_;
   BigInt q_;
   BigInt h_;  // (p+1)/q
   std::unique_ptr<const FpCtx> ctx_;
   std::unique_ptr<CurveGroup> curve_;
   EcPoint generator_;
+  std::unique_ptr<const FixedBaseTable> gen_table_;
+  std::unique_ptr<const PairingPrecomp> gen_pairing_;
 };
 
 }  // namespace mws::math

@@ -1,0 +1,188 @@
+#include "src/math/precompute.h"
+
+#include <cassert>
+
+#include "src/math/pairing.h"
+
+namespace mws::math {
+
+std::vector<EcPoint> BatchToAffine(const CurveGroup& curve,
+                                   const std::vector<JacPoint>& points) {
+  const FpCtx* ctx = curve.ctx();
+  std::vector<EcPoint> out(points.size());  // defaults to infinity
+  std::vector<size_t> live;
+  std::vector<Fp> prefix;  // prefix[j] = product of z of earlier live points
+  live.reserve(points.size());
+  prefix.reserve(points.size());
+  Fp run = Fp::One(ctx);
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (points[i].infinity) continue;
+    live.push_back(i);
+    prefix.push_back(run);
+    run = run * points[i].z;
+  }
+  if (live.empty()) return out;
+  Fp inv = run.Inv();
+  for (size_t j = live.size(); j-- > 0;) {
+    size_t i = live[j];
+    Fp zinv = inv * prefix[j];
+    inv = inv * points[i].z;
+    Fp zinv2 = zinv.Sqr();
+    out[i] = EcPoint(points[i].x * zinv2, points[i].y * zinv2 * zinv);
+  }
+  return out;
+}
+
+FixedBaseTable::FixedBaseTable(const CurveGroup& curve, const EcPoint& base,
+                               const BigInt& order, size_t window)
+    : curve_(&curve), base_(base), order_(order), window_(window) {
+  assert(window >= 2 && window <= 7);
+  if (base.is_infinity()) return;
+  const size_t bits = order.BitLength();
+  cols_ = (bits + window - 1) / window;
+  const size_t row = (size_t{1} << window) - 1;
+  std::vector<JacPoint> jac;
+  jac.reserve(cols_ * row);
+  JacPoint col_base = curve.ToJacobian(base);  // 2^(w*j) * base
+  for (size_t col = 0; col < cols_; ++col) {
+    JacPoint acc = col_base;
+    for (size_t d = 1; d <= row; ++d) {
+      jac.push_back(acc);
+      if (d < row) acc = curve.Add(acc, col_base);
+    }
+    if (col + 1 < cols_) {
+      for (size_t i = 0; i < window; ++i) col_base = curve.Double(col_base);
+    }
+  }
+  table_ = BatchToAffine(curve, jac);
+}
+
+EcPoint FixedBaseTable::Mul(const BigInt& k) const {
+  if (cols_ == 0) return EcPoint::Infinity();
+  // base has order `order_`, so k*base = (k mod order)*base; Mod also
+  // canonicalizes negative scalars.
+  BigInt r = BigInt::Mod(k, order_);
+  if (r.IsZero()) return EcPoint::Infinity();
+  const size_t row = (size_t{1} << window_) - 1;
+  JacPoint acc = curve_->JacInfinity();
+  for (size_t col = 0; col < cols_; ++col) {
+    size_t digit = 0;
+    for (size_t j = window_; j-- > 0;) {
+      digit = (digit << 1) | (r.Bit(col * window_ + j) ? 1 : 0);
+    }
+    if (digit != 0) acc = curve_->Add(acc, table_[col * row + digit - 1]);
+  }
+  return curve_->ToAffine(acc);
+}
+
+PairingPrecomp::PairingPrecomp(const TypeAParams& params, const EcPoint& p)
+    : params_(&params), p_(p) {
+  if (p.is_infinity()) return;
+  // Mirrors TypeAParams::MillerLoop step for step, recording the
+  // coefficients of each (scaled) line instead of evaluating it. The
+  // degenerate v_infinity branches (unreachable for order-q inputs, kept
+  // for safety) record no line, exactly as the reference multiplies by
+  // nothing there.
+  const FpCtx* ctx = params.ctx();
+  const Fp& px = p.x();
+  const Fp& py = p.y();
+  Fp vx = px;
+  Fp vy = py;
+  Fp vz = Fp::One(ctx);
+  bool v_infinity = false;
+  const BigInt& q = params.q();
+  const size_t bits = q.BitLength();
+  steps_.reserve(bits);
+  for (size_t i = bits - 1; i-- > 0;) {
+    Step step;
+    if (!v_infinity) {
+      if (vy.IsZero()) {
+        v_infinity = true;
+      } else {
+        // Tangent line at V, scaled by 2*yv*Z^6:
+        //   (3X^2 + Z^4)*Z^2 * xq + (3X^2 + Z^4)*X - 2Y^2 + i*2YZ^3 * yq.
+        Fp z2 = vz.Sqr();
+        Fp z4 = z2.Sqr();
+        Fp z3 = vz * z2;
+        Fp x2 = vx.Sqr();
+        Fp m = x2.Double() + x2 + z4;  // 3X^2 + a*Z^4 with a = 1
+        Fp y2 = vy.Sqr();
+        step.has_dbl = true;
+        step.dbl = Line{m * z2, m * vx - y2.Double(), (vy * z3).Double()};
+        Fp s = (vx * y2).Double().Double();  // 4*X*Y^2
+        Fp x_new = m.Sqr() - s.Double();
+        Fp y4_8 = y2.Sqr().Double().Double().Double();  // 8*Y^4
+        Fp y_new = m * (s - x_new) - y4_8;
+        Fp z_new = (vy * vz).Double();
+        vx = x_new;
+        vy = y_new;
+        vz = z_new;
+      }
+    }
+    if (q.Bit(i)) {
+      if (v_infinity) {
+        vx = px;
+        vy = py;
+        vz = Fp::One(ctx);
+        v_infinity = false;
+      } else {
+        Fp z2 = vz.Sqr();
+        Fp z3 = vz * z2;
+        Fp u2 = px * z2;
+        Fp s2 = py * z3;
+        Fp h = u2 - vx;
+        Fp r = s2 - vy;
+        if (h.IsZero()) {
+          v_infinity = true;
+        } else {
+          // Chord through V and P, scaled by Z*H:
+          //   R * xq + (R*xp - yp*Z*H) + i*Z*H * yq.
+          Fp zh = vz * h;
+          step.has_add = true;
+          step.add = Line{r, r * px - py * zh, zh};
+          Fp h2 = h.Sqr();
+          Fp h3 = h2 * h;
+          Fp xh2 = vx * h2;
+          Fp x_new = r.Sqr() - h3 - xh2.Double();
+          Fp y_new = r * (xh2 - x_new) - vy * h3;
+          vx = x_new;
+          vy = y_new;
+          vz = zh;
+        }
+      }
+    }
+    steps_.push_back(step);
+  }
+}
+
+Fp2 PairingPrecomp::Miller(const EcPoint& q) const {
+  const FpCtx* ctx = params_->ctx();
+  if (p_.is_infinity() || q.is_infinity()) return Fp2::One(ctx);
+  const Fp& xq = q.x();
+  const Fp& yq = q.y();
+  Fp2 f = Fp2::One(ctx);
+  for (const Step& s : steps_) {
+    f = f.Sqr();
+    if (s.has_dbl) {
+      f = f * Fp2(s.dbl.c_xq * xq + s.dbl.c_0, s.dbl.c_yq * yq);
+    }
+    if (s.has_add) {
+      f = f * Fp2(s.add.c_xq * xq + s.add.c_0, s.add.c_yq * yq);
+    }
+  }
+  return f;
+}
+
+Fp2 PairingPrecomp::Pairing(const EcPoint& q) const {
+  return params_->FinalExponentiation(Miller(q));
+}
+
+size_t PairingPrecomp::line_count() const {
+  size_t n = 0;
+  for (const Step& s : steps_) {
+    n += (s.has_dbl ? 1 : 0) + (s.has_add ? 1 : 0);
+  }
+  return n;
+}
+
+}  // namespace mws::math

@@ -1,0 +1,96 @@
+#ifndef MWSIBE_MATH_PRECOMPUTE_H_
+#define MWSIBE_MATH_PRECOMPUTE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/math/ec.h"
+#include "src/math/fp2.h"
+
+namespace mws::math {
+
+class TypeAParams;
+
+/// Batch Jacobian-to-affine conversion: one field inversion for the whole
+/// set (Montgomery's trick) instead of one per point.
+std::vector<EcPoint> BatchToAffine(const CurveGroup& curve,
+                                   const std::vector<JacPoint>& points);
+
+/// Windowed fixed-base scalar-multiplication table for a point of known
+/// order: table[j][d] = d * 2^(w*j) * base for d in [1, 2^w). A scalar
+/// k then costs only ceil(bits/w) mixed additions — no doublings — since
+/// k*base = sum_j digit_j(k) * 2^(w*j) * base.
+///
+/// Construction costs ~cols * 2^w group additions plus one batched
+/// inversion; memory is cols * (2^w - 1) affine points (about 250 KiB
+/// for the 160-bit preset at w=5). Instances are immutable after
+/// construction and therefore safe to share across threads.
+class FixedBaseTable {
+ public:
+  /// `order` must be the order of `base`; scalars are reduced modulo it
+  /// (so k < 0 and k >= order are handled). Pre: 2 <= window <= 7.
+  FixedBaseTable(const CurveGroup& curve, const EcPoint& base,
+                 const BigInt& order, size_t window = 5);
+
+  /// k * base. Bit-identical to CurveGroup::ScalarMulBinary(k, base).
+  EcPoint Mul(const BigInt& k) const;
+
+  const EcPoint& base() const { return base_; }
+  size_t window() const { return window_; }
+  /// Number of stored affine points (memory = entries * sizeof(EcPoint)).
+  size_t entries() const { return table_.size(); }
+
+ private:
+  const CurveGroup* curve_;
+  EcPoint base_;
+  BigInt order_;
+  size_t window_;
+  size_t cols_ = 0;               // ceil(order bits / window)
+  std::vector<EcPoint> table_;    // cols_ rows of (2^window - 1) points
+};
+
+/// Precomputed Miller loop for a fixed first (G1) pairing argument.
+///
+/// The line functions the Miller loop evaluates depend on the fixed
+/// point P alone; only their *evaluation* involves the second argument
+/// phi(Q) = (-xq, i*yq). This caches the per-iteration line coefficients
+/// so Pairing(P, Q) needs no point arithmetic at all per call: each
+/// iteration is one Fp2 squaring, one Fp2 multiplication, and two Fp
+/// multiplications. Built once per system parameter set (P = generator,
+/// P = P_pub); immutable after construction, safe to share across
+/// threads.
+class PairingPrecomp {
+ public:
+  /// Runs the Miller loop for `p` once, recording line coefficients.
+  PairingPrecomp(const TypeAParams& params, const EcPoint& p);
+
+  /// MillerLoop(p, q) — bit-identical to TypeAParams::MillerLoop.
+  Fp2 Miller(const EcPoint& q) const;
+  /// Pairing(p, q) — Miller loop plus final exponentiation.
+  Fp2 Pairing(const EcPoint& q) const;
+
+  const EcPoint& fixed_point() const { return p_; }
+  /// Number of cached line-coefficient triples (memory footprint).
+  size_t line_count() const;
+
+ private:
+  /// A line through the loop's running point V, scaled into F_p*
+  /// (denominator elimination erases the scale). Evaluated at phi(Q) it
+  /// is (c_xq * xq + c_0) + i * (c_yq * yq).
+  struct Line {
+    Fp c_xq, c_0, c_yq;
+  };
+  struct Step {
+    Line dbl, add;
+    bool has_dbl = false;
+    bool has_add = false;
+  };
+
+  const TypeAParams* params_;
+  EcPoint p_;
+  std::vector<Step> steps_;
+};
+
+}  // namespace mws::math
+
+#endif  // MWSIBE_MATH_PRECOMPUTE_H_

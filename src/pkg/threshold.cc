@@ -22,11 +22,10 @@ util::Result<ThresholdPkg::Dealing> ThresholdPkg::Deal(
 
   Dealing out;
   out.params.group = &group_;
-  out.params.p_pub =
-      group_.curve().ScalarMul(coefficients[0], group_.generator());
+  out.params.p_pub = group_.MulGenerator(coefficients[0]);
+  out.params.Precompute();
   for (const BigInt& a : coefficients) {
-    out.commitments.push_back(
-        group_.curve().ScalarMul(a, group_.generator()));
+    out.commitments.push_back(group_.MulGenerator(a));
   }
   for (uint64_t x = 1; x <= n_; ++x) {
     // Horner evaluation of f(x) mod q.
@@ -42,8 +41,7 @@ util::Result<ThresholdPkg::Dealing> ThresholdPkg::Deal(
 bool ThresholdPkg::VerifyShare(const std::vector<EcPoint>& commitments,
                                const KeyShare& share) const {
   EcPoint expected = PublicShare(commitments, share.index);
-  EcPoint actual =
-      group_.curve().ScalarMul(share.value, group_.generator());
+  EcPoint actual = group_.MulGenerator(share.value);
   return expected == actual;
 }
 
@@ -56,12 +54,15 @@ ThresholdPkg::PartialKey ThresholdPkg::PartialExtract(
 EcPoint ThresholdPkg::PublicShare(const std::vector<EcPoint>& commitments,
                                   uint64_t index) const {
   // sum_k index^k * C_k, Horner style: (((C_{t-1} * x) + C_{t-2}) * x ...).
-  EcPoint acc = EcPoint::Infinity();
+  // Accumulated in Jacobian coordinates: one inversion at the end
+  // instead of one per Horner step.
+  const math::CurveGroup& curve = group_.curve();
+  math::JacPoint acc = curve.JacInfinity();
   for (size_t k = commitments.size(); k-- > 0;) {
-    acc = group_.curve().ScalarMul(BigInt(index), acc);
-    acc = group_.curve().Add(acc, commitments[k]);
+    acc = curve.ScalarMul(BigInt(index), acc);
+    acc = curve.Add(acc, commitments[k]);
   }
-  return acc;
+  return curve.ToAffine(acc);
 }
 
 bool ThresholdPkg::VerifyPartial(const std::vector<EcPoint>& commitments,
@@ -71,7 +72,9 @@ bool ThresholdPkg::VerifyPartial(const std::vector<EcPoint>& commitments,
     return false;
   }
   EcPoint share_pub = PublicShare(commitments, partial.index);
-  math::Fp2 lhs = group_.Pairing(partial.d, group_.generator());
+  // e(partial.d, P) = e(P, partial.d): the generator's cached Miller
+  // lines serve the left side (the pairing is symmetric).
+  math::Fp2 lhs = group_.generator_pairing().Pairing(partial.d);
   math::Fp2 rhs = group_.Pairing(q_id, share_pub);
   return lhs == rhs;
 }
@@ -115,13 +118,15 @@ util::Result<ibe::IbePrivateKey> ThresholdPkg::Combine(
   xs.reserve(used.size());
   for (const PartialKey* p : used) xs.push_back(p->index);
 
-  EcPoint acc = EcPoint::Infinity();
+  // Key reconstruction in Jacobian coordinates: the affine Add would pay
+  // one field inversion per partial; this pays exactly one at the end.
+  const math::CurveGroup& curve = group_.curve();
+  math::JacPoint acc = curve.JacInfinity();
   for (size_t i = 0; i < used.size(); ++i) {
     MWS_ASSIGN_OR_RETURN(BigInt lambda, LagrangeAtZero(xs, i));
-    acc = group_.curve().Add(
-        acc, group_.curve().ScalarMul(lambda, used[i]->d));
+    acc = curve.Add(acc, curve.ScalarMul(lambda, used[i]->d));
   }
-  return ibe::IbePrivateKey{acc};
+  return ibe::IbePrivateKey{curve.ToAffine(acc)};
 }
 
 }  // namespace mws::pkg
