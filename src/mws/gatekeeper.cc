@@ -35,6 +35,12 @@ util::Result<wire::RcAuthResponse> Gatekeeper::Authenticate(
   if (std::llabs(now - plain->timestamp_micros) > freshness_window_micros_) {
     return util::Status::Unauthenticated("RC challenge expired");
   }
+  // Session id generation stays outside the lock: the RandomSource is
+  // thread-safe by contract.
+  wire::RcAuthResponse response;
+  response.session_id = rng_->Generate(16);
+
+  std::lock_guard<std::mutex> lock(mutex_);
   PruneReplayCache(now);
   std::string replay_key = request.rc_identity + "/" +
                            std::to_string(plain->timestamp_micros) + "/" +
@@ -54,8 +60,6 @@ util::Result<wire::RcAuthResponse> Gatekeeper::Authenticate(
     }
   }
 
-  wire::RcAuthResponse response;
-  response.session_id = rng_->Generate(16);
   sessions_[SessionKeyString(response.session_id)] =
       RcSession{request.rc_identity, request.rsa_public_key, now};
   return response;
@@ -63,6 +67,7 @@ util::Result<wire::RcAuthResponse> Gatekeeper::Authenticate(
 
 util::Result<RcSession> Gatekeeper::GetSession(
     const util::Bytes& session_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = sessions_.find(SessionKeyString(session_id));
   if (it == sessions_.end()) {
     return util::Status::Unauthenticated("unknown MWS session");
@@ -75,6 +80,7 @@ util::Result<RcSession> Gatekeeper::GetSession(
 }
 
 void Gatekeeper::CloseSession(const util::Bytes& session_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
   sessions_.erase(SessionKeyString(session_id));
 }
 

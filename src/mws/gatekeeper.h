@@ -2,6 +2,7 @@
 #define MWSIBE_MWS_GATEKEEPER_H_
 
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 
@@ -27,6 +28,12 @@ struct RcSession {
 /// Replay protection: the (identity, timestamp, client-nonce) triple of
 /// every accepted authentication is remembered for the freshness window
 /// and duplicates are rejected.
+///
+/// Thread-safe: the session registry and replay cache are guarded by one
+/// mutex; challenge decryption happens outside it, so concurrent
+/// authentications only serialize on the registry bookkeeping. The
+/// injected RandomSource must itself be thread-safe (MwsService wraps
+/// its source in util::LockedRandom).
 class Gatekeeper {
  public:
   Gatekeeper(const store::UserDb* users, const util::Clock* clock,
@@ -48,12 +55,16 @@ class Gatekeeper {
   /// Closes a session (logout); OK even if absent.
   void CloseSession(const util::Bytes& session_id);
 
-  size_t ActiveSessions() const { return sessions_.size(); }
+  size_t ActiveSessions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sessions_.size();
+  }
 
  private:
   std::string SessionKeyString(const util::Bytes& session_id) const {
     return util::StringFromBytes(session_id);
   }
+  /// Pre: mutex_ held.
   void PruneReplayCache(int64_t now);
 
   const store::UserDb* users_;
@@ -62,6 +73,8 @@ class Gatekeeper {
   crypto::CipherKind cipher_;
   int64_t freshness_window_micros_;
 
+  /// Guards sessions_ and replay_cache_.
+  mutable std::mutex mutex_;
   std::map<std::string, RcSession> sessions_;
   /// (identity, timestamp, nonce-hex) of accepted auths, with timestamps
   /// for pruning.

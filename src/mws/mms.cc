@@ -25,9 +25,19 @@ util::Result<std::vector<store::PolicyRow>> MessageManagementSystem::GrantsFor(
       auto expr = PolicyExpression::Parse(text);
       if (!expr.ok()) continue;  // stored text validated at grant time
       if (!expr->Matches(attribute)) continue;
-      MWS_ASSIGN_OR_RETURN(uint64_t aid,
-                           policies_->Grant(rc_identity, attribute, seq));
-      rows.push_back(store::PolicyRow{rc_identity, attribute, aid, seq});
+      auto aid = policies_->Grant(rc_identity, attribute, seq);
+      if (aid.ok()) {
+        rows.push_back(store::PolicyRow{rc_identity, attribute,
+                                        aid.value(), seq});
+      } else if (aid.status().IsAlreadyExists()) {
+        // A concurrent retrieval materialized the same match first; use
+        // the row it created.
+        MWS_ASSIGN_OR_RETURN(store::PolicyRow row,
+                             policies_->RowFor(rc_identity, attribute));
+        rows.push_back(std::move(row));
+      } else {
+        return aid.status();
+      }
       granted.insert(attribute);
       break;
     }

@@ -9,15 +9,16 @@ MwsService::MwsService(store::Table* storage, util::Bytes mws_pkg_key,
                        const util::Clock* clock, util::RandomSource* rng,
                        MwsOptions options)
     : options_(options),
+      rng_(rng),
       message_db_(storage),
       policy_db_(storage),
       user_db_(storage),
       device_keys_(storage),
       sda_(&device_keys_, clock, options.freshness_window_micros),
-      gatekeeper_(&user_db_, clock, rng, options.cipher,
+      gatekeeper_(&user_db_, clock, &rng_, options.cipher,
                   options.freshness_window_micros),
       mms_(&message_db_, &policy_db_),
-      token_generator_(std::move(mws_pkg_key), options.cipher, clock, rng,
+      token_generator_(std::move(mws_pkg_key), options.cipher, clock, &rng_,
                        options.ticket_lifetime_micros) {}
 
 util::Status MwsService::RegisterDevice(const std::string& device_id,

@@ -38,6 +38,17 @@ struct MwsOptions {
 /// A||Nonce) and enforces access purely through the policy database and
 /// ticket issuance; decryption capability exists only at RCs that have
 /// been extracted keys by the PKG.
+///
+/// Concurrency contract: the three protocol operations (Deposit,
+/// Authenticate, Retrieve) and the read-only accessors are safe to call
+/// concurrently from any number of threads — this is what lets TcpServer
+/// dispatch requests from a worker pool without a global lock. The
+/// storage Table must be one of the thread-safe backends (KvStore /
+/// FlatFileStore). The injected RandomSource is wrapped in a
+/// util::LockedRandom internally, so callers may pass a plain generator.
+/// Administrative operations (Register*/Grant*/Revoke*) are also safe
+/// concurrently with protocol traffic; racing *identical* registrations
+/// may both report success (last write wins on the same record).
 class MwsService {
  public:
   /// `storage` must outlive the service; `mws_pkg_key` is the shared
@@ -106,6 +117,9 @@ class MwsService {
 
  private:
   MwsOptions options_;
+  /// Serializes the injected RandomSource for concurrent handlers; must
+  /// be declared before the components that hold a pointer to it.
+  util::LockedRandom rng_;
   store::MessageDb message_db_;
   store::PolicyDb policy_db_;
   store::UserDb user_db_;

@@ -16,6 +16,12 @@ namespace mws::mws {
 /// MWS<->PKG service key and carries the AID->attribute mapping, so the
 /// RC never learns its attributes; the outer token is sealed to the RC's
 /// RSA public key.
+///
+/// Thread-safe: IssueToken touches no mutable member state; the only
+/// shared resources are the clock (stateless reads) and the
+/// RandomSource, which must be thread-safe (MwsService wraps its source
+/// in util::LockedRandom). Concurrent IssueToken calls therefore need
+/// no locking here.
 class TokenGenerator {
  public:
   TokenGenerator(const util::Bytes& mws_pkg_key, crypto::CipherKind cipher,

@@ -63,12 +63,19 @@ util::Result<wire::PkgAuthResponse> PkgService::Authenticate(
       options_.freshness_window_micros) {
     return util::Status::Unauthenticated("authenticator expired");
   }
+  std::string replay_key = util::HexEncode(crypto::Sha256(
+      util::Concat(request.authenticator, request.ticket)));
+
+  // Draw the session id before taking the lock so the (locked) rng call
+  // never nests inside mutex_.
+  wire::PkgAuthResponse response;
+  response.session_id = rng_.Generate(16);
+
+  std::lock_guard<std::mutex> lock(mutex_);
   // Replay protection on the authenticator ciphertext.
   auto cutoff = replay_cache_.lower_bound(
       {now - 2 * options_.freshness_window_micros, std::string()});
   replay_cache_.erase(replay_cache_.begin(), cutoff);
-  std::string replay_key = util::HexEncode(crypto::Sha256(
-      util::Concat(request.authenticator, request.ticket)));
   if (!replay_cache_.emplace(auth->timestamp_micros, replay_key).second) {
     return util::Status::Unauthenticated("authenticator replayed");
   }
@@ -91,14 +98,13 @@ util::Result<wire::PkgAuthResponse> PkgService::Authenticate(
   }
   session.created_micros = now;
 
-  wire::PkgAuthResponse response;
-  response.session_id = rng_->Generate(16);
   sessions_[util::StringFromBytes(response.session_id)] = std::move(session);
   return response;
 }
 
 util::Result<PkgSession> PkgService::GetSession(
     const util::Bytes& session_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = sessions_.find(util::StringFromBytes(session_id));
   if (it == sessions_.end()) {
     return util::Status::Unauthenticated("unknown PKG session");
@@ -127,7 +133,7 @@ util::Result<util::Bytes> PkgService::ExtractSealed(
 
   util::Bytes channel_key = wire::DeriveChannelKey(
       session.session_key, options_.cipher, "rc-pkg-keydelivery");
-  return crypto::CbcEncrypt(options_.cipher, channel_key, key_bytes, *rng_);
+  return crypto::CbcEncrypt(options_.cipher, channel_key, key_bytes, rng_);
 }
 
 util::Result<wire::KeyResponse> PkgService::ExtractKey(

@@ -2,6 +2,7 @@
 #define MWSIBE_PKG_PKG_SERVICE_H_
 
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 
@@ -38,6 +39,13 @@ struct PkgSession {
 /// The PKG resolves AIDs to attributes *from the ticket*, so revocation
 /// at the MWS takes effect as soon as old tickets expire, and the RC
 /// never sees the attribute strings.
+///
+/// Concurrency contract: Authenticate, ExtractKey and ExtractKeyBatch
+/// are safe to call concurrently (the TcpServer worker pool does). The
+/// session registry and replay cache sit behind one mutex; extraction
+/// itself runs lock-free on a session copy — the IBE layer's precompute
+/// tables are immutable and its H1 cache has its own lock. The injected
+/// RandomSource is wrapped in a util::LockedRandom internally.
 class PkgService {
  public:
   /// Runs IBE Setup on construction: draws the master secret for `group`.
@@ -73,7 +81,10 @@ class PkgService {
   /// Direct extraction, bypassing ticket auth.
   ibe::IbePrivateKey ExtractForIdentity(const util::Bytes& identity) const;
 
-  size_t ActiveSessions() const { return sessions_.size(); }
+  size_t ActiveSessions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sessions_.size();
+  }
 
  private:
   util::Result<PkgSession> GetSession(const util::Bytes& session_id) const;
@@ -89,9 +100,12 @@ class PkgService {
   ibe::MasterKey master_;
   util::Bytes mws_pkg_key_;
   const util::Clock* clock_;
-  util::RandomSource* rng_;
+  /// Serializes the injected RandomSource for concurrent handlers.
+  util::LockedRandom rng_;
   PkgOptions options_;
 
+  /// Guards sessions_ and replay_cache_.
+  mutable std::mutex mutex_;
   std::map<std::string, PkgSession> sessions_;
   /// Replay cache of accepted authenticators.
   std::set<std::pair<int64_t, std::string>> replay_cache_;

@@ -50,11 +50,13 @@ util::Status FlatFileStore::Rewrite() {
 
 util::Status FlatFileStore::Put(const std::string& key,
                                 const util::Bytes& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
   entries_[key] = value;
   return Rewrite();
 }
 
 util::Result<util::Bytes> FlatFileStore::Get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     return util::Status::NotFound("key not found: " + key);
@@ -63,16 +65,19 @@ util::Result<util::Bytes> FlatFileStore::Get(const std::string& key) const {
 }
 
 util::Status FlatFileStore::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (entries_.erase(key) == 0) return util::Status::Ok();
   return Rewrite();
 }
 
 bool FlatFileStore::Contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return entries_.find(key) != entries_.end();
 }
 
 std::vector<std::pair<std::string, util::Bytes>> FlatFileStore::Scan(
     const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::pair<std::string, util::Bytes>> out;
   for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -81,8 +86,35 @@ std::vector<std::pair<std::string, util::Bytes>> FlatFileStore::Scan(
   return out;
 }
 
-size_t FlatFileStore::Size() const { return entries_.size(); }
+std::vector<std::string> FlatFileStore::ScanKeys(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
 
-util::Status FlatFileStore::Flush() { return Rewrite(); }
+size_t FlatFileStore::CountPrefix(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t count = 0;
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    ++count;
+  }
+  return count;
+}
+
+size_t FlatFileStore::Size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+util::Status FlatFileStore::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Rewrite();
+}
 
 }  // namespace mws::store

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "src/store/table.h"
@@ -13,6 +14,10 @@ namespace mws::store {
 /// every mutation (§VI used Perl flat files the same way). Lines are
 /// "hex(key)<TAB>hex(value)". Deliberately naive — it exists to quantify
 /// what the paper's own future-work item ("move to a DBMS") buys (E11).
+///
+/// Concurrency: one global mutex serializes everything. The backend
+/// rewrites the whole file per mutation anyway, so finer locking would
+/// only disguise the cost this store exists to demonstrate.
 class FlatFileStore : public Table {
  public:
   struct Options {
@@ -29,6 +34,8 @@ class FlatFileStore : public Table {
   bool Contains(const std::string& key) const override;
   std::vector<std::pair<std::string, util::Bytes>> Scan(
       const std::string& prefix) const override;
+  std::vector<std::string> ScanKeys(const std::string& prefix) const override;
+  size_t CountPrefix(const std::string& prefix) const override;
   size_t Size() const override;
   util::Status Flush() override;
 
@@ -36,11 +43,12 @@ class FlatFileStore : public Table {
   explicit FlatFileStore(Options options) : options_(std::move(options)) {}
 
   bool persistent() const { return !options_.path.empty(); }
-  /// Rewrites the whole file from the in-memory map.
+  /// Rewrites the whole file from the in-memory map. Pre: mutex_ held.
   util::Status Rewrite();
   util::Status Load();
 
   Options options_;
+  mutable std::mutex mutex_;
   std::map<std::string, util::Bytes> entries_;
 };
 

@@ -1,7 +1,9 @@
 #include "src/store/kvstore.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <vector>
 
 #include "src/util/serde.h"
 
@@ -24,6 +26,24 @@ util::Bytes EncodeRecord(uint8_t type, const std::string& key,
   w.PutU32(crc);
   return w.Take();
 }
+
+bool HasPrefix(const std::string& key, const std::string& prefix) {
+  return key.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// Locks every shard's mutex in shared mode, ascending, for the lifetime
+/// of the guard — the consistent-snapshot side of the lock order.
+class AllShardsSharedLock {
+ public:
+  template <typename Shards>
+  explicit AllShardsSharedLock(Shards& shards) {
+    locks_.reserve(shards.size());
+    for (auto& shard : shards) locks_.emplace_back(shard.mutex);
+  }
+
+ private:
+  std::vector<std::shared_lock<std::shared_mutex>> locks_;
+};
 
 }  // namespace
 
@@ -82,12 +102,12 @@ util::Status KvStore::Recover() {
     std::string key(reinterpret_cast<const char*>(content.data() + pos + 9),
                     klen);
     if (type == kRecordPut) {
-      index_[key] = util::Bytes(content.begin() + pos + 9 + klen,
-                                content.begin() + pos + 9 + body);
+      ShardFor(key).map[key] = util::Bytes(content.begin() + pos + 9 + klen,
+                                           content.begin() + pos + 9 + body);
     } else {
-      index_.erase(key);
+      ShardFor(key).map.erase(key);
     }
-    ++log_records_;
+    log_records_.fetch_add(1, std::memory_order_relaxed);
     pos += 9 + body + 4;
     valid_end = pos;
   }
@@ -102,87 +122,148 @@ util::Status KvStore::Recover() {
 util::Status KvStore::AppendRecord(uint8_t type, const std::string& key,
                                    const util::Bytes& value) {
   if (!persistent()) {
-    ++log_records_;
+    log_records_.fetch_add(1, std::memory_order_relaxed);
     return util::Status::Ok();
   }
   util::Bytes record = EncodeRecord(type, key, value);
+  std::lock_guard<std::mutex> log_lock(log_mutex_);
   log_.write(reinterpret_cast<const char*>(record.data()),
              static_cast<std::streamsize>(record.size()));
   if (!log_) return util::Status::IoError("log append failed");
-  ++log_records_;
+  log_records_.fetch_add(1, std::memory_order_relaxed);
   return util::Status::Ok();
 }
 
 util::Status KvStore::Put(const std::string& key, const util::Bytes& value) {
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::shared_mutex> lock(shard.mutex);
   MWS_RETURN_IF_ERROR(AppendRecord(kRecordPut, key, value));
-  index_[key] = value;
+  shard.map[key] = value;
   return util::Status::Ok();
 }
 
 util::Result<util::Bytes> KvStore::Get(const std::string& key) const {
-  auto it = index_.find(key);
-  if (it == index_.end()) {
+  Shard& shard = ShardFor(key);
+  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
     return util::Status::NotFound("key not found: " + key);
   }
   return it->second;
 }
 
 util::Status KvStore::Delete(const std::string& key) {
-  if (index_.find(key) == index_.end()) return util::Status::Ok();
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  if (shard.map.find(key) == shard.map.end()) return util::Status::Ok();
   MWS_RETURN_IF_ERROR(AppendRecord(kRecordDelete, key, {}));
-  index_.erase(key);
+  shard.map.erase(key);
   return util::Status::Ok();
 }
 
 bool KvStore::Contains(const std::string& key) const {
-  return index_.find(key) != index_.end();
+  Shard& shard = ShardFor(key);
+  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  return shard.map.find(key) != shard.map.end();
 }
 
 std::vector<std::pair<std::string, util::Bytes>> KvStore::Scan(
     const std::string& prefix) const {
   std::vector<std::pair<std::string, util::Bytes>> out;
-  for (auto it = index_.lower_bound(prefix); it != index_.end(); ++it) {
-    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
-    out.emplace_back(it->first, it->second);
+  AllShardsSharedLock lock(shards_);
+  for (const Shard& shard : shards_) {
+    for (auto it = shard.map.lower_bound(prefix); it != shard.map.end();
+         ++it) {
+      if (!HasPrefix(it->first, prefix)) break;
+      out.emplace_back(it->first, it->second);
+    }
   }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
 }
 
-size_t KvStore::Size() const { return index_.size(); }
+std::vector<std::string> KvStore::ScanKeys(const std::string& prefix) const {
+  std::vector<std::string> out;
+  AllShardsSharedLock lock(shards_);
+  for (const Shard& shard : shards_) {
+    for (auto it = shard.map.lower_bound(prefix); it != shard.map.end();
+         ++it) {
+      if (!HasPrefix(it->first, prefix)) break;
+      out.push_back(it->first);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t KvStore::CountPrefix(const std::string& prefix) const {
+  size_t count = 0;
+  AllShardsSharedLock lock(shards_);
+  for (const Shard& shard : shards_) {
+    for (auto it = shard.map.lower_bound(prefix); it != shard.map.end();
+         ++it) {
+      if (!HasPrefix(it->first, prefix)) break;
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t KvStore::Size() const {
+  size_t total = 0;
+  AllShardsSharedLock lock(shards_);
+  for (const Shard& shard : shards_) total += shard.map.size();
+  return total;
+}
 
 util::Status KvStore::Flush() {
   if (!persistent()) return util::Status::Ok();
+  std::lock_guard<std::mutex> log_lock(log_mutex_);
   log_.flush();
   if (!log_) return util::Status::IoError("log flush failed");
   return util::Status::Ok();
 }
 
 util::Result<size_t> KvStore::Compact() {
+  // Exclusive on every shard: freezes the index and excludes writers
+  // (who take shard before log, so none can be mid-append once we hold
+  // all shard locks).
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(kShardCount);
+  for (Shard& shard : shards_) locks.emplace_back(shard.mutex);
+
+  size_t live = 0;
+  for (const Shard& shard : shards_) live += shard.map.size();
+
   if (!persistent()) {
-    size_t dropped = log_records_ - index_.size();
-    log_records_ = index_.size();
+    size_t dropped = log_records_.load(std::memory_order_relaxed) - live;
+    log_records_.store(live, std::memory_order_relaxed);
     return dropped;
   }
   std::string tmp = options_.path + ".compact";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return util::Status::IoError("cannot create compaction file");
-    for (const auto& [key, value] : index_) {
-      util::Bytes record = EncodeRecord(kRecordPut, key, value);
-      out.write(reinterpret_cast<const char*>(record.data()),
-                static_cast<std::streamsize>(record.size()));
+    for (const Shard& shard : shards_) {
+      for (const auto& [key, value] : shard.map) {
+        util::Bytes record = EncodeRecord(kRecordPut, key, value);
+        out.write(reinterpret_cast<const char*>(record.data()),
+                  static_cast<std::streamsize>(record.size()));
+      }
     }
     out.flush();
     if (!out) return util::Status::IoError("compaction write failed");
   }
+  std::lock_guard<std::mutex> log_lock(log_mutex_);
   log_.close();
   std::error_code ec;
   std::filesystem::rename(tmp, options_.path, ec);
   if (ec) return util::Status::IoError("compaction rename failed");
   log_.open(options_.path, std::ios::binary | std::ios::app);
   if (!log_) return util::Status::IoError("cannot reopen compacted log");
-  size_t dropped = log_records_ - index_.size();
-  log_records_ = index_.size();
+  size_t dropped = log_records_.load(std::memory_order_relaxed) - live;
+  log_records_.store(live, std::memory_order_relaxed);
   return dropped;
 }
 

@@ -1,9 +1,13 @@
 #ifndef MWSIBE_STORE_KVSTORE_H_
 #define MWSIBE_STORE_KVSTORE_H_
 
+#include <array>
+#include <atomic>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "src/store/table.h"
@@ -18,6 +22,15 @@ namespace mws::store {
 ///
 /// Record framing: u8 type (1=put, 2=delete) | u32 klen | u32 vlen |
 /// key | value | u32 crc32(over all preceding fields).
+///
+/// Concurrency: the index is striped across kShardCount shards, each an
+/// ordered map behind its own shared_mutex, so point reads (Get/Contains)
+/// on different keys never contend and Scan takes only shared locks. Log
+/// appends serialize behind a separate mutex; a writer holds its shard
+/// lock across the append so, per key, log order matches index order
+/// (the WAL invariant recovery relies on). Lock order is always shard
+/// (ascending index) before log, so multi-shard readers (Scan, Compact)
+/// cannot deadlock with writers.
 class KvStore : public Table {
  public:
   struct Options {
@@ -39,30 +52,50 @@ class KvStore : public Table {
   bool Contains(const std::string& key) const override;
   std::vector<std::pair<std::string, util::Bytes>> Scan(
       const std::string& prefix) const override;
+  std::vector<std::string> ScanKeys(const std::string& prefix) const override;
+  size_t CountPrefix(const std::string& prefix) const override;
   size_t Size() const override;
   util::Status Flush() override;
 
   /// Rewrites the log with only live entries. Returns the number of log
-  /// records dropped.
+  /// records dropped. Excludes concurrent writers for its whole duration.
   util::Result<size_t> Compact();
 
   /// Log records appended since Open (live + dead); exposed for tests
   /// and the E11 bench.
-  size_t log_records() const { return log_records_; }
+  size_t log_records() const {
+    return log_records_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of index stripes (exposed for the striped-lock tests).
+  static constexpr size_t kShardCount = 16;
 
  private:
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::map<std::string, util::Bytes> map;
+  };
+
   explicit KvStore(Options options) : options_(std::move(options)) {}
 
   bool persistent() const { return !options_.path.empty(); }
+  Shard& ShardFor(const std::string& key) const {
+    return shards_[std::hash<std::string>{}(key) % kShardCount];
+  }
+  /// Pre: caller holds the key's shard lock exclusively (WAL ordering).
   util::Status AppendRecord(uint8_t type, const std::string& key,
                             const util::Bytes& value);
-  /// Replays `path`; truncates at the first torn/corrupt record.
+  /// Replays `path`; truncates at the first torn/corrupt record. Runs
+  /// single-threaded inside Open, before the store is published.
   util::Status Recover();
 
   Options options_;
-  std::map<std::string, util::Bytes> index_;
+  mutable std::array<Shard, kShardCount> shards_;
+  /// Guards log_ (the append stream). Never held while acquiring a shard
+  /// lock.
+  std::mutex log_mutex_;
   std::ofstream log_;
-  size_t log_records_ = 0;
+  std::atomic<size_t> log_records_{0};
 };
 
 }  // namespace mws::store

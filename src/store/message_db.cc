@@ -76,25 +76,49 @@ util::Result<StoredMessage> StoredMessage::Decode(const util::Bytes& data) {
   return m;
 }
 
-util::Result<uint64_t> MessageDb::Append(const StoredMessage& message) {
-  uint64_t next = 1;
+MessageDb::MessageDb(Table* table) : table_(table) {
   auto counter = table_->Get(kNextIdKey);
   if (counter.ok()) {
+    uint64_t next = 0;
     util::Reader r(counter.value());
-    if (!r.GetU64(&next) || !r.Done()) {
-      return util::Status::Corruption("bad message id counter");
+    if (r.GetU64(&next) && r.Done() && next > 0) {
+      next_id_.store(next, std::memory_order_relaxed);
+      persisted_next_ = next;
     }
   }
+}
+
+util::Result<uint64_t> MessageDb::Append(const StoredMessage& message) {
+  const uint64_t next = next_id_.fetch_add(1, std::memory_order_relaxed);
   StoredMessage stored = message;
   stored.id = next;
 
-  MWS_RETURN_IF_ERROR(table_->Put(MessageKey(next), stored.Encode()));
-  MWS_RETURN_IF_ERROR(table_->Put(IndexKey(stored.attribute, next), {}));
-  MWS_RETURN_IF_ERROR(table_->Put(
-      TimeIndexKey(stored.attribute, stored.timestamp_micros, next), {}));
-  util::Writer w;
-  w.PutU64(next + 1);
-  MWS_RETURN_IF_ERROR(table_->Put(kNextIdKey, w.Take()));
+  util::Status write = table_->Put(MessageKey(next), stored.Encode());
+  if (write.ok()) write = table_->Put(IndexKey(stored.attribute, next), {});
+  if (write.ok()) {
+    write = table_->Put(
+        TimeIndexKey(stored.attribute, stored.timestamp_micros, next), {});
+  }
+  if (!write.ok()) {
+    // Hand the id back if no later append claimed one meanwhile, so a
+    // healed retry reuses it. Under concurrency the id is simply skipped
+    // — uniqueness and monotonicity hold either way.
+    uint64_t expected = next + 1;
+    next_id_.compare_exchange_strong(expected, next,
+                                     std::memory_order_relaxed);
+    return write;
+  }
+  // Persist the counter for recovery. Appends can finish out of id order,
+  // so only ever write a value larger than the last one persisted.
+  {
+    std::lock_guard<std::mutex> lock(counter_mutex_);
+    if (next + 1 > persisted_next_) {
+      util::Writer w;
+      w.PutU64(next + 1);
+      MWS_RETURN_IF_ERROR(table_->Put(kNextIdKey, w.Take()));
+      persisted_next_ = next + 1;
+    }
+  }
   return next;
 }
 
@@ -111,9 +135,10 @@ util::Result<std::vector<StoredMessage>> MessageDb::FindByAttribute(
 util::Result<std::vector<StoredMessage>> MessageDb::FindByAttributeAfter(
     const std::string& attribute, uint64_t after_id) const {
   std::vector<StoredMessage> out;
-  for (const auto& [key, unused] : table_->Scan(IndexPrefix(attribute))) {
-    uint64_t id = std::strtoull(
-        key.substr(IndexPrefix(attribute).size()).c_str(), nullptr, 16);
+  const std::string prefix = IndexPrefix(attribute);
+  for (const std::string& key : table_->ScanKeys(prefix)) {
+    // Key shape: "x/<attribute>/<016x id>"; parse the id in place.
+    uint64_t id = std::strtoull(key.c_str() + prefix.size(), nullptr, 16);
     if (id <= after_id) continue;
     MWS_ASSIGN_OR_RETURN(StoredMessage m, Get(id));
     out.push_back(std::move(m));
@@ -128,12 +153,11 @@ util::Result<std::vector<StoredMessage>> MessageDb::FindByAttributeInTimeRange(
   if (from_micros >= to_micros) return out;
   const std::string lower = TimeIndexBound(attribute, from_micros);
   const std::string upper = TimeIndexBound(attribute, to_micros);
-  for (const auto& [key, unused] : table_->Scan("t/" + attribute + "/")) {
+  for (const std::string& key : table_->ScanKeys("t/" + attribute + "/")) {
     // Keys sort by timestamp; stop once past the upper bound.
     if (key < lower) continue;
     if (key >= upper) break;
-    uint64_t id = std::strtoull(key.substr(key.rfind('/') + 1).c_str(),
-                                nullptr, 16);
+    uint64_t id = std::strtoull(key.c_str() + key.rfind('/') + 1, nullptr, 16);
     MWS_ASSIGN_OR_RETURN(StoredMessage m, Get(id));
     out.push_back(std::move(m));
   }
@@ -158,11 +182,11 @@ util::Result<std::vector<StoredMessage>> MessageDb::FindByAttributes(
   return out;
 }
 
-size_t MessageDb::Count() const { return table_->Scan("m/").size(); }
+size_t MessageDb::Count() const { return table_->CountPrefix("m/"); }
 
 std::vector<std::string> MessageDb::DistinctAttributes() const {
   std::vector<std::string> out;
-  for (const auto& [key, unused] : table_->Scan("x/")) {
+  for (const std::string& key : table_->ScanKeys("x/")) {
     // Key shape: "x/<attribute>/<016x id>"; attributes contain no '/'.
     size_t slash = key.rfind('/');
     std::string attribute = key.substr(2, slash - 2);

@@ -1,7 +1,9 @@
 #ifndef MWSIBE_STORE_MESSAGE_DB_H_
 #define MWSIBE_STORE_MESSAGE_DB_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -28,10 +30,18 @@ struct StoredMessage {
 /// The Message Database (MD component of the architecture, Fig. 3).
 /// Maintains a secondary index attribute -> message ids so retrieval by
 /// attribute does not scan the full store.
+///
+/// Concurrency: safe for concurrent use from many threads on top of a
+/// thread-safe Table. Ids come from an in-memory atomic counter seeded
+/// from the persisted "m.next" record at construction, so concurrent
+/// Appends never hand out duplicate ids and contend only on the table's
+/// shard/log locks. The counter record is still written (monotonically,
+/// under its own small mutex) so a reopened store resumes numbering.
 class MessageDb {
  public:
-  /// Borrows `table`; the table must outlive the MessageDb.
-  explicit MessageDb(Table* table) : table_(table) {}
+  /// Borrows `table`; the table must outlive the MessageDb. Reads the
+  /// persisted id counter to seed in-memory id assignment.
+  explicit MessageDb(Table* table);
 
   /// Stores `message` (its id field is ignored) and returns the assigned id.
   util::Result<uint64_t> Append(const StoredMessage& message);
@@ -57,6 +67,8 @@ class MessageDb {
       const std::string& attribute, int64_t from_micros,
       int64_t to_micros) const;
 
+  /// Number of stored messages. Counts index entries only — no message
+  /// value (ciphertext) is materialized.
   size_t Count() const;
 
   /// The distinct attribute strings present in the warehouse (derived
@@ -65,6 +77,12 @@ class MessageDb {
 
  private:
   Table* table_;
+  /// Next id to assign; seeded from the persisted counter at open.
+  std::atomic<uint64_t> next_id_{1};
+  /// Guards persisted_next_ so the on-disk counter only moves forward
+  /// even when appends complete out of id order.
+  std::mutex counter_mutex_;
+  uint64_t persisted_next_ = 0;
 };
 
 }  // namespace mws::store

@@ -54,6 +54,7 @@ util::Result<PolicyRow> DecodeRow(const util::Bytes& data) {
 util::Result<uint64_t> PolicyDb::Grant(const std::string& identity,
                                        const std::string& attribute,
                                        uint64_t origin) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
   const std::string key = GrantKey(identity, attribute);
   if (table_->Contains(key)) {
     return util::Status::AlreadyExists("grant already present");
@@ -77,6 +78,12 @@ util::Result<uint64_t> PolicyDb::Grant(const std::string& identity,
 
 util::Status PolicyDb::Revoke(const std::string& identity,
                               const std::string& attribute) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  return RevokeLocked(identity, attribute);
+}
+
+util::Status PolicyDb::RevokeLocked(const std::string& identity,
+                                    const std::string& attribute) {
   const std::string key = GrantKey(identity, attribute);
   auto raw = table_->Get(key);
   if (!raw.ok()) return util::Status::NotFound("grant not present");
@@ -105,8 +112,16 @@ util::Result<PolicyRow> PolicyDb::RowForAid(uint64_t aid) const {
   return DecodeRow(raw);
 }
 
+util::Result<PolicyRow> PolicyDb::RowFor(const std::string& identity,
+                                         const std::string& attribute) const {
+  MWS_ASSIGN_OR_RETURN(util::Bytes raw,
+                       table_->Get(GrantKey(identity, attribute)));
+  return DecodeRow(raw);
+}
+
 util::Result<uint64_t> PolicyDb::GrantExpression(
     const std::string& identity, const std::string& expression) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
   uint64_t seq = 1;
   auto counter = table_->Get(kNextExprKey);
   if (counter.ok()) {
@@ -125,6 +140,7 @@ util::Result<uint64_t> PolicyDb::GrantExpression(
 
 util::Status PolicyDb::RevokeExpression(const std::string& identity,
                                         uint64_t seq) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
   const std::string key = ExprKey(identity, seq);
   if (!table_->Contains(key)) {
     return util::Status::NotFound("expression not present");
@@ -135,7 +151,7 @@ util::Status PolicyDb::RevokeExpression(const std::string& identity,
                        RowsForIdentity(identity));
   for (const PolicyRow& row : rows) {
     if (row.origin == seq) {
-      MWS_RETURN_IF_ERROR(Revoke(identity, row.attribute));
+      MWS_RETURN_IF_ERROR(RevokeLocked(identity, row.attribute));
     }
   }
   return util::Status::Ok();

@@ -1,6 +1,7 @@
 #ifndef MWSIBE_STORE_POLICY_DB_H_
 #define MWSIBE_STORE_POLICY_DB_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,13 @@ struct PolicyRow {
 /// The Policy Database (PD component, Fig. 3): identity<->attribute
 /// mappings plus the AID indirection that hides attribute strings from
 /// receiving clients.
+///
+/// Thread-safe on top of a thread-safe Table: mutations (Grant/Revoke
+/// and the expression variants) serialize behind one mutex so the AID
+/// and expression counters never hand out duplicates; reads go straight
+/// to the table. Concurrent Grant calls for the same (identity,
+/// attribute) are resolved to exactly one row — losers get
+/// AlreadyExists, same as the sequential API.
 class PolicyDb {
  public:
   /// Borrows `table`; the table must outlive the PolicyDb.
@@ -51,6 +59,10 @@ class PolicyDb {
   /// All grants for one identity, in attribute order.
   util::Result<std::vector<PolicyRow>> RowsForIdentity(
       const std::string& identity) const;
+
+  /// The row for one (identity, attribute) grant. NotFound if absent.
+  util::Result<PolicyRow> RowFor(const std::string& identity,
+                                 const std::string& attribute) const;
 
   /// Resolves an AID back to its row (the PKG-side lookup when building
   /// tickets). NotFound for revoked/unknown AIDs.
@@ -76,7 +88,13 @@ class PolicyDb {
   ExpressionsForIdentity(const std::string& identity) const;
 
  private:
+  /// Core of Revoke. Pre: write_mutex_ held.
+  util::Status RevokeLocked(const std::string& identity,
+                            const std::string& attribute);
+
   Table* table_;
+  /// Serializes mutations (counter read-modify-write + row writes).
+  std::mutex write_mutex_;
 };
 
 }  // namespace mws::store

@@ -19,6 +19,13 @@ namespace mws::store {
 ///                   databases, flat files are used").
 ///
 /// The E11 ablation benchmarks one against the other.
+///
+/// Thread-safety contract: all operations of both backends are safe to
+/// call concurrently from multiple threads. KvStore stripes its index
+/// across shared_mutex-guarded shards so point reads run in parallel;
+/// FlatFileStore serializes behind one mutex (it rewrites the whole file
+/// per mutation anyway). Scans observe a consistent snapshot: no
+/// concurrent mutation is partially visible within one Scan call.
 class Table {
  public:
   virtual ~Table() = default;
@@ -38,6 +45,21 @@ class Table {
   /// All entries whose key starts with `prefix`, in key order.
   virtual std::vector<std::pair<std::string, util::Bytes>> Scan(
       const std::string& prefix) const = 0;
+
+  /// Keys (only) starting with `prefix`, in key order. Index tables whose
+  /// values are empty (the x/ and t/ secondary indexes) should be read
+  /// through this instead of Scan so no value buffers are copied.
+  virtual std::vector<std::string> ScanKeys(const std::string& prefix) const {
+    std::vector<std::string> out;
+    for (auto& [key, value] : Scan(prefix)) out.push_back(std::move(key));
+    return out;
+  }
+
+  /// Number of live entries whose key starts with `prefix`, without
+  /// materializing keys or values.
+  virtual size_t CountPrefix(const std::string& prefix) const {
+    return ScanKeys(prefix).size();
+  }
 
   /// Number of live entries.
   virtual size_t Size() const = 0;

@@ -2,6 +2,7 @@
 #define MWSIBE_UTIL_RANDOM_H_
 
 #include <cstdint>
+#include <mutex>
 
 #include "src/util/bytes.h"
 
@@ -49,6 +50,34 @@ class DeterministicRandom : public RandomSource {
 
  private:
   uint64_t state_[4];
+};
+
+/// Serializes an underlying RandomSource behind a mutex so one generator
+/// can feed concurrent request handlers. Services wrap their injected
+/// source with this, which keeps single-threaded byte streams (and thus
+/// deterministic test vectors) unchanged while making multi-threaded use
+/// merely order-nondeterministic instead of racy.
+class LockedRandom : public RandomSource {
+ public:
+  /// Borrows `inner`, which must outlive this wrapper.
+  explicit LockedRandom(RandomSource* inner) : inner_(inner) {}
+
+  void Fill(uint8_t* out, size_t len) override {
+    std::lock_guard<std::mutex> lock(Mutex());
+    inner_->Fill(out, len);
+  }
+
+ private:
+  /// One process-wide mutex, not per-wrapper: separate services (MWS,
+  /// PKG) are routinely handed the *same* underlying generator, and
+  /// per-instance locks would not actually exclude their handlers from
+  /// each other. Draws are rare and cheap, so contention is negligible.
+  static std::mutex& Mutex() {
+    static std::mutex mutex;
+    return mutex;
+  }
+
+  RandomSource* inner_;
 };
 
 }  // namespace mws::util

@@ -80,6 +80,9 @@ class Status {
   const std::string& message() const { return message_; }
 
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const {
+    return code_ == StatusCode::kAlreadyExists;
+  }
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }

@@ -1,10 +1,13 @@
 #include "src/wire/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 
 namespace mws::wire {
@@ -46,12 +49,21 @@ void PutU32(util::Bytes& out, uint32_t v) {
 
 constexpr uint32_t kMaxFrame = 64 * 1024 * 1024;
 
+constexpr short kReadableMask = POLLIN | POLLERR | POLLHUP | POLLNVAL;
+
 }  // namespace
 
 util::Result<std::unique_ptr<TcpServer>> TcpServer::Start(
-    InProcessTransport* backend, uint16_t port) {
+    InProcessTransport* backend, uint16_t port, Options options) {
+  if (options.worker_threads < 1) {
+    return util::Status::InvalidArgument("worker_threads must be >= 1");
+  }
+  if (options.queue_capacity < 1) {
+    return util::Status::InvalidArgument("queue_capacity must be >= 1");
+  }
   auto server = std::unique_ptr<TcpServer>(new TcpServer());
   server->backend_ = backend;
+  server->options_ = options;
   server->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (server->listen_fd_ < 0) {
     return util::Status::IoError("socket() failed");
@@ -72,11 +84,22 @@ util::Result<std::unique_ptr<TcpServer>> TcpServer::Start(
   ::getsockname(server->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
                 &addr_len);
   server->port_ = ntohs(addr.sin_port);
-  if (::listen(server->listen_fd_, 16) != 0) {
+  if (::listen(server->listen_fd_, 64) != 0) {
     ::close(server->listen_fd_);
     return util::Status::IoError("listen() failed");
   }
-  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  if (::pipe(server->wake_pipe_) != 0) {
+    ::close(server->listen_fd_);
+    return util::Status::IoError("pipe() failed");
+  }
+  ::fcntl(server->wake_pipe_[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(server->wake_pipe_[1], F_SETFL, O_NONBLOCK);
+
+  server->workers_.reserve(static_cast<size_t>(options.worker_threads));
+  for (int i = 0; i < options.worker_threads; ++i) {
+    server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
+  }
+  server->io_thread_ = std::thread([s = server.get()] { s->IoLoop(); });
   return server;
 }
 
@@ -85,70 +108,217 @@ TcpServer::~TcpServer() { Shutdown(); }
 void TcpServer::Shutdown() {
   bool expected = false;
   if (!stopping_.compare_exchange_strong(expected, true)) return;
+  // Stop accepting.
   ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> threads;
+  // Half-close every live connection so blocked frame reads return EOF;
+  // responses in flight can still be written.
   {
-    std::lock_guard<std::mutex> lock(threads_mutex_);
-    threads.swap(connection_threads_);
+    std::lock_guard<std::mutex> lock(open_fds_mutex_);
+    for (int fd : open_fds_) ::shutdown(fd, SHUT_RD);
   }
-  for (std::thread& t : threads) {
-    if (t.joinable()) t.join();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_closed_ = true;
   }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  WakeIo();
+  // Workers drain what is already queued, then exit.
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  // The IO thread exits once every handed-out connection came back.
+  WakeIo();
+  if (io_thread_.joinable()) io_thread_.join();
+  ::close(listen_fd_);
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
 }
 
-void TcpServer::AcceptLoop() {
-  while (!stopping_.load()) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) break;  // listener closed
-    std::lock_guard<std::mutex> lock(threads_mutex_);
-    connection_threads_.emplace_back(
-        [this, fd] { ServeConnection(fd); });
-  }
+void TcpServer::WakeIo() {
+  uint8_t byte = 1;
+  // Non-blocking; a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
 }
 
-void TcpServer::ServeConnection(int fd) {
+bool TcpServer::EnqueueReady(int fd) {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  space_cv_.wait(lock, [this] {
+    return ready_queue_.size() < options_.queue_capacity || queue_closed_;
+  });
+  if (queue_closed_) return false;
+  ready_queue_.push_back(fd);
+  lock.unlock();
+  queue_cv_.notify_one();
+  return true;
+}
+
+int TcpServer::PopReady() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  queue_cv_.wait(lock,
+                 [this] { return !ready_queue_.empty() || queue_closed_; });
+  if (ready_queue_.empty()) return -1;
+  int fd = ready_queue_.front();
+  ready_queue_.pop_front();
+  lock.unlock();
+  space_cv_.notify_one();
+  return fd;
+}
+
+void TcpServer::PushCompleted(int fd, bool closed) {
+  {
+    std::lock_guard<std::mutex> lock(completed_mutex_);
+    completed_.emplace_back(fd, closed);
+  }
+  WakeIo();
+}
+
+std::vector<std::pair<int, bool>> TcpServer::TakeCompleted() {
+  std::lock_guard<std::mutex> lock(completed_mutex_);
+  std::vector<std::pair<int, bool>> out;
+  out.swap(completed_);
+  return out;
+}
+
+void TcpServer::IoLoop() {
+  std::vector<int> idle;    // connections this thread currently polls
+  size_t busy = 0;          // connections owned by a worker
+  bool draining = false;    // stopping_ observed; idle fds already closed
+  std::vector<pollfd> fds;
   for (;;) {
-    uint8_t header[2];
-    if (!ReadFull(fd, header, 2)) break;
-    uint16_t endpoint_len = static_cast<uint16_t>((header[0] << 8) |
-                                                  header[1]);
-    util::Bytes endpoint_bytes(endpoint_len);
-    if (endpoint_len > 0 &&
-        !ReadFull(fd, endpoint_bytes.data(), endpoint_len)) {
+    if (stopping_.load() && !draining) {
+      // Stop polling connections: close the idle ones and wait only for
+      // busy ones to come back from the workers.
+      for (int fd : idle) {
+        {
+          std::lock_guard<std::mutex> lock(open_fds_mutex_);
+          open_fds_.erase(fd);
+        }
+        ::close(fd);
+      }
+      idle.clear();
+      draining = true;
+    }
+    if (draining && busy == 0) break;
+
+    fds.clear();
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    if (!draining) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+      for (int fd : idle) fds.push_back({fd, POLLIN, 0});
+    }
+    int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
       break;
     }
-    uint8_t len_bytes[4];
-    if (!ReadFull(fd, len_bytes, 4)) break;
-    uint32_t body_len = (static_cast<uint32_t>(len_bytes[0]) << 24) |
-                        (static_cast<uint32_t>(len_bytes[1]) << 16) |
-                        (static_cast<uint32_t>(len_bytes[2]) << 8) |
-                        len_bytes[3];
-    if (body_len > kMaxFrame) break;
-    util::Bytes body(body_len);
-    if (body_len > 0 && !ReadFull(fd, body.data(), body_len)) break;
-
-    util::Result<util::Bytes> result = [&]() {
-      std::lock_guard<std::mutex> lock(dispatch_mutex_);
-      return backend_->Call(util::StringFromBytes(endpoint_bytes), body);
-    }();
-
-    util::Bytes response;
-    if (result.ok()) {
-      response.push_back(1);
-      PutU32(response, static_cast<uint32_t>(result.value().size()));
-      response.insert(response.end(), result.value().begin(),
-                      result.value().end());
-    } else {
-      std::string message = result.status().ToString();
-      response.push_back(0);
-      PutU32(response, static_cast<uint32_t>(message.size()));
-      response.insert(response.end(), message.begin(), message.end());
+    if (fds[0].revents & kReadableMask) {
+      uint8_t buf[64];
+      while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
     }
-    if (!WriteFull(fd, response.data(), response.size())) break;
+    // Hand readable connections to the workers. A connection leaves the
+    // poll set while a worker owns it, so per-fd IO stays single-threaded.
+    // This scan rebuilds `idle` from this iteration's poll set, so any
+    // additions (completions, accepts) must happen after the swap.
+    if (!draining) {
+      std::vector<int> still_idle;
+      still_idle.reserve(idle.size());
+      for (size_t i = 2; i < fds.size(); ++i) {
+        if (fds[i].revents & kReadableMask) {
+          if (EnqueueReady(fds[i].fd)) {
+            ++busy;
+          } else {
+            still_idle.push_back(fds[i].fd);  // queue closed; close on drain
+          }
+        } else {
+          still_idle.push_back(fds[i].fd);
+        }
+      }
+      idle.swap(still_idle);
+    }
+    // Reclaim connections the workers finished with.
+    for (const auto& [fd, closed] : TakeCompleted()) {
+      --busy;
+      if (closed) continue;  // worker already closed it
+      if (draining) {
+        {
+          std::lock_guard<std::mutex> lock(open_fds_mutex_);
+          open_fds_.erase(fd);
+        }
+        ::close(fd);
+      } else {
+        idle.push_back(fd);
+      }
+    }
+    if (draining) continue;
+
+    if (fds[1].revents & kReadableMask) {
+      int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        {
+          std::lock_guard<std::mutex> lock(open_fds_mutex_);
+          open_fds_.insert(fd);
+        }
+        idle.push_back(fd);
+      }
+    }
   }
-  ::close(fd);
+}
+
+void TcpServer::WorkerLoop() {
+  for (;;) {
+    int fd = PopReady();
+    if (fd < 0) return;
+    bool keep = HandleOneRequest(fd);
+    if (!keep) {
+      {
+        std::lock_guard<std::mutex> lock(open_fds_mutex_);
+        open_fds_.erase(fd);
+      }
+      ::close(fd);
+    }
+    PushCompleted(fd, /*closed=*/!keep);
+  }
+}
+
+bool TcpServer::HandleOneRequest(int fd) {
+  uint8_t header[2];
+  if (!ReadFull(fd, header, 2)) return false;
+  uint16_t endpoint_len =
+      static_cast<uint16_t>((header[0] << 8) | header[1]);
+  util::Bytes endpoint_bytes(endpoint_len);
+  if (endpoint_len > 0 && !ReadFull(fd, endpoint_bytes.data(), endpoint_len)) {
+    return false;
+  }
+  uint8_t len_bytes[4];
+  if (!ReadFull(fd, len_bytes, 4)) return false;
+  uint32_t body_len = (static_cast<uint32_t>(len_bytes[0]) << 24) |
+                      (static_cast<uint32_t>(len_bytes[1]) << 16) |
+                      (static_cast<uint32_t>(len_bytes[2]) << 8) |
+                      len_bytes[3];
+  if (body_len > kMaxFrame) return false;
+  util::Bytes body(body_len);
+  if (body_len > 0 && !ReadFull(fd, body.data(), body_len)) return false;
+
+  // Dispatch without any server-wide lock: the registered services are
+  // responsible for their own thread safety (see MwsService/PkgService).
+  util::Result<util::Bytes> result =
+      backend_->Call(util::StringFromBytes(endpoint_bytes), body);
+
+  util::Bytes response;
+  if (result.ok()) {
+    response.push_back(1);
+    PutU32(response, static_cast<uint32_t>(result.value().size()));
+    response.insert(response.end(), result.value().begin(),
+                    result.value().end());
+  } else {
+    std::string message = result.status().ToString();
+    response.push_back(0);
+    PutU32(response, static_cast<uint32_t>(message.size()));
+    response.insert(response.end(), message.begin(), message.end());
+  }
+  return WriteFull(fd, response.data(), response.size());
 }
 
 TcpClientTransport::~TcpClientTransport() { CloseConnection(); }

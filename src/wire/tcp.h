@@ -2,10 +2,14 @@
 #define MWSIBE_WIRE_TCP_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/wire/transport.h"
@@ -22,14 +26,34 @@ namespace mws::wire {
 ///             u8 ok | u32 len | status_message     (ok == 0)
 ///
 /// Connections are persistent (one request/response per round trip until
-/// the client closes). Each connection gets a thread; handler dispatch
-/// is serialized with a mutex because the services are single-threaded.
+/// the client closes). Concurrency model: one IO thread multiplexes all
+/// idle connections with poll(); a readable connection is handed to a
+/// bounded queue drained by a fixed pool of worker threads. The worker
+/// reads the frame, dispatches to the backend *without a global lock*
+/// (the services are thread-safe), writes the response, and returns the
+/// connection to the poll set. A connection is never polled while a
+/// worker owns it, so reads and writes on one fd are single-threaded.
+/// Thread count is therefore fixed by Options::worker_threads, not by
+/// the number of connected clients.
 class TcpServer {
  public:
+  struct Options {
+    /// Size of the dispatch pool; at most this many requests execute
+    /// concurrently.
+    int worker_threads = 4;
+    /// Ready-connection queue bound; the IO thread stops draining the
+    /// poll set when this many requests are waiting (backpressure).
+    size_t queue_capacity = 128;
+  };
+
   /// Serves the handlers registered on `backend` (which must outlive the
   /// server). Binds 127.0.0.1:`port`; port 0 picks an ephemeral port.
   static util::Result<std::unique_ptr<TcpServer>> Start(
-      InProcessTransport* backend, uint16_t port);
+      InProcessTransport* backend, uint16_t port, Options options);
+  static util::Result<std::unique_ptr<TcpServer>> Start(
+      InProcessTransport* backend, uint16_t port) {
+    return Start(backend, port, Options{});
+  }
 
   ~TcpServer();
 
@@ -39,27 +63,64 @@ class TcpServer {
   /// The actual bound port.
   uint16_t port() const { return port_; }
 
-  /// Stops accepting and joins all connection threads.
+  /// Stops accepting, drains in-flight requests, joins every thread.
   void Shutdown();
 
  private:
   TcpServer() = default;
 
-  void AcceptLoop();
-  void ServeConnection(int fd);
+  void IoLoop();
+  void WorkerLoop();
+  /// Handles exactly one request on `fd`; false when the connection is
+  /// done (EOF, malformed frame, or write failure).
+  bool HandleOneRequest(int fd);
+
+  /// Enqueues a readable connection for the workers; false if the queue
+  /// was closed (server shutting down).
+  bool EnqueueReady(int fd);
+  /// Blocks until a connection is ready or the queue is closed and
+  /// drained; returns -1 in the latter case.
+  int PopReady();
+  /// Worker -> IO thread hand-back. `closed` means the worker already
+  /// closed the fd.
+  void PushCompleted(int fd, bool closed);
+  std::vector<std::pair<int, bool>> TakeCompleted();
+  /// Pokes the IO thread out of poll().
+  void WakeIo();
 
   InProcessTransport* backend_ = nullptr;
+  Options options_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
+  /// Self-pipe: workers write wake_pipe_[1], the IO thread polls [0].
+  int wake_pipe_[2] = {-1, -1};
   std::atomic<bool> stopping_{false};
-  std::thread accept_thread_;
-  std::mutex dispatch_mutex_;
-  std::mutex threads_mutex_;
-  std::vector<std::thread> connection_threads_;
+
+  std::thread io_thread_;
+  std::vector<std::thread> workers_;
+
+  /// Ready-connection queue (bounded by options_.queue_capacity).
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;   // workers wait: ready or closed
+  std::condition_variable space_cv_;   // IO thread waits: room or closed
+  std::deque<int> ready_queue_;
+  bool queue_closed_ = false;
+
+  /// Connections handed back by workers, drained by the IO thread.
+  std::mutex completed_mutex_;
+  std::vector<std::pair<int, bool>> completed_;
+
+  /// Every live connection fd, so Shutdown can shut them down without
+  /// racing the owning thread's close(). Rule: erase under the mutex
+  /// *before* closing an fd.
+  std::mutex open_fds_mutex_;
+  std::unordered_set<int> open_fds_;
 };
 
 /// Client-side Transport speaking the TcpServer framing. Opens one
-/// persistent connection on first use; reconnects after errors.
+/// persistent connection on first use; reconnects after errors. Call()
+/// is serialized by an internal mutex; for parallel client load use one
+/// TcpClientTransport per thread (each gets its own connection).
 class TcpClientTransport : public Transport {
  public:
   TcpClientTransport(std::string host, uint16_t port)

@@ -1,5 +1,8 @@
 #include "src/wire/transport.h"
 
+#include <chrono>
+#include <thread>
+
 namespace mws::wire {
 
 void InProcessTransport::Register(const std::string& endpoint,
@@ -21,13 +24,19 @@ util::Result<util::Bytes> InProcessTransport::Call(
   if (it == handlers_.end()) {
     return util::Status::NotFound("no handler for endpoint: " + endpoint);
   }
-  ++stats_.calls;
-  stats_.request_bytes += request.size();
-  stats_.simulated_network_micros += TransferMicros(request.size());
+  stats_.calls.fetch_add(1, std::memory_order_relaxed);
+  stats_.request_bytes.fetch_add(request.size(), std::memory_order_relaxed);
+  int64_t network_micros = TransferMicros(request.size());
   auto response = it->second(request);
   if (response.ok()) {
-    stats_.response_bytes += response.value().size();
-    stats_.simulated_network_micros += TransferMicros(response.value().size());
+    stats_.response_bytes.fetch_add(response.value().size(),
+                                    std::memory_order_relaxed);
+    network_micros += TransferMicros(response.value().size());
+  }
+  stats_.simulated_network_micros.fetch_add(network_micros,
+                                            std::memory_order_relaxed);
+  if (realize_network_ && network_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(network_micros));
   }
   return response;
 }

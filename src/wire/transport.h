@@ -1,6 +1,7 @@
 #ifndef MWSIBE_WIRE_TRANSPORT_H_
 #define MWSIBE_WIRE_TRANSPORT_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <string>
@@ -28,13 +29,16 @@ struct NetworkModel {
   static NetworkModel MeterUplink() { return {300'000, 40'000 / 8}; }
 };
 
-/// Traffic and simulated-time accounting for one transport.
+/// Traffic and simulated-time accounting for one transport. Counters are
+/// atomics so concurrent Call()s (e.g. from the TcpServer worker pool)
+/// can update them without a lock; readers see each field individually
+/// consistent, not a cross-field snapshot.
 struct TransportStats {
-  uint64_t calls = 0;
-  uint64_t request_bytes = 0;
-  uint64_t response_bytes = 0;
+  std::atomic<uint64_t> calls{0};
+  std::atomic<uint64_t> request_bytes{0};
+  std::atomic<uint64_t> response_bytes{0};
   /// Total modeled network time (both directions, all calls).
-  int64_t simulated_network_micros = 0;
+  std::atomic<int64_t> simulated_network_micros{0};
 };
 
 /// Request/response transport between clients and services. Handlers are
@@ -57,22 +61,38 @@ class InProcessTransport : public Transport {
   explicit InProcessTransport(NetworkModel model = NetworkModel::Loopback())
       : model_(model) {}
 
-  /// Registers `handler`; overwrites any previous registration.
+  /// Registers `handler`; overwrites any previous registration. Not safe
+  /// concurrently with Call(): register every endpoint before serving
+  /// (the handler map is read lock-free on the hot path).
   void Register(const std::string& endpoint, Handler handler);
 
   util::Result<util::Bytes> Call(const std::string& endpoint,
                                  const util::Bytes& request) override;
 
   const TransportStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = TransportStats{}; }
+  void ResetStats() {
+    stats_.calls = 0;
+    stats_.request_bytes = 0;
+    stats_.response_bytes = 0;
+    stats_.simulated_network_micros = 0;
+  }
   const NetworkModel& model() const { return model_; }
+  /// Not safe concurrently with Call(); set the model before serving.
   void set_model(const NetworkModel& model) { model_ = model; }
+
+  /// When true, Call() sleeps for the modeled transfer time instead of
+  /// only charging it to the stats — used by the concurrency benches to
+  /// reproduce deployment latency on loopback, where overlapping that
+  /// latency across dispatch workers is the effect under test. Set
+  /// before serving (same rule as set_model).
+  void set_realize_network(bool realize) { realize_network_ = realize; }
 
  private:
   /// Modeled one-way cost of sending `bytes`.
   int64_t TransferMicros(size_t bytes) const;
 
   NetworkModel model_;
+  bool realize_network_ = false;
   TransportStats stats_;
   std::map<std::string, Handler> handlers_;
 };
