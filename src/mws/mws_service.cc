@@ -82,8 +82,11 @@ util::Result<wire::DepositResponse> MwsService::Deposit(
   m.nonce = request.nonce;
   m.device_id = request.device_id;
   m.timestamp_micros = request.timestamp_micros;
-  MWS_ASSIGN_OR_RETURN(uint64_t id, message_db_.Append(m));
-  return wire::DepositResponse{id};
+  // At-least-once delivery: a device whose ack was lost retransmits the
+  // identical deposit, so dedupe by (ID_SD, nonce) instead of storing twice.
+  MWS_ASSIGN_OR_RETURN(store::MessageDb::AppendOutcome outcome,
+                       message_db_.AppendDeduped(m));
+  return wire::DepositResponse{outcome.id};
 }
 
 util::Result<wire::RcAuthResponse> MwsService::Authenticate(

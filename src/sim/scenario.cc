@@ -30,14 +30,23 @@ util::Result<std::unique_ptr<UtilityScenario>> UtilityScenario::Create(
 
   MWS_ASSIGN_OR_RETURN(scenario->storage_, store::KvStore::Open({.path = ""}));
 
+  const Options::Resilience& resilience = options.resilience;
+  store::Table* storage = scenario->storage_.get();
+  if (resilience.enable) {
+    scenario->fault_injector_ =
+        std::make_unique<util::FaultInjector>(resilience.fault_seed);
+    scenario->faulty_table_ = std::make_unique<store::FaultyTable>(
+        storage, scenario->fault_injector_.get());
+    storage = scenario->faulty_table_.get();
+  }
+
   // The MWS<->PKG service key (paper assumption: pre-shared).
   util::Bytes mws_pkg_key = scenario->rng_.Generate(32);
 
   mws::MwsOptions mws_options;
   mws_options.cipher = options.cipher;
   scenario->mws_ = std::make_unique<mws::MwsService>(
-      scenario->storage_.get(), mws_pkg_key, &scenario->clock_,
-      &scenario->rng_, mws_options);
+      storage, mws_pkg_key, &scenario->clock_, &scenario->rng_, mws_options);
 
   pkg::PkgOptions pkg_options;
   pkg_options.cipher = options.cipher;
@@ -48,6 +57,23 @@ util::Result<std::unique_ptr<UtilityScenario>> UtilityScenario::Create(
   scenario->mws_->RegisterEndpoints(&scenario->transport_);
   scenario->pkg_->RegisterEndpoints(&scenario->transport_);
 
+  // Client-side resilience chain: faults below, retries above, so every
+  // injected drop is seen (and absorbed) by the retry layer exactly as a
+  // real client would see a flaky network. Sleeps advance the simulated
+  // clock — backoff costs no wall time in tests and benches.
+  wire::Transport* client_transport = &scenario->transport_;
+  if (resilience.enable) {
+    scenario->faulty_transport_ = std::make_unique<wire::FaultyTransport>(
+        client_transport, scenario->fault_injector_.get());
+    scenario->retrying_transport_ = std::make_unique<wire::RetryingTransport>(
+        scenario->faulty_transport_.get(), &scenario->clock_,
+        resilience.retry);
+    util::SimulatedClock* clock = &scenario->clock_;
+    scenario->retrying_transport_->set_sleep_fn(
+        [clock](int64_t micros) { clock->AdvanceMicros(micros); });
+    client_transport = scenario->retrying_transport_.get();
+  }
+
   // Register the meter fleet.
   const ibe::SystemParams& params = scenario->pkg_->PublicParams();
   for (MeterClass klass :
@@ -57,8 +83,8 @@ util::Result<std::unique_ptr<UtilityScenario>> UtilityScenario::Create(
       util::Bytes mac_key = scenario->rng_.Generate(32);
       MWS_RETURN_IF_ERROR(scenario->mws_->RegisterDevice(device_id, mac_key));
       scenario->devices_.emplace_back(device_id, mac_key, params, options.dem,
-                                      &scenario->transport_,
-                                      &scenario->clock_, &scenario->rng_);
+                                      client_transport, &scenario->clock_,
+                                      &scenario->rng_);
     }
   }
 
@@ -86,9 +112,32 @@ util::Result<std::unique_ptr<UtilityScenario>> UtilityScenario::Create(
     }
     scenario->companies_[spec.name] = std::make_unique<client::ReceivingClient>(
         spec.name, password, std::move(keys), params, options.cipher,
-        options.dem, &scenario->transport_, &scenario->clock_,
-        &scenario->rng_);
+        options.dem, client_transport, &scenario->clock_, &scenario->rng_);
     scenario->company_names_.push_back(spec.name);
+  }
+
+  // Arm the probabilistic fault rules only now, with the fleet and the
+  // access matrix fully registered — setup traffic is never faulted.
+  if (resilience.enable) {
+    util::FaultInjector& injector = *scenario->fault_injector_;
+    if (resilience.store_fault_rate > 0) {
+      injector.AddRule({.kind = util::FaultKind::kTornWrite,
+                        .pattern = "table.",
+                        .probability = resilience.store_fault_rate,
+                        .message = "injected torn store write"});
+    }
+    if (resilience.request_loss_rate > 0) {
+      injector.AddRule({.kind = util::FaultKind::kTornWrite,
+                        .pattern = "transport.call/",
+                        .probability = resilience.request_loss_rate,
+                        .message = "injected request loss"});
+    }
+    if (resilience.response_drop_rate > 0) {
+      injector.AddRule({.kind = util::FaultKind::kConnectionDrop,
+                        .pattern = "transport.call/",
+                        .probability = resilience.response_drop_rate,
+                        .message = "injected response drop"});
+    }
   }
   return scenario;
 }

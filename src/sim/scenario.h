@@ -12,8 +12,12 @@
 #include "src/mws/mws_service.h"
 #include "src/pkg/pkg_service.h"
 #include "src/sim/workload.h"
+#include "src/store/faulty_table.h"
 #include "src/store/kvstore.h"
 #include "src/util/clock.h"
+#include "src/util/fault.h"
+#include "src/wire/faulty_transport.h"
+#include "src/wire/retry.h"
 
 namespace mws::sim {
 
@@ -39,6 +43,27 @@ class UtilityScenario {
     uint64_t seed = 2010;
     /// RSA modulus bits for RC keypairs (small keeps fixtures fast).
     size_t rsa_bits = 768;
+
+    /// Failure-domain wiring (the E15 resilience experiments). When
+    /// `enable` is set the clients talk through
+    /// FaultyTransport -> RetryingTransport and the MWS stores through a
+    /// FaultyTable, all fed by one seeded FaultInjector. The rate rules
+    /// below are armed only *after* Create() finishes, so registration
+    /// traffic is never faulted; arbitrary extra rules can be armed
+    /// through fault_injector().
+    struct Resilience {
+      bool enable = false;
+      /// P(table write applies but reports failure) — torn store write.
+      double store_fault_rate = 0.0;
+      /// P(transport request lost before the handler runs).
+      double request_loss_rate = 0.0;
+      /// P(handler runs but the response is dropped) — the fault that
+      /// exercises deposit dedup.
+      double response_drop_rate = 0.0;
+      uint64_t fault_seed = 4242;
+      wire::RetryOptions retry;
+    };
+    Resilience resilience;
   };
 
   static constexpr char kCServices[] = "C-SERVICES";
@@ -67,6 +92,20 @@ class UtilityScenario {
   mws::MwsService& mws() { return *mws_; }
   pkg::PkgService& pkg() { return *pkg_; }
   wire::InProcessTransport& transport() { return transport_; }
+  /// The transport the clients were built on: the retry/fault chain when
+  /// resilience is enabled, the bare in-process transport otherwise.
+  wire::Transport& client_transport() {
+    return retrying_transport_
+               ? static_cast<wire::Transport&>(*retrying_transport_)
+               : transport_;
+  }
+  // Resilience chain (null unless options.resilience.enable).
+  util::FaultInjector* fault_injector() { return fault_injector_.get(); }
+  wire::FaultyTransport* faulty_transport() { return faulty_transport_.get(); }
+  wire::RetryingTransport* retrying_transport() {
+    return retrying_transport_.get();
+  }
+  store::FaultyTable* faulty_table() { return faulty_table_.get(); }
   util::SimulatedClock& clock() { return clock_; }
   util::RandomSource& rng() { return rng_; }
   WorkloadGenerator& workload() { return workload_; }
@@ -91,7 +130,13 @@ class UtilityScenario {
   util::DeterministicRandom rng_;
   WorkloadGenerator workload_;
   wire::InProcessTransport transport_;
+  // Resilience chain, wrapped objects declared before their wrappers so
+  // raw borrows outlive the borrowers.
+  std::unique_ptr<util::FaultInjector> fault_injector_;
+  std::unique_ptr<wire::FaultyTransport> faulty_transport_;
+  std::unique_ptr<wire::RetryingTransport> retrying_transport_;
   std::unique_ptr<store::KvStore> storage_;
+  std::unique_ptr<store::FaultyTable> faulty_table_;
   std::unique_ptr<mws::MwsService> mws_;
   std::unique_ptr<pkg::PkgService> pkg_;
   std::vector<client::SmartDevice> devices_;

@@ -1,0 +1,62 @@
+#include "src/store/faulty_table.h"
+
+#include <chrono>
+#include <thread>
+
+namespace mws::store {
+
+template <typename Apply>
+util::Status FaultyTable::FaultedWrite(const std::string& operation,
+                                       Apply apply) {
+  // Source 1: the armed countdown (legacy test behavior).
+  if (armed_.load(std::memory_order_relaxed)) {
+    if (countdown_.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+      faults_.fetch_add(1, std::memory_order_relaxed);
+      return util::Status::IoError("injected write failure");
+    }
+  }
+  // Source 2: the shared injector.
+  if (injector_ != nullptr) {
+    if (auto fault = injector_->Evaluate(operation)) {
+      switch (fault->kind) {
+        case util::FaultKind::kError:
+        case util::FaultKind::kConnectionDrop:
+          faults_.fetch_add(1, std::memory_order_relaxed);
+          return fault->status;
+        case util::FaultKind::kTornWrite: {
+          util::Status applied = apply();
+          faults_.fetch_add(1, std::memory_order_relaxed);
+          if (applied.ok()) {
+            torn_writes_.fetch_add(1, std::memory_order_relaxed);
+            return fault->status;  // applied, but the ack is lost
+          }
+          return applied;
+        }
+        case util::FaultKind::kDelay:
+          if (fault->delay_micros > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(fault->delay_micros));
+          }
+          break;
+      }
+    }
+  }
+  return apply();
+}
+
+util::Status FaultyTable::Put(const std::string& key,
+                              const util::Bytes& value) {
+  return FaultedWrite("table.put/" + key,
+                      [&] { return base_->Put(key, value); });
+}
+
+util::Status FaultyTable::Delete(const std::string& key) {
+  return FaultedWrite("table.delete/" + key,
+                      [&] { return base_->Delete(key); });
+}
+
+util::Status FaultyTable::Flush() {
+  return FaultedWrite("table.flush", [&] { return base_->Flush(); });
+}
+
+}  // namespace mws::store

@@ -1,0 +1,90 @@
+#ifndef MWSIBE_STORE_FAULTY_TABLE_H_
+#define MWSIBE_STORE_FAULTY_TABLE_H_
+
+#include <atomic>
+#include <string>
+
+#include "src/store/table.h"
+#include "src/util/fault.h"
+
+namespace mws::store {
+
+/// Table decorator that injects storage faults on the write path.
+/// Promoted from the fault-injection tests so the resilience bench, the
+/// simulator and the tests all share one implementation.
+///
+/// Faults come from two sources, checked in order:
+///
+///  1. the countdown armed with FailWritesAfter() — the original
+///     test-local behavior: fail every write once the countdown runs out,
+///     until Heal();
+///  2. an optional shared util::FaultInjector, consulted with operation
+///     tags "table.put/<key>", "table.delete/<key>", "table.flush".
+///
+/// Fault semantics on a Table: kError and kConnectionDrop fail the write
+/// without applying it; kTornWrite applies the write and *then* reports
+/// failure (ack lost — a correct caller retries and must dedupe);
+/// kDelay sleeps `delay_micros`, then applies normally.
+///
+/// Reads delegate untouched: the failure domain under test is
+/// durability, and read-side faults would only re-test the same Status
+/// plumbing. Thread-safe over a thread-safe base table.
+class FaultyTable : public Table {
+ public:
+  /// Borrows `base` (and `injector` if given); both must outlive this.
+  explicit FaultyTable(Table* base, util::FaultInjector* injector = nullptr)
+      : base_(base), injector_(injector) {}
+
+  /// Arms the countdown: the next `countdown` writes succeed, everything
+  /// after fails with kIoError until Heal().
+  void FailWritesAfter(int countdown) {
+    countdown_.store(countdown, std::memory_order_relaxed);
+    armed_.store(true, std::memory_order_relaxed);
+  }
+  void Heal() { armed_.store(false, std::memory_order_relaxed); }
+
+  /// Writes that reported failure (either source), and torn writes that
+  /// were applied anyway.
+  uint64_t faults() const { return faults_.load(std::memory_order_relaxed); }
+  uint64_t torn_writes() const {
+    return torn_writes_.load(std::memory_order_relaxed);
+  }
+
+  util::Status Put(const std::string& key, const util::Bytes& value) override;
+  util::Result<util::Bytes> Get(const std::string& key) const override {
+    return base_->Get(key);
+  }
+  util::Status Delete(const std::string& key) override;
+  bool Contains(const std::string& key) const override {
+    return base_->Contains(key);
+  }
+  std::vector<std::pair<std::string, util::Bytes>> Scan(
+      const std::string& prefix) const override {
+    return base_->Scan(prefix);
+  }
+  std::vector<std::string> ScanKeys(const std::string& prefix) const override {
+    return base_->ScanKeys(prefix);
+  }
+  size_t CountPrefix(const std::string& prefix) const override {
+    return base_->CountPrefix(prefix);
+  }
+  size_t Size() const override { return base_->Size(); }
+  util::Status Flush() override;
+
+ private:
+  /// Runs one write through both fault sources. `apply` performs the
+  /// real operation.
+  template <typename Apply>
+  util::Status FaultedWrite(const std::string& operation, Apply apply);
+
+  Table* base_;
+  util::FaultInjector* injector_;
+  std::atomic<bool> armed_{false};
+  std::atomic<int> countdown_{0};
+  std::atomic<uint64_t> faults_{0};
+  std::atomic<uint64_t> torn_writes_{0};
+};
+
+}  // namespace mws::store
+
+#endif  // MWSIBE_STORE_FAULTY_TABLE_H_

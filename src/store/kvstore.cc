@@ -112,9 +112,19 @@ util::Status KvStore::Recover() {
     valid_end = pos;
   }
   in.close();
+  recovery_.records_replayed = log_records_.load(std::memory_order_relaxed);
+  recovery_.bytes_replayed = valid_end;
+  recovery_.torn_tail = torn;
+  recovery_.bytes_truncated = content.size() - valid_end;
   if (torn) {
-    // Drop the torn tail so future appends produce a clean log.
-    std::filesystem::resize_file(options_.path, valid_end);
+    // Drop the torn tail so future appends produce a clean log; every
+    // fully-committed record before it has already been replayed.
+    std::error_code ec;
+    std::filesystem::resize_file(options_.path, valid_end, ec);
+    if (ec) {
+      return util::Status::IoError("cannot truncate torn WAL tail: " +
+                                   ec.message());
+    }
   }
   return util::Status::Ok();
 }

@@ -67,6 +67,19 @@ class KvStore : public Table {
     return log_records_.load(std::memory_order_relaxed);
   }
 
+  /// What WAL replay found at Open: how much survived and whether a
+  /// torn tail (truncated write or CRC-failed suffix) was dropped.
+  /// Surfaced so operators and the resilience tests can distinguish a
+  /// clean open from a crash recovery.
+  struct RecoveryStats {
+    size_t records_replayed = 0;
+    size_t bytes_replayed = 0;
+    /// Bytes discarded from the tail (0 on a clean open).
+    size_t bytes_truncated = 0;
+    bool torn_tail = false;
+  };
+  const RecoveryStats& recovery_stats() const { return recovery_; }
+
   /// Number of index stripes (exposed for the striped-lock tests).
   static constexpr size_t kShardCount = 16;
 
@@ -96,6 +109,7 @@ class KvStore : public Table {
   std::mutex log_mutex_;
   std::ofstream log_;
   std::atomic<size_t> log_records_{0};
+  RecoveryStats recovery_;
 };
 
 }  // namespace mws::store

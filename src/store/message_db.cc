@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <set>
 
+#include "src/util/hex.h"
 #include "src/util/serde.h"
 
 namespace mws::store {
@@ -42,6 +43,10 @@ std::string TimeIndexBound(const std::string& attribute, int64_t ts) {
   std::snprintf(buf, sizeof(buf), "/%016" PRIx64,
                 static_cast<uint64_t>(ts));
   return "t/" + attribute + buf;
+}
+
+std::string DedupKey(const std::string& device_id, const util::Bytes& nonce) {
+  return "n/" + device_id + "/" + util::HexEncode(nonce);
 }
 
 }  // namespace
@@ -88,17 +93,35 @@ MessageDb::MessageDb(Table* table) : table_(table) {
   }
 }
 
+util::Status MessageDb::WriteRecords(const StoredMessage& stored) {
+  MWS_RETURN_IF_ERROR(table_->Put(MessageKey(stored.id), stored.Encode()));
+  MWS_RETURN_IF_ERROR(
+      table_->Put(IndexKey(stored.attribute, stored.id), {}));
+  MWS_RETURN_IF_ERROR(table_->Put(
+      TimeIndexKey(stored.attribute, stored.timestamp_micros, stored.id),
+      {}));
+  return PersistCounter(stored.id + 1);
+}
+
+util::Status MessageDb::PersistCounter(uint64_t next) {
+  // Appends can finish out of id order, so only ever write a value
+  // larger than the last one persisted.
+  std::lock_guard<std::mutex> lock(counter_mutex_);
+  if (next > persisted_next_) {
+    util::Writer w;
+    w.PutU64(next);
+    MWS_RETURN_IF_ERROR(table_->Put(kNextIdKey, w.Take()));
+    persisted_next_ = next;
+  }
+  return util::Status::Ok();
+}
+
 util::Result<uint64_t> MessageDb::Append(const StoredMessage& message) {
   const uint64_t next = next_id_.fetch_add(1, std::memory_order_relaxed);
   StoredMessage stored = message;
   stored.id = next;
 
-  util::Status write = table_->Put(MessageKey(next), stored.Encode());
-  if (write.ok()) write = table_->Put(IndexKey(stored.attribute, next), {});
-  if (write.ok()) {
-    write = table_->Put(
-        TimeIndexKey(stored.attribute, stored.timestamp_micros, next), {});
-  }
+  util::Status write = WriteRecords(stored);
   if (!write.ok()) {
     // Hand the id back if no later append claimed one meanwhile, so a
     // healed retry reuses it. Under concurrency the id is simply skipped
@@ -108,18 +131,50 @@ util::Result<uint64_t> MessageDb::Append(const StoredMessage& message) {
                                      std::memory_order_relaxed);
     return write;
   }
-  // Persist the counter for recovery. Appends can finish out of id order,
-  // so only ever write a value larger than the last one persisted.
-  {
-    std::lock_guard<std::mutex> lock(counter_mutex_);
-    if (next + 1 > persisted_next_) {
-      util::Writer w;
-      w.PutU64(next + 1);
-      MWS_RETURN_IF_ERROR(table_->Put(kNextIdKey, w.Take()));
-      persisted_next_ = next + 1;
+  return next;
+}
+
+util::Result<MessageDb::AppendOutcome> MessageDb::AppendDeduped(
+    const StoredMessage& message) {
+  if (message.device_id.empty() || message.nonce.empty()) {
+    MWS_ASSIGN_OR_RETURN(uint64_t id, Append(message));
+    return AppendOutcome{id, false};
+  }
+  const std::string dedup_key = DedupKey(message.device_id, message.nonce);
+  StoredMessage stored = message;
+  stored.id = 0;
+
+  auto marker = table_->Get(dedup_key);
+  if (marker.ok()) {
+    uint64_t reserved = 0;
+    util::Reader r(marker.value());
+    if (r.GetU64(&reserved) && r.Done() && reserved > 0) {
+      // Completeness check over every key the append writes: the
+      // retransmit carries identical fields, so the keys reconstruct
+      // exactly. All present -> pure retransmit, nothing to do.
+      if (table_->Contains(MessageKey(reserved)) &&
+          table_->Contains(IndexKey(stored.attribute, reserved)) &&
+          table_->Contains(TimeIndexKey(stored.attribute,
+                                        stored.timestamp_micros, reserved))) {
+        dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+        return AppendOutcome{reserved, true};
+      }
+      // A torn earlier attempt: resume the reserved id and rewrite the
+      // same keys (idempotent), so the partial records already visible
+      // complete instead of duplicating under a fresh id.
+      stored.id = reserved;
     }
   }
-  return next;
+  if (stored.id == 0) {
+    stored.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    // Reserve before writing anything else: if any later write fails
+    // the retry finds the marker and resumes this id.
+    util::Writer w;
+    w.PutU64(stored.id);
+    MWS_RETURN_IF_ERROR(table_->Put(dedup_key, w.Take()));
+  }
+  MWS_RETURN_IF_ERROR(WriteRecords(stored));
+  return AppendOutcome{stored.id, false};
 }
 
 util::Result<StoredMessage> MessageDb::Get(uint64_t id) const {

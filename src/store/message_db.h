@@ -46,6 +46,29 @@ class MessageDb {
   /// Stores `message` (its id field is ignored) and returns the assigned id.
   util::Result<uint64_t> Append(const StoredMessage& message);
 
+  struct AppendOutcome {
+    uint64_t id = 0;
+    /// The message was already fully stored (a retransmit); `id` is the
+    /// original assignment.
+    bool deduplicated = false;
+  };
+
+  /// At-least-once safe append: dedupes retransmissions by
+  /// (device_id, nonce) so a client that retries after a lost ack
+  /// cannot double-store. A dedup marker "n/<ID_SD>/<nonce>" -> id is
+  /// reserved *before* the message records are written; a retry of a
+  /// torn append therefore resumes the reserved id and rewrites the
+  /// same keys (idempotent) instead of allocating a fresh id — no
+  /// duplicate ever becomes visible through the indexes. Assumes one
+  /// client retries a given (device, nonce) serially, which the
+  /// store-and-forward device model guarantees.
+  util::Result<AppendOutcome> AppendDeduped(const StoredMessage& message);
+
+  /// Retransmissions absorbed by AppendDeduped.
+  uint64_t dedup_hits() const {
+    return dedup_hits_.load(std::memory_order_relaxed);
+  }
+
   util::Result<StoredMessage> Get(uint64_t id) const;
 
   /// All messages whose attribute equals `attribute`, in id order.
@@ -76,6 +99,13 @@ class MessageDb {
   std::vector<std::string> DistinctAttributes() const;
 
  private:
+  /// Writes the message record and both secondary indexes for `stored`
+  /// (whose id is already assigned), then advances the persisted
+  /// counter. Idempotent for a fixed id.
+  util::Status WriteRecords(const StoredMessage& stored);
+  /// Bumps the persisted "m.next" counter to at least `next`.
+  util::Status PersistCounter(uint64_t next);
+
   Table* table_;
   /// Next id to assign; seeded from the persisted counter at open.
   std::atomic<uint64_t> next_id_{1};
@@ -83,6 +113,7 @@ class MessageDb {
   /// even when appends complete out of id order.
   std::mutex counter_mutex_;
   uint64_t persisted_next_ = 0;
+  std::atomic<uint64_t> dedup_hits_{0};
 };
 
 }  // namespace mws::store

@@ -1,0 +1,65 @@
+#include "src/util/fault.h"
+
+namespace mws::util {
+
+const char* FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kError:
+      return "error";
+    case FaultKind::kTornWrite:
+      return "torn-write";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kConnectionDrop:
+      return "connection-drop";
+  }
+  return "unknown";
+}
+
+void FaultInjector::AddRule(FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.push_back(ArmedRule{std::move(rule)});
+}
+
+void FaultInjector::ClearRules() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.clear();
+}
+
+std::optional<Fault> FaultInjector::Evaluate(std::string_view operation) {
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (ArmedRule& armed : rules_) {
+    const FaultRule& rule = armed.rule;
+    if (!rule.pattern.empty() &&
+        operation.find(rule.pattern) == std::string_view::npos) {
+      continue;
+    }
+    ++armed.matches;
+    bool fire = false;
+    if (rule.nth > 0) {
+      if (!armed.spent && armed.matches == rule.nth) {
+        armed.spent = true;
+        fire = true;
+      }
+    } else if (rule.probability > 0.0) {
+      // 53-bit uniform draw in [0, 1); deterministic given the seed and
+      // the evaluation order.
+      double draw =
+          static_cast<double>(rng_.NextU64() >> 11) * 0x1.0p-53;
+      fire = draw < rule.probability;
+    }
+    if (!fire) continue;
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    Fault fault;
+    fault.kind = rule.kind;
+    fault.delay_micros = rule.delay_micros;
+    fault.status = Status(rule.code, rule.message + " [" +
+                                         FaultKindToString(rule.kind) +
+                                         " @ " + std::string(operation) + "]");
+    return fault;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mws::util

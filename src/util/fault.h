@@ -1,0 +1,107 @@
+#ifndef MWSIBE_UTIL_FAULT_H_
+#define MWSIBE_UTIL_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace mws::util {
+
+/// What an injected fault does to the faulted operation.
+enum class FaultKind {
+  /// Fail the operation with `FaultRule::code` without performing it.
+  kError,
+  /// Perform the operation, then report failure anyway — the "applied
+  /// but ack lost" shape that torn writes and dropped responses share.
+  /// This is the fault that exercises at-least-once dedup: a correct
+  /// retry must not double-apply.
+  kTornWrite,
+  /// Delay the operation by `delay_micros`, then perform it normally.
+  kDelay,
+  /// Drop the connection: the request may or may not have been applied;
+  /// the caller only sees kUnavailable. Transport decorators perform the
+  /// inner call and discard the response; storage decorators treat it
+  /// like kError.
+  kConnectionDrop,
+};
+
+const char* FaultKindToString(FaultKind kind);
+
+/// One armed fault. A rule fires when its pattern matches the operation
+/// tag AND its trigger hits: either exactly the `nth` matching call
+/// (1-based, fires once) or each matching call with `probability`.
+struct FaultRule {
+  FaultKind kind = FaultKind::kError;
+
+  // --- Trigger ---
+  /// Substring matched against the operation tag ("table.put/m/0001",
+  /// "transport.call/mws.deposit", ...). Empty matches everything.
+  std::string pattern;
+  /// Fire on exactly the nth matching call (1-based), once. 0 disables
+  /// the counter trigger and `probability` decides instead.
+  uint64_t nth = 0;
+  /// Per-matching-call fire probability in [0, 1]. Ignored if nth > 0.
+  double probability = 0.0;
+
+  // --- Fault parameters ---
+  StatusCode code = StatusCode::kUnavailable;
+  std::string message = "injected fault";
+  int64_t delay_micros = 0;
+};
+
+/// A fired fault, as handed to the decorator that asked.
+struct Fault {
+  FaultKind kind;
+  Status status;
+  int64_t delay_micros = 0;
+};
+
+/// Seeded, deterministic fault source shared by the library-level
+/// decorators (store::FaultyTable, wire::FaultyTransport). One injector
+/// can feed several decorators; every probabilistic decision comes from
+/// one seeded PRNG stream, so a (seed, workload) pair replays the exact
+/// same fault schedule. Thread-safe: Evaluate may be called from
+/// concurrent request handlers.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+
+  /// Arms `rule` in addition to any existing rules (first match wins,
+  /// in arming order).
+  void AddRule(FaultRule rule);
+
+  /// Disarms every rule. Counters keep running.
+  void ClearRules();
+
+  /// Called by decorators once per operation with a descriptive tag.
+  /// Returns the fault to apply, or nullopt to proceed normally.
+  std::optional<Fault> Evaluate(std::string_view operation);
+
+  /// Operations observed / faults fired since construction.
+  uint64_t calls() const { return calls_.load(std::memory_order_relaxed); }
+  uint64_t fired() const { return fired_.load(std::memory_order_relaxed); }
+
+ private:
+  struct ArmedRule {
+    FaultRule rule;
+    uint64_t matches = 0;  // matching calls seen so far
+    bool spent = false;    // nth-trigger already fired
+  };
+
+  std::mutex mutex_;
+  DeterministicRandom rng_;
+  std::vector<ArmedRule> rules_;
+  std::atomic<uint64_t> calls_{0};
+  std::atomic<uint64_t> fired_{0};
+};
+
+}  // namespace mws::util
+
+#endif  // MWSIBE_UTIL_FAULT_H_

@@ -22,10 +22,23 @@ enum class StatusCode {
   kIoError,
   kInternal,
   kUnimplemented,
+  kDeadlineExceeded,
+  kUnavailable,
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a status code ("NotFound" etc.).
 const char* StatusCodeToString(StatusCode code);
+
+/// The one place retry policy is classified. A retryable code means the
+/// operation may have failed transiently and is safe to re-issue (the
+/// service layer dedupes retransmits, so at-least-once delivery cannot
+/// double-store): kUnavailable (connection drop, server restarting),
+/// kResourceExhausted (overload shed; back off first) and kIoError
+/// (socket-level failure). Everything else — including
+/// kDeadlineExceeded, which means the caller's time budget is already
+/// spent — is permanent from the client's point of view.
+bool IsRetryableCode(StatusCode code);
 
 /// A cheap value type carrying success or an error code plus message.
 ///
@@ -74,6 +87,15 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -93,6 +115,17 @@ class Status {
     return code_ == StatusCode::kUnauthenticated;
   }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  /// Whether a failed call with this status is safe and useful to retry
+  /// (see IsRetryableCode).
+  bool IsRetryable() const { return IsRetryableCode(code_); }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

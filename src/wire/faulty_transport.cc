@@ -1,0 +1,38 @@
+#include "src/wire/faulty_transport.h"
+
+#include <chrono>
+#include <thread>
+
+namespace mws::wire {
+
+util::Result<util::Bytes> FaultyTransport::Call(const std::string& endpoint,
+                                                const util::Bytes& request) {
+  if (auto fault = injector_->Evaluate("transport.call/" + endpoint)) {
+    switch (fault->kind) {
+      case util::FaultKind::kError:
+        requests_lost_.fetch_add(1, std::memory_order_relaxed);
+        return fault->status;
+      case util::FaultKind::kTornWrite:
+        requests_lost_.fetch_add(1, std::memory_order_relaxed);
+        return util::Status::Unavailable("request lost: " +
+                                         fault->status.message());
+      case util::FaultKind::kConnectionDrop: {
+        // The request made it to the server and was executed; only the
+        // response is lost. The side effect stands.
+        (void)base_->Call(endpoint, request);
+        responses_lost_.fetch_add(1, std::memory_order_relaxed);
+        return util::Status::Unavailable("connection dropped: " +
+                                         fault->status.message());
+      }
+      case util::FaultKind::kDelay:
+        if (fault->delay_micros > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(fault->delay_micros));
+        }
+        break;
+    }
+  }
+  return base_->Call(endpoint, request);
+}
+
+}  // namespace mws::wire

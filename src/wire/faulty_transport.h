@@ -1,0 +1,53 @@
+#ifndef MWSIBE_WIRE_FAULTY_TRANSPORT_H_
+#define MWSIBE_WIRE_FAULTY_TRANSPORT_H_
+
+#include <atomic>
+#include <string>
+
+#include "src/util/fault.h"
+#include "src/wire/transport.h"
+
+namespace mws::wire {
+
+/// Transport decorator that injects network faults, driven by a shared
+/// util::FaultInjector (operation tag: "transport.call/<endpoint>").
+///
+/// Fault semantics on a Transport:
+///   kError          — fail the call without delivering the request,
+///   kTornWrite      — request lost on the wire (not delivered), caller
+///                     sees kUnavailable,
+///   kConnectionDrop — request *delivered and executed*, response lost;
+///                     caller sees kUnavailable. Retrying re-executes
+///                     the handler, which is exactly the duplicate the
+///                     MWS dedupes by (ID_SD, nonce),
+///   kDelay          — sleep `delay_micros`, then deliver normally.
+///
+/// Thread-safe over a thread-safe base transport.
+class FaultyTransport : public Transport {
+ public:
+  /// Borrows `base` and `injector`; both must outlive this.
+  FaultyTransport(Transport* base, util::FaultInjector* injector)
+      : base_(base), injector_(injector) {}
+
+  util::Result<util::Bytes> Call(const std::string& endpoint,
+                                 const util::Bytes& request) override;
+
+  /// Calls whose request never reached the backend / whose response was
+  /// dropped after execution.
+  uint64_t requests_lost() const {
+    return requests_lost_.load(std::memory_order_relaxed);
+  }
+  uint64_t responses_lost() const {
+    return responses_lost_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Transport* base_;
+  util::FaultInjector* injector_;
+  std::atomic<uint64_t> requests_lost_{0};
+  std::atomic<uint64_t> responses_lost_{0};
+};
+
+}  // namespace mws::wire
+
+#endif  // MWSIBE_WIRE_FAULTY_TRANSPORT_H_

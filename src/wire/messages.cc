@@ -12,6 +12,67 @@ util::Status Malformed(const char* what) {
 
 }  // namespace
 
+uint16_t WireCodeFromStatus(util::StatusCode code) {
+  using util::StatusCode;
+  switch (code) {
+    case StatusCode::kOk:                 return 0;
+    case StatusCode::kInvalidArgument:    return 1;
+    case StatusCode::kNotFound:           return 2;
+    case StatusCode::kAlreadyExists:      return 3;
+    case StatusCode::kPermissionDenied:   return 4;
+    case StatusCode::kUnauthenticated:    return 5;
+    case StatusCode::kFailedPrecondition: return 6;
+    case StatusCode::kOutOfRange:         return 7;
+    case StatusCode::kCorruption:         return 8;
+    case StatusCode::kIoError:            return 9;
+    case StatusCode::kInternal:           return 10;
+    case StatusCode::kUnimplemented:      return 11;
+    case StatusCode::kDeadlineExceeded:   return 12;
+    case StatusCode::kUnavailable:        return 13;
+    case StatusCode::kResourceExhausted:  return 14;
+  }
+  return 10;
+}
+
+util::StatusCode StatusCodeFromWireCode(uint16_t wire_code) {
+  using util::StatusCode;
+  switch (wire_code) {
+    case 0:  return StatusCode::kOk;
+    case 1:  return StatusCode::kInvalidArgument;
+    case 2:  return StatusCode::kNotFound;
+    case 3:  return StatusCode::kAlreadyExists;
+    case 4:  return StatusCode::kPermissionDenied;
+    case 5:  return StatusCode::kUnauthenticated;
+    case 6:  return StatusCode::kFailedPrecondition;
+    case 7:  return StatusCode::kOutOfRange;
+    case 8:  return StatusCode::kCorruption;
+    case 9:  return StatusCode::kIoError;
+    case 10: return StatusCode::kInternal;
+    case 11: return StatusCode::kUnimplemented;
+    case 12: return StatusCode::kDeadlineExceeded;
+    case 13: return StatusCode::kUnavailable;
+    case 14: return StatusCode::kResourceExhausted;
+    default: return StatusCode::kInternal;
+  }
+}
+
+util::Bytes EncodeWireError(const util::Status& status) {
+  util::Writer w;
+  w.PutU16(WireCodeFromStatus(status.code()));
+  w.PutString(status.message());
+  return w.Take();
+}
+
+util::Status DecodeWireError(const util::Bytes& payload) {
+  util::Reader r(payload);
+  uint16_t code = 0;
+  std::string message;
+  if (r.GetU16(&code) && r.GetString(&message) && r.Done()) {
+    return util::Status(StatusCodeFromWireCode(code), std::move(message));
+  }
+  return util::Status::Internal(util::StringFromBytes(payload));
+}
+
 util::Bytes DepositRequest::AuthenticatedBytes() const {
   util::Writer w;
   w.PutBytes(u);

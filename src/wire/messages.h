@@ -15,6 +15,26 @@ namespace mws::wire {
 /// MACs are computed over exactly the encoded authenticated prefix.
 
 // ---------------------------------------------------------------------
+// Wire errors. A failed request crosses the TCP framing as
+// `u16 code || string message` so the client reconstructs the original
+// util::Status — in particular whether it is retryable — instead of a
+// flattened Internal. The numbering below is the wire contract: values
+// are stable forever; only append.
+
+/// Stable wire number for `code` (kInternal for anything unknown, so a
+/// newer peer degrades gracefully).
+uint16_t WireCodeFromStatus(util::StatusCode code);
+util::StatusCode StatusCodeFromWireCode(uint16_t wire_code);
+
+/// Encodes a non-OK status for the `ok == 0` response payload.
+util::Bytes EncodeWireError(const util::Status& status);
+
+/// Decodes an error payload. Tolerates legacy plain-text payloads (the
+/// pre-code format) by mapping them to kInternal with the text as the
+/// message, so mixed-version deployments still interoperate.
+util::Status DecodeWireError(const util::Bytes& payload);
+
+// ---------------------------------------------------------------------
 // Phase 1: SD -> MWS ("SD sends rP || C || (A || Nonce) || IDSD || T ||
 // MAC to MWS").
 

@@ -1,0 +1,94 @@
+#include "src/wire/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace mws::wire {
+
+RetryingTransport::RetryingTransport(Transport* base, const util::Clock* clock,
+                                     RetryOptions options)
+    : base_(base),
+      clock_(clock),
+      options_(options),
+      sleep_([](int64_t micros) {
+        std::this_thread::sleep_for(std::chrono::microseconds(micros));
+      }),
+      budget_(options.retry_budget),
+      rng_(options.seed) {}
+
+double RetryingTransport::budget() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return budget_;
+}
+
+int64_t RetryingTransport::NextBackoffMicros(int64_t prev_micros) {
+  // Decorrelated jitter (AWS architecture blog): sleep = min(cap,
+  // uniform(base, prev * 3)). Grows exponentially in expectation while
+  // spreading concurrent retriers apart instead of synchronizing them.
+  const int64_t base = std::max<int64_t>(1, options_.initial_backoff_micros);
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t hi = std::max(base + 1, prev_micros * 3);
+  int64_t sleep =
+      base + static_cast<int64_t>(rng_.NextU64() %
+                                  static_cast<uint64_t>(hi - base));
+  return std::min(sleep, options_.max_backoff_micros);
+}
+
+util::Result<util::Bytes> RetryingTransport::Call(const std::string& endpoint,
+                                                  const util::Bytes& request) {
+  stats_.calls.fetch_add(1, std::memory_order_relaxed);
+  const int64_t deadline =
+      options_.call_deadline_micros > 0
+          ? clock_->NowMicros() + options_.call_deadline_micros
+          : 0;
+  int64_t backoff = options_.initial_backoff_micros;
+  util::Status last_error = util::Status::Ok();
+
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    if (deadline != 0 && clock_->NowMicros() >= deadline) {
+      stats_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      return util::Status::DeadlineExceeded(
+          "call deadline exceeded after " + std::to_string(attempt - 1) +
+          " attempt(s) on " + endpoint +
+          (last_error.ok() ? "" : "; last error: " + last_error.ToString()));
+    }
+    stats_.attempts.fetch_add(1, std::memory_order_relaxed);
+    util::Result<util::Bytes> result = base_->Call(endpoint, request);
+    if (result.ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      budget_ = std::min(options_.retry_budget,
+                         budget_ + options_.budget_refund);
+      return result;
+    }
+    last_error = result.status();
+    if (!util::IsRetryableCode(last_error.code())) return result;
+    if (attempt == options_.max_attempts) return result;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (budget_ < 1.0) {
+        stats_.budget_exhausted.fetch_add(1, std::memory_order_relaxed);
+        return result;
+      }
+      budget_ -= 1.0;
+    }
+    int64_t sleep = NextBackoffMicros(backoff);
+    if (deadline != 0) {
+      int64_t remaining = deadline - clock_->NowMicros();
+      if (remaining <= 0) {
+        stats_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+        return util::Status::DeadlineExceeded(
+            "call deadline exceeded after " + std::to_string(attempt) +
+            " attempt(s) on " + endpoint + "; last error: " +
+            last_error.ToString());
+      }
+      sleep = std::min(sleep, remaining);
+    }
+    backoff = sleep;
+    stats_.retries.fetch_add(1, std::memory_order_relaxed);
+    if (sleep > 0) sleep_(sleep);
+  }
+  return last_error;  // unreachable: the loop always returns
+}
+
+}  // namespace mws::wire

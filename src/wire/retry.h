@@ -1,0 +1,97 @@
+#ifndef MWSIBE_WIRE_RETRY_H_
+#define MWSIBE_WIRE_RETRY_H_
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "src/util/clock.h"
+#include "src/util/random.h"
+#include "src/wire/transport.h"
+
+namespace mws::wire {
+
+/// Retry policy of a RetryingTransport.
+struct RetryOptions {
+  /// Total tries per Call (first attempt + retries).
+  int max_attempts = 4;
+  /// Base of the backoff schedule and floor of every sleep.
+  int64_t initial_backoff_micros = 50'000;
+  /// Ceiling of every sleep.
+  int64_t max_backoff_micros = 2'000'000;
+  /// Whole-call deadline, attempts and backoff included. A call that
+  /// cannot finish inside this budget returns kDeadlineExceeded.
+  /// 0 disables the deadline.
+  int64_t call_deadline_micros = 10'000'000;
+  /// Token-bucket retry budget shared by all calls through this
+  /// transport: each retry spends one token, each *successful* call
+  /// refunds `budget_refund`. When the bucket is dry, failures return
+  /// immediately — a persistently failing server is not hammered with
+  /// max_attempts times the offered load.
+  double retry_budget = 10.0;
+  double budget_refund = 0.1;
+  /// Seed of the jitter PRNG (deterministic backoff schedule in tests).
+  uint64_t seed = 2010;
+};
+
+/// Counters exposed for tests and the resilience bench.
+struct RetryStats {
+  std::atomic<uint64_t> calls{0};
+  std::atomic<uint64_t> attempts{0};
+  std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> deadline_exceeded{0};
+  std::atomic<uint64_t> budget_exhausted{0};
+};
+
+/// Client-side resilience decorator: retries retryable failures
+/// (util::IsRetryableCode — kUnavailable, kResourceExhausted, kIoError)
+/// with exponential backoff and decorrelated jitter, under a per-call
+/// deadline and a transport-wide retry budget.
+///
+/// Sleeps go through an injectable hook and deadlines through the
+/// injected util::Clock, so tests drive the whole schedule from a
+/// SimulatedClock — instant and deterministic. Retrying is only safe
+/// because the services dedupe retransmits (MWS: (ID_SD, nonce)); see
+/// DESIGN.md §10.
+///
+/// Thread-safe over a thread-safe base transport; concurrent calls
+/// share the budget and the jitter stream but sleep independently.
+class RetryingTransport : public Transport {
+ public:
+  /// Sleeps for the given microseconds. The default really sleeps;
+  /// tests install a hook that advances their SimulatedClock instead.
+  using SleepFn = std::function<void(int64_t micros)>;
+
+  /// Borrows `base` and `clock`; both must outlive this.
+  RetryingTransport(Transport* base, const util::Clock* clock,
+                    RetryOptions options = {});
+
+  void set_sleep_fn(SleepFn fn) { sleep_ = std::move(fn); }
+
+  util::Result<util::Bytes> Call(const std::string& endpoint,
+                                 const util::Bytes& request) override;
+
+  const RetryStats& stats() const { return stats_; }
+  const RetryOptions& options() const { return options_; }
+  /// Remaining retry-budget tokens (for tests).
+  double budget() const;
+
+ private:
+  /// Next decorrelated-jitter sleep given the previous one.
+  int64_t NextBackoffMicros(int64_t prev_micros);
+
+  Transport* base_;
+  const util::Clock* clock_;
+  RetryOptions options_;
+  SleepFn sleep_;
+  RetryStats stats_;
+  /// Guards budget_ and rng_.
+  mutable std::mutex mutex_;
+  double budget_;
+  util::DeterministicRandom rng_;
+};
+
+}  // namespace mws::wire
+
+#endif  // MWSIBE_WIRE_RETRY_H_

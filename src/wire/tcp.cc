@@ -10,29 +10,56 @@
 #include <cerrno>
 #include <cstring>
 
+#include "src/wire/messages.h"
+
 namespace mws::wire {
 
 namespace {
 
-/// Reads exactly `len` bytes; false on EOF or error.
-bool ReadFull(int fd, uint8_t* out, size_t len) {
-  size_t done = 0;
-  while (done < len) {
-    ssize_t n = ::read(fd, out + done, len - done);
-    if (n <= 0) return false;
-    done += static_cast<size_t>(n);
+/// Outcome of a bounded read/write: distinguishing a stall from a dead
+/// peer matters to the client (DeadlineExceeded vs Unavailable).
+enum class IoResult { kOk, kTimeout, kClosed };
+
+/// Waits until `fd` is ready for `events` or `timeout_millis` elapses
+/// (<= 0 waits forever).
+IoResult PollFor(int fd, short events, int timeout_millis) {
+  pollfd p{fd, events, 0};
+  for (;;) {
+    int rc = ::poll(&p, 1, timeout_millis <= 0 ? -1 : timeout_millis);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return IoResult::kClosed;
+    }
+    if (rc == 0) return IoResult::kTimeout;
+    return IoResult::kOk;
   }
-  return true;
 }
 
-bool WriteFull(int fd, const uint8_t* data, size_t len) {
+/// Reads exactly `len` bytes, waiting at most `timeout_millis` per
+/// chunk; kClosed on EOF or error.
+IoResult ReadFull(int fd, uint8_t* out, size_t len, int timeout_millis) {
   size_t done = 0;
   while (done < len) {
-    ssize_t n = ::write(fd, data + done, len - done);
-    if (n <= 0) return false;
+    IoResult ready = PollFor(fd, POLLIN, timeout_millis);
+    if (ready != IoResult::kOk) return ready;
+    ssize_t n = ::read(fd, out + done, len - done);
+    if (n <= 0) return IoResult::kClosed;
     done += static_cast<size_t>(n);
   }
-  return true;
+  return IoResult::kOk;
+}
+
+IoResult WriteFull(int fd, const uint8_t* data, size_t len,
+                   int timeout_millis) {
+  size_t done = 0;
+  while (done < len) {
+    IoResult ready = PollFor(fd, POLLOUT, timeout_millis);
+    if (ready != IoResult::kOk) return ready;
+    ssize_t n = ::write(fd, data + done, len - done);
+    if (n <= 0) return IoResult::kClosed;
+    done += static_cast<size_t>(n);
+  }
+  return IoResult::kOk;
 }
 
 void PutU16(util::Bytes& out, uint16_t v) {
@@ -47,6 +74,8 @@ void PutU32(util::Bytes& out, uint32_t v) {
   out.push_back(static_cast<uint8_t>(v));
 }
 
+/// Client-side cap on response frames (the server caps requests via
+/// Options::max_frame_bytes).
 constexpr uint32_t kMaxFrame = 64 * 1024 * 1024;
 
 constexpr short kReadableMask = POLLIN | POLLERR | POLLHUP | POLLNVAL;
@@ -121,7 +150,6 @@ void TcpServer::Shutdown() {
     queue_closed_ = true;
   }
   queue_cv_.notify_all();
-  space_cv_.notify_all();
   WakeIo();
   // Workers drain what is already queued, then exit.
   for (std::thread& w : workers_) {
@@ -143,26 +171,32 @@ void TcpServer::WakeIo() {
 
 bool TcpServer::EnqueueReady(int fd) {
   std::unique_lock<std::mutex> lock(queue_mutex_);
-  space_cv_.wait(lock, [this] {
-    return ready_queue_.size() < options_.queue_capacity || queue_closed_;
-  });
   if (queue_closed_) return false;
-  ready_queue_.push_back(fd);
+  // Overload shedding instead of backpressure: the IO thread never
+  // blocks here. Beyond the dispatch bound the request is still read
+  // off the wire (framing stays in sync) but answered with
+  // ResourceExhausted, costing no backend work.
+  bool shed = dispatchable_queued_ >= options_.queue_capacity;
+  if (shed) {
+    shed_requests_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    ++dispatchable_queued_;
+  }
+  ready_queue_.push_back(Ready{fd, shed});
   lock.unlock();
   queue_cv_.notify_one();
   return true;
 }
 
-int TcpServer::PopReady() {
+TcpServer::Ready TcpServer::PopReady() {
   std::unique_lock<std::mutex> lock(queue_mutex_);
   queue_cv_.wait(lock,
                  [this] { return !ready_queue_.empty() || queue_closed_; });
-  if (ready_queue_.empty()) return -1;
-  int fd = ready_queue_.front();
+  if (ready_queue_.empty()) return Ready{};
+  Ready ready = ready_queue_.front();
   ready_queue_.pop_front();
-  lock.unlock();
-  space_cv_.notify_one();
-  return fd;
+  if (!ready.shed) --dispatchable_queued_;
+  return ready;
 }
 
 void TcpServer::PushCompleted(int fd, bool closed) {
@@ -268,43 +302,51 @@ void TcpServer::IoLoop() {
 
 void TcpServer::WorkerLoop() {
   for (;;) {
-    int fd = PopReady();
-    if (fd < 0) return;
-    bool keep = HandleOneRequest(fd);
+    Ready ready = PopReady();
+    if (ready.fd < 0) return;
+    bool keep = HandleOneRequest(ready.fd, ready.shed);
     if (!keep) {
       {
         std::lock_guard<std::mutex> lock(open_fds_mutex_);
-        open_fds_.erase(fd);
+        open_fds_.erase(ready.fd);
       }
-      ::close(fd);
+      ::close(ready.fd);
     }
-    PushCompleted(fd, /*closed=*/!keep);
+    PushCompleted(ready.fd, /*closed=*/!keep);
   }
 }
 
-bool TcpServer::HandleOneRequest(int fd) {
+bool TcpServer::HandleOneRequest(int fd, bool shed) {
+  const int timeout = options_.io_timeout_millis;
   uint8_t header[2];
-  if (!ReadFull(fd, header, 2)) return false;
+  if (ReadFull(fd, header, 2, timeout) != IoResult::kOk) return false;
   uint16_t endpoint_len =
       static_cast<uint16_t>((header[0] << 8) | header[1]);
   util::Bytes endpoint_bytes(endpoint_len);
-  if (endpoint_len > 0 && !ReadFull(fd, endpoint_bytes.data(), endpoint_len)) {
+  if (endpoint_len > 0 &&
+      ReadFull(fd, endpoint_bytes.data(), endpoint_len, timeout) !=
+          IoResult::kOk) {
     return false;
   }
   uint8_t len_bytes[4];
-  if (!ReadFull(fd, len_bytes, 4)) return false;
+  if (ReadFull(fd, len_bytes, 4, timeout) != IoResult::kOk) return false;
   uint32_t body_len = (static_cast<uint32_t>(len_bytes[0]) << 24) |
                       (static_cast<uint32_t>(len_bytes[1]) << 16) |
                       (static_cast<uint32_t>(len_bytes[2]) << 8) |
                       len_bytes[3];
-  if (body_len > kMaxFrame) return false;
+  if (body_len > options_.max_frame_bytes) return false;
   util::Bytes body(body_len);
-  if (body_len > 0 && !ReadFull(fd, body.data(), body_len)) return false;
+  if (body_len > 0 &&
+      ReadFull(fd, body.data(), body_len, timeout) != IoResult::kOk) {
+    return false;
+  }
 
-  // Dispatch without any server-wide lock: the registered services are
-  // responsible for their own thread safety (see MwsService/PkgService).
   util::Result<util::Bytes> result =
-      backend_->Call(util::StringFromBytes(endpoint_bytes), body);
+      shed ? util::Result<util::Bytes>(util::Status::ResourceExhausted(
+                 "server overloaded: dispatch queue full"))
+           // Dispatch without any server-wide lock: the registered
+           // services are responsible for their own thread safety.
+           : backend_->Call(util::StringFromBytes(endpoint_bytes), body);
 
   util::Bytes response;
   if (result.ok()) {
@@ -313,12 +355,15 @@ bool TcpServer::HandleOneRequest(int fd) {
     response.insert(response.end(), result.value().begin(),
                     result.value().end());
   } else {
-    std::string message = result.status().ToString();
+    // The code crosses the wire too, so the client can classify
+    // retryability (EncodeWireError / DecodeWireError).
+    util::Bytes payload = EncodeWireError(result.status());
     response.push_back(0);
-    PutU32(response, static_cast<uint32_t>(message.size()));
-    response.insert(response.end(), message.begin(), message.end());
+    PutU32(response, static_cast<uint32_t>(payload.size()));
+    response.insert(response.end(), payload.begin(), payload.end());
   }
-  return WriteFull(fd, response.data(), response.size());
+  return WriteFull(fd, response.data(), response.size(), timeout) ==
+         IoResult::kOk;
 }
 
 TcpClientTransport::~TcpClientTransport() { CloseConnection(); }
@@ -333,7 +378,7 @@ void TcpClientTransport::CloseConnection() {
 util::Status TcpClientTransport::EnsureConnected() {
   if (fd_ >= 0) return util::Status::Ok();
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return util::Status::IoError("socket() failed");
+  if (fd < 0) return util::Status::Unavailable("socket() failed");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port_);
@@ -343,17 +388,18 @@ util::Status TcpClientTransport::EnsureConnected() {
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd);
-    return util::Status::IoError("connect() to " + host_ + ":" +
-                                 std::to_string(port_) + " failed");
+    return util::Status::Unavailable("connect() to " + host_ + ":" +
+                                     std::to_string(port_) + " failed");
   }
   fd_ = fd;
   return util::Status::Ok();
 }
 
-util::Result<util::Bytes> TcpClientTransport::Call(
-    const std::string& endpoint, const util::Bytes& request) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  MWS_RETURN_IF_ERROR(EnsureConnected());
+util::Result<util::Bytes> TcpClientTransport::CallOnce(
+    const std::string& endpoint, const util::Bytes& request,
+    bool* safe_to_resend) {
+  *safe_to_resend = false;
+  const int timeout = io_timeout_millis_;
 
   util::Bytes frame;
   frame.reserve(6 + endpoint.size() + request.size());
@@ -361,15 +407,30 @@ util::Result<util::Bytes> TcpClientTransport::Call(
   frame.insert(frame.end(), endpoint.begin(), endpoint.end());
   PutU32(frame, static_cast<uint32_t>(request.size()));
   frame.insert(frame.end(), request.begin(), request.end());
-  if (!WriteFull(fd_, frame.data(), frame.size())) {
+  IoResult wrote = WriteFull(fd_, frame.data(), frame.size(), timeout);
+  if (wrote != IoResult::kOk) {
     CloseConnection();
-    return util::Status::IoError("request write failed");
+    if (wrote == IoResult::kTimeout) {
+      return util::Status::DeadlineExceeded("request write timed out");
+    }
+    *safe_to_resend = true;  // nothing was executed on a dead pipe
+    return util::Status::Unavailable("request write failed");
   }
 
   uint8_t header[5];
-  if (!ReadFull(fd_, header, 5)) {
+  IoResult read = ReadFull(fd_, header, 5, timeout);
+  if (read != IoResult::kOk) {
     CloseConnection();
-    return util::Status::IoError("response read failed");
+    if (read == IoResult::kTimeout) {
+      return util::Status::DeadlineExceeded(
+          "no response within " + std::to_string(timeout) + " ms from " +
+          endpoint);
+    }
+    // EOF before the first response byte: a stale persistent connection
+    // the server closed while idle. Resending on a fresh connection is
+    // safe — the request was never processed on this one.
+    *safe_to_resend = true;
+    return util::Status::Unavailable("response read failed");
   }
   uint32_t len = (static_cast<uint32_t>(header[1]) << 24) |
                  (static_cast<uint32_t>(header[2]) << 16) |
@@ -379,16 +440,39 @@ util::Result<util::Bytes> TcpClientTransport::Call(
     return util::Status::IoError("oversized response frame");
   }
   util::Bytes payload(len);
-  if (len > 0 && !ReadFull(fd_, payload.data(), len)) {
-    CloseConnection();
-    return util::Status::IoError("response body read failed");
+  if (len > 0) {
+    read = ReadFull(fd_, payload.data(), len, timeout);
+    if (read != IoResult::kOk) {
+      // The server did execute the request; only the response is torn.
+      // Not auto-resent here — the caller's retry layer decides.
+      CloseConnection();
+      return read == IoResult::kTimeout
+                 ? util::Status::DeadlineExceeded("response body timed out")
+                 : util::Status::Unavailable("response body read failed");
+    }
   }
   if (header[0] != 1) {
-    // Remote error, relayed with its message.
-    return util::Status::Internal("remote: " +
-                                  util::StringFromBytes(payload));
+    return DecodeWireError(payload);
   }
   return payload;
+}
+
+util::Result<util::Bytes> TcpClientTransport::Call(
+    const std::string& endpoint, const util::Bytes& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (int attempt = 0;; ++attempt) {
+    const bool reused = fd_ >= 0;
+    MWS_RETURN_IF_ERROR(EnsureConnected());
+    bool safe_to_resend = false;
+    util::Result<util::Bytes> result =
+        CallOnce(endpoint, request, &safe_to_resend);
+    if (result.ok() || !safe_to_resend || !reused || attempt > 0) {
+      return result;
+    }
+    // Reconnect-on-drop: the persistent connection died under us before
+    // the request was processed; resend once on a fresh connection.
+    ++reconnects_;
+  }
 }
 
 }  // namespace mws::wire

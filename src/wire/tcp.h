@@ -35,15 +35,29 @@ namespace mws::wire {
 /// worker owns it, so reads and writes on one fd are single-threaded.
 /// Thread count is therefore fixed by Options::worker_threads, not by
 /// the number of connected clients.
+///
+/// Overload response: when `queue_capacity` dispatchable requests are
+/// already waiting, further ready connections are *shed* — a worker
+/// still reads the frame (to keep the stream in sync) but answers with
+/// a ResourceExhausted wire error instead of calling the backend, and
+/// the IO thread never blocks. Mid-frame reads and response writes are
+/// bounded by `io_timeout_millis` so one stalled peer cannot pin a
+/// worker forever.
 class TcpServer {
  public:
   struct Options {
     /// Size of the dispatch pool; at most this many requests execute
     /// concurrently.
     int worker_threads = 4;
-    /// Ready-connection queue bound; the IO thread stops draining the
-    /// poll set when this many requests are waiting (backpressure).
+    /// Dispatchable-request queue bound; ready connections beyond this
+    /// are shed with a ResourceExhausted wire error.
     size_t queue_capacity = 128;
+    /// Per-read/write poll timeout inside one request (half-open frames,
+    /// stalled readers). <= 0 disables the timeout.
+    int io_timeout_millis = 5'000;
+    /// Largest accepted request body; larger frames close the
+    /// connection.
+    uint32_t max_frame_bytes = 64u * 1024 * 1024;
   };
 
   /// Serves the handlers registered on `backend` (which must outlive the
@@ -66,21 +80,36 @@ class TcpServer {
   /// Stops accepting, drains in-flight requests, joins every thread.
   void Shutdown();
 
+  /// Requests answered with ResourceExhausted because the dispatch
+  /// queue was full.
+  uint64_t shed_requests() const {
+    return shed_requests_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// One queue entry: a readable connection, and whether its request
+  /// should be shed instead of dispatched.
+  struct Ready {
+    int fd = -1;
+    bool shed = false;
+  };
+
   TcpServer() = default;
 
   void IoLoop();
   void WorkerLoop();
   /// Handles exactly one request on `fd`; false when the connection is
-  /// done (EOF, malformed frame, or write failure).
-  bool HandleOneRequest(int fd);
+  /// done (EOF, malformed frame, timeout, or write failure). When `shed`
+  /// the frame is consumed but answered with ResourceExhausted.
+  bool HandleOneRequest(int fd, bool shed);
 
-  /// Enqueues a readable connection for the workers; false if the queue
-  /// was closed (server shutting down).
+  /// Enqueues a readable connection for the workers (shedding it if the
+  /// dispatch queue is full); false if the queue was closed (server
+  /// shutting down). Never blocks.
   bool EnqueueReady(int fd);
   /// Blocks until a connection is ready or the queue is closed and
-  /// drained; returns -1 in the latter case.
-  int PopReady();
+  /// drained; returns fd -1 in the latter case.
+  Ready PopReady();
   /// Worker -> IO thread hand-back. `closed` means the worker already
   /// closed the fd.
   void PushCompleted(int fd, bool closed);
@@ -99,12 +128,15 @@ class TcpServer {
   std::thread io_thread_;
   std::vector<std::thread> workers_;
 
-  /// Ready-connection queue (bounded by options_.queue_capacity).
+  /// Ready-connection queue. Dispatchable entries are bounded by
+  /// options_.queue_capacity; shed entries ride along unbounded (they
+  /// are bounded by the connection count and cost no backend work).
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;   // workers wait: ready or closed
-  std::condition_variable space_cv_;   // IO thread waits: room or closed
-  std::deque<int> ready_queue_;
+  std::deque<Ready> ready_queue_;
+  size_t dispatchable_queued_ = 0;
   bool queue_closed_ = false;
+  std::atomic<uint64_t> shed_requests_{0};
 
   /// Connections handed back by workers, drained by the IO thread.
   std::mutex completed_mutex_;
@@ -121,6 +153,15 @@ class TcpServer {
 /// persistent connection on first use; reconnects after errors. Call()
 /// is serialized by an internal mutex; for parallel client load use one
 /// TcpClientTransport per thread (each gets its own connection).
+///
+/// Failure behavior: socket-level failures come back as kUnavailable
+/// (retryable) and stalled reads/writes as kDeadlineExceeded after
+/// `io_timeout_millis` — a stalled server cannot hang the caller.
+/// Server-reported errors round-trip their original StatusCode through
+/// the wire-error encoding. If a *reused* connection turns out dead
+/// before any response byte arrived (the server restarted or dropped
+/// the idle connection), Call reconnects and resends once on its own;
+/// every other retry decision belongs to RetryingTransport.
 class TcpClientTransport : public Transport {
  public:
   TcpClientTransport(std::string host, uint16_t port)
@@ -128,16 +169,32 @@ class TcpClientTransport : public Transport {
 
   ~TcpClientTransport() override;
 
+  /// Per-read/write stall bound. <= 0 waits forever (not recommended).
+  void set_io_timeout_millis(int timeout_millis) {
+    io_timeout_millis_ = timeout_millis;
+  }
+
   util::Result<util::Bytes> Call(const std::string& endpoint,
                                  const util::Bytes& request) override;
+
+  /// Times the transport reconnected a dropped persistent connection.
+  uint64_t reconnects() const { return reconnects_; }
 
  private:
   util::Status EnsureConnected();
   void CloseConnection();
+  /// One framed request/response exchange on the open connection.
+  /// Sets `*safe_to_resend` when the failure happened before any
+  /// response byte arrived on a connection that might be stale.
+  util::Result<util::Bytes> CallOnce(const std::string& endpoint,
+                                     const util::Bytes& request,
+                                     bool* safe_to_resend);
 
   std::string host_;
   uint16_t port_;
   int fd_ = -1;
+  int io_timeout_millis_ = 30'000;
+  uint64_t reconnects_ = 0;
   std::mutex mutex_;
 };
 

@@ -1,16 +1,21 @@
-// Failure-injection tests: a Table decorator that fails on command wraps
-// the typed databases and the MWS service, verifying that storage
-// failures surface as Status errors (never crashes) and that the
-// databases stay consistent after a failed multi-key operation.
+// Failure-injection tests: the shared store::FaultyTable decorator
+// (src/store/faulty_table.h) wraps the typed databases and the MWS
+// service, verifying that storage failures surface as Status errors
+// (never crashes), that the databases stay consistent after a failed
+// multi-key operation, and that the seeded util::FaultInjector drives
+// deterministic fault schedules — including torn writes, the
+// applied-but-acked-as-failed shape that at-least-once dedup absorbs.
 
 #include <gtest/gtest.h>
 
 #include "src/crypto/hmac.h"
 #include "src/mws/mws_service.h"
+#include "src/store/faulty_table.h"
 #include "src/store/kvstore.h"
 #include "src/store/message_db.h"
 #include "src/store/policy_db.h"
 #include "src/util/clock.h"
+#include "src/util/fault.h"
 
 namespace mws::store {
 namespace {
@@ -18,71 +23,31 @@ namespace {
 using util::Bytes;
 using util::BytesFromString;
 
-/// Delegating table that can be armed to fail writes (optionally after a
-/// countdown, to hit the middle of multi-key operations).
-class FaultyTable : public Table {
- public:
-  explicit FaultyTable(Table* base) : base_(base) {}
-
-  void FailWritesAfter(int countdown) {
-    countdown_ = countdown;
-    armed_ = true;
-  }
-  void Heal() { armed_ = false; }
-
-  util::Status Put(const std::string& key, const Bytes& value) override {
-    MWS_RETURN_IF_ERROR(MaybeFail());
-    return base_->Put(key, value);
-  }
-  util::Result<Bytes> Get(const std::string& key) const override {
-    return base_->Get(key);
-  }
-  util::Status Delete(const std::string& key) override {
-    MWS_RETURN_IF_ERROR(MaybeFail());
-    return base_->Delete(key);
-  }
-  bool Contains(const std::string& key) const override {
-    return base_->Contains(key);
-  }
-  std::vector<std::pair<std::string, Bytes>> Scan(
-      const std::string& prefix) const override {
-    return base_->Scan(prefix);
-  }
-  size_t Size() const override { return base_->Size(); }
-  util::Status Flush() override { return base_->Flush(); }
-
- private:
-  util::Status MaybeFail() {
-    if (!armed_) return util::Status::Ok();
-    if (countdown_ > 0) {
-      --countdown_;
-      return util::Status::Ok();
-    }
-    return util::Status::IoError("injected write failure");
-  }
-
-  Table* base_;
-  bool armed_ = false;
-  int countdown_ = 0;
-};
-
-class FaultInjectionTest : public ::testing::Test {
- protected:
-  FaultInjectionTest()
-      : base_(KvStore::Open({.path = ""}).value()), faulty_(base_.get()) {}
-
-  std::unique_ptr<KvStore> base_;
-  FaultyTable faulty_;
-};
-
-TEST_F(FaultInjectionTest, MessageDbAppendPropagatesFailure) {
-  MessageDb db(&faulty_);
+StoredMessage SampleMessage() {
   StoredMessage m;
   m.u = Bytes(10, 1);
   m.ciphertext = Bytes(10, 2);
   m.attribute = "A";
   m.nonce = Bytes(16, 3);
   m.device_id = "SD";
+  return m;
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  FaultInjectionTest()
+      : base_(KvStore::Open({.path = ""}).value()),
+        injector_(/*seed=*/7),
+        faulty_(base_.get(), &injector_) {}
+
+  std::unique_ptr<KvStore> base_;
+  util::FaultInjector injector_;
+  FaultyTable faulty_;
+};
+
+TEST_F(FaultInjectionTest, MessageDbAppendPropagatesFailure) {
+  MessageDb db(&faulty_);
+  StoredMessage m = SampleMessage();
 
   faulty_.FailWritesAfter(0);
   auto result = db.Append(m);
@@ -96,12 +61,7 @@ TEST_F(FaultInjectionTest, MessageDbAppendPropagatesFailure) {
 
 TEST_F(FaultInjectionTest, MessageDbPartialAppendDoesNotCorruptReads) {
   MessageDb db(&faulty_);
-  StoredMessage m;
-  m.u = Bytes(10, 1);
-  m.ciphertext = Bytes(10, 2);
-  m.attribute = "A";
-  m.nonce = Bytes(16, 3);
-  m.device_id = "SD";
+  StoredMessage m = SampleMessage();
   ASSERT_TRUE(db.Append(m).ok());
 
   // Fail on the second write of the three-write append (the index).
@@ -163,6 +123,99 @@ TEST_F(FaultInjectionTest, MwsDepositSurfacesStorageErrors) {
   EXPECT_EQ(result.status().code(), util::StatusCode::kIoError);
   faulty_.Heal();
   EXPECT_TRUE(service.Deposit(request).ok());
+}
+
+// --- Injector-driven faults ---
+
+TEST_F(FaultInjectionTest, NthTriggerFiresExactlyOnce) {
+  injector_.AddRule({.kind = util::FaultKind::kError,
+                     .pattern = "table.put/",
+                     .nth = 2,
+                     .code = util::StatusCode::kUnavailable});
+  EXPECT_TRUE(faulty_.Put("k1", BytesFromString("v")).ok());
+  auto second = faulty_.Put("k2", BytesFromString("v"));
+  EXPECT_TRUE(second.IsUnavailable()) << second.ToString();
+  // kError never applied the write.
+  EXPECT_FALSE(base_->Contains("k2"));
+  // Spent: every later matching call proceeds.
+  EXPECT_TRUE(faulty_.Put("k3", BytesFromString("v")).ok());
+  EXPECT_EQ(injector_.fired(), 1u);
+}
+
+TEST_F(FaultInjectionTest, PatternScopesFaultsToMatchingOperations) {
+  injector_.AddRule({.kind = util::FaultKind::kError,
+                     .pattern = "table.delete/",
+                     .nth = 1});
+  EXPECT_TRUE(faulty_.Put("k", BytesFromString("v")).ok());
+  EXPECT_FALSE(faulty_.Delete("k").ok());  // first delete faulted
+  EXPECT_TRUE(base_->Contains("k"));
+  EXPECT_TRUE(faulty_.Delete("k").ok());
+}
+
+TEST_F(FaultInjectionTest, TornWriteAppliesThenReportsFailure) {
+  injector_.AddRule({.kind = util::FaultKind::kTornWrite,
+                     .pattern = "table.put/",
+                     .nth = 1});
+  auto status = faulty_.Put("torn", BytesFromString("v"));
+  EXPECT_TRUE(status.IsUnavailable()) << status.ToString();
+  // The write went through even though the caller saw a failure — the
+  // lost-ack shape that forces retries to dedupe.
+  EXPECT_TRUE(base_->Contains("torn"));
+  EXPECT_EQ(faulty_.torn_writes(), 1u);
+}
+
+TEST_F(FaultInjectionTest, SameSeedSameFaultSchedule) {
+  auto schedule = [](uint64_t seed) {
+    util::FaultInjector injector(seed);
+    injector.AddRule({.kind = util::FaultKind::kError,
+                      .pattern = "",
+                      .probability = 0.3});
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(injector.Evaluate("op").has_value());
+    }
+    return fired;
+  };
+  EXPECT_EQ(schedule(11), schedule(11));
+  EXPECT_NE(schedule(11), schedule(12));
+}
+
+TEST_F(FaultInjectionTest, TornAppendDedupedResumesReservedId) {
+  MessageDb db(&faulty_);
+  StoredMessage m = SampleMessage();
+
+  // Tear the message-record put (second write: marker first, then the
+  // message record): applied but acked as failed.
+  injector_.AddRule({.kind = util::FaultKind::kTornWrite,
+                     .pattern = "table.put/m/",
+                     .nth = 1});
+  auto first = db.AppendDeduped(m);
+  EXPECT_FALSE(first.ok());
+
+  // The retransmit resumes the reserved id instead of double-storing.
+  auto second = db.AppendDeduped(m);
+  ASSERT_TRUE(second.ok());
+  auto visible = db.FindByAttribute("A");
+  ASSERT_TRUE(visible.ok());
+  EXPECT_EQ(visible->size(), 1u);
+  EXPECT_EQ(visible->at(0).id, second->id);
+}
+
+TEST_F(FaultInjectionTest, CompletedAppendDedupedIsDeduplicated) {
+  MessageDb db(&faulty_);
+  StoredMessage m = SampleMessage();
+  auto first = db.AppendDeduped(m);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->deduplicated);
+
+  // Retransmit of a fully stored deposit: same id, flagged, not stored
+  // twice.
+  auto second = db.AppendDeduped(m);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->deduplicated);
+  EXPECT_EQ(second->id, first->id);
+  EXPECT_EQ(db.Count(), 1u);
+  EXPECT_EQ(db.dedup_hits(), 1u);
 }
 
 }  // namespace

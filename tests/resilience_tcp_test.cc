@@ -1,0 +1,263 @@
+// Server-robustness tests over real sockets: a stalled server returns
+// DeadlineExceeded within the client's IO timeout instead of hanging,
+// a full dispatch queue sheds with ResourceExhausted, dropped
+// persistent connections reconnect transparently, oversized frames are
+// rejected, and every StatusCode survives the wire-error round trip.
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/wire/messages.h"
+#include "src/wire/tcp.h"
+
+namespace mws::wire {
+namespace {
+
+using util::Bytes;
+using util::BytesFromString;
+
+int64_t NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A TCP endpoint that listens but never accepts: connect() succeeds
+/// (kernel backlog), the request drains into socket buffers, and no
+/// response byte ever arrives — the shape of a wedged server process.
+class StalledListener {
+ public:
+  StalledListener() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    ::listen(fd_, 8);
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+  }
+  ~StalledListener() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+TEST(ResilienceTcpTest, StalledServerReturnsDeadlineExceededWithinTimeout) {
+  StalledListener stalled;
+  TcpClientTransport client("127.0.0.1", stalled.port());
+  client.set_io_timeout_millis(200);
+
+  const int64_t start = NowMillis();
+  auto response = client.Call("mws.deposit", BytesFromString("req"));
+  const int64_t elapsed = NowMillis() - start;
+
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsDeadlineExceeded())
+      << response.status().ToString();
+  // Bounded by the IO timeout (plus slack), not hung forever.
+  EXPECT_LT(elapsed, 2'000);
+}
+
+TEST(ResilienceTcpTest, SlowHandlerBoundedByClientTimeout) {
+  InProcessTransport backend;
+  backend.Register("slow", [](const Bytes& b) -> util::Result<Bytes> {
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    return b;
+  });
+  auto server = TcpServer::Start(&backend, 0).value();
+  TcpClientTransport client("127.0.0.1", server->port());
+  client.set_io_timeout_millis(100);
+
+  auto response = client.Call("slow", BytesFromString("req"));
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsDeadlineExceeded())
+      << response.status().ToString();
+  EXPECT_TRUE(response.status().IsRetryable() ==
+              util::IsRetryableCode(response.status().code()));
+
+  // The transport recovers on the next call once the server is fast.
+  backend.Register("fast", [](const Bytes& b) -> util::Result<Bytes> {
+    return b;
+  });
+  client.set_io_timeout_millis(5'000);
+  EXPECT_TRUE(client.Call("fast", BytesFromString("again")).ok());
+}
+
+TEST(ResilienceTcpTest, FullDispatchQueueShedsWithResourceExhausted) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  int entered = 0;
+  bool release = false;
+
+  InProcessTransport backend;
+  backend.Register("block", [&](const Bytes& b) -> util::Result<Bytes> {
+    std::unique_lock<std::mutex> lock(mutex);
+    ++entered;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+    return b;
+  });
+
+  TcpServer::Options options;
+  options.worker_threads = 1;
+  options.queue_capacity = 1;
+  auto server = TcpServer::Start(&backend, 0, options).value();
+
+  // First request occupies the single worker inside the handler.
+  std::thread first([&] {
+    TcpClientTransport client("127.0.0.1", server->port());
+    EXPECT_TRUE(client.Call("block", BytesFromString("a")).ok());
+  });
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return entered == 1; });
+  }
+
+  // Two more arrive while the worker is pinned: one fits the queue, the
+  // other must be shed with ResourceExhausted (and no backend call).
+  std::atomic<int> ok{0}, shed{0}, other{0};
+  std::vector<std::thread> rest;
+  for (int i = 0; i < 2; ++i) {
+    rest.emplace_back([&] {
+      TcpClientTransport client("127.0.0.1", server->port());
+      auto response = client.Call("block", BytesFromString("b"));
+      if (response.ok()) {
+        ++ok;
+      } else if (response.status().IsResourceExhausted()) {
+        ++shed;
+      } else {
+        ++other;
+      }
+    });
+  }
+  // Let both requests reach the IO thread before releasing the worker.
+  while (server->shed_requests() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  first.join();
+  for (auto& t : rest) t.join();
+
+  // At least the overflowing request was shed (late EOF events from
+  // disconnecting clients may also hit a momentarily full queue).
+  EXPECT_GE(server->shed_requests(), 1u);
+  EXPECT_EQ(ok.load(), 1);
+  EXPECT_EQ(shed.load(), 1);
+  EXPECT_EQ(other.load(), 0);
+  // The shed code is retryable: a backing-off client may try again.
+  EXPECT_TRUE(util::IsRetryableCode(util::StatusCode::kResourceExhausted));
+}
+
+TEST(ResilienceTcpTest, ReconnectsAfterServerRestart) {
+  InProcessTransport backend;
+  backend.Register("echo", [](const Bytes& b) -> util::Result<Bytes> {
+    return b;
+  });
+  auto server = TcpServer::Start(&backend, 0).value();
+  const uint16_t port = server->port();
+
+  TcpClientTransport client("127.0.0.1", port);
+  ASSERT_TRUE(client.Call("echo", BytesFromString("one")).ok());
+  EXPECT_EQ(client.reconnects(), 0u);
+
+  // Restart the server on the same port: the client's persistent
+  // connection is dead, so the next call must reconnect and resend.
+  server->Shutdown();
+  server.reset();
+  server = TcpServer::Start(&backend, port).value();
+
+  auto response = client.Call("echo", BytesFromString("two"));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response.value(), BytesFromString("two"));
+  EXPECT_EQ(client.reconnects(), 1u);
+}
+
+TEST(ResilienceTcpTest, OversizedFrameIsRejected) {
+  InProcessTransport backend;
+  backend.Register("echo", [](const Bytes& b) -> util::Result<Bytes> {
+    return b;
+  });
+  TcpServer::Options options;
+  options.max_frame_bytes = 1024;
+  auto server = TcpServer::Start(&backend, 0, options).value();
+
+  TcpClientTransport client("127.0.0.1", server->port());
+  EXPECT_FALSE(client.Call("echo", Bytes(4096, 0xab)).ok());
+  // Small frames still work on a fresh connection.
+  EXPECT_TRUE(client.Call("echo", Bytes(64, 0xcd)).ok());
+}
+
+// --- Wire-error encoding (satellite: status codes over the wire) ---
+
+TEST(WireErrorTest, EveryStatusCodeRoundTrips) {
+  using util::StatusCode;
+  for (StatusCode code :
+       {StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kPermissionDenied,
+        StatusCode::kUnauthenticated, StatusCode::kFailedPrecondition,
+        StatusCode::kOutOfRange, StatusCode::kCorruption,
+        StatusCode::kIoError, StatusCode::kInternal,
+        StatusCode::kUnimplemented, StatusCode::kDeadlineExceeded,
+        StatusCode::kUnavailable, StatusCode::kResourceExhausted}) {
+    util::Status original(code, "the reason");
+    util::Status decoded = DecodeWireError(EncodeWireError(original));
+    EXPECT_EQ(decoded.code(), code) << util::StatusCodeToString(code);
+    EXPECT_EQ(decoded.message(), "the reason");
+    EXPECT_EQ(StatusCodeFromWireCode(WireCodeFromStatus(code)), code);
+  }
+}
+
+TEST(WireErrorTest, WireNumberingIsStable) {
+  // Persistent contract (docs/PROTOCOL.md): codes 0..14 in declaration
+  // order. Renumbering breaks mixed-version deployments.
+  EXPECT_EQ(WireCodeFromStatus(util::StatusCode::kOk), 0);
+  EXPECT_EQ(WireCodeFromStatus(util::StatusCode::kInvalidArgument), 1);
+  EXPECT_EQ(WireCodeFromStatus(util::StatusCode::kIoError), 9);
+  EXPECT_EQ(WireCodeFromStatus(util::StatusCode::kDeadlineExceeded), 12);
+  EXPECT_EQ(WireCodeFromStatus(util::StatusCode::kUnavailable), 13);
+  EXPECT_EQ(WireCodeFromStatus(util::StatusCode::kResourceExhausted), 14);
+}
+
+TEST(WireErrorTest, LegacyPlainTextPayloadStillDecodes) {
+  util::Status decoded = DecodeWireError(BytesFromString("old-style error"));
+  EXPECT_EQ(decoded.code(), util::StatusCode::kInternal);
+  EXPECT_NE(decoded.message().find("old-style error"), std::string::npos);
+}
+
+TEST(WireErrorTest, ServerErrorCodeSurvivesTheSocket) {
+  InProcessTransport backend;
+  backend.Register("fail", [](const Bytes&) -> util::Result<Bytes> {
+    return util::Status::ResourceExhausted("try later");
+  });
+  auto server = TcpServer::Start(&backend, 0).value();
+  TcpClientTransport client("127.0.0.1", server->port());
+  auto response = client.Call("fail", {});
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsResourceExhausted())
+      << response.status().ToString();
+  EXPECT_NE(response.status().message().find("try later"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mws::wire

@@ -1,0 +1,270 @@
+// RetryingTransport unit tests (deterministic, instant: sleeps advance a
+// SimulatedClock through the injected sleep hook) and the end-to-end
+// at-least-once test: a dropped deposit response forces a retransmit,
+// which the MWS dedupes by (ID_SD, nonce) so the message is stored
+// exactly once.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/sim/scenario.h"
+#include "src/store/message_db.h"
+#include "src/util/clock.h"
+#include "src/util/fault.h"
+#include "src/wire/retry.h"
+
+namespace mws::wire {
+namespace {
+
+using util::Bytes;
+using util::BytesFromString;
+
+/// Scripted transport: pops one outcome per call; an empty script means
+/// success echoing the request.
+class ScriptedTransport : public Transport {
+ public:
+  void FailNext(const util::Status& status, int times = 1) {
+    for (int i = 0; i < times; ++i) script_.push_back(status);
+  }
+
+  util::Result<Bytes> Call(const std::string& endpoint,
+                           const Bytes& request) override {
+    ++calls_;
+    last_endpoint_ = endpoint;
+    if (!script_.empty()) {
+      util::Status status = script_.front();
+      script_.pop_front();
+      if (!status.ok()) return status;
+    }
+    return request;
+  }
+
+  int calls() const { return calls_; }
+  const std::string& last_endpoint() const { return last_endpoint_; }
+
+ private:
+  std::deque<util::Status> script_;
+  int calls_ = 0;
+  std::string last_endpoint_;
+};
+
+class RetryTest : public ::testing::Test {
+ protected:
+  RetryTest() : clock_(/*start_micros=*/1'000'000) {}
+
+  /// Builds the RetryingTransport under test; its sleeps advance the
+  /// simulated clock and are recorded for schedule assertions.
+  RetryingTransport& MakeTransport(RetryOptions options) {
+    transport_ = std::make_unique<RetryingTransport>(&scripted_, &clock_,
+                                                     options);
+    transport_->set_sleep_fn([this](int64_t micros) {
+      sleeps_.push_back(micros);
+      clock_.AdvanceMicros(micros);
+    });
+    return *transport_;
+  }
+
+  util::SimulatedClock clock_;
+  ScriptedTransport scripted_;
+  std::unique_ptr<RetryingTransport> transport_;
+  std::vector<int64_t> sleeps_;
+};
+
+TEST_F(RetryTest, SuccessNeedsNoRetry) {
+  RetryingTransport& transport = MakeTransport({});
+  auto result = transport.Call("ep", BytesFromString("req"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), BytesFromString("req"));
+  EXPECT_EQ(scripted_.calls(), 1);
+  EXPECT_EQ(transport.stats().retries.load(), 0u);
+  EXPECT_TRUE(sleeps_.empty());
+}
+
+TEST_F(RetryTest, RetryableFailuresAreRetriedWithBackoff) {
+  RetryOptions options;
+  options.initial_backoff_micros = 10'000;
+  options.max_backoff_micros = 500'000;
+  RetryingTransport& transport = MakeTransport(options);
+  scripted_.FailNext(util::Status::Unavailable("flaky"), 2);
+
+  auto result = transport.Call("ep", BytesFromString("req"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(scripted_.calls(), 3);
+  EXPECT_EQ(transport.stats().retries.load(), 2u);
+  EXPECT_EQ(transport.stats().attempts.load(), 3u);
+  ASSERT_EQ(sleeps_.size(), 2u);
+  for (int64_t sleep : sleeps_) {
+    EXPECT_GE(sleep, options.initial_backoff_micros);
+    EXPECT_LE(sleep, options.max_backoff_micros);
+  }
+}
+
+TEST_F(RetryTest, EachRetryableCodeIsRetried) {
+  for (util::Status status :
+       {util::Status::Unavailable("u"), util::Status::ResourceExhausted("r"),
+        util::Status::IoError("i")}) {
+    ScriptedTransport scripted;
+    scripted.FailNext(status);
+    RetryingTransport transport(&scripted, &clock_);
+    transport.set_sleep_fn(
+        [this](int64_t micros) { clock_.AdvanceMicros(micros); });
+    EXPECT_TRUE(transport.Call("ep", BytesFromString("q")).ok())
+        << status.ToString();
+    EXPECT_EQ(scripted.calls(), 2) << status.ToString();
+  }
+}
+
+TEST_F(RetryTest, NonRetryableFailureReturnsImmediately) {
+  for (util::Status status : {util::Status::InvalidArgument("bad"),
+                              util::Status::NotFound("missing"),
+                              util::Status::PermissionDenied("no"),
+                              util::Status::DeadlineExceeded("late")}) {
+    ScriptedTransport scripted;
+    scripted.FailNext(status);
+    RetryingTransport transport(&scripted, &clock_);
+    auto result = transport.Call("ep", BytesFromString("q"));
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), status.code());
+    EXPECT_EQ(scripted.calls(), 1) << status.ToString();
+  }
+}
+
+TEST_F(RetryTest, ExhaustedAttemptsReturnLastError) {
+  RetryOptions options;
+  options.max_attempts = 3;
+  RetryingTransport& transport = MakeTransport(options);
+  scripted_.FailNext(util::Status::Unavailable("down"), 10);
+
+  auto result = transport.Call("ep", BytesFromString("req"));
+  EXPECT_TRUE(result.status().IsUnavailable());
+  EXPECT_EQ(scripted_.calls(), 3);
+  EXPECT_EQ(sleeps_.size(), 2u);  // no sleep after the final attempt
+}
+
+TEST_F(RetryTest, DeadlineBoundsTheWholeCall) {
+  RetryOptions options;
+  options.max_attempts = 1'000;
+  options.call_deadline_micros = 400'000;
+  options.initial_backoff_micros = 50'000;
+  RetryingTransport& transport = MakeTransport(options);
+  scripted_.FailNext(util::Status::Unavailable("down"), 1'000);
+
+  const int64_t start = clock_.NowMicros();
+  auto result = transport.Call("ep", BytesFromString("req"));
+  EXPECT_TRUE(result.status().IsDeadlineExceeded()) << result.status()
+                                                           .ToString();
+  // The call gave up within its budget (sleeps are clamped to the
+  // remaining deadline) instead of hanging.
+  EXPECT_LE(clock_.NowMicros() - start, options.call_deadline_micros);
+  EXPECT_EQ(transport.stats().deadline_exceeded.load(), 1u);
+  EXPECT_LT(scripted_.calls(), 1'000);
+}
+
+TEST_F(RetryTest, RetryBudgetStopsHammeringAPersistentlyDownServer) {
+  RetryOptions options;
+  options.max_attempts = 10;
+  options.retry_budget = 3.0;
+  options.budget_refund = 0.0;
+  RetryingTransport& transport = MakeTransport(options);
+  scripted_.FailNext(util::Status::Unavailable("down"), 1'000);
+
+  // First call: burns the 3 retry tokens, then returns the error.
+  EXPECT_FALSE(transport.Call("ep", BytesFromString("req")).ok());
+  EXPECT_EQ(scripted_.calls(), 4);  // 1 attempt + 3 budgeted retries
+
+  // Budget dry: the next failure is returned after a single attempt.
+  EXPECT_FALSE(transport.Call("ep", BytesFromString("req")).ok());
+  EXPECT_EQ(scripted_.calls(), 5);
+  EXPECT_GE(transport.stats().budget_exhausted.load(), 1u);
+}
+
+TEST_F(RetryTest, SuccessRefundsBudget) {
+  RetryOptions options;
+  options.retry_budget = 5.0;
+  options.budget_refund = 0.5;
+  RetryingTransport& transport = MakeTransport(options);
+  scripted_.FailNext(util::Status::Unavailable("flaky"), 1);
+  ASSERT_TRUE(transport.Call("ep", BytesFromString("req")).ok());
+  // Spent 1.0 on the retry, refunded 0.5 on the success.
+  EXPECT_DOUBLE_EQ(transport.budget(), 4.5);
+}
+
+TEST_F(RetryTest, BackoffScheduleIsDeterministicPerSeed) {
+  auto schedule = [this](uint64_t seed) {
+    ScriptedTransport scripted;
+    scripted.FailNext(util::Status::Unavailable("flaky"), 5);
+    RetryOptions options;
+    options.max_attempts = 6;
+    options.seed = seed;
+    std::vector<int64_t> sleeps;
+    RetryingTransport transport(&scripted, &clock_, options);
+    transport.set_sleep_fn([this, &sleeps](int64_t micros) {
+      sleeps.push_back(micros);
+      clock_.AdvanceMicros(micros);
+    });
+    EXPECT_TRUE(transport.Call("ep", BytesFromString("q")).ok());
+    return sleeps;
+  };
+  EXPECT_EQ(schedule(21), schedule(21));
+  EXPECT_NE(schedule(21), schedule(22));
+}
+
+// --- End-to-end at-least-once safety ---
+
+class ResilientScenarioTest : public ::testing::Test {};
+
+TEST_F(ResilientScenarioTest, DroppedDepositResponseIsDedupedOnRetry) {
+  sim::UtilityScenario::Options options;
+  options.resilience.enable = true;
+  auto s = sim::UtilityScenario::Create(options).value();
+
+  // Drop exactly one deposit response: the handler runs (message stored,
+  // ack lost), the client retries, the MWS must dedupe the retransmit.
+  s->fault_injector()->AddRule({.kind = util::FaultKind::kConnectionDrop,
+                                .pattern = "transport.call/mws.deposit",
+                                .nth = 1});
+
+  auto deposited = s->DepositReadings(/*per_device=*/2);
+  ASSERT_TRUE(deposited.ok()) << deposited.status().ToString();
+  EXPECT_EQ(deposited.value(), 6u);  // 3 devices x 2 readings
+
+  const auto& db = s->mws().message_db();
+  EXPECT_EQ(db.Count(), 6u);  // retransmit did not double-store
+  EXPECT_EQ(db.dedup_hits(), 1u);
+  EXPECT_EQ(s->faulty_transport()->responses_lost(), 1u);
+  EXPECT_EQ(s->retrying_transport()->stats().retries.load(), 1u);
+
+  // The stored copy is still end-to-end decryptable by an entitled RC.
+  auto messages = s->RetrieveFor(sim::UtilityScenario::kCServices);
+  ASSERT_TRUE(messages.ok()) << messages.status().ToString();
+  EXPECT_EQ(messages->size(), 6u);
+}
+
+TEST_F(ResilientScenarioTest, TornStoreWriteIsResumedNotDoubled) {
+  sim::UtilityScenario::Options options;
+  options.resilience.enable = true;
+  auto s = sim::UtilityScenario::Create(options).value();
+
+  // Tear the first message-record put: applied but acked as failed, so
+  // the deposit errors server-side and the client retransmits.
+  s->fault_injector()->AddRule({.kind = util::FaultKind::kTornWrite,
+                                .pattern = "table.put/m/",
+                                .nth = 1});
+
+  auto deposited = s->DepositReadings(/*per_device=*/1);
+  ASSERT_TRUE(deposited.ok()) << deposited.status().ToString();
+  const auto& db = s->mws().message_db();
+  EXPECT_EQ(db.Count(), 3u);
+  EXPECT_EQ(s->faulty_table()->torn_writes(), 1u);
+  EXPECT_GE(s->retrying_transport()->stats().retries.load(), 1u);
+
+  auto messages = s->RetrieveFor(sim::UtilityScenario::kCServices);
+  ASSERT_TRUE(messages.ok()) << messages.status().ToString();
+  EXPECT_EQ(messages->size(), 3u);
+}
+
+}  // namespace
+}  // namespace mws::wire
