@@ -8,11 +8,12 @@
 // the client and (ID_SD, nonce) dedup in the MWS, *every acked deposit
 // is stored exactly once* — zero lost, zero duplicated — at any fault
 // rate the retry policy can absorb. Reports goodput, retry counts,
-// dedup hits and per-deposit latency percentiles; `--json=PATH` records
-// the sweep (BENCH_e15.json), `--smoke` shortens it for ctest.
+// dedup hits and per-deposit latency percentiles (from an
+// obs::Histogram, so the same bucketed numbers the STATS endpoint would
+// report); `--json=PATH` records the sweep (BENCH_e15.json), `--smoke`
+// shortens it for ctest.
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -20,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/sim/scenario.h"
 #include "src/store/message_db.h"
 
@@ -41,6 +43,7 @@ struct SweepPoint {
   uint64_t requests_lost = 0;
   uint64_t responses_lost = 0;
   double p50_us = 0.0;
+  double p95_us = 0.0;
   double p99_us = 0.0;
   double sim_backoff_ms = 0.0;
 
@@ -48,12 +51,6 @@ struct SweepPoint {
     return attempted > 0 ? static_cast<double>(acked) / attempted : 0.0;
   }
 };
-
-double Percentile(std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
-  return sorted[idx];
-}
 
 /// One sweep point: `messages` deposits from the Baytower fleet with
 /// both fault domains armed at `rate`, then a full audit of the
@@ -75,8 +72,10 @@ SweepPoint RunPoint(double rate, size_t messages) {
   SweepPoint point;
   point.fault_rate = rate;
 
-  std::vector<double> wall_us;
-  wall_us.reserve(messages);
+  // Per-deposit wall time goes through the same histogram type the
+  // services publish, so the reported percentiles are the bucketed
+  // figures an operator would read off the STATS endpoint.
+  mws::obs::Histogram wall_hist;
   std::vector<uint64_t> acked_ids;
   acked_ids.reserve(messages);
   int64_t backoff_micros = 0;
@@ -98,12 +97,11 @@ SweepPoint RunPoint(double rate, size_t messages) {
     // Backoff sleeps advance the simulated clock; the delta isolates
     // time spent waiting out faults from the 1 s inter-reading cadence.
     int64_t sim_before = s->clock().NowMicros();
-    auto wall_before = std::chrono::steady_clock::now();
-    auto id = device.DepositMessage(UtilityScenario::AttributeFor(klass),
-                                    s->workload().Pad(reading.ToPayload()));
-    wall_us.push_back(std::chrono::duration<double, std::micro>(
-                          std::chrono::steady_clock::now() - wall_before)
-                          .count());
+    mws::util::Result<uint64_t> id = [&] {
+      mws::obs::ScopedTimer timer(&wall_hist);
+      return device.DepositMessage(UtilityScenario::AttributeFor(klass),
+                                   s->workload().Pad(reading.ToPayload()));
+    }();
     backoff_micros += s->clock().NowMicros() - sim_before;
     if (id.ok()) {
       ++point.acked;
@@ -136,17 +134,24 @@ SweepPoint RunPoint(double rate, size_t messages) {
     }
   }
 
-  const mws::wire::RetryStats& retry = s->retrying_transport()->stats();
-  point.attempts = retry.attempts.load();
-  point.retries = retry.retries.load();
-  point.dedup_hits = db.dedup_hits();
+  // Counters come off the scenario's registry snapshot — the same path
+  // the STATS wire endpoint serves — not the components' private stats.
+  const mws::obs::RegistrySnapshot snap = s->metrics()->Snapshot();
+  auto counter_or_zero = [&snap](const char* full_name) -> uint64_t {
+    const uint64_t* v = snap.counter(full_name);
+    return v != nullptr ? *v : 0;
+  };
+  point.attempts = counter_or_zero("retry.attempts");
+  point.retries = counter_or_zero("retry.retries");
+  point.dedup_hits = counter_or_zero("md.dedup_hits");
   point.torn_store_writes = s->faulty_table()->torn_writes();
   point.requests_lost = s->faulty_transport()->requests_lost();
   point.responses_lost = s->faulty_transport()->responses_lost();
 
-  std::sort(wall_us.begin(), wall_us.end());
-  point.p50_us = Percentile(wall_us, 0.50);
-  point.p99_us = Percentile(wall_us, 0.99);
+  const mws::obs::HistogramSnapshot wall = wall_hist.Snapshot();
+  point.p50_us = wall.Percentile(0.50);
+  point.p95_us = wall.Percentile(0.95);
+  point.p99_us = wall.Percentile(0.99);
   point.sim_backoff_ms = static_cast<double>(backoff_micros) / 1000.0;
   return point;
 }
@@ -158,21 +163,21 @@ int RunSweep(bool smoke, const std::string& json_path) {
 
   std::printf("%zu deposits per point, both fault domains armed\n\n",
               messages);
-  std::printf("%7s %8s %8s %7s %5s %5s %8s %6s %10s %10s %12s\n",
+  std::printf("%7s %8s %8s %7s %5s %5s %8s %6s %10s %10s %10s %12s\n",
               "fault%", "acked", "goodput", "retries", "lost", "dup",
-              "dedup", "torn", "p50_us", "p99_us", "backoff_ms");
+              "dedup", "torn", "p50_us", "p95_us", "p99_us", "backoff_ms");
 
   std::vector<SweepPoint> points;
   bool violated = false;
   for (double rate : rates) {
     SweepPoint p = RunPoint(rate, messages);
     std::printf("%7.1f %8zu %7.1f%% %7llu %5zu %5zu %8llu %6llu %10.1f "
-                "%10.1f %12.1f\n",
+                "%10.1f %10.1f %12.1f\n",
                 100.0 * p.fault_rate, p.acked, 100.0 * p.Goodput(),
                 static_cast<unsigned long long>(p.retries), p.lost,
                 p.duplicated, static_cast<unsigned long long>(p.dedup_hits),
                 static_cast<unsigned long long>(p.torn_store_writes),
-                p.p50_us, p.p99_us, p.sim_backoff_ms);
+                p.p50_us, p.p95_us, p.p99_us, p.sim_backoff_ms);
     if (p.lost > 0 || p.duplicated > 0) violated = true;
     points.push_back(p);
   }
@@ -193,7 +198,8 @@ int RunSweep(bool smoke, const std::string& json_path) {
         "\"duplicated\": %zu, \"attempts\": %llu, \"retries\": %llu, "
         "\"dedup_hits\": %llu, \"torn_store_writes\": %llu, "
         "\"requests_lost\": %llu, \"responses_lost\": %llu, "
-        "\"p50_us\": %.1f, \"p99_us\": %.1f, \"sim_backoff_ms\": %.1f}%s\n",
+        "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
+        "\"sim_backoff_ms\": %.1f}%s\n",
         p.fault_rate, p.attempted, p.acked, p.Goodput(), p.stored, p.lost,
         p.duplicated, static_cast<unsigned long long>(p.attempts),
         static_cast<unsigned long long>(p.retries),
@@ -201,7 +207,8 @@ int RunSweep(bool smoke, const std::string& json_path) {
         static_cast<unsigned long long>(p.torn_store_writes),
         static_cast<unsigned long long>(p.requests_lost),
         static_cast<unsigned long long>(p.responses_lost), p.p50_us,
-        p.p99_us, p.sim_backoff_ms, i + 1 < points.size() ? "," : "");
+        p.p95_us, p.p99_us, p.sim_backoff_ms,
+        i + 1 < points.size() ? "," : "");
     out += buf;
   }
   out += "  ]\n}\n";

@@ -27,6 +27,7 @@
 #include "src/crypto/rsa.h"
 #include "src/math/params.h"
 #include "src/mws/mws_service.h"
+#include "src/obs/metrics.h"
 #include "src/pkg/pkg_service.h"
 #include "src/sim/scenario.h"
 #include "src/store/kvstore.h"
@@ -185,6 +186,12 @@ struct ThroughputPoint {
   uint64_t messages_decrypted = 0;
   uint64_t errors = 0;
   double seconds = 0.0;
+  // Server-side per-op latency, read from the warehouse's obs registry
+  // (`mws.latency_us{op=...}`) after the run.
+  double deposit_p50_us = 0.0;
+  double deposit_p95_us = 0.0;
+  double deposit_p99_us = 0.0;
+  double retrieve_p95_us = 0.0;
 
   double TotalOpsPerSec() const {
     return seconds > 0
@@ -203,12 +210,18 @@ ThroughputPoint RunThroughputPoint(int n_threads, double duration_s) {
 
   mws::util::SimulatedClock clock(1'000'000'000);
   mws::util::DeterministicRandom setup_rng(42);
-  auto storage = mws::store::KvStore::Open({.path = ""}).value();
+  mws::obs::Registry registry;
+  auto storage =
+      mws::store::KvStore::Open({.path = "", .metrics = &registry}).value();
   Bytes service_key(32, 0x3c);
+  mws::mws::MwsOptions mws_options;
+  mws_options.metrics = &registry;
   mws::mws::MwsService warehouse(storage.get(), service_key, &clock,
-                                 &setup_rng);
+                                 &setup_rng, mws_options);
+  mws::pkg::PkgOptions pkg_options;
+  pkg_options.metrics = &registry;
   mws::pkg::PkgService pkg(mws::math::GetParams(mws::math::ParamPreset::kSmall),
-                           service_key, &clock, &setup_rng);
+                           service_key, &clock, &setup_rng, pkg_options);
 
   // Deployment-shaped load: the WAN model's latency is realized as real
   // wall time inside the dispatch worker. One client thread is then
@@ -223,6 +236,7 @@ ThroughputPoint RunThroughputPoint(int n_threads, double duration_s) {
   pkg.RegisterEndpoints(&pkg_backend);
   wire::TcpServer::Options server_options;
   server_options.worker_threads = n_threads;
+  server_options.metrics = &registry;
   auto mws_server = wire::TcpServer::Start(&mws_backend, 0, server_options)
                         .value();
   auto pkg_server = wire::TcpServer::Start(&pkg_backend, 0, server_options)
@@ -322,6 +336,15 @@ ThroughputPoint RunThroughputPoint(int n_threads, double duration_s) {
   point.messages_decrypted = decrypted.load();
   point.errors = errors.load();
   point.seconds = elapsed;
+  const mws::obs::RegistrySnapshot snap = registry.Snapshot();
+  if (const auto* h = snap.histogram("mws.latency_us{op=deposit}")) {
+    point.deposit_p50_us = h->Percentile(0.50);
+    point.deposit_p95_us = h->Percentile(0.95);
+    point.deposit_p99_us = h->Percentile(0.99);
+  }
+  if (const auto* h = snap.histogram("mws.latency_us{op=retrieve}")) {
+    point.retrieve_p95_us = h->Percentile(0.95);
+  }
   return point;
 }
 
@@ -334,8 +357,9 @@ int RunThreadedSweep(int max_threads, bool smoke,
 
   std::printf("TCP deployment, %d-worker dispatch pool, %.2fs per point\n\n",
               max_threads, duration_s);
-  std::printf("%8s %10s %10s %12s %10s %8s\n", "threads", "deposits",
-              "retrieves", "total_ops/s", "msgs_dec", "speedup");
+  std::printf("%8s %10s %10s %12s %10s %8s %10s %10s\n", "threads",
+              "deposits", "retrieves", "total_ops/s", "msgs_dec", "speedup",
+              "dep_p95us", "ret_p95us");
 
   std::vector<ThroughputPoint> points;
   for (int t : counts) points.push_back(RunThroughputPoint(t, duration_s));
@@ -343,12 +367,13 @@ int RunThreadedSweep(int max_threads, bool smoke,
 
   uint64_t total_errors = 0;
   for (const ThroughputPoint& p : points) {
-    std::printf("%8d %10llu %10llu %12.1f %10llu %7.2fx\n", p.threads,
-                static_cast<unsigned long long>(p.deposits),
+    std::printf("%8d %10llu %10llu %12.1f %10llu %7.2fx %10.1f %10.1f\n",
+                p.threads, static_cast<unsigned long long>(p.deposits),
                 static_cast<unsigned long long>(p.retrieves),
                 p.TotalOpsPerSec(),
                 static_cast<unsigned long long>(p.messages_decrypted),
-                base > 0 ? p.TotalOpsPerSec() / base : 0.0);
+                base > 0 ? p.TotalOpsPerSec() / base : 0.0, p.deposit_p95_us,
+                p.retrieve_p95_us);
     total_errors += p.errors;
   }
   if (total_errors > 0) {
@@ -362,17 +387,20 @@ int RunThreadedSweep(int max_threads, bool smoke,
   out += "  \"network\": \"wan_realized\",\n";
   out += "  \"duration_s\": " + std::to_string(duration_s) + ",\n";
   out += "  \"results\": [\n";
-  char buf[256];
+  char buf[512];
   for (size_t i = 0; i < points.size(); ++i) {
     const ThroughputPoint& p = points[i];
     std::snprintf(
         buf, sizeof(buf),
         "    {\"threads\": %d, \"deposits\": %llu, \"retrieves\": %llu, "
-        "\"total_ops_per_sec\": %.1f, \"speedup\": %.2f, \"errors\": %llu}%s\n",
+        "\"total_ops_per_sec\": %.1f, \"speedup\": %.2f, \"errors\": %llu, "
+        "\"deposit_p50_us\": %.1f, \"deposit_p95_us\": %.1f, "
+        "\"deposit_p99_us\": %.1f, \"retrieve_p95_us\": %.1f}%s\n",
         p.threads, static_cast<unsigned long long>(p.deposits),
         static_cast<unsigned long long>(p.retrieves), p.TotalOpsPerSec(),
         base > 0 ? p.TotalOpsPerSec() / base : 0.0,
-        static_cast<unsigned long long>(p.errors),
+        static_cast<unsigned long long>(p.errors), p.deposit_p50_us,
+        p.deposit_p95_us, p.deposit_p99_us, p.retrieve_p95_us,
         i + 1 < points.size() ? "," : "");
     out += buf;
   }

@@ -10,6 +10,17 @@ namespace mws::mws {
 
 util::Result<wire::RcAuthResponse> Gatekeeper::Authenticate(
     const wire::RcAuthRequest& request) {
+  util::Result<wire::RcAuthResponse> result = AuthenticateImpl(request);
+  if (result.ok()) {
+    if (auth_ok_counter_ != nullptr) auth_ok_counter_->Increment();
+  } else {
+    if (auth_fail_counter_ != nullptr) auth_fail_counter_->Increment();
+  }
+  return result;
+}
+
+util::Result<wire::RcAuthResponse> Gatekeeper::AuthenticateImpl(
+    const wire::RcAuthRequest& request) {
   auto user = users_->Get(request.rc_identity);
   if (!user.ok()) {
     return util::Status::Unauthenticated("unknown receiving client: " +
@@ -62,6 +73,9 @@ util::Result<wire::RcAuthResponse> Gatekeeper::Authenticate(
 
   sessions_[SessionKeyString(response.session_id)] =
       RcSession{request.rc_identity, request.rsa_public_key, now};
+  if (sessions_gauge_ != nullptr) {
+    sessions_gauge_->Set(static_cast<int64_t>(sessions_.size()));
+  }
   return response;
 }
 
@@ -82,6 +96,9 @@ util::Result<RcSession> Gatekeeper::GetSession(
 void Gatekeeper::CloseSession(const util::Bytes& session_id) {
   std::lock_guard<std::mutex> lock(mutex_);
   sessions_.erase(SessionKeyString(session_id));
+  if (sessions_gauge_ != nullptr) {
+    sessions_gauge_->Set(static_cast<int64_t>(sessions_.size()));
+  }
 }
 
 void Gatekeeper::PruneReplayCache(int64_t now) {

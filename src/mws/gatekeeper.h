@@ -7,6 +7,7 @@
 #include <string>
 
 #include "src/crypto/block_cipher.h"
+#include "src/obs/metrics.h"
 #include "src/store/user_db.h"
 #include "src/util/clock.h"
 #include "src/util/random.h"
@@ -36,14 +37,24 @@ struct RcSession {
 /// its source in util::LockedRandom).
 class Gatekeeper {
  public:
+  /// `metrics` (optional, must outlive the gatekeeper) exposes
+  /// `gatekeeper.auth_ok`, `gatekeeper.auth_fail`, and the
+  /// `gatekeeper.sessions` gauge.
   Gatekeeper(const store::UserDb* users, const util::Clock* clock,
              util::RandomSource* rng, crypto::CipherKind cipher,
-             int64_t freshness_window_micros)
+             int64_t freshness_window_micros,
+             obs::Registry* metrics = nullptr)
       : users_(users),
         clock_(clock),
         rng_(rng),
         cipher_(cipher),
-        freshness_window_micros_(freshness_window_micros) {}
+        freshness_window_micros_(freshness_window_micros) {
+    if (metrics != nullptr) {
+      auth_ok_counter_ = metrics->GetCounter("gatekeeper.auth_ok");
+      auth_fail_counter_ = metrics->GetCounter("gatekeeper.auth_fail");
+      sessions_gauge_ = metrics->GetGauge("gatekeeper.sessions");
+    }
+  }
 
   /// Verifies the challenge and opens a session.
   util::Result<wire::RcAuthResponse> Authenticate(
@@ -79,6 +90,15 @@ class Gatekeeper {
   /// (identity, timestamp, nonce-hex) of accepted auths, with timestamps
   /// for pruning.
   std::set<std::pair<int64_t, std::string>> replay_cache_;
+
+  /// Resolved at construction when `metrics` is set; null otherwise.
+  obs::Counter* auth_ok_counter_ = nullptr;
+  obs::Counter* auth_fail_counter_ = nullptr;
+  obs::Gauge* sessions_gauge_ = nullptr;
+
+  /// Wrapped by Authenticate for success/failure accounting.
+  util::Result<wire::RcAuthResponse> AuthenticateImpl(
+      const wire::RcAuthRequest& request);
 };
 
 }  // namespace mws::mws

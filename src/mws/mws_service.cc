@@ -10,16 +10,41 @@ MwsService::MwsService(store::Table* storage, util::Bytes mws_pkg_key,
                        MwsOptions options)
     : options_(options),
       rng_(rng),
-      message_db_(storage),
+      message_db_(storage, options.metrics),
       policy_db_(storage),
       user_db_(storage),
       device_keys_(storage),
       sda_(&device_keys_, clock, options.freshness_window_micros),
       gatekeeper_(&user_db_, clock, &rng_, options.cipher,
-                  options.freshness_window_micros),
+                  options.freshness_window_micros, options.metrics),
       mms_(&message_db_, &policy_db_),
       token_generator_(std::move(mws_pkg_key), options.cipher, clock, &rng_,
-                       options.ticket_lifetime_micros) {}
+                       options.ticket_lifetime_micros) {
+  deposit_obs_ = ResolveOp("deposit");
+  auth_obs_ = ResolveOp("auth");
+  retrieve_obs_ = ResolveOp("retrieve");
+}
+
+MwsService::OpInstruments MwsService::ResolveOp(const char* op) {
+  OpInstruments out;
+  if (options_.metrics == nullptr) return out;
+  out.requests = options_.metrics->GetCounter("mws.requests", {{"op", op}});
+  out.errors = options_.metrics->GetCounter("mws.errors", {{"op", op}});
+  out.latency = options_.metrics->GetHistogram("mws.latency_us", {{"op", op}});
+  return out;
+}
+
+namespace {
+
+/// Success/failure accounting shared by the three protocol ops.
+template <typename ResultT>
+void CountOutcome(const ResultT& result, obs::Counter* requests,
+                  obs::Counter* errors) {
+  if (requests != nullptr) requests->Increment();
+  if (errors != nullptr && !result.ok()) errors->Increment();
+}
+
+}  // namespace
 
 util::Status MwsService::RegisterDevice(const std::string& device_id,
                                         const util::Bytes& mac_key) {
@@ -73,7 +98,19 @@ util::Result<std::vector<store::PolicyRow>> MwsService::PolicyTable() const {
 
 util::Result<wire::DepositResponse> MwsService::Deposit(
     const wire::DepositRequest& request) {
-  MWS_RETURN_IF_ERROR(sda_.Verify(request));
+  obs::ScopedTimer timer(deposit_obs_.latency);
+  obs::Span span = obs::Tracer::MaybeStartTrace(options_.tracer, "mws.deposit");
+  util::Result<wire::DepositResponse> result = DepositImpl(request, span);
+  CountOutcome(result, deposit_obs_.requests, deposit_obs_.errors);
+  return result;
+}
+
+util::Result<wire::DepositResponse> MwsService::DepositImpl(
+    const wire::DepositRequest& request, obs::Span& span) {
+  {
+    obs::Span verify = span.Child("sda.verify");
+    MWS_RETURN_IF_ERROR(sda_.Verify(request));
+  }
   MWS_RETURN_IF_ERROR(ibe::ValidateAttribute(request.attribute));
   store::StoredMessage m;
   m.u = request.u;
@@ -84,6 +121,7 @@ util::Result<wire::DepositResponse> MwsService::Deposit(
   m.timestamp_micros = request.timestamp_micros;
   // At-least-once delivery: a device whose ack was lost retransmits the
   // identical deposit, so dedupe by (ID_SD, nonce) instead of storing twice.
+  obs::Span append = span.Child("md.append");
   MWS_ASSIGN_OR_RETURN(store::MessageDb::AppendOutcome outcome,
                        message_db_.AppendDeduped(m));
   return wire::DepositResponse{outcome.id};
@@ -91,18 +129,42 @@ util::Result<wire::DepositResponse> MwsService::Deposit(
 
 util::Result<wire::RcAuthResponse> MwsService::Authenticate(
     const wire::RcAuthRequest& request) {
-  return gatekeeper_.Authenticate(request);
+  obs::ScopedTimer timer(auth_obs_.latency);
+  obs::Span span = obs::Tracer::MaybeStartTrace(options_.tracer, "mws.auth");
+  util::Result<wire::RcAuthResponse> result = [&] {
+    obs::Span child = span.Child("gatekeeper.auth");
+    return gatekeeper_.Authenticate(request);
+  }();
+  CountOutcome(result, auth_obs_.requests, auth_obs_.errors);
+  return result;
 }
 
 util::Result<wire::RetrieveResponse> MwsService::Retrieve(
     const wire::RetrieveRequest& request) {
-  MWS_ASSIGN_OR_RETURN(RcSession session,
-                       gatekeeper_.GetSession(request.session_id));
+  obs::ScopedTimer timer(retrieve_obs_.latency);
+  obs::Span span =
+      obs::Tracer::MaybeStartTrace(options_.tracer, "mws.retrieve");
+  util::Result<wire::RetrieveResponse> result = RetrieveImpl(request, span);
+  CountOutcome(result, retrieve_obs_.requests, retrieve_obs_.errors);
+  return result;
+}
+
+util::Result<wire::RetrieveResponse> MwsService::RetrieveImpl(
+    const wire::RetrieveRequest& request, obs::Span& span) {
+  RcSession session;
+  {
+    obs::Span lookup = span.Child("gatekeeper.session");
+    MWS_ASSIGN_OR_RETURN(session, gatekeeper_.GetSession(request.session_id));
+  }
   wire::RetrieveResponse response;
-  MWS_ASSIGN_OR_RETURN(
-      response.messages,
-      mms_.FetchFor(session.rc_identity, request.after_message_id,
-                    request.from_micros, request.to_micros));
+  {
+    obs::Span fetch = span.Child("mms.fetch");
+    MWS_ASSIGN_OR_RETURN(
+        response.messages,
+        mms_.FetchFor(session.rc_identity, request.after_message_id,
+                      request.from_micros, request.to_micros));
+  }
+  obs::Span token = span.Child("tg.token");
   MWS_ASSIGN_OR_RETURN(std::vector<store::PolicyRow> grants,
                        mms_.GrantsFor(session.rc_identity));
   MWS_ASSIGN_OR_RETURN(

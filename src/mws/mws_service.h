@@ -6,6 +6,8 @@
 
 #include "src/mws/gatekeeper.h"
 #include "src/mws/mms.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/mws/sda.h"
 #include "src/mws/token_generator.h"
 #include "src/store/message_db.h"
@@ -27,6 +29,14 @@ struct MwsOptions {
   int64_t freshness_window_micros = 5ll * 60 * 1'000'000;
   /// Lifetime of issued PKG tickets.
   int64_t ticket_lifetime_micros = 10ll * 60 * 1'000'000;
+  /// Optional instrumentation sink (must outlive the service). Exposes
+  /// `mws.requests{op=...}`, `mws.errors{op=...}`, and the
+  /// `mws.latency_us{op=...}` histograms, plus the gatekeeper and
+  /// message-db instruments.
+  obs::Registry* metrics = nullptr;
+  /// Optional request tracer (must outlive the service): one trace per
+  /// protocol op with per-stage child spans.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// The Message Warehousing Service: the composition of the architecture
@@ -116,6 +126,19 @@ class MwsService {
   const MwsOptions& options() const { return options_; }
 
  private:
+  /// Per-op instrument triple; all null when metrics are disabled.
+  struct OpInstruments {
+    obs::Counter* requests = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Histogram* latency = nullptr;
+  };
+  OpInstruments ResolveOp(const char* op);
+
+  util::Result<wire::DepositResponse> DepositImpl(
+      const wire::DepositRequest& request, obs::Span& span);
+  util::Result<wire::RetrieveResponse> RetrieveImpl(
+      const wire::RetrieveRequest& request, obs::Span& span);
+
   MwsOptions options_;
   /// Serializes the injected RandomSource for concurrent handlers; must
   /// be declared before the components that hold a pointer to it.
@@ -128,6 +151,10 @@ class MwsService {
   Gatekeeper gatekeeper_;
   MessageManagementSystem mms_;
   TokenGenerator token_generator_;
+
+  OpInstruments deposit_obs_;
+  OpInstruments auth_obs_;
+  OpInstruments retrieve_obs_;
 };
 
 }  // namespace mws::mws

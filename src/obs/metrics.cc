@@ -1,0 +1,348 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <mutex>
+
+#include "src/util/serde.h"
+
+namespace mws::obs {
+namespace {
+
+// Serialization format version; bump on incompatible layout changes.
+constexpr uint8_t kSnapshotVersion = 1;
+
+util::Status Malformed(const char* what) {
+  return util::Status::InvalidArgument(std::string("malformed ") + what);
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+// --- Histogram ---
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  size_t i = static_cast<size_t>(std::bit_width(value));
+  return std::min(i, kBuckets - 1);
+}
+
+uint64_t Histogram::BucketLowerBound(size_t i) {
+  if (i == 0) return 0;
+  return uint64_t{1} << (i - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t i) {
+  if (i == 0) return 0;
+  if (i >= kBuckets - 1) return UINT64_MAX;
+  return (uint64_t{1} << i) - 1;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t observed = min_.load(std::memory_order_relaxed);
+  while (value < observed &&
+         !min_.compare_exchange_weak(observed, value, std::memory_order_relaxed)) {
+  }
+  observed = max_.load(std::memory_order_relaxed);
+  while (value > observed &&
+         !max_.compare_exchange_weak(observed, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  // Relaxed loads: a snapshot taken concurrently with Record may see a
+  // bucket increment without the matching count (or vice versa); readers
+  // treat the bucket array as the source of truth for percentiles.
+  for (size_t i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  uint64_t lo = min_.load(std::memory_order_relaxed);
+  snap.min = lo == UINT64_MAX ? 0 : lo;
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the requested sample, 1-based; walk the cumulative
+  // distribution and interpolate linearly inside the owning bucket.
+  double rank = p * static_cast<double>(total);
+  if (rank < 1.0) rank = 1.0;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    uint64_t next = cumulative + buckets[i];
+    if (rank <= static_cast<double>(next)) {
+      double lo = static_cast<double>(Histogram::BucketLowerBound(i));
+      // Clamp the open-ended last bucket to the observed max so the
+      // interpolation target is finite.
+      double hi = i >= kBuckets - 1 ? static_cast<double>(std::max(max, min))
+                                    : static_cast<double>(Histogram::BucketUpperBound(i));
+      if (hi < lo) hi = lo;
+      double within = (rank - static_cast<double>(cumulative)) /
+                      static_cast<double>(buckets[i]);
+      return lo + (hi - lo) * within;
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(max);
+}
+
+// --- Labels ---
+
+std::string JoinLabels(const std::string& name, std::vector<Label> labels) {
+  if (labels.empty()) return name;
+  std::sort(labels.begin(), labels.end());
+  std::string out = name;
+  out.push_back('{');
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += labels[i].first;
+    out.push_back('=');
+    out += labels[i].second;
+  }
+  out.push_back('}');
+  return out;
+}
+
+// --- Registry ---
+
+template <typename T>
+T* Registry::GetOrCreate(std::map<std::string, std::unique_ptr<T>>* table,
+                         const std::string& name, std::vector<Label>&& labels) {
+  std::string full = JoinLabels(name, std::move(labels));
+  {
+    std::shared_lock lock(mutex_);
+    auto it = table->find(full);
+    if (it != table->end()) return it->second.get();
+  }
+  std::unique_lock lock(mutex_);
+  auto [it, inserted] = table->try_emplace(std::move(full), std::make_unique<T>());
+  return it->second.get();
+}
+
+Counter* Registry::GetCounter(const std::string& name, std::vector<Label> labels) {
+  return GetOrCreate(&counters_, name, std::move(labels));
+}
+
+Gauge* Registry::GetGauge(const std::string& name, std::vector<Label> labels) {
+  return GetOrCreate(&gauges_, name, std::move(labels));
+}
+
+Histogram* Registry::GetHistogram(const std::string& name, std::vector<Label> labels) {
+  return GetOrCreate(&histograms_, name, std::move(labels));
+}
+
+RegistrySnapshot Registry::Snapshot() const {
+  RegistrySnapshot snap;
+  std::shared_lock lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->Value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->Value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->Snapshot());
+  }
+  return snap;
+}
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+// --- RegistrySnapshot ---
+
+util::Bytes RegistrySnapshot::Encode() const {
+  util::Writer w;
+  w.PutU8(kSnapshotVersion);
+  w.PutU32(static_cast<uint32_t>(counters.size()));
+  for (const auto& [name, value] : counters) {
+    w.PutString(name);
+    w.PutU64(value);
+  }
+  w.PutU32(static_cast<uint32_t>(gauges.size()));
+  for (const auto& [name, value] : gauges) {
+    w.PutString(name);
+    w.PutU64(static_cast<uint64_t>(value));
+  }
+  w.PutU32(static_cast<uint32_t>(histograms.size()));
+  for (const auto& [name, h] : histograms) {
+    w.PutString(name);
+    w.PutU64(h.count);
+    w.PutU64(h.sum);
+    w.PutU64(h.min);
+    w.PutU64(h.max);
+    w.PutU32(static_cast<uint32_t>(h.buckets.size()));
+    for (uint64_t b : h.buckets) w.PutU64(b);
+  }
+  return w.Take();
+}
+
+util::Result<RegistrySnapshot> RegistrySnapshot::Decode(const util::Bytes& data) {
+  util::Reader r(data);
+  RegistrySnapshot snap;
+  uint8_t version = 0;
+  if (!r.GetU8(&version) || version != kSnapshotVersion) {
+    return Malformed("RegistrySnapshot version");
+  }
+  uint32_t n = 0;
+  if (!r.GetU32(&n)) return Malformed("RegistrySnapshot");
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    std::string name;
+    uint64_t value = 0;
+    r.GetString(&name);
+    r.GetU64(&value);
+    snap.counters.emplace_back(std::move(name), value);
+  }
+  if (!r.GetU32(&n)) return Malformed("RegistrySnapshot");
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    std::string name;
+    uint64_t value = 0;
+    r.GetString(&name);
+    r.GetU64(&value);
+    snap.gauges.emplace_back(std::move(name), static_cast<int64_t>(value));
+  }
+  if (!r.GetU32(&n)) return Malformed("RegistrySnapshot");
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    std::string name;
+    HistogramSnapshot h;
+    uint32_t buckets = 0;
+    r.GetString(&name);
+    r.GetU64(&h.count);
+    r.GetU64(&h.sum);
+    r.GetU64(&h.min);
+    r.GetU64(&h.max);
+    if (!r.GetU32(&buckets) || buckets != h.buckets.size()) {
+      return Malformed("RegistrySnapshot bucket count");
+    }
+    for (uint32_t b = 0; b < buckets; ++b) r.GetU64(&h.buckets[b]);
+    snap.histograms.emplace_back(std::move(name), h);
+  }
+  if (!r.Done()) return Malformed("RegistrySnapshot");
+  return snap;
+}
+
+std::string RegistrySnapshot::ToText() const {
+  std::string out;
+  char buf[256];
+  for (const auto& [name, value] : counters) {
+    std::snprintf(buf, sizeof(buf), "counter %s %" PRIu64 "\n", name.c_str(), value);
+    out += buf;
+  }
+  for (const auto& [name, value] : gauges) {
+    std::snprintf(buf, sizeof(buf), "gauge %s %" PRId64 "\n", name.c_str(), value);
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  "histogram %s count=%" PRIu64 " mean=%.1f min=%" PRIu64
+                  " max=%" PRIu64 " p50=%.1f p95=%.1f p99=%.1f\n",
+                  name.c_str(), h.count, h.Mean(), h.min, h.max,
+                  h.Percentile(0.50), h.Percentile(0.95), h.Percentile(0.99));
+    out += buf;
+  }
+  return out;
+}
+
+std::string RegistrySnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  char buf[128];
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, &out);
+    std::snprintf(buf, sizeof(buf), ":%" PRIu64, value);
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, &out);
+    std::snprintf(buf, sizeof(buf), ":%" PRId64, value);
+    out += buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, &out);
+    std::snprintf(buf, sizeof(buf),
+                  ":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64 ",\"min\":%" PRIu64
+                  ",\"max\":%" PRIu64 ",\"mean\":%.3f,\"p50\":%.3f,\"p95\":%.3f,"
+                  "\"p99\":%.3f}",
+                  h.count, h.sum, h.min, h.max, h.Mean(), h.Percentile(0.50),
+                  h.Percentile(0.95), h.Percentile(0.99));
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+const uint64_t* RegistrySnapshot::counter(const std::string& full_name) const {
+  for (const auto& [name, value] : counters) {
+    if (name == full_name) return &value;
+  }
+  return nullptr;
+}
+
+const int64_t* RegistrySnapshot::gauge(const std::string& full_name) const {
+  for (const auto& [name, value] : gauges) {
+    if (name == full_name) return &value;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* RegistrySnapshot::histogram(const std::string& full_name) const {
+  for (const auto& [name, h] : histograms) {
+    if (name == full_name) return &h;
+  }
+  return nullptr;
+}
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace mws::obs

@@ -1,0 +1,183 @@
+#ifndef MWSIBE_OBS_METRICS_H_
+#define MWSIBE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace mws::obs {
+
+/// Monotonically increasing event count. All mutators are lock-free
+/// relaxed atomics: instruments sit on the request hot path, so an
+/// increment must cost no more than an uncontended atomic add.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A value that can go up and down (queue depth, active sessions).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time copy of a Histogram, safe to read without touching the
+/// live instrument. Percentiles interpolate linearly inside the bucket
+/// that contains the requested rank, so Percentile(p) is monotone in p
+/// (p50 <= p95 <= p99 always holds).
+struct HistogramSnapshot {
+  /// Must match Histogram::kBuckets; kept here so a decoded snapshot is
+  /// self-contained.
+  static constexpr size_t kBuckets = 48;
+
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  ///< Meaningful only when count > 0.
+  uint64_t max = 0;
+  std::array<uint64_t, kBuckets> buckets{};
+
+  /// p in [0, 1]. Returns 0 when empty.
+  double Percentile(double p) const;
+  double Mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / count; }
+};
+
+/// Fixed-bucket log-scale histogram of non-negative integer samples
+/// (latencies in microseconds, sizes in bytes). Bucket i > 0 covers
+/// [2^(i-1), 2^i - 1]; bucket 0 covers exactly {0}; the last bucket is
+/// open-ended. Recording is wait-free: one relaxed add per sample plus
+/// CAS loops for min/max.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = HistogramSnapshot::kBuckets;
+
+  void Record(uint64_t value);
+  HistogramSnapshot Snapshot() const;
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Index of the bucket holding `value` (0 for 0, bit_width otherwise,
+  /// clamped to the last bucket).
+  static size_t BucketIndex(uint64_t value);
+  /// Smallest value mapping to bucket `i`.
+  static uint64_t BucketLowerBound(size_t i);
+  /// Largest value mapping to bucket `i` (UINT64_MAX for the last).
+  static uint64_t BucketUpperBound(size_t i);
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// One metric label, e.g. {"op", "mws.deposit"}.
+using Label = std::pair<std::string, std::string>;
+
+/// Canonical full name: `name{k1=v1,k2=v2}` with labels sorted by key.
+/// The empty label set yields `name` unchanged.
+std::string JoinLabels(const std::string& name, std::vector<Label> labels);
+
+/// Decoded registry contents: flat (full name -> value) views suitable
+/// for serialization, formatting, and assertions in tests. Entries are
+/// sorted by name (std::map iteration order at snapshot time).
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Canonical serialization (src/util/serde.h conventions).
+  util::Bytes Encode() const;
+  static util::Result<RegistrySnapshot> Decode(const util::Bytes& data);
+
+  /// Human-readable one-metric-per-line dump.
+  std::string ToText() const;
+  /// JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+
+  /// Lookup helpers; null when the full name is absent.
+  const uint64_t* counter(const std::string& full_name) const;
+  const int64_t* gauge(const std::string& full_name) const;
+  const HistogramSnapshot* histogram(const std::string& full_name) const;
+};
+
+/// Owns every instrument in a process (or scenario). Lookup takes a
+/// shared lock and returns a stable pointer: instruments are never
+/// deleted while the registry lives, so callers resolve once at
+/// construction and increment lock-free afterwards.
+///
+/// Thread-safe. All methods may be called concurrently.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* GetCounter(const std::string& name, std::vector<Label> labels = {});
+  Gauge* GetGauge(const std::string& name, std::vector<Label> labels = {});
+  Histogram* GetHistogram(const std::string& name, std::vector<Label> labels = {});
+
+  RegistrySnapshot Snapshot() const;
+
+  /// Process-wide default instance (tools and ad-hoc callers; scenario
+  /// code injects its own registry instead).
+  static Registry& Global();
+
+ private:
+  template <typename T>
+  T* GetOrCreate(std::map<std::string, std::unique_ptr<T>>* table,
+                 const std::string& name, std::vector<Label>&& labels);
+
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Monotonic (steady-clock) microseconds, for latency measurement. Not
+/// comparable to util::Clock::NowMicros() epoch timestamps.
+int64_t SteadyNowMicros();
+
+/// Records elapsed wall time into a histogram on destruction. Null
+/// histogram means fully inert (no clock read), so call sites need no
+/// `if (metrics)` branches.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* h) : histogram_(h), start_(h ? SteadyNowMicros() : 0) {}
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      int64_t elapsed = SteadyNowMicros() - start_;
+      histogram_->Record(elapsed < 0 ? 0 : static_cast<uint64_t>(elapsed));
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  int64_t start_;
+};
+
+}  // namespace mws::obs
+
+#endif  // MWSIBE_OBS_METRICS_H_

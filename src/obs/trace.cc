@@ -1,0 +1,127 @@
+#include "src/obs/trace.h"
+
+#include <utility>
+
+#include "src/util/serde.h"
+
+namespace mws::obs {
+
+// --- Span ---
+
+Span::Span(Span&& other) noexcept
+    : tracer_(other.tracer_), record_(std::move(other.record_)) {
+  other.tracer_ = nullptr;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = other.tracer_;
+    record_ = std::move(other.record_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+Span Span::Child(std::string name) {
+  if (tracer_ == nullptr) return Span();
+  SpanRecord child;
+  child.trace_id = record_.trace_id;
+  child.span_id = tracer_->NextId();
+  child.parent_id = record_.span_id;
+  child.name = std::move(name);
+  child.start_micros = tracer_->Now();
+  tracer_->NoteStarted();
+  return Span(tracer_, std::move(child));
+}
+
+void Span::End() {
+  if (tracer_ == nullptr) return;
+  record_.end_micros = tracer_->Now();
+  tracer_->Finish(std::move(record_));
+  tracer_ = nullptr;
+}
+
+// --- Tracer ---
+
+Tracer::Tracer(const util::Clock* clock, size_t capacity)
+    : clock_(clock != nullptr ? clock : &util::SystemClock::Instance()),
+      capacity_(capacity == 0 ? 1 : capacity) {}
+
+Span Tracer::StartTrace(std::string name) {
+  SpanRecord root;
+  root.trace_id = NextId();
+  root.span_id = NextId();
+  root.parent_id = 0;
+  root.name = std::move(name);
+  root.start_micros = Now();
+  NoteStarted();
+  return Span(this, std::move(root));
+}
+
+void Tracer::Finish(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    return;
+  }
+  ring_[ring_next_] = std::move(record);
+  ring_next_ = (ring_next_ + 1) % capacity_;
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  // ring_next_ points at the oldest entry once the ring has wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(ring_next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+// --- Serialization ---
+
+util::Bytes EncodeSpans(const std::vector<SpanRecord>& spans) {
+  util::Writer w;
+  w.PutU32(static_cast<uint32_t>(spans.size()));
+  for (const SpanRecord& s : spans) {
+    w.PutU64(s.trace_id);
+    w.PutU64(s.span_id);
+    w.PutU64(s.parent_id);
+    w.PutString(s.name);
+    w.PutU64(static_cast<uint64_t>(s.start_micros));
+    w.PutU64(static_cast<uint64_t>(s.end_micros));
+  }
+  return w.Take();
+}
+
+util::Result<std::vector<SpanRecord>> DecodeSpans(const util::Bytes& data) {
+  util::Reader r(data);
+  uint32_t n = 0;
+  if (!r.GetU32(&n)) {
+    return util::Status::InvalidArgument("malformed span list");
+  }
+  std::vector<SpanRecord> out;
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    SpanRecord s;
+    uint64_t start = 0;
+    uint64_t end = 0;
+    r.GetU64(&s.trace_id);
+    r.GetU64(&s.span_id);
+    r.GetU64(&s.parent_id);
+    r.GetString(&s.name);
+    r.GetU64(&start);
+    r.GetU64(&end);
+    s.start_micros = static_cast<int64_t>(start);
+    s.end_micros = static_cast<int64_t>(end);
+    out.push_back(std::move(s));
+  }
+  if (!r.Done()) {
+    return util::Status::InvalidArgument("malformed span list");
+  }
+  return out;
+}
+
+}  // namespace mws::obs

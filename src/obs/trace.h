@@ -1,0 +1,114 @@
+#ifndef MWSIBE_OBS_TRACE_H_
+#define MWSIBE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/clock.h"
+#include "src/util/result.h"
+
+namespace mws::obs {
+
+class Tracer;
+
+/// One finished (or still-open) span as retained by the tracer.
+/// `parent_id == 0` marks a trace root; all spans of one request share a
+/// `trace_id`. Timestamps come from the tracer's injected util::Clock,
+/// so simulated-clock tests see deterministic durations.
+struct SpanRecord {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  std::string name;
+  int64_t start_micros = 0;
+  int64_t end_micros = 0;
+
+  int64_t DurationMicros() const { return end_micros - start_micros; }
+};
+
+/// RAII handle for an in-flight span; finishes (records the end time and
+/// commits the record to the tracer ring) on destruction or explicit
+/// End(). Default-constructed and moved-from spans are inert, which lets
+/// instrumented code run identically with tracing disabled.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { End(); }
+
+  /// Starts a child span (same trace id, this span as parent). Inert
+  /// parent produces an inert child.
+  Span Child(std::string name);
+
+  /// Finishes the span now; further calls are no-ops.
+  void End();
+
+  bool active() const { return tracer_ != nullptr; }
+  uint64_t trace_id() const { return record_.trace_id; }
+  uint64_t span_id() const { return record_.span_id; }
+  uint64_t parent_id() const { return record_.parent_id; }
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, SpanRecord record) : tracer_(tracer), record_(std::move(record)) {}
+
+  Tracer* tracer_ = nullptr;
+  SpanRecord record_;
+};
+
+/// Collects finished spans into a bounded ring buffer (oldest evicted
+/// first). Span creation is two atomic increments plus one clock read;
+/// finishing takes the ring mutex briefly. Thread-safe.
+class Tracer {
+ public:
+  /// `clock` must outlive the tracer; defaults to the system clock.
+  explicit Tracer(const util::Clock* clock = nullptr, size_t capacity = 1024);
+
+  /// Starts a new root span with a fresh trace id.
+  Span StartTrace(std::string name);
+
+  /// Null-tolerant helper: inert span when `tracer` is null.
+  static Span MaybeStartTrace(Tracer* tracer, std::string name) {
+    return tracer == nullptr ? Span() : tracer->StartTrace(std::move(name));
+  }
+
+  /// Finished spans, oldest first. At most `capacity` entries.
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// Total spans ever started / finished spans evicted by the ring.
+  uint64_t spans_started() const { return started_.load(std::memory_order_relaxed); }
+  uint64_t spans_dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  friend class Span;
+  void Finish(SpanRecord record);
+  int64_t Now() const { return clock_->NowMicros(); }
+  uint64_t NextId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+  void NoteStarted() { started_.fetch_add(1, std::memory_order_relaxed); }
+
+  const util::Clock* clock_;
+  const size_t capacity_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> started_{0};
+  std::atomic<uint64_t> dropped_{0};
+
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;
+  size_t ring_next_ = 0;  ///< Insertion cursor once the ring is full.
+};
+
+/// Canonical serialization of a span list (STATS wire payload).
+util::Bytes EncodeSpans(const std::vector<SpanRecord>& spans);
+util::Result<std::vector<SpanRecord>> DecodeSpans(const util::Bytes& data);
+
+}  // namespace mws::obs
+
+#endif  // MWSIBE_OBS_TRACE_H_

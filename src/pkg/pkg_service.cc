@@ -21,9 +21,45 @@ PkgService::PkgService(const math::TypeAParams& group,
   auto setup = ibe_.Setup(*rng);
   params_ = setup.first;
   master_ = setup.second;
+  auth_obs_ = ResolveOp("auth");
+  extract_obs_ = ResolveOp("extract");
+  batch_obs_ = ResolveOp("extract_batch");
+  if (options_.metrics != nullptr) {
+    batch_items_counter_ = options_.metrics->GetCounter("pkg.batch_items");
+  }
 }
 
+PkgService::OpInstruments PkgService::ResolveOp(const char* op) {
+  OpInstruments out;
+  if (options_.metrics == nullptr) return out;
+  out.requests = options_.metrics->GetCounter("pkg.requests", {{"op", op}});
+  out.errors = options_.metrics->GetCounter("pkg.errors", {{"op", op}});
+  out.latency = options_.metrics->GetHistogram("pkg.latency_us", {{"op", op}});
+  return out;
+}
+
+namespace {
+
+/// Success/failure accounting shared by the protocol ops.
+template <typename ResultT>
+void CountOutcome(const ResultT& result, obs::Counter* requests,
+                  obs::Counter* errors) {
+  if (requests != nullptr) requests->Increment();
+  if (errors != nullptr && !result.ok()) errors->Increment();
+}
+
+}  // namespace
+
 util::Result<wire::PkgAuthResponse> PkgService::Authenticate(
+    const wire::PkgAuthRequest& request) {
+  obs::ScopedTimer timer(auth_obs_.latency);
+  obs::Span span = obs::Tracer::MaybeStartTrace(options_.tracer, "pkg.auth");
+  util::Result<wire::PkgAuthResponse> result = AuthenticateImpl(request);
+  CountOutcome(result, auth_obs_.requests, auth_obs_.errors);
+  return result;
+}
+
+util::Result<wire::PkgAuthResponse> PkgService::AuthenticateImpl(
     const wire::PkgAuthRequest& request) {
   // Decrypt the ticket with the MWS<->PKG service key.
   util::Bytes ticket_key =
@@ -138,15 +174,36 @@ util::Result<util::Bytes> PkgService::ExtractSealed(
 
 util::Result<wire::KeyResponse> PkgService::ExtractKey(
     const wire::KeyRequest& request) {
-  MWS_ASSIGN_OR_RETURN(PkgSession session, GetSession(request.session_id));
-  MWS_ASSIGN_OR_RETURN(util::Bytes sealed,
-                       ExtractSealed(session, request.aid, request.nonce));
-  return wire::KeyResponse{std::move(sealed)};
+  obs::ScopedTimer timer(extract_obs_.latency);
+  obs::Span span =
+      obs::Tracer::MaybeStartTrace(options_.tracer, "pkg.extract");
+  util::Result<wire::KeyResponse> result =
+      [&]() -> util::Result<wire::KeyResponse> {
+    MWS_ASSIGN_OR_RETURN(PkgSession session, GetSession(request.session_id));
+    obs::Span extract = span.Child("ibe.extract_seal");
+    MWS_ASSIGN_OR_RETURN(util::Bytes sealed,
+                         ExtractSealed(session, request.aid, request.nonce));
+    return wire::KeyResponse{std::move(sealed)};
+  }();
+  CountOutcome(result, extract_obs_.requests, extract_obs_.errors);
+  return result;
 }
 
 util::Result<wire::KeyBatchResponse> PkgService::ExtractKeyBatch(
     const wire::KeyBatchRequest& request) {
-  MWS_ASSIGN_OR_RETURN(PkgSession session, GetSession(request.session_id));
+  obs::ScopedTimer timer(batch_obs_.latency);
+  obs::Span span =
+      obs::Tracer::MaybeStartTrace(options_.tracer, "pkg.extract_batch");
+  if (batch_obs_.requests != nullptr) {
+    batch_obs_.requests->Increment();
+    batch_items_counter_->Increment(request.items.size());
+  }
+  auto counted_session = GetSession(request.session_id);
+  if (!counted_session.ok()) {
+    if (batch_obs_.errors != nullptr) batch_obs_.errors->Increment();
+    return counted_session.status();
+  }
+  PkgSession session = std::move(counted_session).value();
   wire::KeyBatchResponse response;
   response.items.reserve(request.items.size());
   for (const auto& [aid, nonce] : request.items) {

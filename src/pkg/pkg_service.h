@@ -8,6 +8,8 @@
 
 #include "src/crypto/block_cipher.h"
 #include "src/ibe/bf_ibe.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/clock.h"
 #include "src/util/random.h"
 #include "src/wire/messages.h"
@@ -20,6 +22,12 @@ struct PkgOptions {
   crypto::CipherKind cipher = crypto::CipherKind::kDes;
   int64_t freshness_window_micros = 5ll * 60 * 1'000'000;
   int64_t session_lifetime_micros = 10ll * 60 * 1'000'000;
+  /// Optional instrumentation sink (must outlive the service). Exposes
+  /// `pkg.requests{op=...}`, `pkg.errors{op=...}`,
+  /// `pkg.latency_us{op=...}`, and `pkg.batch_items`.
+  obs::Registry* metrics = nullptr;
+  /// Optional request tracer (must outlive the service).
+  obs::Tracer* tracer = nullptr;
 };
 
 /// A live RC session at the PKG, established by a verified ticket.
@@ -89,6 +97,14 @@ class PkgService {
  private:
   util::Result<PkgSession> GetSession(const util::Bytes& session_id) const;
 
+  /// Per-op instrument triple; all null when metrics are disabled.
+  struct OpInstruments {
+    obs::Counter* requests = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Histogram* latency = nullptr;
+  };
+  OpInstruments ResolveOp(const char* op);
+
   /// Core of both extraction paths: resolve the AID through the
   /// session's ticket, extract, seal under the session channel key.
   util::Result<util::Bytes> ExtractSealed(const PkgSession& session,
@@ -109,6 +125,14 @@ class PkgService {
   std::map<std::string, PkgSession> sessions_;
   /// Replay cache of accepted authenticators.
   std::set<std::pair<int64_t, std::string>> replay_cache_;
+
+  OpInstruments auth_obs_;
+  OpInstruments extract_obs_;
+  OpInstruments batch_obs_;
+  obs::Counter* batch_items_counter_ = nullptr;
+
+  util::Result<wire::PkgAuthResponse> AuthenticateImpl(
+      const wire::PkgAuthRequest& request);
 };
 
 }  // namespace mws::pkg

@@ -1,6 +1,7 @@
 #include "src/sim/scenario.h"
 
 #include "src/wire/auth.h"
+#include "src/wire/stats.h"
 
 namespace mws::sim {
 
@@ -27,14 +28,46 @@ util::Result<std::unique_ptr<UtilityScenario>> UtilityScenario::Create(
     const Options& options) {
   auto scenario = std::unique_ptr<UtilityScenario>(
       new UtilityScenario(options));
+  obs::Registry* metrics = scenario->metrics();
+  obs::Tracer* tracer = scenario->tracer();
 
-  MWS_ASSIGN_OR_RETURN(scenario->storage_, store::KvStore::Open({.path = ""}));
+  MWS_ASSIGN_OR_RETURN(scenario->storage_,
+                       store::KvStore::Open({.path = "", .metrics = metrics}));
 
   const Options::Resilience& resilience = options.resilience;
   store::Table* storage = scenario->storage_.get();
   if (resilience.enable) {
     scenario->fault_injector_ =
         std::make_unique<util::FaultInjector>(resilience.fault_seed);
+    if (metrics != nullptr) {
+      // Count fired faults per kind; the hook runs under the injector
+      // mutex so it only touches pre-resolved relaxed atomics.
+      obs::Counter* by_kind[] = {
+          metrics->GetCounter("fault.injected", {{"kind", "error"}}),
+          metrics->GetCounter("fault.injected", {{"kind", "torn-write"}}),
+          metrics->GetCounter("fault.injected", {{"kind", "delay"}}),
+          metrics->GetCounter("fault.injected",
+                              {{"kind", "connection-drop"}}),
+      };
+      scenario->fault_injector_->set_fire_hook(
+          [error = by_kind[0], torn = by_kind[1], delay = by_kind[2],
+           drop = by_kind[3]](const util::Fault& fault, std::string_view) {
+            switch (fault.kind) {
+              case util::FaultKind::kError:
+                error->Increment();
+                break;
+              case util::FaultKind::kTornWrite:
+                torn->Increment();
+                break;
+              case util::FaultKind::kDelay:
+                delay->Increment();
+                break;
+              case util::FaultKind::kConnectionDrop:
+                drop->Increment();
+                break;
+            }
+          });
+    }
     scenario->faulty_table_ = std::make_unique<store::FaultyTable>(
         storage, scenario->fault_injector_.get());
     storage = scenario->faulty_table_.get();
@@ -45,17 +78,24 @@ util::Result<std::unique_ptr<UtilityScenario>> UtilityScenario::Create(
 
   mws::MwsOptions mws_options;
   mws_options.cipher = options.cipher;
+  mws_options.metrics = metrics;
+  mws_options.tracer = tracer;
   scenario->mws_ = std::make_unique<mws::MwsService>(
       storage, mws_pkg_key, &scenario->clock_, &scenario->rng_, mws_options);
 
   pkg::PkgOptions pkg_options;
   pkg_options.cipher = options.cipher;
+  pkg_options.metrics = metrics;
+  pkg_options.tracer = tracer;
   const math::TypeAParams& group = math::GetParams(options.preset);
   scenario->pkg_ = std::make_unique<pkg::PkgService>(
       group, mws_pkg_key, &scenario->clock_, &scenario->rng_, pkg_options);
 
   scenario->mws_->RegisterEndpoints(&scenario->transport_);
   scenario->pkg_->RegisterEndpoints(&scenario->transport_);
+  if (metrics != nullptr) {
+    wire::RegisterStatsEndpoint(&scenario->transport_, metrics, tracer);
+  }
 
   // Client-side resilience chain: faults below, retries above, so every
   // injected drop is seen (and absorbed) by the retry layer exactly as a
@@ -65,9 +105,10 @@ util::Result<std::unique_ptr<UtilityScenario>> UtilityScenario::Create(
   if (resilience.enable) {
     scenario->faulty_transport_ = std::make_unique<wire::FaultyTransport>(
         client_transport, scenario->fault_injector_.get());
+    wire::RetryOptions retry_options = resilience.retry;
+    retry_options.metrics = metrics;
     scenario->retrying_transport_ = std::make_unique<wire::RetryingTransport>(
-        scenario->faulty_transport_.get(), &scenario->clock_,
-        resilience.retry);
+        scenario->faulty_transport_.get(), &scenario->clock_, retry_options);
     util::SimulatedClock* clock = &scenario->clock_;
     scenario->retrying_transport_->set_sleep_fn(
         [clock](int64_t micros) { clock->AdvanceMicros(micros); });

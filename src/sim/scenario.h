@@ -10,6 +10,8 @@
 #include "src/client/smart_device.h"
 #include "src/math/params.h"
 #include "src/mws/mws_service.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/pkg/pkg_service.h"
 #include "src/sim/workload.h"
 #include "src/store/faulty_table.h"
@@ -43,6 +45,10 @@ class UtilityScenario {
     uint64_t seed = 2010;
     /// RSA modulus bits for RC keypairs (small keeps fixtures fast).
     size_t rsa_bits = 768;
+    /// Wire the owned obs::Registry/Tracer into every component and
+    /// register the STATS endpoint. Off lets benches measure the
+    /// uninstrumented baseline (E16).
+    bool metrics = true;
 
     /// Failure-domain wiring (the E15 resilience experiments). When
     /// `enable` is set the clients talk through
@@ -106,6 +112,9 @@ class UtilityScenario {
     return retrying_transport_.get();
   }
   store::FaultyTable* faulty_table() { return faulty_table_.get(); }
+  /// Observability sinks; null when options.metrics is false.
+  obs::Registry* metrics() { return options_.metrics ? &metrics_ : nullptr; }
+  obs::Tracer* tracer() { return options_.metrics ? &tracer_ : nullptr; }
   util::SimulatedClock& clock() { return clock_; }
   util::RandomSource& rng() { return rng_; }
   WorkloadGenerator& workload() { return workload_; }
@@ -123,12 +132,16 @@ class UtilityScenario {
         clock_(/*start_micros=*/1'267'401'600'000'000),  // 2010-03-01
         rng_(options.seed),
         workload_({.seed = options.seed}),
+        tracer_(&clock_, /*capacity=*/256),
         transport_(options.network) {}
 
   Options options_;
   util::SimulatedClock clock_;
   util::DeterministicRandom rng_;
   WorkloadGenerator workload_;
+  // Declared before every component that borrows them.
+  obs::Registry metrics_;
+  obs::Tracer tracer_;
   wire::InProcessTransport transport_;
   // Resilience chain, wrapped objects declared before their wrappers so
   // raw borrows outlive the borrowers.

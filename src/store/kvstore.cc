@@ -49,12 +49,27 @@ class AllShardsSharedLock {
 
 util::Result<std::unique_ptr<KvStore>> KvStore::Open(const Options& options) {
   auto store = std::unique_ptr<KvStore>(new KvStore(options));
+  if (options.metrics != nullptr) {
+    store->wal_appends_counter_ = options.metrics->GetCounter("store.wal_appends");
+    store->wal_bytes_counter_ = options.metrics->GetCounter("store.wal_bytes");
+    store->contention_counter_ =
+        options.metrics->GetCounter("store.shard_contention");
+  }
   if (store->persistent()) {
     MWS_RETURN_IF_ERROR(store->Recover());
     store->log_.open(options.path, std::ios::binary | std::ios::app);
     if (!store->log_) {
       return util::Status::IoError("cannot open log for append: " +
                                    options.path);
+    }
+    if (options.metrics != nullptr) {
+      // Recovery outcome as gauges: one value per Open, not cumulative.
+      options.metrics->GetGauge("store.recovery.records_replayed")
+          ->Set(static_cast<int64_t>(store->recovery_.records_replayed));
+      options.metrics->GetGauge("store.recovery.bytes_truncated")
+          ->Set(static_cast<int64_t>(store->recovery_.bytes_truncated));
+      options.metrics->GetGauge("store.recovery.torn_tail")
+          ->Set(store->recovery_.torn_tail ? 1 : 0);
     }
   }
   return store;
@@ -141,12 +156,22 @@ util::Status KvStore::AppendRecord(uint8_t type, const std::string& key,
              static_cast<std::streamsize>(record.size()));
   if (!log_) return util::Status::IoError("log append failed");
   log_records_.fetch_add(1, std::memory_order_relaxed);
+  if (wal_appends_counter_ != nullptr) {
+    wal_appends_counter_->Increment();
+    wal_bytes_counter_->Increment(record.size());
+  }
   return util::Status::Ok();
 }
 
 util::Status KvStore::Put(const std::string& key, const util::Bytes& value) {
   Shard& shard = ShardFor(key);
-  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  // try_lock first so stripe contention is observable: a failed
+  // non-blocking acquire means another writer holds this shard.
+  std::unique_lock<std::shared_mutex> lock(shard.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    if (contention_counter_ != nullptr) contention_counter_->Increment();
+    lock.lock();
+  }
   MWS_RETURN_IF_ERROR(AppendRecord(kRecordPut, key, value));
   shard.map[key] = value;
   return util::Status::Ok();

@@ -10,6 +10,7 @@
 #include <shared_mutex>
 #include <string>
 
+#include "src/obs/metrics.h"
 #include "src/store/table.h"
 
 namespace mws::store {
@@ -36,6 +37,10 @@ class KvStore : public Table {
   struct Options {
     /// Empty path = purely in-memory store (no durability).
     std::string path;
+    /// Optional instrumentation sink (must outlive the store). Exposes
+    /// `store.wal_appends`, `store.wal_bytes`, `store.shard_contention`,
+    /// and the `store.recovery.*` gauges set once at Open.
+    obs::Registry* metrics = nullptr;
   };
 
   /// Opens (creating or recovering) a store.
@@ -110,6 +115,11 @@ class KvStore : public Table {
   std::ofstream log_;
   std::atomic<size_t> log_records_{0};
   RecoveryStats recovery_;
+
+  /// Resolved once at Open when Options::metrics is set; null otherwise.
+  obs::Counter* wal_appends_counter_ = nullptr;
+  obs::Counter* wal_bytes_counter_ = nullptr;
+  obs::Counter* contention_counter_ = nullptr;
 };
 
 }  // namespace mws::store

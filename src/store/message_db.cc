@@ -81,7 +81,11 @@ util::Result<StoredMessage> StoredMessage::Decode(const util::Bytes& data) {
   return m;
 }
 
-MessageDb::MessageDb(Table* table) : table_(table) {
+MessageDb::MessageDb(Table* table, obs::Registry* metrics) : table_(table) {
+  if (metrics != nullptr) {
+    appends_counter_ = metrics->GetCounter("md.appends");
+    dedup_counter_ = metrics->GetCounter("md.dedup_hits");
+  }
   auto counter = table_->Get(kNextIdKey);
   if (counter.ok()) {
     uint64_t next = 0;
@@ -131,6 +135,7 @@ util::Result<uint64_t> MessageDb::Append(const StoredMessage& message) {
                                      std::memory_order_relaxed);
     return write;
   }
+  if (appends_counter_ != nullptr) appends_counter_->Increment();
   return next;
 }
 
@@ -157,6 +162,7 @@ util::Result<MessageDb::AppendOutcome> MessageDb::AppendDeduped(
           table_->Contains(TimeIndexKey(stored.attribute,
                                         stored.timestamp_micros, reserved))) {
         dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (dedup_counter_ != nullptr) dedup_counter_->Increment();
         return AppendOutcome{reserved, true};
       }
       // A torn earlier attempt: resume the reserved id and rewrite the
@@ -174,6 +180,7 @@ util::Result<MessageDb::AppendOutcome> MessageDb::AppendDeduped(
     MWS_RETURN_IF_ERROR(table_->Put(dedup_key, w.Take()));
   }
   MWS_RETURN_IF_ERROR(WriteRecords(stored));
+  if (appends_counter_ != nullptr) appends_counter_->Increment();
   return AppendOutcome{stored.id, false};
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/store/table.h"
 
 namespace mws::store {
@@ -40,8 +41,10 @@ struct StoredMessage {
 class MessageDb {
  public:
   /// Borrows `table`; the table must outlive the MessageDb. Reads the
-  /// persisted id counter to seed in-memory id assignment.
-  explicit MessageDb(Table* table);
+  /// persisted id counter to seed in-memory id assignment. `metrics`
+  /// (optional, must outlive the MessageDb) exposes `md.appends` and
+  /// `md.dedup_hits`.
+  explicit MessageDb(Table* table, obs::Registry* metrics = nullptr);
 
   /// Stores `message` (its id field is ignored) and returns the assigned id.
   util::Result<uint64_t> Append(const StoredMessage& message);
@@ -114,6 +117,10 @@ class MessageDb {
   std::mutex counter_mutex_;
   uint64_t persisted_next_ = 0;
   std::atomic<uint64_t> dedup_hits_{0};
+
+  /// Resolved at construction when `metrics` is set; null otherwise.
+  obs::Counter* appends_counter_ = nullptr;
+  obs::Counter* dedup_counter_ = nullptr;
 };
 
 }  // namespace mws::store

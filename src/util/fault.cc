@@ -57,6 +57,7 @@ std::optional<Fault> FaultInjector::Evaluate(std::string_view operation) {
     fault.status = Status(rule.code, rule.message + " [" +
                                          FaultKindToString(rule.kind) +
                                          " @ " + std::string(operation) + "]");
+    if (fire_hook_) fire_hook_(fault, operation);
     return fault;
   }
   return std::nullopt;

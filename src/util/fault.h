@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -88,6 +89,17 @@ class FaultInjector {
   uint64_t calls() const { return calls_.load(std::memory_order_relaxed); }
   uint64_t fired() const { return fired_.load(std::memory_order_relaxed); }
 
+  /// Observer invoked (under the injector mutex — keep it cheap, never
+  /// re-enter the injector) each time a fault fires, with the fault and
+  /// the operation tag. Lets higher layers count injected faults per
+  /// kind without util depending on them (the scenario wires this to
+  /// obs counters). Set before traffic starts.
+  using FireHook = std::function<void(const Fault&, std::string_view)>;
+  void set_fire_hook(FireHook hook) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fire_hook_ = std::move(hook);
+  }
+
  private:
   struct ArmedRule {
     FaultRule rule;
@@ -98,6 +110,7 @@ class FaultInjector {
   std::mutex mutex_;
   DeterministicRandom rng_;
   std::vector<ArmedRule> rules_;
+  FireHook fire_hook_;
   std::atomic<uint64_t> calls_{0};
   std::atomic<uint64_t> fired_{0};
 };

@@ -68,7 +68,13 @@ util::Status DecodeWireError(const util::Bytes& payload) {
   uint16_t code = 0;
   std::string message;
   if (r.GetU16(&code) && r.GetString(&message) && r.Done()) {
-    return util::Status(StatusCodeFromWireCode(code), std::move(message));
+    util::StatusCode status_code = StatusCodeFromWireCode(code);
+    // This payload only ever rides an `ok == 0` frame, so OK can only
+    // mean corruption — never let a failed call decode into a success.
+    if (status_code == util::StatusCode::kOk) {
+      status_code = util::StatusCode::kInternal;
+    }
+    return util::Status(status_code, std::move(message));
   }
   return util::Status::Internal(util::StringFromBytes(payload));
 }
@@ -438,6 +444,36 @@ util::Result<KeyBatchResponse> KeyBatchResponse::Decode(
   }
   if (!r.Done()) return Malformed("KeyBatchResponse");
   return out;
+}
+
+util::Bytes StatsRequest::Encode() const {
+  util::Writer w;
+  w.PutU8(include_spans);
+  return w.Take();
+}
+
+util::Result<StatsRequest> StatsRequest::Decode(const util::Bytes& data) {
+  util::Reader r(data);
+  StatsRequest m;
+  r.GetU8(&m.include_spans);
+  if (!r.Done()) return Malformed("StatsRequest");
+  return m;
+}
+
+util::Bytes StatsResponse::Encode() const {
+  util::Writer w;
+  w.PutBytes(registry_snapshot);
+  w.PutBytes(trace_snapshot);
+  return w.Take();
+}
+
+util::Result<StatsResponse> StatsResponse::Decode(const util::Bytes& data) {
+  util::Reader r(data);
+  StatsResponse m;
+  r.GetBytes(&m.registry_snapshot);
+  r.GetBytes(&m.trace_snapshot);
+  if (!r.Done()) return Malformed("StatsResponse");
+  return m;
 }
 
 }  // namespace mws::wire

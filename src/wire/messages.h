@@ -219,6 +219,27 @@ struct KeyBatchResponse {
   static util::Result<KeyBatchResponse> Decode(const util::Bytes& data);
 };
 
+/// Observability fetch (`obs.stats`). The payloads are opaque at this
+/// layer (the wire module stays independent of obs types): the registry
+/// snapshot decodes with obs::RegistrySnapshot::Decode, the span list
+/// with obs::DecodeSpans.
+struct StatsRequest {
+  /// 1 = also return the tracer's retained spans.
+  uint8_t include_spans = 0;
+
+  util::Bytes Encode() const;
+  static util::Result<StatsRequest> Decode(const util::Bytes& data);
+};
+
+struct StatsResponse {
+  util::Bytes registry_snapshot;
+  /// Empty unless spans were requested and a tracer is attached.
+  util::Bytes trace_snapshot;
+
+  util::Bytes Encode() const;
+  static util::Result<StatsResponse> Decode(const util::Bytes& data);
+};
+
 }  // namespace mws::wire
 
 #endif  // MWSIBE_WIRE_MESSAGES_H_

@@ -15,7 +15,16 @@ RetryingTransport::RetryingTransport(Transport* base, const util::Clock* clock,
         std::this_thread::sleep_for(std::chrono::microseconds(micros));
       }),
       budget_(options.retry_budget),
-      rng_(options.seed) {}
+      rng_(options.seed) {
+  if (options.metrics != nullptr) {
+    calls_counter_ = options.metrics->GetCounter("retry.calls");
+    attempts_counter_ = options.metrics->GetCounter("retry.attempts");
+    retries_counter_ = options.metrics->GetCounter("retry.retries");
+    deadline_counter_ = options.metrics->GetCounter("retry.deadline_exceeded");
+    budget_counter_ = options.metrics->GetCounter("retry.budget_exhausted");
+    backoff_us_counter_ = options.metrics->GetCounter("retry.backoff_sleep_us");
+  }
+}
 
 double RetryingTransport::budget() const {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -37,7 +46,7 @@ int64_t RetryingTransport::NextBackoffMicros(int64_t prev_micros) {
 
 util::Result<util::Bytes> RetryingTransport::Call(const std::string& endpoint,
                                                   const util::Bytes& request) {
-  stats_.calls.fetch_add(1, std::memory_order_relaxed);
+  Bump(stats_.calls, calls_counter_);
   const int64_t deadline =
       options_.call_deadline_micros > 0
           ? clock_->NowMicros() + options_.call_deadline_micros
@@ -47,13 +56,13 @@ util::Result<util::Bytes> RetryingTransport::Call(const std::string& endpoint,
 
   for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
     if (deadline != 0 && clock_->NowMicros() >= deadline) {
-      stats_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      Bump(stats_.deadline_exceeded, deadline_counter_);
       return util::Status::DeadlineExceeded(
           "call deadline exceeded after " + std::to_string(attempt - 1) +
           " attempt(s) on " + endpoint +
           (last_error.ok() ? "" : "; last error: " + last_error.ToString()));
     }
-    stats_.attempts.fetch_add(1, std::memory_order_relaxed);
+    Bump(stats_.attempts, attempts_counter_);
     util::Result<util::Bytes> result = base_->Call(endpoint, request);
     if (result.ok()) {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -67,7 +76,7 @@ util::Result<util::Bytes> RetryingTransport::Call(const std::string& endpoint,
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (budget_ < 1.0) {
-        stats_.budget_exhausted.fetch_add(1, std::memory_order_relaxed);
+        Bump(stats_.budget_exhausted, budget_counter_);
         return result;
       }
       budget_ -= 1.0;
@@ -76,7 +85,7 @@ util::Result<util::Bytes> RetryingTransport::Call(const std::string& endpoint,
     if (deadline != 0) {
       int64_t remaining = deadline - clock_->NowMicros();
       if (remaining <= 0) {
-        stats_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+        Bump(stats_.deadline_exceeded, deadline_counter_);
         return util::Status::DeadlineExceeded(
             "call deadline exceeded after " + std::to_string(attempt) +
             " attempt(s) on " + endpoint + "; last error: " +
@@ -85,8 +94,13 @@ util::Result<util::Bytes> RetryingTransport::Call(const std::string& endpoint,
       sleep = std::min(sleep, remaining);
     }
     backoff = sleep;
-    stats_.retries.fetch_add(1, std::memory_order_relaxed);
-    if (sleep > 0) sleep_(sleep);
+    Bump(stats_.retries, retries_counter_);
+    if (sleep > 0) {
+      if (backoff_us_counter_ != nullptr) {
+        backoff_us_counter_->Increment(static_cast<uint64_t>(sleep));
+      }
+      sleep_(sleep);
+    }
   }
   return last_error;  // unreachable: the loop always returns
 }

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 
+#include "src/obs/metrics.h"
 #include "src/util/clock.h"
 #include "src/util/random.h"
 #include "src/wire/transport.h"
@@ -33,6 +34,11 @@ struct RetryOptions {
   double budget_refund = 0.1;
   /// Seed of the jitter PRNG (deterministic backoff schedule in tests).
   uint64_t seed = 2010;
+  /// Optional instrumentation sink (must outlive the transport). Mirrors
+  /// RetryStats into `retry.calls`, `retry.attempts`, `retry.retries`,
+  /// `retry.deadline_exceeded`, `retry.budget_exhausted`, and adds
+  /// `retry.backoff_sleep_us` (total backoff slept, microseconds).
+  obs::Registry* metrics = nullptr;
 };
 
 /// Counters exposed for tests and the resilience bench.
@@ -81,9 +87,24 @@ class RetryingTransport : public Transport {
   /// Next decorrelated-jitter sleep given the previous one.
   int64_t NextBackoffMicros(int64_t prev_micros);
 
+  /// Bumps both the RetryStats field and its registry mirror.
+  static void Bump(std::atomic<uint64_t>& stat, obs::Counter* counter,
+                   uint64_t n = 1) {
+    stat.fetch_add(n, std::memory_order_relaxed);
+    if (counter != nullptr) counter->Increment(n);
+  }
+
   Transport* base_;
   const util::Clock* clock_;
   RetryOptions options_;
+
+  /// Resolved at construction when metrics is set; null otherwise.
+  obs::Counter* calls_counter_ = nullptr;
+  obs::Counter* attempts_counter_ = nullptr;
+  obs::Counter* retries_counter_ = nullptr;
+  obs::Counter* deadline_counter_ = nullptr;
+  obs::Counter* budget_counter_ = nullptr;
+  obs::Counter* backoff_us_counter_ = nullptr;
   SleepFn sleep_;
   RetryStats stats_;
   /// Guards budget_ and rng_.

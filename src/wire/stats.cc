@@ -1,0 +1,38 @@
+#include "src/wire/stats.h"
+
+#include "src/wire/messages.h"
+
+namespace mws::wire {
+
+void RegisterStatsEndpoint(InProcessTransport* transport,
+                           const obs::Registry* registry,
+                           const obs::Tracer* tracer) {
+  transport->Register(
+      kStatsEndpoint,
+      [registry, tracer](const util::Bytes& request) -> util::Result<util::Bytes> {
+        MWS_ASSIGN_OR_RETURN(StatsRequest req, StatsRequest::Decode(request));
+        StatsResponse resp;
+        resp.registry_snapshot = registry->Snapshot().Encode();
+        if (req.include_spans != 0 && tracer != nullptr) {
+          resp.trace_snapshot = obs::EncodeSpans(tracer->Snapshot());
+        }
+        return resp.Encode();
+      });
+}
+
+util::Result<StatsDump> FetchStats(Transport* transport, bool include_spans) {
+  StatsRequest req;
+  req.include_spans = include_spans ? 1 : 0;
+  MWS_ASSIGN_OR_RETURN(util::Bytes raw,
+                       transport->Call(kStatsEndpoint, req.Encode()));
+  MWS_ASSIGN_OR_RETURN(StatsResponse resp, StatsResponse::Decode(raw));
+  StatsDump dump;
+  MWS_ASSIGN_OR_RETURN(dump.registry,
+                       obs::RegistrySnapshot::Decode(resp.registry_snapshot));
+  if (!resp.trace_snapshot.empty()) {
+    MWS_ASSIGN_OR_RETURN(dump.spans, obs::DecodeSpans(resp.trace_snapshot));
+  }
+  return dump;
+}
+
+}  // namespace mws::wire

@@ -1,0 +1,35 @@
+#ifndef MWSIBE_WIRE_STATS_H_
+#define MWSIBE_WIRE_STATS_H_
+
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/result.h"
+#include "src/wire/transport.h"
+
+namespace mws::wire {
+
+/// Endpoint name for the observability fetch.
+inline constexpr char kStatsEndpoint[] = "obs.stats";
+
+/// Registers `obs.stats` on `transport`, serving snapshots of `registry`
+/// (required) and, when spans are requested, `tracer` (may be null).
+/// Both must outlive the transport.
+void RegisterStatsEndpoint(InProcessTransport* transport,
+                           const obs::Registry* registry,
+                           const obs::Tracer* tracer = nullptr);
+
+/// Decoded `obs.stats` response.
+struct StatsDump {
+  obs::RegistrySnapshot registry;
+  std::vector<obs::SpanRecord> spans;
+};
+
+/// Client-side helper: issues a StatsRequest over `transport` and
+/// decodes the payloads.
+util::Result<StatsDump> FetchStats(Transport* transport, bool include_spans);
+
+}  // namespace mws::wire
+
+#endif  // MWSIBE_WIRE_STATS_H_

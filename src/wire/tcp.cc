@@ -93,6 +93,11 @@ util::Result<std::unique_ptr<TcpServer>> TcpServer::Start(
   auto server = std::unique_ptr<TcpServer>(new TcpServer());
   server->backend_ = backend;
   server->options_ = options;
+  if (options.metrics != nullptr) {
+    server->shed_counter_ = options.metrics->GetCounter("tcp.shed_requests");
+    server->queue_depth_gauge_ = options.metrics->GetGauge("tcp.queue_depth");
+    server->connections_gauge_ = options.metrics->GetGauge("tcp.connections");
+  }
   server->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (server->listen_fd_ < 0) {
     return util::Status::IoError("socket() failed");
@@ -179,8 +184,12 @@ bool TcpServer::EnqueueReady(int fd) {
   bool shed = dispatchable_queued_ >= options_.queue_capacity;
   if (shed) {
     shed_requests_.fetch_add(1, std::memory_order_relaxed);
+    if (shed_counter_ != nullptr) shed_counter_->Increment();
   } else {
     ++dispatchable_queued_;
+    if (queue_depth_gauge_ != nullptr) {
+      queue_depth_gauge_->Set(static_cast<int64_t>(dispatchable_queued_));
+    }
   }
   ready_queue_.push_back(Ready{fd, shed});
   lock.unlock();
@@ -195,7 +204,12 @@ TcpServer::Ready TcpServer::PopReady() {
   if (ready_queue_.empty()) return Ready{};
   Ready ready = ready_queue_.front();
   ready_queue_.pop_front();
-  if (!ready.shed) --dispatchable_queued_;
+  if (!ready.shed) {
+    --dispatchable_queued_;
+    if (queue_depth_gauge_ != nullptr) {
+      queue_depth_gauge_->Set(static_cast<int64_t>(dispatchable_queued_));
+    }
+  }
   return ready;
 }
 
@@ -227,6 +241,9 @@ void TcpServer::IoLoop() {
         {
           std::lock_guard<std::mutex> lock(open_fds_mutex_);
           open_fds_.erase(fd);
+          if (connections_gauge_ != nullptr) {
+            connections_gauge_->Set(static_cast<int64_t>(open_fds_.size()));
+          }
         }
         ::close(fd);
       }
@@ -279,6 +296,9 @@ void TcpServer::IoLoop() {
         {
           std::lock_guard<std::mutex> lock(open_fds_mutex_);
           open_fds_.erase(fd);
+          if (connections_gauge_ != nullptr) {
+            connections_gauge_->Set(static_cast<int64_t>(open_fds_.size()));
+          }
         }
         ::close(fd);
       } else {
@@ -293,6 +313,9 @@ void TcpServer::IoLoop() {
         {
           std::lock_guard<std::mutex> lock(open_fds_mutex_);
           open_fds_.insert(fd);
+          if (connections_gauge_ != nullptr) {
+            connections_gauge_->Set(static_cast<int64_t>(open_fds_.size()));
+          }
         }
         idle.push_back(fd);
       }
@@ -309,6 +332,9 @@ void TcpServer::WorkerLoop() {
       {
         std::lock_guard<std::mutex> lock(open_fds_mutex_);
         open_fds_.erase(ready.fd);
+        if (connections_gauge_ != nullptr) {
+          connections_gauge_->Set(static_cast<int64_t>(open_fds_.size()));
+        }
       }
       ::close(ready.fd);
     }
@@ -341,12 +367,28 @@ bool TcpServer::HandleOneRequest(int fd, bool shed) {
     return false;
   }
 
-  util::Result<util::Bytes> result =
-      shed ? util::Result<util::Bytes>(util::Status::ResourceExhausted(
-                 "server overloaded: dispatch queue full"))
-           // Dispatch without any server-wide lock: the registered
-           // services are responsible for their own thread safety.
-           : backend_->Call(util::StringFromBytes(endpoint_bytes), body);
+  std::string endpoint = util::StringFromBytes(endpoint_bytes);
+  obs::Registry* metrics = options_.metrics;
+  util::Result<util::Bytes> result = [&]() -> util::Result<util::Bytes> {
+    if (shed) {
+      return util::Status::ResourceExhausted(
+          "server overloaded: dispatch queue full");
+    }
+    obs::ScopedTimer timer(
+        metrics != nullptr
+            ? metrics->GetHistogram("tcp.request_us", {{"op", endpoint}})
+            : nullptr);
+    // Dispatch without any server-wide lock: the registered services are
+    // responsible for their own thread safety.
+    return backend_->Call(endpoint, body);
+  }();
+  if (metrics != nullptr && !shed) {
+    metrics->GetCounter("tcp.requests", {{"op", endpoint}})->Increment();
+    if (!result.ok()) {
+      metrics->GetCounter("tcp.request_errors", {{"op", endpoint}})
+          ->Increment();
+    }
+  }
 
   util::Bytes response;
   if (result.ok()) {

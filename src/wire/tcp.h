@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/wire/transport.h"
 
 namespace mws::wire {
@@ -58,6 +59,11 @@ class TcpServer {
     /// Largest accepted request body; larger frames close the
     /// connection.
     uint32_t max_frame_bytes = 64u * 1024 * 1024;
+    /// Optional instrumentation sink (must outlive the server). When
+    /// set, the server maintains `tcp.requests{op=...}`,
+    /// `tcp.request_errors{op=...}`, `tcp.request_us{op=...}`,
+    /// `tcp.shed_requests`, `tcp.queue_depth`, and `tcp.connections`.
+    obs::Registry* metrics = nullptr;
   };
 
   /// Serves the handlers registered on `backend` (which must outlive the
@@ -137,6 +143,13 @@ class TcpServer {
   size_t dispatchable_queued_ = 0;
   bool queue_closed_ = false;
   std::atomic<uint64_t> shed_requests_{0};
+
+  /// Resolved once at Start when Options::metrics is set; all null
+  /// otherwise (per-endpoint latency histograms resolve lazily through
+  /// options_.metrics since endpoint names arrive with the request).
+  obs::Counter* shed_counter_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Gauge* connections_gauge_ = nullptr;
 
   /// Connections handed back by workers, drained by the IO thread.
   std::mutex completed_mutex_;

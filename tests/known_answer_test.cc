@@ -1,0 +1,139 @@
+// Known-answer tests against published vectors: DES single-block vectors
+// (FIPS 46-3 era test values), SHA-1 (FIPS 180-1 appendix examples,
+// including the streamed one-million-'a' message), MD5 (RFC 1321), and
+// HMAC (RFC 2202 / RFC 4231). Complements cipher_test/hash_test, which
+// cover the remaining standard vectors; nothing here overlaps.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/crypto/block_cipher.h"
+#include "src/crypto/hash.h"
+#include "src/crypto/hmac.h"
+#include "src/util/hex.h"
+
+namespace mws::crypto {
+namespace {
+
+using util::Bytes;
+using util::BytesFromString;
+using util::HexDecode;
+using util::HexEncode;
+
+/// Encrypts one 8-byte block under DES and returns the hex ciphertext.
+std::string DesEncryptBlockHex(const std::string& key_hex,
+                               const std::string& plain_hex) {
+  Bytes key = HexDecode(key_hex).value();
+  Bytes in = HexDecode(plain_hex).value();
+  auto cipher = NewBlockCipher(CipherKind::kDes, key).value();
+  Bytes out(8);
+  cipher->EncryptBlock(in.data(), out.data());
+  return HexEncode(out);
+}
+
+TEST(DesKnownAnswerTest, ZeroKeyZeroPlaintext) {
+  EXPECT_EQ(DesEncryptBlockHex("0000000000000000", "0000000000000000"),
+            "8ca64de9c1b123a7");
+}
+
+TEST(DesKnownAnswerTest, AllOnesKeyAllOnesPlaintext) {
+  EXPECT_EQ(DesEncryptBlockHex("ffffffffffffffff", "ffffffffffffffff"),
+            "7359b2163e4edc58");
+}
+
+TEST(DesKnownAnswerTest, NowIsTheTime) {
+  // key 0123456789ABCDEF, plaintext "Now is t" — the classic vector from
+  // the original DES validation suite write-ups.
+  EXPECT_EQ(DesEncryptBlockHex("0123456789abcdef", "4e6f772069732074"),
+            "3fa40e8a984d4815");
+}
+
+TEST(DesKnownAnswerTest, DecryptInvertsKnownVectors) {
+  struct Vector {
+    const char* key;
+    const char* plain;
+    const char* cipher;
+  };
+  const Vector vectors[] = {
+      {"0000000000000000", "0000000000000000", "8ca64de9c1b123a7"},
+      {"ffffffffffffffff", "ffffffffffffffff", "7359b2163e4edc58"},
+      {"0123456789abcdef", "4e6f772069732074", "3fa40e8a984d4815"},
+  };
+  for (const Vector& v : vectors) {
+    Bytes key = HexDecode(v.key).value();
+    Bytes ct = HexDecode(v.cipher).value();
+    auto cipher = NewBlockCipher(CipherKind::kDes, key).value();
+    Bytes out(8);
+    cipher->DecryptBlock(ct.data(), out.data());
+    EXPECT_EQ(HexEncode(out), v.plain) << "key " << v.key;
+  }
+}
+
+TEST(Sha1KnownAnswerTest, TwoBlockMessage) {
+  // FIPS 180-1 appendix A example 2 (56 characters, spans two blocks).
+  EXPECT_EQ(
+      HexEncode(Sha1(BytesFromString(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1KnownAnswerTest, MillionAs) {
+  // FIPS 180-1 appendix A example 3, streamed through the incremental
+  // interface in uneven chunks to exercise buffering across block
+  // boundaries.
+  auto hasher = NewHasher(HashKind::kSha1);
+  const std::string chunk(4099, 'a');  // prime-sized, misaligned chunks
+  size_t remaining = 1'000'000;
+  while (remaining > 0) {
+    size_t n = std::min(remaining, chunk.size());
+    hasher->Update(reinterpret_cast<const uint8_t*>(chunk.data()), n);
+    remaining -= n;
+  }
+  EXPECT_EQ(HexEncode(hasher->Finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Md5KnownAnswerTest, EmptyMessage) {
+  // RFC 1321 §A.5 first test string.
+  EXPECT_EQ(HexEncode(Md5(Bytes{})), "d41d8cd98f00b204e9800998ecf8427e");
+}
+
+TEST(Md5KnownAnswerTest, MessageDigestString) {
+  // RFC 1321 §A.5: MD5("message digest").
+  EXPECT_EQ(HexEncode(Md5(BytesFromString("message digest"))),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+}
+
+TEST(HmacKnownAnswerTest, Rfc2202Sha1Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(HexEncode(Hmac(HashKind::kSha1, key, BytesFromString("Hi There"))),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(HmacKnownAnswerTest, Rfc2202Md5Case1) {
+  Bytes key(16, 0x0b);
+  EXPECT_EQ(HexEncode(Hmac(HashKind::kMd5, key, BytesFromString("Hi There"))),
+            "9294727a3638bb1c13f48ef8158bfc9d");
+}
+
+TEST(HmacKnownAnswerTest, Rfc4231Sha256Case3) {
+  // 20-byte 0xaa key, 50-byte 0xdd data.
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  EXPECT_EQ(
+      HexEncode(Hmac(HashKind::kSha256, key, data)),
+      "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacKnownAnswerTest, VerifyAcceptsAndRejects) {
+  Bytes key(20, 0x0b);
+  Bytes data = BytesFromString("Hi There");
+  Bytes mac = HexDecode("b617318655057264e28bc0b6fb378c8ef146be00").value();
+  EXPECT_TRUE(VerifyHmac(HashKind::kSha1, key, data, mac));
+  mac[0] ^= 0x01;
+  EXPECT_FALSE(VerifyHmac(HashKind::kSha1, key, data, mac));
+}
+
+}  // namespace
+}  // namespace mws::crypto

@@ -1,0 +1,470 @@
+// Tests for the observability layer: instrument semantics (counter,
+// gauge, log-scale histogram and its percentile estimator), the span
+// tracer's parenting and ring retention, registry snapshot
+// serialization, and — end to end — the `obs.stats` wire endpoint
+// serving live metrics from a TCP deployment running the full protocol.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/client/receiving_client.h"
+#include "src/client/smart_device.h"
+#include "src/crypto/rsa.h"
+#include "src/math/params.h"
+#include "src/mws/mws_service.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/pkg/pkg_service.h"
+#include "src/store/kvstore.h"
+#include "src/util/clock.h"
+#include "src/util/random.h"
+#include "src/wire/auth.h"
+#include "src/wire/stats.h"
+#include "src/wire/tcp.h"
+
+namespace mws {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::HistogramSnapshot;
+using obs::Registry;
+using obs::RegistrySnapshot;
+using obs::Span;
+using obs::SpanRecord;
+using obs::Tracer;
+using util::Bytes;
+using util::BytesFromString;
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-25);
+  EXPECT_EQ(g.Value(), -15);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAllLand) {
+  Registry registry;
+  Counter* c = registry.GetCounter("test.hits");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kPerThread; ++i) c->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->Value(), uint64_t{kThreads} * kPerThread);
+}
+
+// --- Histogram buckets ---
+
+TEST(HistogramTest, BucketBoundariesTile) {
+  // Bucket 0 holds exactly {0}; bucket i > 0 holds [2^(i-1), 2^i - 1];
+  // consecutive buckets tile the integers with no gap or overlap.
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  for (size_t i = 1; i + 1 < Histogram::kBuckets; ++i) {
+    const uint64_t lo = Histogram::BucketLowerBound(i);
+    const uint64_t hi = Histogram::BucketUpperBound(i);
+    EXPECT_EQ(lo, uint64_t{1} << (i - 1));
+    EXPECT_EQ(hi, (uint64_t{1} << i) - 1);
+    EXPECT_EQ(Histogram::BucketIndex(lo), i);
+    EXPECT_EQ(Histogram::BucketIndex(hi), i);
+    EXPECT_EQ(Histogram::BucketUpperBound(i - 1) + 1, lo);
+  }
+  // The last bucket is open-ended and everything huge lands in it.
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kBuckets - 1), UINT64_MAX);
+}
+
+TEST(HistogramTest, SnapshotBasics) {
+  Histogram h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(100);
+  h.Record(100);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 201u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 100u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 201.0 / 4.0);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[Histogram::BucketIndex(100)], 2u);
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Mean(), 0.0);
+}
+
+TEST(HistogramTest, PercentileMatchesExactSortWithinBucket) {
+  // Property check against 1000 seeded log-uniform samples: for every
+  // requested percentile, the estimate must land inside the bucket that
+  // contains the exact order statistic, and must be monotone in p.
+  util::DeterministicRandom rng(20100301);
+  Histogram h;
+  std::vector<uint64_t> samples;
+  const size_t n = 1000;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t magnitude = rng.NextU64() % 30;  // spans buckets 0..30
+    uint64_t v = rng.NextU64() & ((uint64_t{1} << magnitude) - 1);
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  HistogramSnapshot snap = h.Snapshot();
+
+  double previous = -1.0;
+  for (double p : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0}) {
+    const double estimate = snap.Percentile(p);
+    // Same rank rule as the implementation: 1-based, clamped to >= 1.
+    double rank = p * static_cast<double>(n);
+    if (rank < 1.0) rank = 1.0;
+    const uint64_t exact =
+        samples[static_cast<size_t>(std::ceil(rank)) - 1];
+    const size_t bucket = Histogram::BucketIndex(exact);
+    EXPECT_GE(estimate,
+              static_cast<double>(Histogram::BucketLowerBound(bucket)))
+        << "p=" << p << " exact=" << exact;
+    EXPECT_LE(estimate,
+              static_cast<double>(Histogram::BucketUpperBound(bucket)))
+        << "p=" << p << " exact=" << exact;
+    EXPECT_GE(estimate, previous) << "percentiles must be monotone, p=" << p;
+    previous = estimate;
+  }
+}
+
+TEST(HistogramTest, SnapshotUnderConcurrentRecording) {
+  // Snapshots taken mid-flight must stay internally coherent: count
+  // never decreases between snapshots and never exceeds the true total.
+  Histogram h;
+  constexpr int kThreads = 2;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(i) % 1024);
+      }
+    });
+  }
+  uint64_t last_count = 0;
+  for (int i = 0; i < 100; ++i) {
+    HistogramSnapshot snap = h.Snapshot();
+    EXPECT_GE(snap.count, last_count);
+    EXPECT_LE(snap.count, uint64_t{kThreads} * kPerThread);
+    last_count = snap.count;
+  }
+  for (auto& t : writers) t.join();
+  HistogramSnapshot final_snap = h.Snapshot();
+  EXPECT_EQ(final_snap.count, uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(final_snap.max, 1023u);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : final_snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, final_snap.count);
+}
+
+// --- Registry ---
+
+TEST(RegistryTest, LabelsAreCanonicalized) {
+  Registry registry;
+  Counter* a = registry.GetCounter("rpc", {{"op", "put"}, {"code", "ok"}});
+  Counter* b = registry.GetCounter("rpc", {{"code", "ok"}, {"op", "put"}});
+  EXPECT_EQ(a, b) << "label order must not mint a second instrument";
+  a->Increment();
+  RegistrySnapshot snap = registry.Snapshot();
+  ASSERT_NE(snap.counter("rpc{code=ok,op=put}"), nullptr);
+  EXPECT_EQ(*snap.counter("rpc{code=ok,op=put}"), 1u);
+  EXPECT_EQ(snap.counter("rpc{op=put,code=ok}"), nullptr);
+}
+
+TEST(RegistryTest, StablePointersAcrossLookups) {
+  Registry registry;
+  Counter* first = registry.GetCounter("x");
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("spam." + std::to_string(i));
+  }
+  EXPECT_EQ(registry.GetCounter("x"), first);
+}
+
+TEST(RegistryTest, SnapshotEncodeDecodeRoundTrip) {
+  Registry registry;
+  registry.GetCounter("mws.requests", {{"op", "deposit"}})->Increment(3);
+  registry.GetCounter("plain")->Increment(7);
+  registry.GetGauge("tcp.queue_depth")->Set(-4);
+  Histogram* h = registry.GetHistogram("mws.latency_us", {{"op", "deposit"}});
+  for (uint64_t v : {1u, 10u, 100u, 1000u, 10000u}) h->Record(v);
+
+  RegistrySnapshot snap = registry.Snapshot();
+  Bytes encoded = snap.Encode();
+  auto decoded = RegistrySnapshot::Decode(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+
+  ASSERT_EQ(decoded->counters.size(), snap.counters.size());
+  for (size_t i = 0; i < snap.counters.size(); ++i) {
+    EXPECT_EQ(decoded->counters[i], snap.counters[i]);
+  }
+  ASSERT_EQ(decoded->gauges.size(), snap.gauges.size());
+  EXPECT_EQ(decoded->gauges[0], snap.gauges[0]);
+  ASSERT_EQ(decoded->histograms.size(), 1u);
+  const HistogramSnapshot& orig = snap.histograms[0].second;
+  const HistogramSnapshot& back = decoded->histograms[0].second;
+  EXPECT_EQ(decoded->histograms[0].first, "mws.latency_us{op=deposit}");
+  EXPECT_EQ(back.count, orig.count);
+  EXPECT_EQ(back.sum, orig.sum);
+  EXPECT_EQ(back.min, orig.min);
+  EXPECT_EQ(back.max, orig.max);
+  EXPECT_EQ(back.buckets, orig.buckets);
+
+  // Truncated input must fail cleanly, never crash.
+  for (size_t cut = 0; cut < encoded.size(); cut += 7) {
+    Bytes truncated(encoded.begin(), encoded.begin() + cut);
+    EXPECT_FALSE(RegistrySnapshot::Decode(truncated).ok());
+  }
+}
+
+TEST(RegistryTest, TextAndJsonRendering) {
+  Registry registry;
+  registry.GetCounter("mws.requests", {{"op", "deposit"}})->Increment(5);
+  registry.GetHistogram("lat")->Record(64);
+  RegistrySnapshot snap = registry.Snapshot();
+  const std::string text = snap.ToText();
+  EXPECT_NE(text.find("mws.requests{op=deposit} 5"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat"), std::string::npos);
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"mws.requests{op=deposit}\":5"), std::string::npos)
+      << json;
+}
+
+// --- Tracer ---
+
+TEST(TracerTest, SpanParentingAndSimulatedDurations) {
+  util::SimulatedClock clock(1'000);
+  Tracer tracer(&clock, /*capacity=*/16);
+
+  Span root = tracer.StartTrace("mws.deposit");
+  const uint64_t root_id = root.span_id();
+  clock.AdvanceMicros(5);
+  {
+    Span child = root.Child("sda.verify");
+    EXPECT_EQ(child.trace_id(), root.trace_id());
+    EXPECT_EQ(child.parent_id(), root_id);
+    clock.AdvanceMicros(7);
+  }  // child finishes here
+  clock.AdvanceMicros(3);
+  root.End();
+
+  std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Finish order: child first, root second.
+  EXPECT_EQ(spans[0].name, "sda.verify");
+  EXPECT_EQ(spans[0].parent_id, root_id);
+  EXPECT_EQ(spans[0].DurationMicros(), 7);
+  EXPECT_EQ(spans[1].name, "mws.deposit");
+  EXPECT_EQ(spans[1].parent_id, 0u);
+  EXPECT_EQ(spans[1].DurationMicros(), 15);
+  EXPECT_EQ(spans[0].trace_id, spans[1].trace_id);
+  EXPECT_EQ(tracer.spans_started(), 2u);
+  EXPECT_EQ(tracer.spans_dropped(), 0u);
+}
+
+TEST(TracerTest, RingRetainsNewestOldestFirst) {
+  util::SimulatedClock clock(0);
+  Tracer tracer(&clock, /*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    Span s = tracer.StartTrace("op-" + std::to_string(i));
+    clock.AdvanceMicros(1);
+  }
+  std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "op-6");
+  EXPECT_EQ(spans[3].name, "op-9");
+  EXPECT_EQ(tracer.spans_started(), 10u);
+  EXPECT_EQ(tracer.spans_dropped(), 6u);
+}
+
+TEST(TracerTest, InertSpansAreFullyInert) {
+  Span inert = Tracer::MaybeStartTrace(nullptr, "ghost");
+  EXPECT_FALSE(inert.active());
+  Span child = inert.Child("ghost-child");
+  EXPECT_FALSE(child.active());
+  child.End();
+  inert.End();  // no-ops, must not crash
+
+  Span moved_from = Tracer::MaybeStartTrace(nullptr, "x");
+  Span moved_to = std::move(moved_from);
+  EXPECT_FALSE(moved_to.active());
+}
+
+TEST(TracerTest, SpanEncodeDecodeRoundTrip) {
+  util::SimulatedClock clock(500);
+  Tracer tracer(&clock, 8);
+  {
+    Span root = tracer.StartTrace("a");
+    clock.AdvanceMicros(9);
+    Span child = root.Child("b");
+    clock.AdvanceMicros(2);
+  }
+  std::vector<SpanRecord> spans = tracer.Snapshot();
+  Bytes encoded = obs::EncodeSpans(spans);
+  auto decoded = obs::DecodeSpans(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->size(), spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(decoded->at(i).trace_id, spans[i].trace_id);
+    EXPECT_EQ(decoded->at(i).span_id, spans[i].span_id);
+    EXPECT_EQ(decoded->at(i).parent_id, spans[i].parent_id);
+    EXPECT_EQ(decoded->at(i).name, spans[i].name);
+    EXPECT_EQ(decoded->at(i).start_micros, spans[i].start_micros);
+    EXPECT_EQ(decoded->at(i).end_micros, spans[i].end_micros);
+  }
+  Bytes truncated(encoded.begin(), encoded.begin() + encoded.size() / 2);
+  EXPECT_FALSE(obs::DecodeSpans(truncated).ok());
+}
+
+// --- End to end: deposit + retrieve over TCP, then STATS ---
+
+TEST(StatsEndpointTest, LiveMetricsOverTcp) {
+  util::SimulatedClock clock(1'000'000'000);
+  util::DeterministicRandom rng(7);
+  obs::Registry registry;
+  obs::Tracer tracer(&clock, 64);
+  auto storage =
+      store::KvStore::Open({.path = "", .metrics = &registry}).value();
+  Bytes service_key(32, 0x3c);
+
+  mws::MwsOptions mws_options;
+  mws_options.metrics = &registry;
+  mws_options.tracer = &tracer;
+  mws::MwsService warehouse(storage.get(), service_key, &clock, &rng,
+                            mws_options);
+  pkg::PkgOptions pkg_options;
+  pkg_options.metrics = &registry;
+  pkg_options.tracer = &tracer;
+  pkg::PkgService pkg(math::GetParams(math::ParamPreset::kSmall), service_key,
+                      &clock, &rng, pkg_options);
+
+  wire::InProcessTransport mws_backend, pkg_backend;
+  warehouse.RegisterEndpoints(&mws_backend);
+  pkg.RegisterEndpoints(&pkg_backend);
+  wire::RegisterStatsEndpoint(&mws_backend, &registry, &tracer);
+  wire::TcpServer::Options server_options;
+  server_options.metrics = &registry;
+  auto mws_server =
+      wire::TcpServer::Start(&mws_backend, 0, server_options).value();
+  auto pkg_server = wire::TcpServer::Start(&pkg_backend, 0).value();
+
+  wire::TcpClientTransport mws_conn("127.0.0.1", mws_server->port());
+  wire::TcpClientTransport pkg_conn("127.0.0.1", pkg_server->port());
+  class Mux : public wire::Transport {
+   public:
+    Mux(Transport* mws, Transport* pkg) : mws_(mws), pkg_(pkg) {}
+    util::Result<Bytes> Call(const std::string& endpoint,
+                             const Bytes& request) override {
+      if (endpoint.rfind("pkg.", 0) == 0) return pkg_->Call(endpoint, request);
+      return mws_->Call(endpoint, request);
+    }
+
+   private:
+    Transport* mws_;
+    Transport* pkg_;
+  } mux(&mws_conn, &pkg_conn);
+
+  Bytes mac_key(32, 0x11);
+  ASSERT_TRUE(warehouse.RegisterDevice("SD-1", mac_key).ok());
+  auto keys = crypto::RsaGenerateKeyPair(768, rng).value();
+  ASSERT_TRUE(warehouse
+                  .RegisterReceivingClient(
+                      "RC-1", wire::HashPassword("pw"),
+                      crypto::SerializeRsaPublicKey(keys.public_key))
+                  .ok());
+  ASSERT_TRUE(warehouse.GrantAttribute("RC-1", "ELECTRIC-STATS-TEST").ok());
+
+  client::SmartDevice device("SD-1", mac_key, pkg.PublicParams(),
+                             crypto::CipherKind::kDes, &mux, &clock, &rng);
+  for (int i = 0; i < 3; ++i) {
+    auto id = device.DepositMessage("ELECTRIC-STATS-TEST",
+                                    BytesFromString("kWh=2.5 over tcp"));
+    ASSERT_TRUE(id.ok()) << id.status();
+  }
+  client::ReceivingClient rc("RC-1", "pw", std::move(keys), pkg.PublicParams(),
+                             crypto::CipherKind::kDes, crypto::CipherKind::kDes,
+                             &mux, &clock, &rng);
+  auto messages = rc.FetchAndDecrypt();
+  ASSERT_TRUE(messages.ok()) << messages.status();
+  ASSERT_EQ(messages->size(), 3u);
+
+  // Fetch the stats over the same wire the protocol used.
+  auto dump = wire::FetchStats(&mws_conn, /*include_spans=*/true);
+  ASSERT_TRUE(dump.ok()) << dump.status();
+  const RegistrySnapshot& snap = dump->registry;
+
+  const uint64_t* deposits = snap.counter("mws.requests{op=deposit}");
+  ASSERT_NE(deposits, nullptr);
+  EXPECT_EQ(*deposits, 3u);
+  const uint64_t* retrieves = snap.counter("mws.requests{op=retrieve}");
+  ASSERT_NE(retrieves, nullptr);
+  EXPECT_GE(*retrieves, 1u);
+  const uint64_t* auth_ok = snap.counter("gatekeeper.auth_ok");
+  ASSERT_NE(auth_ok, nullptr);
+  EXPECT_GE(*auth_ok, 1u);
+  ASSERT_NE(snap.counter("pkg.requests{op=auth}"), nullptr);
+
+  for (const char* name :
+       {"mws.latency_us{op=deposit}", "mws.latency_us{op=retrieve}",
+        "tcp.request_us{op=mws.deposit}"}) {
+    const HistogramSnapshot* h = snap.histogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_GE(h->count, 1u) << name;
+    const double p50 = h->Percentile(0.50);
+    const double p95 = h->Percentile(0.95);
+    const double p99 = h->Percentile(0.99);
+    EXPECT_LE(p50, p95) << name;
+    EXPECT_LE(p95, p99) << name;
+  }
+
+  // The trace ring came along: deposit roots plus their child stages.
+  ASSERT_FALSE(dump->spans.empty());
+  bool saw_deposit_root = false;
+  bool saw_child_stage = false;
+  for (const SpanRecord& span : dump->spans) {
+    if (span.name == "mws.deposit" && span.parent_id == 0) {
+      saw_deposit_root = true;
+    }
+    if (span.parent_id != 0) saw_child_stage = true;
+  }
+  EXPECT_TRUE(saw_deposit_root);
+  EXPECT_TRUE(saw_child_stage);
+
+  // Without spans the payload shrinks to the registry alone.
+  auto lean = wire::FetchStats(&mws_conn, /*include_spans=*/false);
+  ASSERT_TRUE(lean.ok()) << lean.status();
+  EXPECT_TRUE(lean->spans.empty());
+  EXPECT_NE(lean->registry.counter("mws.requests{op=deposit}"), nullptr);
+}
+
+}  // namespace
+}  // namespace mws

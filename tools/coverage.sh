@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Line-coverage report for the whole test suite, with no dependency on
+# lcov/gcovr: configures a gcov-instrumented build, runs ctest, then
+# aggregates `gcov --json-format` output with python3.
+#
+#   tools/coverage.sh [build-dir]           # default build-cov
+#
+# Prints per-file and per-module line coverage for src/ plus a total;
+# the measured number is recorded in DESIGN.md §11.
+
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$REPO/build-cov}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "$BUILD" -S "$REPO" -DMWSIBE_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug \
+      >/dev/null
+cmake --build "$BUILD" -j "$JOBS"
+
+# A fresh run: drop counters from any previous invocation.
+find "$BUILD" -name '*.gcda' -delete
+
+ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+# gcov writes its JSON next to the cwd; work inside the build tree.
+cd "$BUILD"
+find . -name '*.gcda' | while read -r gcda; do
+  gcov --json-format --stdout "$gcda" 2>/dev/null
+done > coverage-raw.jsonl
+
+python3 - "$REPO" coverage-raw.jsonl <<'EOF'
+import collections
+import json
+import sys
+
+repo = sys.argv[1]
+# (file -> line -> hit?) merged across every test binary's counters.
+lines = collections.defaultdict(dict)
+for raw in open(sys.argv[2]):
+    raw = raw.strip()
+    if not raw:
+        continue
+    try:
+        report = json.loads(raw)
+    except json.JSONDecodeError:
+        continue
+    for f in report.get("files", []):
+        name = f["file"]
+        if not name.startswith("src/") and f"{repo}/src/" not in name:
+            continue
+        name = name.split(f"{repo}/")[-1]
+        for line in f.get("lines", []):
+            n = line["line_number"]
+            lines[name][n] = lines[name].get(n, False) or line["count"] > 0
+
+per_module = collections.defaultdict(lambda: [0, 0])
+total_hit = total_all = 0
+print(f"{'file':56s} {'lines':>7s} {'cov%':>7s}")
+for name in sorted(lines):
+    hits = sum(1 for h in lines[name].values() if h)
+    count = len(lines[name])
+    total_hit += hits
+    total_all += count
+    module = "/".join(name.split("/")[:2])
+    per_module[module][0] += hits
+    per_module[module][1] += count
+    print(f"{name:56s} {count:7d} {100.0 * hits / count:6.1f}%")
+
+print()
+print(f"{'module':56s} {'lines':>7s} {'cov%':>7s}")
+for module in sorted(per_module):
+    hits, count = per_module[module]
+    print(f"{module:56s} {count:7d} {100.0 * hits / count:6.1f}%")
+print()
+if total_all:
+    print(f"TOTAL src/ line coverage: {100.0 * total_hit / total_all:.1f}% "
+          f"({total_hit}/{total_all} lines)")
+EOF

@@ -1,0 +1,65 @@
+// Operations tool: fetches and prints the observability snapshot of a
+// running MWS node over the TCP wire (the `obs.stats` endpoint).
+//
+//   ./mws_stats <host> <port> [--json] [--spans]
+//
+// Default output is the human-readable text rendering (one line per
+// counter/gauge, a block per histogram); --json emits the machine form.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/wire/stats.h"
+#include "src/wire/tcp.h"
+
+int main(int argc, char** argv) {
+  using namespace mws;
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s <host> <port> [--json] [--spans]\n",
+                 argv[0]);
+    return 2;
+  }
+  bool json = false;
+  bool spans = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--spans") == 0) {
+      spans = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  wire::TcpClientTransport transport(
+      argv[1], static_cast<uint16_t>(std::atoi(argv[2])));
+  auto dump = wire::FetchStats(&transport, spans);
+  if (!dump.ok()) {
+    std::fprintf(stderr, "stats fetch failed: %s\n",
+                 dump.status().ToString().c_str());
+    return 1;
+  }
+
+  if (json) {
+    std::printf("%s\n", dump->registry.ToJson().c_str());
+  } else {
+    std::fputs(dump->registry.ToText().c_str(), stdout);
+  }
+  if (spans) {
+    std::printf("\nspans (%zu, oldest first):\n", dump->spans.size());
+    for (const obs::SpanRecord& span : dump->spans) {
+      std::printf(
+          "  trace=%llu span=%llu parent=%llu %-24s %lld us\n",
+          static_cast<unsigned long long>(span.trace_id),
+          static_cast<unsigned long long>(span.span_id),
+          static_cast<unsigned long long>(span.parent_id), span.name.c_str(),
+          static_cast<long long>(span.DurationMicros()));
+    }
+  }
+  return 0;
+}
