@@ -45,6 +45,21 @@ class ReceivingClient {
                                                 int64_t from_micros = 0,
                                                 int64_t to_micros = 0);
 
+  /// One bounded slice of Retrieve via "mws.retrieve_chunk": at most
+  /// `max_messages` records; the token arrives only on the final chunk
+  /// (response.has_more == false). Pre: Authenticate() ok.
+  util::Result<wire::RetrieveChunkResponse> RetrieveChunk(
+      uint64_t after_id, int64_t from_micros, int64_t to_micros,
+      uint32_t max_messages);
+
+  /// Drains the whole backlog through RetrieveChunk in `chunk_size`
+  /// slices and reassembles a RetrieveResponse (messages in id order,
+  /// token from the final chunk). Yields exactly Retrieve()'s result
+  /// without the server ever materializing more than one chunk.
+  util::Result<wire::RetrieveResponse> RetrieveChunked(
+      uint64_t after_id = 0, int64_t from_micros = 0, int64_t to_micros = 0,
+      uint32_t chunk_size = 256);
+
   /// Phase 3 step 1: open the token, authenticate with the PKG.
   util::Status AuthenticateWithPkg(const util::Bytes& token);
 
@@ -65,6 +80,18 @@ class ReceivingClient {
   util::Result<util::Bytes> DecryptMessage(const wire::RetrievedMessage& m,
                                            const ibe::IbePrivateKey& key);
 
+  /// Bulk decryption of retrieved records, amortized three ways: one
+  /// RequestKeysBatch round trip extracts every key (the PKG batches the
+  /// scalar multiplications behind one shared Montgomery inversion);
+  /// messages holding the same extracted key share ONE PairingPrecomp —
+  /// the Miller-loop lines of e(d, ·) depend on d alone, so every
+  /// decapsulation under that key skips the point arithmetic; and
+  /// decryption fans out across min(hardware threads, 4) workers.
+  /// Plaintexts are bit-identical to RequestKey + DecryptMessage per
+  /// message, in order. Pre: AuthenticateWithPkg() ok.
+  util::Result<std::vector<ReceivedMessage>> DecryptAll(
+      const std::vector<wire::RetrievedMessage>& messages);
+
   // --- Whole pipeline ---
 
   /// Runs all steps and returns every readable message after `after_id`
@@ -72,6 +99,12 @@ class ReceivingClient {
   util::Result<std::vector<ReceivedMessage>> FetchAndDecrypt(
       uint64_t after_id = 0, int64_t from_micros = 0,
       int64_t to_micros = 0);
+
+  /// The bulk pipeline: chunked retrieval + DecryptAll. Same result set
+  /// as FetchAndDecrypt, built for the backlog-drain workload (E17).
+  util::Result<std::vector<ReceivedMessage>> FetchAndDecryptBulk(
+      uint64_t after_id = 0, int64_t from_micros = 0, int64_t to_micros = 0,
+      uint32_t chunk_size = 256);
 
   const std::string& identity() const { return identity_; }
   const crypto::RsaPublicKey& public_key() const {

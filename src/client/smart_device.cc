@@ -48,4 +48,34 @@ util::Result<uint64_t> SmartDevice::DepositMessage(
   return response.message_id;
 }
 
+util::Result<std::vector<util::Result<uint64_t>>> SmartDevice::DepositMany(
+    const std::vector<std::pair<ibe::Attribute, util::Bytes>>& readings) {
+  if (readings.empty()) return std::vector<util::Result<uint64_t>>{};
+  wire::DepositBatchRequest batch;
+  batch.items.reserve(readings.size());
+  for (const auto& [attribute, payload] : readings) {
+    MWS_ASSIGN_OR_RETURN(wire::DepositRequest request,
+                         BuildDeposit(attribute, payload));
+    batch.items.push_back(std::move(request));
+  }
+  MWS_ASSIGN_OR_RETURN(util::Bytes raw,
+                       transport_->Call("mws.deposit_batch", batch.Encode()));
+  MWS_ASSIGN_OR_RETURN(wire::DepositBatchResponse response,
+                       wire::DepositBatchResponse::Decode(raw));
+  if (response.items.size() != readings.size()) {
+    return util::Status::Internal("deposit batch response size mismatch");
+  }
+  std::vector<util::Result<uint64_t>> out;
+  out.reserve(response.items.size());
+  for (const wire::DepositBatchResponse::Item& item : response.items) {
+    if (item.ok) {
+      out.push_back(item.message_id);
+      ++deposits_sent_;
+    } else {
+      out.push_back(wire::DecodeWireError(item.error));
+    }
+  }
+  return out;
+}
+
 }  // namespace mws::client

@@ -2,6 +2,8 @@
 #define MWSIBE_CLIENT_SMART_DEVICE_H_
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/ibe/hybrid.h"
 #include "src/util/clock.h"
@@ -27,6 +29,17 @@ class SmartDevice {
   /// deposits it (Fig. 4 phase 1). Returns the MWS-assigned message id.
   util::Result<uint64_t> DepositMessage(const ibe::Attribute& attribute,
                                         const util::Bytes& payload);
+
+  /// Buffered deposit: seals every (attribute, payload) reading locally,
+  /// then ships them as ONE "mws.deposit_batch" round trip — the
+  /// store-and-forward shape of a metering device that wakes, drains its
+  /// buffer, and sleeps. Per-item results align with `readings`; the
+  /// outer Result fails only on transport/decode errors, in which case
+  /// nothing was acknowledged and the whole batch is safe to retry
+  /// (dedup absorbs replays). Ciphertexts are bit-identical to
+  /// DepositMessage given the same rng draws.
+  util::Result<std::vector<util::Result<uint64_t>>> DepositMany(
+      const std::vector<std::pair<ibe::Attribute, util::Bytes>>& readings);
 
   /// Builds the deposit request without sending it (used by tests and
   /// the component benches to poke the SDA directly).

@@ -8,6 +8,7 @@
 
 #include "src/crypto/hash.h"
 #include "src/crypto/kdf.h"
+#include "src/math/precompute.h"
 
 namespace mws::ibe {
 
@@ -133,6 +134,23 @@ IbePrivateKey BfIbe::ExtractFromPoint(const MasterKey& master,
   return IbePrivateKey{group_.curve().ScalarMul(master.s, q_id)};
 }
 
+std::vector<IbePrivateKey> BfIbe::ExtractBatch(
+    const MasterKey& master, const std::vector<EcPoint>& points) const {
+  const math::CurveGroup& curve = group_.curve();
+  std::vector<math::JacPoint> jac;
+  jac.reserve(points.size());
+  for (const EcPoint& q_id : points) {
+    // The Jacobian overload runs the identical wNAF ladder; only the
+    // final normalization is deferred into the shared inversion below.
+    jac.push_back(curve.ScalarMul(master.s, curve.ToJacobian(q_id)));
+  }
+  std::vector<EcPoint> affine = math::BatchToAffine(curve, jac);
+  std::vector<IbePrivateKey> out;
+  out.reserve(affine.size());
+  for (EcPoint& d : affine) out.push_back(IbePrivateKey{std::move(d)});
+  return out;
+}
+
 util::Bytes BfIbe::PairingMask(const Fp2& g, size_t len) const {
   return crypto::HashExpand(crypto::HashKind::kSha256,
                             Tagged(kTagH2, g.ToBytes()), len);
@@ -216,7 +234,10 @@ KemOutput IbeKem::Encapsulate(const SystemParams& params,
 
 util::Bytes IbeKem::Decapsulate(const IbePrivateKey& key,
                                 const EcPoint& u) const {
-  Fp2 g = ibe_.group().Pairing(key.d, u);
+  return KeyFromPairing(ibe_.group().Pairing(key.d, u));
+}
+
+util::Bytes IbeKem::KeyFromPairing(const Fp2& g) const {
   return crypto::Hkdf(/*salt=*/{}, g.ToBytes(),
                       util::BytesFromString("mwsibe-kem"), key_len_);
 }

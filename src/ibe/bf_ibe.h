@@ -82,6 +82,13 @@ class BfIbe {
   /// Extract from a pre-computed identity point (the PKG's hot path).
   IbePrivateKey ExtractFromPoint(const MasterKey& master,
                                  const math::EcPoint& q_id) const;
+  /// Extract for many identity points at once: each d = s*Q runs the
+  /// same Jacobian ladder as ExtractFromPoint, but the final affine
+  /// normalizations share ONE field inversion (Montgomery's trick)
+  /// instead of paying one inversion per key. Results are bit-identical
+  /// to calling ExtractFromPoint per point, in order.
+  std::vector<IbePrivateKey> ExtractBatch(
+      const MasterKey& master, const std::vector<math::EcPoint>& points) const;
 
   /// BasicIdent encryption of an arbitrary-length message.
   BasicCiphertext Encrypt(const SystemParams& params,
@@ -148,6 +155,13 @@ class IbeKem {
   /// Recovers the DEM key from U with the extracted private key.
   util::Bytes Decapsulate(const IbePrivateKey& key,
                           const math::EcPoint& u) const;
+
+  /// The KDF half of Decapsulate: turns an already-computed pairing
+  /// value g = e(d, U) into the DEM key. Decapsulate(key, u) ==
+  /// KeyFromPairing(group().Pairing(key.d, u)) bit for bit — bulk
+  /// decryption computes g through a PairingPrecomp shared across every
+  /// message under the same key and feeds it here.
+  util::Bytes KeyFromPairing(const math::Fp2& g) const;
 
   size_t key_len() const { return key_len_; }
   const BfIbe& ibe() const { return ibe_; }

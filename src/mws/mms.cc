@@ -88,4 +88,50 @@ MessageManagementSystem::FetchFor(const std::string& rc_identity,
   return out;
 }
 
+util::Result<MessageManagementSystem::Chunk>
+MessageManagementSystem::FetchChunkFor(const std::string& rc_identity,
+                                       uint64_t after_id, int64_t from_micros,
+                                       int64_t to_micros,
+                                       uint32_t max_messages) const {
+  MWS_ASSIGN_OR_RETURN(std::vector<store::PolicyRow> grants,
+                       GrantsFor(rc_identity));
+  const bool time_filtered = from_micros != 0 || to_micros != 0;
+
+  // Rank ids across every grant before touching any message value. A
+  // message has exactly one attribute and grants are unique per
+  // attribute, so each id maps to exactly one AID.
+  std::vector<std::pair<uint64_t, size_t>> ids;  // (message id, grant index)
+  for (size_t g = 0; g < grants.size(); ++g) {
+    std::vector<uint64_t> batch;
+    if (time_filtered) {
+      batch = messages_->IdsByAttributeInTimeRange(grants[g].attribute,
+                                                   from_micros, to_micros);
+      std::erase_if(batch, [after_id](uint64_t id) { return id <= after_id; });
+    } else {
+      batch = messages_->IdsByAttributeAfter(grants[g].attribute, after_id);
+    }
+    for (uint64_t id : batch) ids.emplace_back(id, g);
+  }
+  std::sort(ids.begin(), ids.end());
+
+  Chunk chunk;
+  chunk.next_after_id = after_id;
+  const size_t take = std::min<size_t>(ids.size(), max_messages);
+  chunk.has_more = ids.size() > take;
+  chunk.messages.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    MWS_ASSIGN_OR_RETURN(store::StoredMessage m,
+                         messages_->Get(ids[i].first));
+    wire::RetrievedMessage r;
+    r.message_id = m.id;
+    r.u = std::move(m.u);
+    r.ciphertext = std::move(m.ciphertext);
+    r.aid = grants[ids[i].second].aid;
+    r.nonce = std::move(m.nonce);
+    chunk.messages.push_back(std::move(r));
+    chunk.next_after_id = ids[i].first;
+  }
+  return chunk;
+}
+
 }  // namespace mws::mws

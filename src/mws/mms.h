@@ -39,6 +39,27 @@ class MessageManagementSystem {
       const std::string& rc_identity, uint64_t after_id,
       int64_t from_micros = 0, int64_t to_micros = 0) const;
 
+  /// One bounded slice of FetchFor: at most `max_messages` records.
+  struct Chunk {
+    std::vector<wire::RetrievedMessage> messages;
+    /// More matching records exist beyond this chunk.
+    bool has_more = false;
+    /// Pass as `after_id` to fetch the next chunk; equals the request's
+    /// after_id when the chunk is empty.
+    uint64_t next_after_id = 0;
+  };
+
+  /// Like FetchFor but bounded: ranks the *ids* matching the RC's grants
+  /// (a key-only index walk — no ciphertext is materialized for messages
+  /// beyond the chunk), then fetches only the `max_messages` smallest.
+  /// Iterating until !has_more yields exactly FetchFor's result, in the
+  /// same order, as long as `after_id` is threaded through. Pre:
+  /// max_messages > 0.
+  util::Result<Chunk> FetchChunkFor(const std::string& rc_identity,
+                                    uint64_t after_id, int64_t from_micros,
+                                    int64_t to_micros,
+                                    uint32_t max_messages) const;
+
  private:
   const store::MessageDb* messages_;
   store::PolicyDb* policies_;

@@ -23,6 +23,16 @@ MwsService::MwsService(store::Table* storage, util::Bytes mws_pkg_key,
   deposit_obs_ = ResolveOp("deposit");
   auth_obs_ = ResolveOp("auth");
   retrieve_obs_ = ResolveOp("retrieve");
+  deposit_batch_obs_ = ResolveOp("deposit_batch");
+  retrieve_chunk_obs_ = ResolveOp("retrieve_chunk");
+  if (options_.metrics != nullptr) {
+    deposit_batch_size_ =
+        options_.metrics->GetHistogram("mws.batch_size", {{"op", "deposit_batch"}});
+    retrieve_chunk_size_ = options_.metrics->GetHistogram(
+        "mws.batch_size", {{"op", "retrieve_chunk"}});
+    deposit_batch_item_us_ = options_.metrics->GetHistogram(
+        "mws.batch_item_us", {{"op", "deposit_batch"}});
+  }
 }
 
 MwsService::OpInstruments MwsService::ResolveOp(const char* op) {
@@ -127,6 +137,77 @@ util::Result<wire::DepositResponse> MwsService::DepositImpl(
   return wire::DepositResponse{outcome.id};
 }
 
+util::Result<wire::DepositBatchResponse> MwsService::DepositBatch(
+    const wire::DepositBatchRequest& request) {
+  const int64_t start_us = obs::SteadyNowMicros();
+  obs::Span span =
+      obs::Tracer::MaybeStartTrace(options_.tracer, "mws.deposit_batch");
+  util::Result<wire::DepositBatchResponse> result =
+      DepositBatchImpl(request, span);
+  CountOutcome(result, deposit_batch_obs_.requests, deposit_batch_obs_.errors);
+  const uint64_t elapsed_us =
+      static_cast<uint64_t>(obs::SteadyNowMicros() - start_us);
+  if (deposit_batch_obs_.latency != nullptr) {
+    deposit_batch_obs_.latency->Record(elapsed_us);
+  }
+  if (deposit_batch_size_ != nullptr) {
+    deposit_batch_size_->Record(request.items.size());
+  }
+  if (deposit_batch_item_us_ != nullptr && !request.items.empty()) {
+    // Amortized cost of one message inside the batch — the number the
+    // batch path exists to shrink (compare against mws.latency_us{op=
+    // deposit}).
+    deposit_batch_item_us_->Record(elapsed_us / request.items.size());
+  }
+  return result;
+}
+
+util::Result<wire::DepositBatchResponse> MwsService::DepositBatchImpl(
+    const wire::DepositBatchRequest& request, obs::Span& span) {
+  wire::DepositBatchResponse response;
+  response.items.resize(request.items.size());
+
+  // Per-item admission: a bad MAC or attribute rejects that item only,
+  // exactly as N independent Deposits would. Valid items proceed to one
+  // grouped append.
+  std::vector<store::StoredMessage> valid;
+  std::vector<size_t> valid_index;  // position of valid[i] in the request
+  valid.reserve(request.items.size());
+  {
+    obs::Span verify = span.Child("sda.verify_batch");
+    for (size_t i = 0; i < request.items.size(); ++i) {
+      const wire::DepositRequest& item = request.items[i];
+      util::Status admitted = sda_.Verify(item);
+      if (admitted.ok()) admitted = ibe::ValidateAttribute(item.attribute);
+      if (!admitted.ok()) {
+        response.items[i].ok = false;
+        response.items[i].error = wire::EncodeWireError(admitted);
+        continue;
+      }
+      store::StoredMessage m;
+      m.u = item.u;
+      m.ciphertext = item.ciphertext;
+      m.attribute = item.attribute;
+      m.nonce = item.nonce;
+      m.device_id = item.device_id;
+      m.timestamp_micros = item.timestamp_micros;
+      valid.push_back(std::move(m));
+      valid_index.push_back(i);
+    }
+  }
+
+  if (!valid.empty()) {
+    obs::Span append = span.Child("md.append_batch");
+    MWS_ASSIGN_OR_RETURN(std::vector<store::MessageDb::AppendOutcome> outcomes,
+                         message_db_.AppendDedupedBatch(valid));
+    for (size_t v = 0; v < outcomes.size(); ++v) {
+      response.items[valid_index[v]].ok = true;
+      response.items[valid_index[v]].message_id = outcomes[v].id;
+    }
+  }
+  return response;
+}
+
 util::Result<wire::RcAuthResponse> MwsService::Authenticate(
     const wire::RcAuthRequest& request) {
   obs::ScopedTimer timer(auth_obs_.latency);
@@ -174,6 +255,57 @@ util::Result<wire::RetrieveResponse> MwsService::RetrieveImpl(
   return response;
 }
 
+util::Result<wire::RetrieveChunkResponse> MwsService::RetrieveChunk(
+    const wire::RetrieveChunkRequest& request) {
+  obs::ScopedTimer timer(retrieve_chunk_obs_.latency);
+  obs::Span span =
+      obs::Tracer::MaybeStartTrace(options_.tracer, "mws.retrieve_chunk");
+  util::Result<wire::RetrieveChunkResponse> result =
+      RetrieveChunkImpl(request, span);
+  CountOutcome(result, retrieve_chunk_obs_.requests,
+               retrieve_chunk_obs_.errors);
+  if (retrieve_chunk_size_ != nullptr && result.ok()) {
+    retrieve_chunk_size_->Record(result.value().messages.size());
+  }
+  return result;
+}
+
+util::Result<wire::RetrieveChunkResponse> MwsService::RetrieveChunkImpl(
+    const wire::RetrieveChunkRequest& request, obs::Span& span) {
+  if (request.max_messages == 0) {
+    return util::Status::InvalidArgument("max_messages must be positive");
+  }
+  RcSession session;
+  {
+    obs::Span lookup = span.Child("gatekeeper.session");
+    MWS_ASSIGN_OR_RETURN(session, gatekeeper_.GetSession(request.session_id));
+  }
+  wire::RetrieveChunkResponse response;
+  {
+    obs::Span fetch = span.Child("mms.fetch_chunk");
+    MWS_ASSIGN_OR_RETURN(
+        MessageManagementSystem::Chunk chunk,
+        mms_.FetchChunkFor(session.rc_identity, request.after_message_id,
+                           request.from_micros, request.to_micros,
+                           request.max_messages));
+    response.messages = std::move(chunk.messages);
+    response.has_more = chunk.has_more;
+    response.next_after_id = chunk.next_after_id;
+  }
+  // The token covers the whole sweep, so issuing it per chunk would be
+  // wasted RSA + cipher work; only the final chunk carries one.
+  if (!response.has_more) {
+    obs::Span token = span.Child("tg.token");
+    MWS_ASSIGN_OR_RETURN(std::vector<store::PolicyRow> grants,
+                         mms_.GrantsFor(session.rc_identity));
+    MWS_ASSIGN_OR_RETURN(
+        response.token,
+        token_generator_.IssueToken(session.rc_identity,
+                                    session.rsa_public_key, grants));
+  }
+  return response;
+}
+
 void MwsService::RegisterEndpoints(wire::InProcessTransport* transport) {
   transport->Register(
       "mws.deposit",
@@ -200,6 +332,24 @@ void MwsService::RegisterEndpoints(wire::InProcessTransport* transport) {
                              wire::RetrieveRequest::Decode(raw));
         MWS_ASSIGN_OR_RETURN(wire::RetrieveResponse response,
                              Retrieve(request));
+        return response.Encode();
+      });
+  transport->Register(
+      "mws.deposit_batch",
+      [this](const util::Bytes& raw) -> util::Result<util::Bytes> {
+        MWS_ASSIGN_OR_RETURN(wire::DepositBatchRequest request,
+                             wire::DepositBatchRequest::Decode(raw));
+        MWS_ASSIGN_OR_RETURN(wire::DepositBatchResponse response,
+                             DepositBatch(request));
+        return response.Encode();
+      });
+  transport->Register(
+      "mws.retrieve_chunk",
+      [this](const util::Bytes& raw) -> util::Result<util::Bytes> {
+        MWS_ASSIGN_OR_RETURN(wire::RetrieveChunkRequest request,
+                             wire::RetrieveChunkRequest::Decode(raw));
+        MWS_ASSIGN_OR_RETURN(wire::RetrieveChunkResponse response,
+                             RetrieveChunk(request));
         return response.Encode();
       });
 }

@@ -104,6 +104,16 @@ class MwsService {
   util::Result<wire::DepositResponse> Deposit(
       const wire::DepositRequest& request);
 
+  /// Batched SD–MWS phase: each item is MAC-verified independently and
+  /// reported per-item (a bad MAC rejects that item, not the batch), and
+  /// the valid items are appended through MessageDb::AppendDedupedBatch
+  /// — one shard-lock acquisition per shard instead of one per message.
+  /// Outcomes are bit-identical to calling Deposit per item in order,
+  /// including retransmit dedup within and across batches. Only a
+  /// storage failure fails the whole call (retry-safe).
+  util::Result<wire::DepositBatchResponse> DepositBatch(
+      const wire::DepositBatchRequest& request);
+
   /// MWS–RC phase, step 1: gatekeeper authentication.
   util::Result<wire::RcAuthResponse> Authenticate(
       const wire::RcAuthRequest& request);
@@ -112,8 +122,17 @@ class MwsService {
   util::Result<wire::RetrieveResponse> Retrieve(
       const wire::RetrieveRequest& request);
 
-  /// Binds the three protocol operations to "mws.deposit", "mws.auth",
-  /// "mws.retrieve" on `transport`.
+  /// Chunked MWS–RC retrieval: at most `max_messages` records per call,
+  /// resumed via next_after_id, so a 10k-message backlog never
+  /// materializes as one giant response. The PKG token is issued only on
+  /// the final chunk (has_more == false) — it covers the whole sweep.
+  /// Iterating to completion yields exactly Retrieve's messages.
+  util::Result<wire::RetrieveChunkResponse> RetrieveChunk(
+      const wire::RetrieveChunkRequest& request);
+
+  /// Binds the protocol operations to "mws.deposit", "mws.auth",
+  /// "mws.retrieve", "mws.deposit_batch", "mws.retrieve_chunk" on
+  /// `transport`.
   void RegisterEndpoints(wire::InProcessTransport* transport);
 
   // --- Component access (tests, component benches E4) ---
@@ -138,6 +157,10 @@ class MwsService {
       const wire::DepositRequest& request, obs::Span& span);
   util::Result<wire::RetrieveResponse> RetrieveImpl(
       const wire::RetrieveRequest& request, obs::Span& span);
+  util::Result<wire::DepositBatchResponse> DepositBatchImpl(
+      const wire::DepositBatchRequest& request, obs::Span& span);
+  util::Result<wire::RetrieveChunkResponse> RetrieveChunkImpl(
+      const wire::RetrieveChunkRequest& request, obs::Span& span);
 
   MwsOptions options_;
   /// Serializes the injected RandomSource for concurrent handlers; must
@@ -155,6 +178,15 @@ class MwsService {
   OpInstruments deposit_obs_;
   OpInstruments auth_obs_;
   OpInstruments retrieve_obs_;
+  OpInstruments deposit_batch_obs_;
+  OpInstruments retrieve_chunk_obs_;
+  /// Items per DepositBatch / messages per RetrieveChunk
+  /// (`mws.batch_size{op=...}`); null when metrics are disabled.
+  obs::Histogram* deposit_batch_size_ = nullptr;
+  obs::Histogram* retrieve_chunk_size_ = nullptr;
+  /// Amortized per-item latency of a batch deposit
+  /// (`mws.batch_item_us{op=deposit_batch}`).
+  obs::Histogram* deposit_batch_item_us_ = nullptr;
 };
 
 }  // namespace mws::mws

@@ -214,9 +214,45 @@ util::Result<size_t> UtilityScenario::DepositReadings(size_t per_device) {
   return deposited;
 }
 
+util::Result<size_t> UtilityScenario::DepositReadingsBatch(
+    size_t per_device) {
+  size_t deposited = 0;
+  for (client::SmartDevice& device : devices_) {
+    MeterClass klass = MeterClass::kElectric;
+    if (device.device_id().rfind("WATER", 0) == 0) {
+      klass = MeterClass::kWater;
+    } else if (device.device_id().rfind("GAS", 0) == 0) {
+      klass = MeterClass::kGas;
+    }
+    std::vector<std::pair<ibe::Attribute, util::Bytes>> readings;
+    readings.reserve(per_device);
+    for (size_t i = 0; i < per_device; ++i) {
+      clock_.AdvanceMicros(1'000'000);
+      MeterReading reading =
+          workload_.Next(device.device_id(), klass, clock_.NowMicros());
+      readings.emplace_back(AttributeFor(klass),
+                            workload_.Pad(reading.ToPayload()));
+    }
+    MWS_ASSIGN_OR_RETURN(std::vector<util::Result<uint64_t>> outcomes,
+                         device.DepositMany(readings));
+    for (const util::Result<uint64_t>& outcome : outcomes) {
+      MWS_RETURN_IF_ERROR(outcome.status());
+      ++deposited;
+    }
+  }
+  return deposited;
+}
+
 util::Result<std::vector<client::ReceivedMessage>>
 UtilityScenario::RetrieveFor(const std::string& name, uint64_t after_id) {
   return company(name).FetchAndDecrypt(after_id);
+}
+
+util::Result<std::vector<client::ReceivedMessage>>
+UtilityScenario::RetrieveBulkFor(const std::string& name, uint64_t after_id,
+                                 uint32_t chunk_size) {
+  return company(name).FetchAndDecryptBulk(after_id, /*from_micros=*/0,
+                                           /*to_micros=*/0, chunk_size);
 }
 
 }  // namespace mws::sim

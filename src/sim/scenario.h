@@ -90,9 +90,22 @@ class UtilityScenario {
   /// number of messages deposited.
   util::Result<size_t> DepositReadings(size_t per_device);
 
+  /// Like DepositReadings, but each device buffers its `per_device`
+  /// readings and ships them as one DepositMany batch (the E17 bulk
+  /// path). Ids and ciphertexts are bit-identical to the single-shot
+  /// loop; deposit timestamps reflect the drain time, as a real
+  /// store-and-forward device would stamp them.
+  util::Result<size_t> DepositReadingsBatch(size_t per_device);
+
   /// Runs the full retrieve pipeline for one company.
   util::Result<std::vector<client::ReceivedMessage>> RetrieveFor(
       const std::string& company, uint64_t after_id = 0);
+
+  /// The bulk pipeline for one company: chunked retrieval + DecryptAll
+  /// (FetchAndDecryptBulk). Same result set as RetrieveFor.
+  util::Result<std::vector<client::ReceivedMessage>> RetrieveBulkFor(
+      const std::string& company, uint64_t after_id = 0,
+      uint32_t chunk_size = 256);
 
   // --- Component access ---
   mws::MwsService& mws() { return *mws_; }

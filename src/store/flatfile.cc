@@ -55,6 +55,13 @@ util::Status FlatFileStore::Put(const std::string& key,
   return Rewrite();
 }
 
+util::Status FlatFileStore::PutBatch(
+    const std::vector<std::pair<std::string, util::Bytes>>& entries) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, value] : entries) entries_[key] = value;
+  return Rewrite();
+}
+
 util::Result<util::Bytes> FlatFileStore::Get(const std::string& key) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(key);

@@ -29,6 +29,9 @@ class FlatFileStore : public Table {
       const Options& options);
 
   util::Status Put(const std::string& key, const util::Bytes& value) override;
+  /// One file rewrite for the whole batch instead of one per key.
+  util::Status PutBatch(const std::vector<std::pair<std::string, util::Bytes>>&
+                            entries) override;
   util::Result<util::Bytes> Get(const std::string& key) const override;
   util::Status Delete(const std::string& key) override;
   bool Contains(const std::string& key) const override;

@@ -177,6 +177,32 @@ util::Status KvStore::Put(const std::string& key, const util::Bytes& value) {
   return util::Status::Ok();
 }
 
+util::Status KvStore::PutBatch(
+    const std::vector<std::pair<std::string, util::Bytes>>& entries) {
+  // Entry indices per shard, preserving batch order within each shard so
+  // a duplicated key resolves last-write-wins exactly like N Puts.
+  std::array<std::vector<size_t>, kShardCount> by_shard;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    by_shard[std::hash<std::string>{}(entries[i].first) % kShardCount]
+        .push_back(i);
+  }
+  for (size_t s = 0; s < kShardCount; ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = shards_[s];
+    std::unique_lock<std::shared_mutex> lock(shard.mutex, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      if (contention_counter_ != nullptr) contention_counter_->Increment();
+      lock.lock();
+    }
+    for (size_t i : by_shard[s]) {
+      const auto& [key, value] = entries[i];
+      MWS_RETURN_IF_ERROR(AppendRecord(kRecordPut, key, value));
+      shard.map[key] = value;
+    }
+  }
+  return util::Status::Ok();
+}
+
 util::Result<util::Bytes> KvStore::Get(const std::string& key) const {
   Shard& shard = ShardFor(key);
   std::shared_lock<std::shared_mutex> lock(shard.mutex);

@@ -52,6 +52,12 @@ class KvStore : public Table {
   KvStore& operator=(const KvStore&) = delete;
 
   util::Status Put(const std::string& key, const util::Bytes& value) override;
+  /// Groups entries by shard and takes each shard's lock once for its
+  /// whole group (the per-key WAL invariant only needs same-key order,
+  /// which grouping preserves). One shard lock is held at a time, in
+  /// ascending shard order, so the documented lock order is unchanged.
+  util::Status PutBatch(const std::vector<std::pair<std::string, util::Bytes>>&
+                            entries) override;
   util::Result<util::Bytes> Get(const std::string& key) const override;
   util::Status Delete(const std::string& key) override;
   bool Contains(const std::string& key) const override;

@@ -184,6 +184,104 @@ util::Result<MessageDb::AppendOutcome> MessageDb::AppendDeduped(
   return AppendOutcome{stored.id, false};
 }
 
+util::Result<std::vector<MessageDb::AppendOutcome>>
+MessageDb::AppendDedupedBatch(const std::vector<StoredMessage>& messages) {
+  std::vector<AppendOutcome> outcomes(messages.size());
+  // Classification pass: decide every message's id before writing
+  // anything, mirroring what sequential AppendDeduped calls would do.
+  // `batch_assigned` maps dedup keys claimed earlier in this batch so an
+  // intra-batch retransmit resolves to the first occurrence's id — by the
+  // time a sequential run reached it, the first copy's records would be
+  // fully written and it would dedup.
+  std::map<std::string, uint64_t> batch_assigned;
+  struct Pending {
+    StoredMessage stored;
+  };
+  std::vector<Pending> to_write;
+  std::vector<std::pair<std::string, util::Bytes>> fresh_markers;
+  size_t dedup_count = 0;
+
+  for (size_t i = 0; i < messages.size(); ++i) {
+    StoredMessage stored = messages[i];
+    stored.id = 0;
+    if (stored.device_id.empty() || stored.nonce.empty()) {
+      // Non-dedupable message: plain Append semantics, no marker.
+      stored.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+      outcomes[i] = AppendOutcome{stored.id, false};
+      to_write.push_back(Pending{std::move(stored)});
+      continue;
+    }
+    const std::string dedup_key = DedupKey(stored.device_id, stored.nonce);
+    if (auto it = batch_assigned.find(dedup_key);
+        it != batch_assigned.end()) {
+      outcomes[i] = AppendOutcome{it->second, true};
+      ++dedup_count;
+      continue;
+    }
+    auto marker = table_->Get(dedup_key);
+    uint64_t reserved = 0;
+    if (marker.ok()) {
+      util::Reader r(marker.value());
+      uint64_t parsed = 0;
+      if (r.GetU64(&parsed) && r.Done() && parsed > 0) reserved = parsed;
+    }
+    if (reserved != 0) {
+      batch_assigned[dedup_key] = reserved;
+      if (table_->Contains(MessageKey(reserved)) &&
+          table_->Contains(IndexKey(stored.attribute, reserved)) &&
+          table_->Contains(TimeIndexKey(stored.attribute,
+                                        stored.timestamp_micros, reserved))) {
+        outcomes[i] = AppendOutcome{reserved, true};
+        ++dedup_count;
+        continue;
+      }
+      // Torn earlier attempt: resume the reserved id, rewrite its keys.
+      stored.id = reserved;
+    } else {
+      stored.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+      batch_assigned[dedup_key] = stored.id;
+      util::Writer w;
+      w.PutU64(stored.id);
+      fresh_markers.emplace_back(dedup_key, w.Take());
+    }
+    outcomes[i] = AppendOutcome{stored.id, false};
+    to_write.push_back(Pending{std::move(stored)});
+  }
+
+  // Phase 1: reserve every fresh id before any message record exists —
+  // the batch-wide marker-first invariant. A crash after this point is
+  // recovered by a retry resuming the reserved ids.
+  if (!fresh_markers.empty()) {
+    MWS_RETURN_IF_ERROR(table_->PutBatch(fresh_markers));
+  }
+  // Phase 2: all message + secondary-index records, then one counter
+  // bump past the batch's highest id.
+  std::vector<std::pair<std::string, util::Bytes>> records;
+  records.reserve(to_write.size() * 3);
+  uint64_t max_id = 0;
+  for (const Pending& p : to_write) {
+    records.emplace_back(MessageKey(p.stored.id), p.stored.Encode());
+    records.emplace_back(IndexKey(p.stored.attribute, p.stored.id),
+                         util::Bytes{});
+    records.emplace_back(TimeIndexKey(p.stored.attribute,
+                                      p.stored.timestamp_micros, p.stored.id),
+                         util::Bytes{});
+    max_id = std::max(max_id, p.stored.id);
+  }
+  if (!records.empty()) {
+    MWS_RETURN_IF_ERROR(table_->PutBatch(records));
+    MWS_RETURN_IF_ERROR(PersistCounter(max_id + 1));
+  }
+  if (dedup_count > 0) {
+    dedup_hits_.fetch_add(dedup_count, std::memory_order_relaxed);
+    if (dedup_counter_ != nullptr) dedup_counter_->Increment(dedup_count);
+  }
+  if (appends_counter_ != nullptr && !to_write.empty()) {
+    appends_counter_->Increment(to_write.size());
+  }
+  return outcomes;
+}
+
 util::Result<StoredMessage> MessageDb::Get(uint64_t id) const {
   MWS_ASSIGN_OR_RETURN(util::Bytes raw, table_->Get(MessageKey(id)));
   return StoredMessage::Decode(raw);
@@ -194,14 +292,40 @@ util::Result<std::vector<StoredMessage>> MessageDb::FindByAttribute(
   return FindByAttributeAfter(attribute, 0);
 }
 
-util::Result<std::vector<StoredMessage>> MessageDb::FindByAttributeAfter(
+std::vector<uint64_t> MessageDb::IdsByAttributeAfter(
     const std::string& attribute, uint64_t after_id) const {
-  std::vector<StoredMessage> out;
+  std::vector<uint64_t> out;
   const std::string prefix = IndexPrefix(attribute);
   for (const std::string& key : table_->ScanKeys(prefix)) {
     // Key shape: "x/<attribute>/<016x id>"; parse the id in place.
     uint64_t id = std::strtoull(key.c_str() + prefix.size(), nullptr, 16);
     if (id <= after_id) continue;
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<uint64_t> MessageDb::IdsByAttributeInTimeRange(
+    const std::string& attribute, int64_t from_micros,
+    int64_t to_micros) const {
+  std::vector<uint64_t> out;
+  if (from_micros >= to_micros) return out;
+  const std::string lower = TimeIndexBound(attribute, from_micros);
+  const std::string upper = TimeIndexBound(attribute, to_micros);
+  for (const std::string& key : table_->ScanKeys("t/" + attribute + "/")) {
+    // Keys sort by timestamp; stop once past the upper bound.
+    if (key < lower) continue;
+    if (key >= upper) break;
+    uint64_t id = std::strtoull(key.c_str() + key.rfind('/') + 1, nullptr, 16);
+    out.push_back(id);
+  }
+  return out;
+}
+
+util::Result<std::vector<StoredMessage>> MessageDb::FindByAttributeAfter(
+    const std::string& attribute, uint64_t after_id) const {
+  std::vector<StoredMessage> out;
+  for (uint64_t id : IdsByAttributeAfter(attribute, after_id)) {
     MWS_ASSIGN_OR_RETURN(StoredMessage m, Get(id));
     out.push_back(std::move(m));
   }
@@ -212,14 +336,8 @@ util::Result<std::vector<StoredMessage>> MessageDb::FindByAttributeInTimeRange(
     const std::string& attribute, int64_t from_micros,
     int64_t to_micros) const {
   std::vector<StoredMessage> out;
-  if (from_micros >= to_micros) return out;
-  const std::string lower = TimeIndexBound(attribute, from_micros);
-  const std::string upper = TimeIndexBound(attribute, to_micros);
-  for (const std::string& key : table_->ScanKeys("t/" + attribute + "/")) {
-    // Keys sort by timestamp; stop once past the upper bound.
-    if (key < lower) continue;
-    if (key >= upper) break;
-    uint64_t id = std::strtoull(key.c_str() + key.rfind('/') + 1, nullptr, 16);
+  for (uint64_t id :
+       IdsByAttributeInTimeRange(attribute, from_micros, to_micros)) {
     MWS_ASSIGN_OR_RETURN(StoredMessage m, Get(id));
     out.push_back(std::move(m));
   }

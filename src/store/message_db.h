@@ -67,6 +67,19 @@ class MessageDb {
   /// store-and-forward device model guarantees.
   util::Result<AppendOutcome> AppendDeduped(const StoredMessage& message);
 
+  /// Batched AppendDeduped: same per-message outcomes as calling
+  /// AppendDeduped sequentially (including intra-batch retransmits, which
+  /// dedup against the first occurrence), but the table work is grouped
+  /// into two PutBatch calls — all fresh dedup markers first, then every
+  /// message/index record — so a KvStore backend takes each shard lock
+  /// once per batch instead of once per key. Marker-first ordering holds
+  /// batch-wide, so a crash between the phases is recovered exactly like
+  /// a torn single-shot append: the retry resumes the reserved ids. A
+  /// storage failure fails the whole call; retrying the batch is safe
+  /// (at-least-once, absorbed by the markers).
+  util::Result<std::vector<AppendOutcome>> AppendDedupedBatch(
+      const std::vector<StoredMessage>& messages);
+
   /// Retransmissions absorbed by AppendDeduped.
   uint64_t dedup_hits() const {
     return dedup_hits_.load(std::memory_order_relaxed);
@@ -92,6 +105,17 @@ class MessageDb {
   util::Result<std::vector<StoredMessage>> FindByAttributeInTimeRange(
       const std::string& attribute, int64_t from_micros,
       int64_t to_micros) const;
+
+  /// Ids (only) with id > after_id for one attribute, in id order. A
+  /// key-only index walk: no message value is materialized, so chunked
+  /// retrieval can rank a 10k-message backlog before fetching anything.
+  std::vector<uint64_t> IdsByAttributeAfter(const std::string& attribute,
+                                            uint64_t after_id) const;
+
+  /// Ids (only) for one attribute with timestamp in [from, to).
+  std::vector<uint64_t> IdsByAttributeInTimeRange(const std::string& attribute,
+                                                  int64_t from_micros,
+                                                  int64_t to_micros) const;
 
   /// Number of stored messages. Counts index entries only — no message
   /// value (ciphertext) is materialized.

@@ -34,6 +34,21 @@ class Table {
   virtual util::Status Put(const std::string& key,
                            const util::Bytes& value) = 0;
 
+  /// Inserts or overwrites every entry. The default simply loops Put —
+  /// decorators (FaultyTable) keep their per-key injection semantics —
+  /// but backends may override to amortize locking and IO: KvStore takes
+  /// each shard lock once per batch instead of once per key, FlatFileStore
+  /// rewrites its file once instead of N times. Atomicity contract is the
+  /// same as N Puts (a failure may leave a prefix applied); the returned
+  /// status is the first failure.
+  virtual util::Status PutBatch(
+      const std::vector<std::pair<std::string, util::Bytes>>& entries) {
+    for (const auto& [key, value] : entries) {
+      MWS_RETURN_IF_ERROR(Put(key, value));
+    }
+    return util::Status::Ok();
+  }
+
   /// NotFound if absent.
   virtual util::Result<util::Bytes> Get(const std::string& key) const = 0;
 

@@ -128,6 +128,79 @@ util::Result<DepositResponse> DepositResponse::Decode(
   return m;
 }
 
+util::Bytes DepositBatchRequest::Encode() const {
+  util::Writer w;
+  w.PutU8(kVersion);
+  w.PutU32(static_cast<uint32_t>(items.size()));
+  for (const DepositRequest& item : items) w.PutBytes(item.Encode());
+  return w.Take();
+}
+
+util::Result<DepositBatchRequest> DepositBatchRequest::Decode(
+    const util::Bytes& data) {
+  util::Reader r(data);
+  DepositBatchRequest out;
+  uint8_t version = 0;
+  uint32_t count = 0;
+  if (!r.GetU8(&version)) return Malformed("DepositBatchRequest");
+  if (version != kVersion) {
+    return util::Status::Unimplemented("unknown DepositBatchRequest version");
+  }
+  if (!r.GetU32(&count)) return Malformed("DepositBatchRequest");
+  if (count == 0) {
+    return util::Status::InvalidArgument("empty DepositBatchRequest");
+  }
+  // Each item costs at least a 4-byte length prefix, so a count larger
+  // than the remaining byte count is a length bomb, not a real batch.
+  if (count > r.remaining()) return Malformed("DepositBatchRequest");
+  for (uint32_t i = 0; i < count; ++i) {
+    util::Bytes item;
+    if (!r.GetBytes(&item)) return Malformed("DepositBatchRequest");
+    MWS_ASSIGN_OR_RETURN(DepositRequest m, DepositRequest::Decode(item));
+    out.items.push_back(std::move(m));
+  }
+  if (!r.Done()) return Malformed("DepositBatchRequest");
+  return out;
+}
+
+util::Bytes DepositBatchResponse::Encode() const {
+  util::Writer w;
+  w.PutU8(kVersion);
+  w.PutU32(static_cast<uint32_t>(items.size()));
+  for (const Item& item : items) {
+    w.PutU8(item.ok ? 1 : 0);
+    w.PutU64(item.message_id);
+    w.PutBytes(item.error);
+  }
+  return w.Take();
+}
+
+util::Result<DepositBatchResponse> DepositBatchResponse::Decode(
+    const util::Bytes& data) {
+  util::Reader r(data);
+  DepositBatchResponse out;
+  uint8_t version = 0;
+  uint32_t count = 0;
+  if (!r.GetU8(&version)) return Malformed("DepositBatchResponse");
+  if (version != kVersion) {
+    return util::Status::Unimplemented("unknown DepositBatchResponse version");
+  }
+  if (!r.GetU32(&count)) return Malformed("DepositBatchResponse");
+  if (count > r.remaining()) return Malformed("DepositBatchResponse");
+  for (uint32_t i = 0; i < count; ++i) {
+    Item item;
+    uint8_t ok = 0;
+    if (!r.GetU8(&ok) || !r.GetU64(&item.message_id) ||
+        !r.GetBytes(&item.error)) {
+      return Malformed("DepositBatchResponse");
+    }
+    item.ok = ok != 0;
+    out.items.push_back(std::move(item));
+  }
+  if (!r.Done()) return Malformed("DepositBatchResponse");
+  return out;
+}
+
 util::Bytes RcAuthRequest::Encode() const {
   util::Writer w;
   w.PutString(rc_identity);
@@ -249,6 +322,79 @@ util::Result<RetrieveResponse> RetrieveResponse::Decode(
   }
   r.GetBytes(&out.token);
   if (!r.Done()) return Malformed("RetrieveResponse");
+  return out;
+}
+
+util::Bytes RetrieveChunkRequest::Encode() const {
+  util::Writer w;
+  w.PutU8(kVersion);
+  w.PutBytes(session_id);
+  w.PutU64(after_message_id);
+  w.PutU64(static_cast<uint64_t>(from_micros));
+  w.PutU64(static_cast<uint64_t>(to_micros));
+  w.PutU32(max_messages);
+  return w.Take();
+}
+
+util::Result<RetrieveChunkRequest> RetrieveChunkRequest::Decode(
+    const util::Bytes& data) {
+  util::Reader r(data);
+  RetrieveChunkRequest m;
+  uint8_t version = 0;
+  uint64_t from = 0, to = 0;
+  if (!r.GetU8(&version)) return Malformed("RetrieveChunkRequest");
+  if (version != kVersion) {
+    return util::Status::Unimplemented("unknown RetrieveChunkRequest version");
+  }
+  r.GetBytes(&m.session_id);
+  r.GetU64(&m.after_message_id);
+  r.GetU64(&from);
+  r.GetU64(&to);
+  r.GetU32(&m.max_messages);
+  if (!r.Done()) return Malformed("RetrieveChunkRequest");
+  if (m.max_messages == 0) {
+    return util::Status::InvalidArgument("RetrieveChunkRequest max_messages");
+  }
+  m.from_micros = static_cast<int64_t>(from);
+  m.to_micros = static_cast<int64_t>(to);
+  return m;
+}
+
+util::Bytes RetrieveChunkResponse::Encode() const {
+  util::Writer w;
+  w.PutU8(kVersion);
+  w.PutU32(static_cast<uint32_t>(messages.size()));
+  for (const RetrievedMessage& m : messages) w.PutBytes(m.Encode());
+  w.PutU8(has_more ? 1 : 0);
+  w.PutU64(next_after_id);
+  w.PutBytes(token);
+  return w.Take();
+}
+
+util::Result<RetrieveChunkResponse> RetrieveChunkResponse::Decode(
+    const util::Bytes& data) {
+  util::Reader r(data);
+  RetrieveChunkResponse out;
+  uint8_t version = 0;
+  uint32_t count = 0;
+  if (!r.GetU8(&version)) return Malformed("RetrieveChunkResponse");
+  if (version != kVersion) {
+    return util::Status::Unimplemented("unknown RetrieveChunkResponse version");
+  }
+  if (!r.GetU32(&count)) return Malformed("RetrieveChunkResponse");
+  if (count > r.remaining()) return Malformed("RetrieveChunkResponse");
+  for (uint32_t i = 0; i < count; ++i) {
+    util::Bytes item;
+    if (!r.GetBytes(&item)) return Malformed("RetrieveChunkResponse");
+    MWS_ASSIGN_OR_RETURN(RetrievedMessage m, RetrievedMessage::Decode(item));
+    out.messages.push_back(std::move(m));
+  }
+  uint8_t has_more = 0;
+  r.GetU8(&has_more);
+  r.GetU64(&out.next_after_id);
+  r.GetBytes(&out.token);
+  if (!r.Done()) return Malformed("RetrieveChunkResponse");
+  out.has_more = has_more != 0;
   return out;
 }
 
@@ -474,6 +620,80 @@ util::Result<StatsResponse> StatsResponse::Decode(const util::Bytes& data) {
   r.GetBytes(&m.trace_snapshot);
   if (!r.Done()) return Malformed("StatsResponse");
   return m;
+}
+
+util::Bytes PipelinedRequestFrame::Encode() const {
+  util::Writer w;
+  w.PutU16(kPipelineSentinel);
+  w.PutU8(kPipelineVersion);
+  w.PutU64(correlation_id);
+  w.PutU16(static_cast<uint16_t>(endpoint.size()));
+  w.PutRaw(util::BytesFromString(endpoint));
+  w.PutU32(static_cast<uint32_t>(body.size()));
+  w.PutRaw(body);
+  return w.Take();
+}
+
+util::Result<PipelinedRequestFrame> PipelinedRequestFrame::Decode(
+    const util::Bytes& data) {
+  util::Reader r(data);
+  PipelinedRequestFrame out;
+  uint16_t sentinel = 0;
+  uint8_t version = 0;
+  uint16_t endpoint_len = 0;
+  uint32_t body_len = 0;
+  if (!r.GetU16(&sentinel)) return Malformed("PipelinedRequestFrame");
+  if (sentinel != kPipelineSentinel) {
+    return Malformed("PipelinedRequestFrame sentinel");
+  }
+  if (!r.GetU8(&version)) return Malformed("PipelinedRequestFrame");
+  if (version != kPipelineVersion) {
+    return util::Status::Unimplemented("unknown pipelined frame version");
+  }
+  r.GetU64(&out.correlation_id);
+  if (!r.GetU16(&endpoint_len)) return Malformed("PipelinedRequestFrame");
+  util::Bytes endpoint_bytes;
+  if (!r.GetRaw(endpoint_len, &endpoint_bytes)) {
+    return Malformed("PipelinedRequestFrame");
+  }
+  out.endpoint = util::StringFromBytes(endpoint_bytes);
+  if (!r.GetU32(&body_len) || body_len > r.remaining()) {
+    return Malformed("PipelinedRequestFrame");
+  }
+  if (!r.GetRaw(body_len, &out.body) || !r.Done()) {
+    return Malformed("PipelinedRequestFrame");
+  }
+  return out;
+}
+
+util::Bytes PipelinedResponseFrame::Encode() const {
+  util::Writer w;
+  w.PutU8(ok ? kPipelineOk : kPipelineErr);
+  w.PutU64(correlation_id);
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutRaw(payload);
+  return w.Take();
+}
+
+util::Result<PipelinedResponseFrame> PipelinedResponseFrame::Decode(
+    const util::Bytes& data) {
+  util::Reader r(data);
+  PipelinedResponseFrame out;
+  uint8_t kind = 0;
+  uint32_t len = 0;
+  if (!r.GetU8(&kind)) return Malformed("PipelinedResponseFrame");
+  if (kind != kPipelineOk && kind != kPipelineErr) {
+    return Malformed("PipelinedResponseFrame kind");
+  }
+  out.ok = kind == kPipelineOk;
+  r.GetU64(&out.correlation_id);
+  if (!r.GetU32(&len) || len > r.remaining()) {
+    return Malformed("PipelinedResponseFrame");
+  }
+  if (!r.GetRaw(len, &out.payload) || !r.Done()) {
+    return Malformed("PipelinedResponseFrame");
+  }
+  return out;
 }
 
 }  // namespace mws::wire

@@ -61,6 +61,39 @@ struct DepositResponse {
   static util::Result<DepositResponse> Decode(const util::Bytes& data);
 };
 
+/// Batched deposit (protocol extension): many independent deposits in
+/// one round trip. The encoding is versioned like the wire-error frame:
+/// a leading u8 version byte lets a future encoding change without
+/// breaking deployed peers — decoders reject versions they don't know
+/// with kUnimplemented instead of misparsing.
+struct DepositBatchRequest {
+  static constexpr uint8_t kVersion = 1;
+
+  std::vector<DepositRequest> items;
+
+  util::Bytes Encode() const;
+  /// Rejects unknown versions (kUnimplemented) and empty batches
+  /// (kInvalidArgument) — a zero-item batch is always a client bug.
+  static util::Result<DepositBatchRequest> Decode(const util::Bytes& data);
+};
+
+/// Per-item results, aligned with request order. A failed item carries
+/// the PR 3 wire-error payload so the client reconstructs the original
+/// status (and its retryability) per item.
+struct DepositBatchResponse {
+  static constexpr uint8_t kVersion = 1;
+
+  struct Item {
+    bool ok = false;
+    uint64_t message_id = 0;  // valid when ok
+    util::Bytes error;        // EncodeWireError payload when !ok
+  };
+  std::vector<Item> items;
+
+  util::Bytes Encode() const;
+  static util::Result<DepositBatchResponse> Decode(const util::Bytes& data);
+};
+
 // ---------------------------------------------------------------------
 // Phase 2: MWS <-> RC ("RC sends IDRC || PubKRC || E(HashPassword,
 // IDRC || T || N)").
@@ -125,6 +158,42 @@ struct RetrieveResponse {
 
   util::Bytes Encode() const;
   static util::Result<RetrieveResponse> Decode(const util::Bytes& data);
+};
+
+/// Chunked retrieve (protocol extension): fetch at most `max_messages`
+/// records past `after_message_id` so a 10k-message backlog streams in
+/// bounded chunks instead of materializing one giant response.
+struct RetrieveChunkRequest {
+  static constexpr uint8_t kVersion = 1;
+
+  util::Bytes session_id;
+  uint64_t after_message_id = 0;
+  /// Same optional [from, to) µs window as RetrieveRequest.
+  int64_t from_micros = 0;
+  int64_t to_micros = 0;
+  /// Upper bound on messages in this chunk; 0 is rejected.
+  uint32_t max_messages = 0;
+
+  bool HasTimeRange() const { return from_micros != 0 || to_micros != 0; }
+
+  util::Bytes Encode() const;
+  static util::Result<RetrieveChunkRequest> Decode(const util::Bytes& data);
+};
+
+struct RetrieveChunkResponse {
+  static constexpr uint8_t kVersion = 1;
+
+  std::vector<RetrievedMessage> messages;
+  /// True when more records exist past this chunk; resume the scan with
+  /// after_message_id = next_after_id.
+  bool has_more = false;
+  uint64_t next_after_id = 0;
+  /// Key-retrieval token. Issued only on the final chunk (has_more ==
+  /// false) — issuing per chunk would waste one RSA encryption each.
+  util::Bytes token;
+
+  util::Bytes Encode() const;
+  static util::Result<RetrieveChunkResponse> Decode(const util::Bytes& data);
 };
 
 /// The ticket body, encrypted under SecK_MWS-PKG inside the token. It
@@ -238,6 +307,53 @@ struct StatsResponse {
 
   util::Bytes Encode() const;
   static util::Result<StatsResponse> Decode(const util::Bytes& data);
+};
+
+// ---------------------------------------------------------------------
+// Pipelined TCP framing. The legacy frame is
+//   request:  u16 endpoint_len || endpoint || u32 body_len || body
+//   response: u8 ok(0|1) || u32 len || payload
+// and is strictly request/response lockstep. Pipelined frames let a
+// client keep N requests in flight on one connection; responses carry
+// the request's correlation id so they may complete out of order.
+//
+// A pipelined request starts with the u16 sentinel 0xFFFF where the
+// legacy endpoint_len lives (an endpoint name can never be 65535 bytes:
+// the server caps endpoints far below that), so old and new frames are
+// distinguishable from the first two bytes. Pipelined responses use ok
+// kinds 2 (ok) / 3 (error), disjoint from legacy 0/1, so a client that
+// sent a pipelined request can never misread a legacy response.
+//
+//   request:  u16 0xFFFF || u8 version || u64 correlation_id ||
+//             u16 endpoint_len || endpoint || u32 body_len || body
+//   response: u8 kind(2|3) || u64 correlation_id || u32 len || payload
+//
+// Unknown versions are rejected (kUnimplemented); the server closes the
+// connection after answering, since it cannot know the frame length of
+// a future version.
+
+inline constexpr uint16_t kPipelineSentinel = 0xFFFF;
+inline constexpr uint8_t kPipelineVersion = 1;
+inline constexpr uint8_t kPipelineOk = 2;
+inline constexpr uint8_t kPipelineErr = 3;
+
+struct PipelinedRequestFrame {
+  uint64_t correlation_id = 0;
+  std::string endpoint;
+  util::Bytes body;
+
+  /// Full frame including the 0xFFFF sentinel and version byte.
+  util::Bytes Encode() const;
+  static util::Result<PipelinedRequestFrame> Decode(const util::Bytes& data);
+};
+
+struct PipelinedResponseFrame {
+  uint64_t correlation_id = 0;
+  bool ok = false;
+  util::Bytes payload;  // response body, or EncodeWireError payload
+
+  util::Bytes Encode() const;
+  static util::Result<PipelinedResponseFrame> Decode(const util::Bytes& data);
 };
 
 }  // namespace mws::wire

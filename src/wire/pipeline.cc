@@ -1,0 +1,321 @@
+#include "src/wire/pipeline.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "src/wire/messages.h"
+
+namespace mws::wire {
+
+namespace {
+
+/// Same client-side response cap as TcpClientTransport.
+constexpr uint32_t kMaxFrame = 64 * 1024 * 1024;
+
+enum class IoResult { kOk, kTimeout, kClosed };
+
+/// Waits until `fd` is ready for `events`; `timeout_millis <= 0` waits
+/// forever.
+IoResult PollFor(int fd, short events, int timeout_millis) {
+  pollfd p{fd, events, 0};
+  for (;;) {
+    int rc = ::poll(&p, 1, timeout_millis <= 0 ? -1 : timeout_millis);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return IoResult::kClosed;
+    }
+    if (rc == 0) return IoResult::kTimeout;
+    return IoResult::kOk;
+  }
+}
+
+IoResult ReadFull(int fd, uint8_t* out, size_t len, int timeout_millis) {
+  size_t done = 0;
+  while (done < len) {
+    IoResult ready = PollFor(fd, POLLIN, timeout_millis);
+    if (ready != IoResult::kOk) return ready;
+    ssize_t n = ::read(fd, out + done, len - done);
+    if (n <= 0) return IoResult::kClosed;
+    done += static_cast<size_t>(n);
+  }
+  return IoResult::kOk;
+}
+
+/// MSG_NOSIGNAL: with requests in flight the peer may well close mid
+/// write; that must surface as an error, not SIGPIPE.
+IoResult SendFull(int fd, const uint8_t* data, size_t len,
+                  int timeout_millis) {
+  size_t done = 0;
+  while (done < len) {
+    IoResult ready = PollFor(fd, POLLOUT, timeout_millis);
+    if (ready != IoResult::kOk) return ready;
+    ssize_t n = ::send(fd, data + done, len - done, MSG_NOSIGNAL);
+    if (n <= 0) return IoResult::kClosed;
+    done += static_cast<size_t>(n);
+  }
+  return IoResult::kOk;
+}
+
+/// Blocking connect to host:port; -1 on failure.
+int Dial(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+PipelinedTcpClientTransport::PipelinedTcpClientTransport(std::string host,
+                                                         uint16_t port,
+                                                         Options options)
+    : host_(std::move(host)), port_(port), options_(options) {}
+
+PipelinedTcpClientTransport::~PipelinedTcpClientTransport() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  stopping_ = true;
+  int fd = fd_;
+  // Wake the reader out of its blocking first-byte poll.
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  std::thread reader = std::move(reader_);
+  cv_.notify_all();
+  lock.unlock();
+  if (reader.joinable()) reader.join();
+  if (fd >= 0) ::close(fd);
+}
+
+void PipelinedTcpClientTransport::FailAllPending(const util::Status& status) {
+  for (auto& [correlation_id, slot] : pending_) {
+    if (!slot->done) {
+      slot->done = true;
+      slot->result = status;
+    }
+  }
+  pending_.clear();
+}
+
+util::Status PipelinedTcpClientTransport::EnsureConnected(
+    std::unique_lock<std::mutex>& lock) {
+  for (;;) {
+    if (stopping_) {
+      return util::Status::Unavailable("transport shutting down");
+    }
+    if (connecting_) {
+      cv_.wait(lock);
+      continue;
+    }
+    if (broken_ && fd_ >= 0) {
+      // A writer may still be mid-send on the dead fd; close only once
+      // every write completed, or the fd number could be reused under it.
+      if (writers_ > 0) {
+        cv_.wait(lock);
+        continue;
+      }
+      connecting_ = true;
+      int dead = fd_;
+      fd_ = -1;
+      std::thread reader = std::move(reader_);
+      lock.unlock();
+      if (reader.joinable()) reader.join();
+      ::close(dead);
+      lock.lock();
+      connecting_ = false;
+      broken_ = false;
+      ++reconnects_;
+      cv_.notify_all();
+      continue;
+    }
+    if (fd_ >= 0) return util::Status::Ok();
+    connecting_ = true;
+    lock.unlock();
+    int fd = Dial(host_, port_);
+    lock.lock();
+    connecting_ = false;
+    cv_.notify_all();
+    if (fd < 0) {
+      return util::Status::Unavailable("connect() to " + host_ + ":" +
+                                       std::to_string(port_) + " failed");
+    }
+    if (stopping_) {
+      ::close(fd);
+      return util::Status::Unavailable("transport shutting down");
+    }
+    fd_ = fd;
+    broken_ = false;
+    reader_ = std::thread([this, fd] { ReaderLoop(fd); });
+    return util::Status::Ok();
+  }
+}
+
+void PipelinedTcpClientTransport::ReaderLoop(int fd) {
+  for (;;) {
+    uint8_t kind = 0;
+    // Idle between responses is normal: wait forever for a frame start
+    // (the destructor's shutdown() unblocks this). Once a frame began,
+    // mid-frame stalls are bounded like every other IO.
+    if (ReadFull(fd, &kind, 1, /*timeout_millis=*/0) != IoResult::kOk) break;
+    if (kind != kPipelineOk && kind != kPipelineErr) break;  // desynced
+    uint8_t header[12];  // correlation(8) len(4)
+    if (ReadFull(fd, header, sizeof(header), options_.io_timeout_millis) !=
+        IoResult::kOk) {
+      break;
+    }
+    uint64_t correlation_id = 0;
+    for (int i = 0; i < 8; ++i) {
+      correlation_id = (correlation_id << 8) | header[i];
+    }
+    uint32_t len = (static_cast<uint32_t>(header[8]) << 24) |
+                   (static_cast<uint32_t>(header[9]) << 16) |
+                   (static_cast<uint32_t>(header[10]) << 8) | header[11];
+    if (len > kMaxFrame) break;
+    util::Bytes payload(len);
+    if (len > 0 && ReadFull(fd, payload.data(), len,
+                            options_.io_timeout_millis) != IoResult::kOk) {
+      break;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pending_.find(correlation_id);
+    // Unknown id: an abandoned (timed-out) request's late response, or a
+    // duplicate id from a confused server — either way, drop the frame;
+    // the framing stays intact because the length was honored.
+    if (it != pending_.end()) {
+      std::shared_ptr<PendingSlot> slot = it->second;
+      pending_.erase(it);
+      if (!slot->done) {
+        slot->done = true;
+        slot->result = kind == kPipelineOk
+                           ? util::Result<util::Bytes>(std::move(payload))
+                           : util::Result<util::Bytes>(
+                                 DecodeWireError(payload));
+      }
+      cv_.notify_all();
+    }
+  }
+  // Connection lost (EOF, torn frame, oversize, or shutdown): every
+  // in-flight request is failed retryably; the fd stays open until
+  // EnsureConnected reaps it (nobody reads it again).
+  std::lock_guard<std::mutex> lock(mutex_);
+  broken_ = true;
+  FailAllPending(util::Status::Unavailable("pipelined connection lost"));
+  cv_.notify_all();
+}
+
+std::pair<std::shared_ptr<PipelinedTcpClientTransport::PendingSlot>, uint64_t>
+PipelinedTcpClientTransport::Submit(const std::string& endpoint,
+                                    const util::Bytes& request) {
+  auto fail = [](const util::Status& status) {
+    auto slot = std::make_shared<PendingSlot>();
+    slot->done = true;
+    slot->result = status;
+    return std::make_pair(std::move(slot), uint64_t{0});
+  };
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] {
+    return stopping_ || pending_.size() < options_.max_in_flight;
+  });
+  util::Status connected = EnsureConnected(lock);
+  if (!connected.ok()) return fail(connected);
+
+  const uint64_t correlation_id = next_correlation_id_++;
+  auto slot = std::make_shared<PendingSlot>();
+  pending_.emplace(correlation_id, slot);
+  const int fd = fd_;
+  ++writers_;
+  lock.unlock();
+
+  PipelinedRequestFrame frame;
+  frame.correlation_id = correlation_id;
+  frame.endpoint = endpoint;
+  frame.body = request;
+  const util::Bytes encoded = frame.Encode();
+  IoResult wrote;
+  {
+    // One frame at a time on the socket; readers are unaffected.
+    std::lock_guard<std::mutex> write_lock(write_mutex_);
+    wrote =
+        SendFull(fd, encoded.data(), encoded.size(), options_.io_timeout_millis);
+  }
+
+  lock.lock();
+  --writers_;
+  if (wrote != IoResult::kOk) {
+    // A torn request write desyncs the whole stream: fail the connection,
+    // not just this call (the reader may be blocked and cannot tell).
+    util::Status status =
+        wrote == IoResult::kTimeout
+            ? util::Status::DeadlineExceeded("request write timed out")
+            : util::Status::Unavailable("request write failed");
+    if (fd_ == fd && !broken_) {
+      broken_ = true;
+      ::shutdown(fd, SHUT_RDWR);  // unblock the reader; it fails the rest
+      FailAllPending(status);
+    } else if (!slot->done) {
+      slot->done = true;
+      slot->result = status;
+      pending_.erase(correlation_id);
+    }
+  }
+  cv_.notify_all();
+  return {std::move(slot), correlation_id};
+}
+
+util::Result<util::Bytes> PipelinedTcpClientTransport::Await(
+    const std::shared_ptr<PendingSlot>& slot, uint64_t correlation_id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (options_.io_timeout_millis <= 0) {
+    cv_.wait(lock, [&] { return slot->done; });
+  } else if (!cv_.wait_for(lock,
+                           std::chrono::milliseconds(options_.io_timeout_millis),
+                           [&] { return slot->done; })) {
+    // Abandon the correlation id: a late response is discarded by the
+    // reader without touching the stream, so no reconnect is needed.
+    pending_.erase(correlation_id);
+    cv_.notify_all();  // window space freed
+    return util::Status::DeadlineExceeded(
+        "no pipelined response within " +
+        std::to_string(options_.io_timeout_millis) + " ms");
+  }
+  return slot->result;
+}
+
+util::Result<util::Bytes> PipelinedTcpClientTransport::Call(
+    const std::string& endpoint, const util::Bytes& request) {
+  auto [slot, correlation_id] = Submit(endpoint, request);
+  return Await(slot, correlation_id);
+}
+
+std::vector<util::Result<util::Bytes>>
+PipelinedTcpClientTransport::CallPipelined(
+    const std::string& endpoint, const std::vector<util::Bytes>& requests) {
+  std::vector<std::pair<std::shared_ptr<PendingSlot>, uint64_t>> submitted;
+  submitted.reserve(requests.size());
+  for (const util::Bytes& request : requests) {
+    // Submission blocks only for window space, so up to max_in_flight
+    // requests overlap; responses demultiplex concurrently via the
+    // reader thread while later requests are still being written.
+    submitted.push_back(Submit(endpoint, request));
+  }
+  std::vector<util::Result<util::Bytes>> results;
+  results.reserve(requests.size());
+  for (auto& [slot, correlation_id] : submitted) {
+    results.push_back(Await(slot, correlation_id));
+  }
+  return results;
+}
+
+}  // namespace mws::wire

@@ -1,0 +1,124 @@
+#ifndef MWSIBE_WIRE_PIPELINE_H_
+#define MWSIBE_WIRE_PIPELINE_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/wire/transport.h"
+
+namespace mws::wire {
+
+/// Client transport speaking the pipelined TcpServer framing
+/// (messages.h PipelinedRequestFrame/PipelinedResponseFrame): many
+/// requests in flight on one persistent connection, matched to their
+/// responses by correlation id instead of strict request/response
+/// lockstep.
+///
+/// Unlike TcpClientTransport, Call() is safe to invoke concurrently
+/// from many threads *on one connection*: each call writes its frame
+/// (serialized by a write mutex), then blocks until a dedicated reader
+/// thread demultiplexes its response. CallPipelined() submits a whole
+/// batch before waiting, so a single thread gets the same overlap.
+/// At most `max_in_flight` requests are outstanding; further calls wait
+/// for window space.
+///
+/// Failure behavior mirrors TcpClientTransport so RetryingTransport
+/// composes on top unchanged: socket errors are kUnavailable and stalls
+/// are kDeadlineExceeded after io_timeout_millis, both retryable. A
+/// connection failure fails every in-flight call (the server may or may
+/// not have executed them — exactly the at-least-once ambiguity the
+/// dedup layer absorbs); the next call reconnects. A timed-out call
+/// abandons its correlation id: a late response for an unknown id is
+/// discarded without desyncing the stream. No automatic resend happens
+/// here — with concurrent in-flight requests there is no "no response
+/// byte arrived yet" signal to prove a request unexecuted, so every
+/// retry decision belongs to the caller's retry layer.
+class PipelinedTcpClientTransport : public Transport {
+ public:
+  struct Options {
+    /// Max outstanding requests on the connection; further Call()s wait.
+    size_t max_in_flight = 32;
+    /// Per-wait stall bound (response wait, mid-frame reads, writes).
+    int io_timeout_millis = 30'000;
+  };
+
+  PipelinedTcpClientTransport(std::string host, uint16_t port,
+                              Options options);
+  PipelinedTcpClientTransport(std::string host, uint16_t port)
+      : PipelinedTcpClientTransport(std::move(host), port, Options{}) {}
+  ~PipelinedTcpClientTransport() override;
+
+  PipelinedTcpClientTransport(const PipelinedTcpClientTransport&) = delete;
+  PipelinedTcpClientTransport& operator=(const PipelinedTcpClientTransport&) =
+      delete;
+
+  util::Result<util::Bytes> Call(const std::string& endpoint,
+                                 const util::Bytes& request) override;
+
+  /// Submits every request before waiting for any response; results are
+  /// aligned with request order. Requests that could not be sent because
+  /// the connection died mid-batch come back kUnavailable.
+  std::vector<util::Result<util::Bytes>> CallPipelined(
+      const std::string& endpoint, const std::vector<util::Bytes>& requests);
+
+  /// Times a dead connection was replaced with a fresh one.
+  uint64_t reconnects() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reconnects_;
+  }
+
+ private:
+  struct PendingSlot {
+    bool done = false;
+    util::Result<util::Bytes> result =
+        util::Status::Unavailable("no response");
+  };
+
+  /// Registers a slot and writes the request frame; on failure the slot
+  /// is already completed with the error. Pre: no locks held.
+  std::pair<std::shared_ptr<PendingSlot>, uint64_t> Submit(
+      const std::string& endpoint, const util::Bytes& request);
+  /// Blocks until `slot` completes or io_timeout_millis elapses
+  /// (abandoning `correlation_id`).
+  util::Result<util::Bytes> Await(const std::shared_ptr<PendingSlot>& slot,
+                                  uint64_t correlation_id);
+
+  /// Pre: mutex_ held (via `lock`). Reaps a broken connection (join the
+  /// reader, close the fd) and dials a new one if needed.
+  util::Status EnsureConnected(std::unique_lock<std::mutex>& lock);
+  /// Reader-thread body for one connection generation.
+  void ReaderLoop(int fd);
+  /// Pre: mutex_ held. Marks the connection broken and fails every
+  /// pending slot with `status`.
+  void FailAllPending(const util::Status& status);
+
+  const std::string host_;
+  const uint16_t port_;
+  const Options options_;
+
+  /// Guards every field below; never held across blocking IO.
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;  // slot completed / window space / broken
+  int fd_ = -1;
+  bool broken_ = false;  // reader saw an error; fd awaits reaping
+  bool stopping_ = false;
+  bool connecting_ = false;  // one thread is reaping/dialing
+  int writers_ = 0;  // threads mid-write on fd_; reap waits for zero
+  std::thread reader_;
+  uint64_t next_correlation_id_ = 1;
+  uint64_t reconnects_ = 0;
+  std::unordered_map<uint64_t, std::shared_ptr<PendingSlot>> pending_;
+
+  /// Serializes request writes so concurrent frames never interleave.
+  /// Acquired after (never while holding) mutex_.
+  std::mutex write_mutex_;
+};
+
+}  // namespace mws::wire
+
+#endif  // MWSIBE_WIRE_PIPELINE_H_

@@ -67,6 +67,12 @@ void PutU16(util::Bytes& out, uint16_t v) {
   out.push_back(static_cast<uint8_t>(v));
 }
 
+void PutU64(util::Bytes& out, uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<uint8_t>(v >> shift));
+  }
+}
+
 void PutU32(util::Bytes& out, uint32_t v) {
   out.push_back(static_cast<uint8_t>(v >> 24));
   out.push_back(static_cast<uint8_t>(v >> 16));
@@ -168,6 +174,21 @@ void TcpServer::Shutdown() {
   ::close(wake_pipe_[1]);
 }
 
+void TcpServer::CloseServerFd(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(open_fds_mutex_);
+    open_fds_.erase(fd);
+    if (connections_gauge_ != nullptr) {
+      connections_gauge_->Set(static_cast<int64_t>(open_fds_.size()));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_states_mutex_);
+    conn_states_.erase(fd);
+  }
+  ::close(fd);
+}
+
 void TcpServer::WakeIo() {
   uint8_t byte = 1;
   // Non-blocking; a full pipe already guarantees a pending wakeup.
@@ -237,16 +258,7 @@ void TcpServer::IoLoop() {
     if (stopping_.load() && !draining) {
       // Stop polling connections: close the idle ones and wait only for
       // busy ones to come back from the workers.
-      for (int fd : idle) {
-        {
-          std::lock_guard<std::mutex> lock(open_fds_mutex_);
-          open_fds_.erase(fd);
-          if (connections_gauge_ != nullptr) {
-            connections_gauge_->Set(static_cast<int64_t>(open_fds_.size()));
-          }
-        }
-        ::close(fd);
-      }
+      for (int fd : idle) CloseServerFd(fd);
       idle.clear();
       draining = true;
     }
@@ -293,14 +305,7 @@ void TcpServer::IoLoop() {
       --busy;
       if (closed) continue;  // worker already closed it
       if (draining) {
-        {
-          std::lock_guard<std::mutex> lock(open_fds_mutex_);
-          open_fds_.erase(fd);
-          if (connections_gauge_ != nullptr) {
-            connections_gauge_->Set(static_cast<int64_t>(open_fds_.size()));
-          }
-        }
-        ::close(fd);
+        CloseServerFd(fd);
       } else {
         idle.push_back(fd);
       }
@@ -317,6 +322,10 @@ void TcpServer::IoLoop() {
             connections_gauge_->Set(static_cast<int64_t>(open_fds_.size()));
           }
         }
+        {
+          std::lock_guard<std::mutex> lock(conn_states_mutex_);
+          conn_states_.emplace(fd, std::make_unique<ConnState>());
+        }
         idle.push_back(fd);
       }
     }
@@ -328,29 +337,58 @@ void TcpServer::WorkerLoop() {
     Ready ready = PopReady();
     if (ready.fd < 0) return;
     bool keep = HandleOneRequest(ready.fd, ready.shed);
-    if (!keep) {
-      {
-        std::lock_guard<std::mutex> lock(open_fds_mutex_);
-        open_fds_.erase(ready.fd);
-        if (connections_gauge_ != nullptr) {
-          connections_gauge_->Set(static_cast<int64_t>(open_fds_.size()));
-        }
-      }
-      ::close(ready.fd);
-    }
+    if (!keep) CloseServerFd(ready.fd);
     PushCompleted(ready.fd, /*closed=*/!keep);
   }
 }
 
 bool TcpServer::HandleOneRequest(int fd, bool shed) {
+  ConnState* conn = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(conn_states_mutex_);
+    auto it = conn_states_.find(fd);
+    if (it == conn_states_.end()) return false;
+    conn = it->second.get();
+  }
+  // Drain requests the kernel already buffered (a pipelining client's
+  // burst) within this ownership, bounded so one chatty connection
+  // cannot monopolize a worker. Only the first request can be shed: the
+  // rest never occupied a dispatch-queue slot.
+  constexpr int kMaxDrainPerOwnership = 64;
+  for (int handled = 0; handled < kMaxDrainPerOwnership; ++handled) {
+    if (!ProcessFrame(fd, conn, shed && handled == 0)) return false;
+    pollfd p{fd, POLLIN, 0};
+    if (::poll(&p, 1, 0) <= 0 || (p.revents & POLLIN) == 0) break;
+  }
+  return true;
+}
+
+bool TcpServer::ProcessFrame(int fd, ConnState* conn, bool shed) {
   const int timeout = options_.io_timeout_millis;
   uint8_t header[2];
   if (ReadFull(fd, header, 2, timeout) != IoResult::kOk) return false;
-  uint16_t endpoint_len =
-      static_cast<uint16_t>((header[0] << 8) | header[1]);
-  util::Bytes endpoint_bytes(endpoint_len);
+  uint16_t first = static_cast<uint16_t>((header[0] << 8) | header[1]);
+
+  // Pipelined frame: sentinel, version, correlation id, then the same
+  // endpoint/body layout as a legacy frame.
+  bool pipelined = first == kPipelineSentinel;
+  uint64_t correlation_id = 0;
+  uint16_t endpoint_len = first;
+  if (pipelined) {
+    uint8_t pre[11];  // version(1) correlation(8) endpoint_len(2)
+    if (ReadFull(fd, pre, sizeof(pre), timeout) != IoResult::kOk) return false;
+    // A future version's frame length is unknowable; drop the connection
+    // rather than desync the stream.
+    if (pre[0] != kPipelineVersion) return false;
+    for (int i = 0; i < 8; ++i) {
+      correlation_id = (correlation_id << 8) | pre[1 + i];
+    }
+    endpoint_len = static_cast<uint16_t>((pre[9] << 8) | pre[10]);
+  }
+
+  conn->endpoint_buf.resize(endpoint_len);
   if (endpoint_len > 0 &&
-      ReadFull(fd, endpoint_bytes.data(), endpoint_len, timeout) !=
+      ReadFull(fd, conn->endpoint_buf.data(), endpoint_len, timeout) !=
           IoResult::kOk) {
     return false;
   }
@@ -361,13 +399,14 @@ bool TcpServer::HandleOneRequest(int fd, bool shed) {
                       (static_cast<uint32_t>(len_bytes[2]) << 8) |
                       len_bytes[3];
   if (body_len > options_.max_frame_bytes) return false;
-  util::Bytes body(body_len);
+  conn->body_buf.resize(body_len);
   if (body_len > 0 &&
-      ReadFull(fd, body.data(), body_len, timeout) != IoResult::kOk) {
+      ReadFull(fd, conn->body_buf.data(), body_len, timeout) !=
+          IoResult::kOk) {
     return false;
   }
 
-  std::string endpoint = util::StringFromBytes(endpoint_bytes);
+  std::string endpoint = util::StringFromBytes(conn->endpoint_buf);
   obs::Registry* metrics = options_.metrics;
   util::Result<util::Bytes> result = [&]() -> util::Result<util::Bytes> {
     if (shed) {
@@ -380,7 +419,7 @@ bool TcpServer::HandleOneRequest(int fd, bool shed) {
             : nullptr);
     // Dispatch without any server-wide lock: the registered services are
     // responsible for their own thread safety.
-    return backend_->Call(endpoint, body);
+    return backend_->Call(endpoint, conn->body_buf);
   }();
   if (metrics != nullptr && !shed) {
     metrics->GetCounter("tcp.requests", {{"op", endpoint}})->Increment();
@@ -390,22 +429,30 @@ bool TcpServer::HandleOneRequest(int fd, bool shed) {
     }
   }
 
-  util::Bytes response;
-  if (result.ok()) {
-    response.push_back(1);
-    PutU32(response, static_cast<uint32_t>(result.value().size()));
-    response.insert(response.end(), result.value().begin(),
-                    result.value().end());
+  util::Bytes& response = conn->response_buf;
+  response.clear();
+  const util::Bytes payload =
+      result.ok() ? std::move(result).value() : EncodeWireError(result.status());
+  if (pipelined) {
+    response.push_back(result.ok() ? kPipelineOk : kPipelineErr);
+    PutU64(response, correlation_id);
   } else {
-    // The code crosses the wire too, so the client can classify
-    // retryability (EncodeWireError / DecodeWireError).
-    util::Bytes payload = EncodeWireError(result.status());
-    response.push_back(0);
-    PutU32(response, static_cast<uint32_t>(payload.size()));
-    response.insert(response.end(), payload.begin(), payload.end());
+    response.push_back(result.ok() ? 1 : 0);
   }
-  return WriteFull(fd, response.data(), response.size(), timeout) ==
-         IoResult::kOk;
+  PutU32(response, static_cast<uint32_t>(payload.size()));
+  response.insert(response.end(), payload.begin(), payload.end());
+  bool wrote = WriteFull(fd, response.data(), response.size(), timeout) ==
+               IoResult::kOk;
+  // Keep the steady-state buffers, but do not pin one huge frame's
+  // allocation to an idle connection forever.
+  constexpr size_t kRetainBytes = 1u << 20;
+  if (conn->body_buf.capacity() > kRetainBytes) {
+    conn->body_buf = util::Bytes();
+  }
+  if (conn->response_buf.capacity() > kRetainBytes) {
+    conn->response_buf = util::Bytes();
+  }
+  return wrote;
 }
 
 TcpClientTransport::~TcpClientTransport() { CloseConnection(); }

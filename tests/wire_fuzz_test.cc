@@ -222,6 +222,143 @@ TEST(WireFuzzTest, KeyBatchResponse) {
   FuzzDecoder(m, "KeyBatchResponse");
 }
 
+TEST(WireFuzzTest, DepositBatchRequest) {
+  DepositRequest item;
+  item.u = BytesFromString("serialized-point-rP");
+  item.ciphertext = BytesFromString("ciphertext-C");
+  item.attribute = "ELECTRIC-BAYTOWER-SV-CA";
+  item.nonce = Bytes(16, 0xA5);
+  item.device_id = "SD-0007";
+  item.timestamp_micros = 1'267'401'600'000'000;
+  item.mac = Bytes(32, 0x5A);
+  DepositBatchRequest m;
+  m.items = {item, item};
+  FuzzDecoder(m, "DepositBatchRequest");
+}
+
+TEST(WireFuzzTest, DepositBatchRequestRejectsZeroItems) {
+  // An explicit zero-count frame is a protocol error, not an empty batch.
+  DepositRequest item;
+  item.attribute = "A";
+  DepositBatchRequest m;
+  m.items = {item};
+  Bytes encoded = m.Encode();
+  // version(1) | count(4) — zero the count and drop the item bytes.
+  Bytes empty(encoded.begin(), encoded.begin() + 5);
+  empty[1] = empty[2] = empty[3] = empty[4] = 0;
+  auto decoded = DepositBatchRequest::Decode(empty);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(WireFuzzTest, DepositBatchRequestRejectsLengthBomb) {
+  // A count far beyond the remaining bytes must fail before any
+  // allocation sized by it.
+  DepositRequest item;
+  item.attribute = "A";
+  DepositBatchRequest m;
+  m.items = {item};
+  Bytes encoded = m.Encode();
+  encoded[1] = encoded[2] = encoded[3] = encoded[4] = 0xFF;
+  EXPECT_FALSE(DepositBatchRequest::Decode(encoded).ok());
+}
+
+TEST(WireFuzzTest, DepositBatchResponse) {
+  DepositBatchResponse m;
+  m.items.push_back({true, 41, {}});
+  m.items.push_back(
+      {false, 0,
+       EncodeWireError(util::Status::Unauthenticated("bad device MAC"))});
+  FuzzDecoder(m, "DepositBatchResponse");
+}
+
+TEST(WireFuzzTest, RetrieveChunkRequest) {
+  RetrieveChunkRequest m;
+  m.session_id = Bytes(16, 0x42);
+  m.after_message_id = 41;
+  m.from_micros = 1'000;
+  m.to_micros = 2'000;
+  m.max_messages = 64;
+  FuzzDecoder(m, "RetrieveChunkRequest");
+}
+
+TEST(WireFuzzTest, RetrieveChunkRequestRejectsZeroLimit) {
+  RetrieveChunkRequest m;
+  m.session_id = Bytes(16, 0x42);
+  m.max_messages = 1;
+  Bytes encoded = m.Encode();
+  // max_messages is the trailing u32.
+  for (size_t i = encoded.size() - 4; i < encoded.size(); ++i) encoded[i] = 0;
+  EXPECT_FALSE(RetrieveChunkRequest::Decode(encoded).ok());
+}
+
+TEST(WireFuzzTest, RetrieveChunkResponse) {
+  RetrievedMessage inner;
+  inner.message_id = 9;
+  inner.u = BytesFromString("rP");
+  inner.ciphertext = BytesFromString("C");
+  inner.aid = 3;
+  inner.nonce = Bytes(16, 0x01);
+  RetrieveChunkResponse m;
+  m.messages = {inner, inner};
+  m.has_more = true;
+  m.next_after_id = 9;
+  m.token = {};  // non-final chunk carries no token
+  FuzzDecoder(m, "RetrieveChunkResponse");
+  m.has_more = false;
+  m.token = BytesFromString("rsa-sealed-token");
+  FuzzDecoder(m, "RetrieveChunkResponse-final");
+}
+
+TEST(WireFuzzTest, PipelinedRequestFrame) {
+  PipelinedRequestFrame m;
+  m.correlation_id = 0x1122334455667788ull;
+  m.endpoint = "mws.deposit";
+  m.body = BytesFromString("opaque-request-body");
+  FuzzDecoder(m, "PipelinedRequestFrame");
+}
+
+TEST(WireFuzzTest, PipelinedRequestFrameRejectsUnknownVersion) {
+  PipelinedRequestFrame m;
+  m.correlation_id = 7;
+  m.endpoint = "mws.deposit";
+  m.body = BytesFromString("body");
+  Bytes encoded = m.Encode();
+  encoded[2] = kPipelineVersion + 1;  // sentinel(2) | version(1)
+  EXPECT_FALSE(PipelinedRequestFrame::Decode(encoded).ok());
+}
+
+TEST(WireFuzzTest, PipelinedResponseFrame) {
+  PipelinedResponseFrame ok_frame;
+  ok_frame.correlation_id = 99;
+  ok_frame.ok = true;
+  ok_frame.payload = BytesFromString("response-payload");
+  FuzzDecoder(ok_frame, "PipelinedResponseFrame-ok");
+
+  PipelinedResponseFrame err_frame;
+  err_frame.correlation_id = 100;
+  err_frame.ok = false;
+  err_frame.payload =
+      EncodeWireError(util::Status::ResourceExhausted("shed"));
+  FuzzDecoder(err_frame, "PipelinedResponseFrame-err");
+}
+
+TEST(WireFuzzTest, PipelinedResponseFrameRejectsLegacyKinds) {
+  // Kinds 0/1 are the legacy ok byte; a pipelined decoder must not
+  // accept them (the disjoint ranges are what lets both framings share
+  // a connection).
+  PipelinedResponseFrame m;
+  m.correlation_id = 1;
+  m.ok = true;
+  m.payload = BytesFromString("x");
+  Bytes encoded = m.Encode();
+  for (uint8_t kind : {0, 1, 4, 255}) {
+    encoded[0] = kind;
+    EXPECT_FALSE(PipelinedResponseFrame::Decode(encoded).ok())
+        << "kind " << static_cast<int>(kind);
+  }
+}
+
 TEST(WireFuzzTest, StatsRequest) {
   StatsRequest m;
   m.include_spans = 1;
