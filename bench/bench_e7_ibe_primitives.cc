@@ -239,27 +239,40 @@ struct Row {
   double reference_ns = 0;
 };
 
-/// Mean ns/op via steady_clock: one warmup call, then at least
-/// `min_iters` iterations and at least `min_ms` of wall time.
+/// ns/op via steady_clock: one warmup call, then the best (minimum)
+/// mean over three independent measurement windows, each of at least
+/// `min_iters` iterations and `min_ms` of wall time. The minimum is
+/// the standard noise-robust estimator on a shared host — interference
+/// only ever inflates a window's mean, so the smallest window is the
+/// closest to the true cost.
 template <typename F>
 double MeasureNs(F&& fn, int min_iters, double min_ms) {
   fn();
-  int iters = 0;
-  auto start = std::chrono::steady_clock::now();
-  double elapsed_ns = 0;
-  do {
-    fn();
-    ++iters;
-    elapsed_ns = std::chrono::duration<double, std::nano>(
-                     std::chrono::steady_clock::now() - start)
-                     .count();
-  } while (iters < min_iters || elapsed_ns < min_ms * 1e6);
-  return elapsed_ns / iters;
+  double best = 0;
+  for (int window = 0; window < 3; ++window) {
+    int iters = 0;
+    auto start = std::chrono::steady_clock::now();
+    double elapsed_ns = 0;
+    do {
+      fn();
+      ++iters;
+      elapsed_ns = std::chrono::duration<double, std::nano>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    } while (iters < min_iters || elapsed_ns < min_ms * 1e6);
+    const double mean = elapsed_ns / iters;
+    if (window == 0 || mean < best) best = mean;
+  }
+  return best;
 }
 
 std::vector<Row> MeasureFastPaths(const TypeAParams& group, bool smoke) {
-  const int min_iters = smoke ? 2 : 20;
-  const double min_ms = smoke ? 0.0 : 100.0;
+  // Smoke still needs a floor of real measurement time: at two bare
+  // iterations the millisecond-scale batch rows jitter by 3-4x on a
+  // loaded single-core host, which would make the regression check
+  // below meaningless.
+  const int min_iters = smoke ? 5 : 20;
+  const double min_ms = smoke ? 10.0 : 100.0;
   const mws::math::CurveGroup& curve = group.curve();
 
   BfIbe ibe(group);
@@ -299,12 +312,19 @@ std::vector<Row> MeasureFastPaths(const TypeAParams& group, bool smoke) {
 
   rows.push_back(
       {"scalar_mul_variable_base",
-       MeasureNs([&] { benchmark::DoNotOptimize(curve.ScalarMul(
-                           scalars[n % kInputs], points[n++ % kInputs])); },
-                 min_iters, min_ms),
-       MeasureNs([&] { benchmark::DoNotOptimize(curve.ScalarMulBinary(
-                           scalars[n % kInputs], points[n++ % kInputs])); },
-                 min_iters, min_ms)});
+       MeasureNs(
+           [&] {
+             const size_t k = n++ % kInputs;
+             benchmark::DoNotOptimize(curve.ScalarMul(scalars[k], points[k]));
+           },
+           min_iters, min_ms),
+       MeasureNs(
+           [&] {
+             const size_t k = n++ % kInputs;
+             benchmark::DoNotOptimize(
+                 curve.ScalarMulBinary(scalars[k], points[k]));
+           },
+           min_iters, min_ms)});
 
   const PairingPrecomp& precomp = *params.p_pub_pairing;
   rows.push_back(
@@ -316,14 +336,99 @@ std::vector<Row> MeasureFastPaths(const TypeAParams& group, bool smoke) {
                            params.p_pub, points[n++ % kInputs])); },
                  min_iters, min_ms)});
 
+  // Reference is the pre-v2 engine (binary Miller loop, unbatched
+  // final exponentiation); group.Pairing now IS a fast path.
   rows.push_back(
       {"pairing_fixed_g1",
        MeasureNs([&] { benchmark::DoNotOptimize(
                            precomp.Pairing(points[n++ % kInputs])); },
                  min_iters, min_ms),
-       MeasureNs([&] { benchmark::DoNotOptimize(group.Pairing(
+       MeasureNs([&] { benchmark::DoNotOptimize(group.PairingReference(
                            params.p_pub, points[n++ % kInputs])); },
                  min_iters, min_ms)});
+
+  // Two-term product e(P_pub, q1) * e(P, q2) — the IBS Verify /
+  // threshold VerifyPartial shape — against two reference pairings
+  // multiplied in F_p2.
+  rows.push_back(
+      {"pairing_product",
+       MeasureNs(
+           [&] {
+             const size_t k = n++ % (kInputs - 1);
+             std::vector<mws::math::PairingTerm> terms;
+             terms.push_back({params.p_pub_pairing.get(), {}, points[k]});
+             terms.push_back(
+                 {&group.generator_pairing(), {}, points[k + 1]});
+             benchmark::DoNotOptimize(group.PairingProduct(terms));
+           },
+           min_iters, min_ms),
+       MeasureNs(
+           [&] {
+             const size_t k = n++ % (kInputs - 1);
+             benchmark::DoNotOptimize(
+                 group.PairingReference(params.p_pub, points[k]) *
+                 group.PairingReference(group.generator(), points[k + 1]));
+           },
+           min_iters, min_ms)});
+
+  // Eight pairings sharing one fixed argument: cached lines + batched
+  // final exponentiation (PairingMany) vs eight pre-v2 reference
+  // pairings, mirroring the pairing_fixed_g1 row's reference. Both
+  // columns are ns per 8-element batch. (Against eight independent
+  // fast pairings the batch saves only the per-value easy-part
+  // inversion, a ~5% effect that this host's noise floor swallows.)
+  constexpr size_t kBatch = 8;
+  rows.push_back(
+      {"pairing_many_8",
+       MeasureNs(
+           [&] {
+             std::vector<EcPoint> qs;
+             for (size_t i = 0; i < kBatch; ++i) {
+               qs.push_back(points[(n + i) % kInputs]);
+             }
+             ++n;
+             benchmark::DoNotOptimize(precomp.PairingMany(qs));
+           },
+           min_iters, min_ms),
+       MeasureNs(
+           [&] {
+             std::vector<Fp2> out;
+             for (size_t i = 0; i < kBatch; ++i) {
+               out.push_back(group.PairingReference(
+                   params.p_pub, points[(n + i) % kInputs]));
+             }
+             ++n;
+             benchmark::DoNotOptimize(out);
+           },
+           min_iters, min_ms)});
+
+  // Bulk BasicIdent decryption under one key: DecryptMany (shared
+  // precomp + batched final exp) vs a per-message Decrypt loop. Both
+  // columns are ns per 8-message batch.
+  {
+    Bytes bulk_id = BytesFromString("bulk-bench");
+    mws::ibe::IbePrivateKey bulk_key = ibe.Extract(master, bulk_id);
+    std::vector<BasicCiphertext> cts;
+    for (size_t i = 0; i < kBatch; ++i) {
+      cts.push_back(ibe.Encrypt(params, bulk_id,
+                                BytesFromString("bulk message payload"),
+                                rng));
+    }
+    rows.push_back(
+        {"bulk_decrypt_basic_8",
+         MeasureNs([&] { benchmark::DoNotOptimize(
+                             ibe.DecryptMany(params, bulk_key, cts)); },
+                   min_iters, min_ms),
+         MeasureNs(
+             [&] {
+               std::vector<Bytes> out;
+               for (const BasicCiphertext& ct : cts) {
+                 out.push_back(ibe.Decrypt(params, bulk_key, ct));
+               }
+               benchmark::DoNotOptimize(out);
+             },
+             min_iters, min_ms)});
+  }
 
   rows.push_back(
       {"fp2_pow_window",
@@ -355,7 +460,11 @@ std::vector<Row> MeasureFastPaths(const TypeAParams& group, bool smoke) {
   return rows;
 }
 
-void EmitJson(const std::string& path, bool no_precompute, bool smoke) {
+/// Returns false if any fast path measured slower than its reference
+/// beyond the noise allowance — the smoke run turns that into a test
+/// failure, so an accidental de-optimization of the v2 engine cannot
+/// land silently.
+bool EmitJson(const std::string& path, bool no_precompute, bool smoke) {
   // Smoke keeps ctest fast: the tiny preset with a couple iterations.
   ParamPreset preset = smoke ? ParamPreset::kSmall : ParamPreset::kTest;
   const TypeAParams& group = GetParams(preset);
@@ -389,11 +498,23 @@ void EmitJson(const std::string& path, bool no_precompute, bool smoke) {
     f << out;
     std::printf("wrote %s\n", path.c_str());
   }
+  bool ok = true;
+  // 25% slack absorbs smoke-mode timing noise (two iterations on the
+  // tiny preset); the tightest real fast path (fp2_pow_window, ~1.1x)
+  // still clears it, and a fast path that fell behind its reference
+  // trips it.
+  constexpr double kSlack = 1.25;
   for (const Row& r : rows) {
     std::printf("  %-28s fast %10.1f ns  reference %12.1f ns  (%.2fx)\n",
                 r.name.c_str(), r.fast_ns, r.reference_ns,
                 r.reference_ns / r.fast_ns);
+    if (r.fast_ns > r.reference_ns * kSlack) {
+      std::printf("  REGRESSION: %s fast path slower than reference\n",
+                  r.name.c_str());
+      ok = false;
+    }
   }
+  return ok;
 }
 
 }  // namespace
@@ -419,8 +540,8 @@ int main(int argc, char** argv) {
   argc = out_argc;
 
   std::printf("=== E7: IBE primitive costs ===\n\n");
-  EmitJson(json_path, no_precompute, smoke);
-  if (smoke) return 0;
+  bool ok = EmitJson(json_path, no_precompute, smoke);
+  if (smoke) return ok ? 0 : 1;
 
   std::printf("\n");
   benchmark::Initialize(&argc, argv);

@@ -258,18 +258,41 @@ util::Result<std::vector<ReceivedMessage>> ReceivingClient::DecryptAll(
       if (g >= group_list.size()) return;
       const std::vector<size_t>& indices = group_list[g];
       const ibe::IbePrivateKey& key = keys[indices[0]].value();
-      std::optional<math::PairingPrecomp> precomp;
-      if (indices.size() >= 2) precomp.emplace(*params_.group, key.d);
+      if (indices.size() < 2) {
+        size_t i = indices[0];
+        auto u = params_.group->curve().Deserialize(messages[i].u);
+        if (!u.ok()) {
+          plains[i] = u.status();
+          continue;
+        }
+        plains[i] = sealer_.Open(
+            key, ibe::HybridCiphertext{u.value(), messages[i].ciphertext});
+        continue;
+      }
+      // Shared-key group: the Miller lines of e(d, .) depend on d alone,
+      // so one PairingPrecomp serves every message, and PairingMany runs
+      // the whole group through one batched final exponentiation (the
+      // per-value easy-part inversions collapse into a single field
+      // inversion via Montgomery's trick).
+      math::PairingPrecomp precomp(*params_.group, key.d);
+      std::vector<size_t> ok_indices;
+      std::vector<math::EcPoint> us;
+      ok_indices.reserve(indices.size());
+      us.reserve(indices.size());
       for (size_t i : indices) {
         auto u = params_.group->curve().Deserialize(messages[i].u);
         if (!u.ok()) {
           plains[i] = u.status();
           continue;
         }
-        ibe::HybridCiphertext ct{u.value(), messages[i].ciphertext};
-        plains[i] = precomp ? sealer_.OpenWithPairing(
-                                  precomp->Pairing(u.value()), ct)
-                            : sealer_.Open(key, ct);
+        ok_indices.push_back(i);
+        us.push_back(u.value());
+      }
+      std::vector<math::Fp2> gs = precomp.PairingMany(us);
+      for (size_t k = 0; k < ok_indices.size(); ++k) {
+        size_t i = ok_indices[k];
+        plains[i] = sealer_.OpenWithPairing(
+            gs[k], ibe::HybridCiphertext{us[k], messages[i].ciphertext});
       }
     }
   };

@@ -181,6 +181,28 @@ util::Bytes BfIbe::Decrypt(const SystemParams& params, const IbePrivateKey& key,
   return util::Xor(ct.v, PairingMask(g, ct.v.size()));
 }
 
+std::vector<util::Bytes> BfIbe::DecryptMany(
+    const SystemParams& params, const IbePrivateKey& key,
+    const std::vector<BasicCiphertext>& cts) const {
+  (void)params;
+  std::vector<util::Bytes> out;
+  out.reserve(cts.size());
+  if (cts.empty()) return out;
+  if (cts.size() == 1) {
+    out.push_back(Decrypt(params, key, cts[0]));
+    return out;
+  }
+  math::PairingPrecomp precomp(group_, key.d);
+  std::vector<EcPoint> us;
+  us.reserve(cts.size());
+  for (const BasicCiphertext& ct : cts) us.push_back(ct.u);
+  std::vector<Fp2> gs = precomp.PairingMany(us);
+  for (size_t i = 0; i < cts.size(); ++i) {
+    out.push_back(util::Xor(cts[i].v, PairingMask(gs[i], cts[i].v.size())));
+  }
+  return out;
+}
+
 FullCiphertext BfIbe::EncryptFull(const SystemParams& params,
                                   const util::Bytes& identity,
                                   const util::Bytes& message,

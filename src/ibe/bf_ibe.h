@@ -101,6 +101,15 @@ class BfIbe {
   util::Bytes Decrypt(const SystemParams& params, const IbePrivateKey& key,
                       const BasicCiphertext& ct) const;
 
+  /// BasicIdent decryption of many ciphertexts under ONE identity key.
+  /// The Miller lines of e(d, ·) depend on d alone, so the whole batch
+  /// shares a single PairingPrecomp, and the final exponentiations run
+  /// batched (one field inversion via Montgomery's trick). Output i is
+  /// bit-identical to Decrypt(params, key, cts[i]).
+  std::vector<util::Bytes> DecryptMany(
+      const SystemParams& params, const IbePrivateKey& key,
+      const std::vector<BasicCiphertext>& cts) const;
+
   /// FullIdent (CCA) encryption.
   FullCiphertext EncryptFull(const SystemParams& params,
                              const util::Bytes& identity,

@@ -34,12 +34,25 @@ bool IbSignatures::Verify(const SystemParams& params,
   }
   BigInt h = HashMessage(message);
   math::EcPoint q_id = ibe_.HashToPoint(signer_identity);
-  // e(sigma, P) == e(Q_ID, P_pub)^h. The pairing is symmetric, so
-  // e(sigma, P) = e(P, sigma) and the generator's cached Miller lines
-  // apply to the left side.
-  math::Fp2 lhs = group.generator_pairing().Pairing(signature.sigma);
-  math::Fp2 rhs = group.Pairing(q_id, params.p_pub).Pow(h);
-  return lhs == rhs;
+  // One product-of-pairings membership check instead of comparing two
+  // full pairings: e(sigma, P) == e(Q_ID, P_pub)^h is equivalent to
+  //   e(sigma, P) * e(-h*Q_ID, P_pub) == 1
+  // (the exponent h folds into the point by bilinearity). Both terms
+  // share the product's squaring chain and a single final
+  // exponentiation, and the F_p2 exponentiation by h disappears
+  // entirely. The pairing is symmetric, so the generator's (and, when
+  // precomputed, P_pub's) cached Miller lines serve as fixed first
+  // arguments.
+  math::EcPoint neg_hqid =
+      group.curve().Negate(group.curve().ScalarMul(h, q_id));
+  std::vector<math::PairingTerm> terms;
+  terms.push_back({&group.generator_pairing(), {}, signature.sigma});
+  if (params.p_pub_pairing != nullptr) {
+    terms.push_back({params.p_pub_pairing.get(), {}, neg_hqid});
+  } else {
+    terms.push_back({nullptr, params.p_pub, neg_hqid});
+  }
+  return group.PairingProduct(terms).IsOne();
 }
 
 util::Bytes IbSignatures::Serialize(const Signature& signature) const {

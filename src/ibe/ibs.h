@@ -30,7 +30,10 @@ class IbSignatures {
   Signature Sign(const IbePrivateKey& key, const util::Bytes& message) const;
 
   /// Verifies against the signer's identity string and the system
-  /// parameters (two pairings; no per-signer public key needed).
+  /// parameters; no per-signer public key needed. Internally one
+  /// product-of-pairings check e(sigma, P) * e(-H(m)*Q_ID, P_pub) == 1 —
+  /// a single shared Miller squaring chain and final exponentiation
+  /// instead of two pairings plus an F_p2 exponentiation.
   bool Verify(const SystemParams& params, const util::Bytes& signer_identity,
               const util::Bytes& message, const Signature& signature) const;
 

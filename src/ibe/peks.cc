@@ -65,6 +65,32 @@ bool Peks::Test(const Tag& tag, const Trapdoor& trapdoor) const {
   return util::ConstantTimeEqual(HashPairingValue(t), tag.check);
 }
 
+std::vector<bool> Peks::TestMany(const std::vector<Tag>& tags,
+                                 const Trapdoor& trapdoor) const {
+  std::vector<bool> out(tags.size(), false);
+  if (tags.empty() || trapdoor.t.is_infinity()) return out;
+  // Pair only the non-degenerate tags; infinity stays `false` without
+  // entering the batch (PairingMany would map it to 1, which never
+  // matches a well-formed check anyway, but skipping keeps the
+  // semantics of Test exact by construction).
+  math::PairingPrecomp precomp(group_, trapdoor.t);
+  std::vector<size_t> live;
+  std::vector<EcPoint> us;
+  live.reserve(tags.size());
+  us.reserve(tags.size());
+  for (size_t i = 0; i < tags.size(); ++i) {
+    if (tags[i].u.is_infinity()) continue;
+    live.push_back(i);
+    us.push_back(tags[i].u);
+  }
+  std::vector<math::Fp2> ts = precomp.PairingMany(us);
+  for (size_t k = 0; k < live.size(); ++k) {
+    out[live[k]] = util::ConstantTimeEqual(HashPairingValue(ts[k]),
+                                           tags[live[k]].check);
+  }
+  return out;
+}
+
 util::Bytes Peks::SerializeTag(const Tag& tag) const {
   util::Writer w;
   w.PutBytes(group_.curve().Serialize(tag.u));

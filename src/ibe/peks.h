@@ -56,6 +56,13 @@ class Peks {
   /// Learns nothing else about the tag's keyword.
   bool Test(const Tag& tag, const Trapdoor& trapdoor) const;
 
+  /// Scans many tags against ONE trapdoor — the warehouse's mailbox
+  /// sweep. The trapdoor point is the fixed pairing argument, so its
+  /// Miller lines are computed once (PairingPrecomp) and the final
+  /// exponentiations run batched. Entry i equals Test(tags[i], trapdoor).
+  std::vector<bool> TestMany(const std::vector<Tag>& tags,
+                             const Trapdoor& trapdoor) const;
+
   /// Tag wire encoding (point + 32-byte check).
   util::Bytes SerializeTag(const Tag& tag) const;
   util::Result<Tag> ParseTag(const util::Bytes& data) const;

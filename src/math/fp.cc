@@ -7,7 +7,9 @@ namespace mws::math {
 
 namespace {
 
-using u128 = unsigned __int128;
+using fp_internal::AddN;
+using fp_internal::CmpN;
+using fp_internal::SubN;
 
 /// -x^-1 mod 2^64 for odd x, by Newton iteration.
 uint64_t NegInvU64(uint64_t x) {
@@ -17,40 +19,6 @@ uint64_t NegInvU64(uint64_t x) {
 }
 
 // --- Allocation-free helpers on n-limb little-endian arrays ---
-
-int CmpN(const uint64_t* a, const uint64_t* b, size_t n) {
-  for (size_t i = n; i-- > 0;) {
-    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
-  }
-  return 0;
-}
-
-/// out = a - b; returns the final borrow (1 if a < b).
-uint64_t SubN(const uint64_t* a, const uint64_t* b, uint64_t* out, size_t n) {
-  uint64_t borrow = 0;
-  for (size_t i = 0; i < n; ++i) {
-    uint64_t ai = a[i];
-    uint64_t bi = b[i];
-    uint64_t d = ai - bi;
-    uint64_t b2 = ai < bi ? 1 : 0;
-    uint64_t d2 = d - borrow;
-    if (d < borrow) b2 = 1;
-    out[i] = d2;
-    borrow = b2;
-  }
-  return borrow;
-}
-
-/// out = a + b; returns the final carry.
-uint64_t AddN(const uint64_t* a, const uint64_t* b, uint64_t* out, size_t n) {
-  uint64_t carry = 0;
-  for (size_t i = 0; i < n; ++i) {
-    u128 sum = static_cast<u128>(a[i]) + b[i] + carry;
-    out[i] = static_cast<uint64_t>(sum);
-    carry = static_cast<uint64_t>(sum >> 64);
-  }
-  return carry;
-}
 
 /// a >>= 1 with `top_bit` shifted into the most significant position.
 void Shr1N(uint64_t* a, size_t n, uint64_t top_bit) {
@@ -114,66 +82,6 @@ util::Result<std::unique_ptr<const FpCtx>> FpCtx::Create(const BigInt& p) {
   return std::unique_ptr<const FpCtx>(std::move(ctx));
 }
 
-bool FpCtx::GeqP(const uint64_t* a) const {
-  return CmpN(a, p_limbs_.data(), nlimbs_) >= 0;
-}
-
-void FpCtx::MontMul(const uint64_t* a, const uint64_t* b,
-                    uint64_t* out) const {
-  const size_t n = nlimbs_;
-  // CIOS accumulator; t stays < 2p after each shift.
-  uint64_t t[kMaxFpLimbs + 2] = {0};
-  for (size_t i = 0; i < n; ++i) {
-    // t += a[i] * b
-    uint64_t carry = 0;
-    for (size_t j = 0; j < n; ++j) {
-      u128 cur = static_cast<u128>(a[i]) * b[j] + t[j] + carry;
-      t[j] = static_cast<uint64_t>(cur);
-      carry = static_cast<uint64_t>(cur >> 64);
-    }
-    u128 cur = static_cast<u128>(t[n]) + carry;
-    t[n] = static_cast<uint64_t>(cur);
-    t[n + 1] = static_cast<uint64_t>(cur >> 64);
-
-    // m = t[0] * n0inv mod 2^64; t += m * p (makes t[0] == 0).
-    uint64_t m = t[0] * n0inv_;
-    carry = 0;
-    for (size_t j = 0; j < n; ++j) {
-      u128 c2 = static_cast<u128>(m) * p_limbs_[j] + t[j] + carry;
-      t[j] = static_cast<uint64_t>(c2);
-      carry = static_cast<uint64_t>(c2 >> 64);
-    }
-    cur = static_cast<u128>(t[n]) + carry;
-    t[n] = static_cast<uint64_t>(cur);
-    t[n + 1] += static_cast<uint64_t>(cur >> 64);
-
-    // Shift t right by one limb (divide by 2^64).
-    for (size_t j = 0; j < n + 1; ++j) t[j] = t[j + 1];
-    t[n + 1] = 0;
-  }
-  // Result in t[0..n], < 2p. Conditionally subtract p.
-  if (t[n] != 0 || GeqP(t)) {
-    SubN(t, p_limbs_.data(), out, n);
-  } else {
-    std::memcpy(out, t, n * sizeof(uint64_t));
-  }
-}
-
-void FpCtx::AddMod(const uint64_t* a, const uint64_t* b, uint64_t* out) const {
-  const size_t n = nlimbs_;
-  uint64_t carry = AddN(a, b, out, n);
-  if (carry || GeqP(out)) {
-    SubN(out, p_limbs_.data(), out, n);
-  }
-}
-
-void FpCtx::SubMod(const uint64_t* a, const uint64_t* b, uint64_t* out) const {
-  const size_t n = nlimbs_;
-  if (SubN(a, b, out, n)) {
-    AddN(out, p_limbs_.data(), out, n);
-  }
-}
-
 void FpCtx::InvMod(const uint64_t* a, uint64_t* out) const {
   // Binary extended GCD (HAC 14.61) on u = a, v = p with x1, x2 tracked
   // mod p. For a in Montgomery form (aR) it yields (aR)^-1 = a^-1 R^-1;
@@ -220,7 +128,11 @@ void FpCtx::InvMod(const uint64_t* a, uint64_t* out) const {
   MontMul(tmp, r2_.data(), out);
 }
 
-Fp Fp::Zero(const FpCtx* ctx) { return Fp(ctx); }
+Fp Fp::Zero(const FpCtx* ctx) {
+  Fp out(ctx);
+  out.v_.fill(0);
+  return out;
+}
 
 Fp Fp::One(const FpCtx* ctx) {
   Fp out(ctx);
@@ -268,27 +180,6 @@ bool Fp::IsZero() const {
 bool Fp::IsOne() const {
   assert(valid());
   return CmpN(v_.data(), ctx_->one_mont(), ctx_->nlimbs()) == 0;
-}
-
-Fp Fp::operator+(const Fp& o) const {
-  assert(valid() && ctx_ == o.ctx_);
-  Fp out(ctx_);
-  ctx_->AddMod(v_.data(), o.v_.data(), out.v_.data());
-  return out;
-}
-
-Fp Fp::operator-(const Fp& o) const {
-  assert(valid() && ctx_ == o.ctx_);
-  Fp out(ctx_);
-  ctx_->SubMod(v_.data(), o.v_.data(), out.v_.data());
-  return out;
-}
-
-Fp Fp::operator*(const Fp& o) const {
-  assert(valid() && ctx_ == o.ctx_);
-  Fp out(ctx_);
-  ctx_->MontMul(v_.data(), o.v_.data(), out.v_.data());
-  return out;
 }
 
 Fp Fp::Neg() const {

@@ -32,16 +32,38 @@ class Fp2 {
   Fp2 operator+(const Fp2& o) const { return Fp2(a_ + o.a_, b_ + o.b_); }
   Fp2 operator-(const Fp2& o) const { return Fp2(a_ - o.a_, b_ - o.b_); }
 
-  /// Karatsuba-style product: (a+bi)(c+di) = (ac-bd) + ((a+b)(c+d)-ac-bd)i.
+  /// Karatsuba product with lazy reduction: three double-width limb
+  /// products and one Montgomery reduction per output coefficient (the
+  /// reference path below reduces after every F_p product). Bit-identical
+  /// to MulReference — both reduce to the canonical representative.
   Fp2 operator*(const Fp2& o) const {
+    const FpCtx* c = ctx();
+    Fp2 out{Fp(c), Fp(c)};
+    c->Fp2MulLazy(a_.v_.data(), b_.v_.data(), o.a_.v_.data(), o.b_.v_.data(),
+                  out.a_.v_.data(), out.b_.v_.data());
+    return out;
+  }
+
+  Fp2 Sqr() const {
+    const FpCtx* c = ctx();
+    Fp2 out{Fp(c), Fp(c)};
+    c->Fp2SqrLazy(a_.v_.data(), b_.v_.data(), out.a_.v_.data(),
+                  out.b_.v_.data());
+    return out;
+  }
+
+  /// Reference product, one Montgomery reduction per F_p multiplication:
+  /// (a+bi)(c+di) = (ac-bd) + ((a+b)(c+d)-ac-bd)i. Retained as the
+  /// property-test baseline for the lazy-reduction operator*.
+  Fp2 MulReference(const Fp2& o) const {
     Fp ac = a_ * o.a_;
     Fp bd = b_ * o.b_;
     Fp cross = (a_ + b_) * (o.a_ + o.b_) - ac - bd;
     return Fp2(ac - bd, cross);
   }
 
-  Fp2 Sqr() const {
-    // (a+bi)^2 = (a+b)(a-b) + (2ab)i.
+  /// Reference squaring: (a+bi)^2 = (a+b)(a-b) + (2ab)i.
+  Fp2 SqrReference() const {
     Fp re = (a_ + b_) * (a_ - b_);
     Fp im = (a_ * b_).Double();
     return Fp2(re, im);

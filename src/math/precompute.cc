@@ -78,22 +78,22 @@ EcPoint FixedBaseTable::Mul(const BigInt& k) const {
 PairingPrecomp::PairingPrecomp(const TypeAParams& params, const EcPoint& p)
     : params_(&params), p_(p) {
   if (p.is_infinity()) return;
-  // Mirrors TypeAParams::MillerLoop step for step, recording the
+  // Mirrors TypeAParams::MillerLoopNaf step for step, recording the
   // coefficients of each (scaled) line instead of evaluating it. The
   // degenerate v_infinity branches (unreachable for order-q inputs, kept
-  // for safety) record no line, exactly as the reference multiplies by
+  // for safety) record no line, exactly as the loop multiplies by
   // nothing there.
   const FpCtx* ctx = params.ctx();
   const Fp& px = p.x();
   const Fp& py = p.y();
+  const Fp py_neg = py.Neg();
   Fp vx = px;
   Fp vy = py;
   Fp vz = Fp::One(ctx);
   bool v_infinity = false;
-  const BigInt& q = params.q();
-  const size_t bits = q.BitLength();
-  steps_.reserve(bits);
-  for (size_t i = bits - 1; i-- > 0;) {
+  const std::vector<int8_t>& naf = params.q_naf();
+  steps_.reserve(naf.size() - 1);
+  for (size_t i = naf.size() - 1; i-- > 0;) {
     Step step;
     if (!v_infinity) {
       if (vy.IsZero()) {
@@ -119,27 +119,31 @@ PairingPrecomp::PairingPrecomp(const TypeAParams& params, const EcPoint& p)
         vz = z_new;
       }
     }
-    if (q.Bit(i)) {
+    const int8_t digit = naf[i];
+    if (digit != 0) {
+      // Mixed addition of A = digit * P = (px, +-py); a -1 digit adds -P
+      // via the line through V and -P (NAF subtraction step).
+      const Fp& sy = digit > 0 ? py : py_neg;
       if (v_infinity) {
         vx = px;
-        vy = py;
+        vy = sy;
         vz = Fp::One(ctx);
         v_infinity = false;
       } else {
         Fp z2 = vz.Sqr();
         Fp z3 = vz * z2;
         Fp u2 = px * z2;
-        Fp s2 = py * z3;
+        Fp s2 = sy * z3;
         Fp h = u2 - vx;
         Fp r = s2 - vy;
         if (h.IsZero()) {
           v_infinity = true;
         } else {
-          // Chord through V and P, scaled by Z*H:
-          //   R * xq + (R*xp - yp*Z*H) + i*Z*H * yq.
+          // Chord through V and A, scaled by Z*H:
+          //   R * xq + (R*xp - yA*Z*H) + i*Z*H * yq.
           Fp zh = vz * h;
           step.has_add = true;
-          step.add = Line{r, r * px - py * zh, zh};
+          step.add = Line{r, r * px - sy * zh, zh};
           Fp h2 = h.Sqr();
           Fp h3 = h2 * h;
           Fp xh2 = vx * h2;
@@ -153,6 +157,51 @@ PairingPrecomp::PairingPrecomp(const TypeAParams& params, const EcPoint& p)
     }
     steps_.push_back(step);
   }
+  NormalizeLines();
+}
+
+void PairingPrecomp::NormalizeLines() {
+  // Scaling any line by an element of F_p* is erased by the final
+  // exponentiation, so divide each line by its leading coefficient: the
+  // evaluation then skips the c_xq * xq multiplication. One batched
+  // inversion (Montgomery's trick) covers every line; the (practically
+  // unreachable) lines with c_xq == 0 stay as recorded.
+  std::vector<Line*> lines;
+  lines.reserve(2 * steps_.size());
+  for (Step& s : steps_) {
+    if (s.has_dbl && !s.dbl.c_xq.IsZero()) lines.push_back(&s.dbl);
+    if (s.has_add && !s.add.c_xq.IsZero()) lines.push_back(&s.add);
+  }
+  if (lines.empty()) return;
+  const FpCtx* ctx = params_->ctx();
+  std::vector<Fp> prefix(lines.size());
+  Fp run = Fp::One(ctx);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    prefix[i] = run;
+    run = run * lines[i]->c_xq;
+  }
+  Fp inv = run.Inv();
+  for (size_t i = lines.size(); i-- > 0;) {
+    Fp cinv = inv * prefix[i];
+    inv = inv * lines[i]->c_xq;
+    lines[i]->c_0 = lines[i]->c_0 * cinv;
+    lines[i]->c_yq = lines[i]->c_yq * cinv;
+    lines[i]->c_xq = Fp::One(ctx);
+    lines[i]->monic = true;
+  }
+}
+
+Fp2 PairingPrecomp::EvalLine(const Line& line, const Fp& xq,
+                             const Fp& yq) const {
+  if (line.monic) return Fp2(xq + line.c_0, line.c_yq * yq);
+  return Fp2(line.c_xq * xq + line.c_0, line.c_yq * yq);
+}
+
+void PairingPrecomp::EvalStep(size_t step, const Fp& xq, const Fp& yq,
+                              Fp2* f) const {
+  const Step& s = steps_[step];
+  if (s.has_dbl) *f = *f * EvalLine(s.dbl, xq, yq);
+  if (s.has_add) *f = *f * EvalLine(s.add, xq, yq);
 }
 
 Fp2 PairingPrecomp::Miller(const EcPoint& q) const {
@@ -161,16 +210,38 @@ Fp2 PairingPrecomp::Miller(const EcPoint& q) const {
   const Fp& xq = q.x();
   const Fp& yq = q.y();
   Fp2 f = Fp2::One(ctx);
-  for (const Step& s : steps_) {
+  for (size_t i = 0; i < steps_.size(); ++i) {
     f = f.Sqr();
-    if (s.has_dbl) {
-      f = f * Fp2(s.dbl.c_xq * xq + s.dbl.c_0, s.dbl.c_yq * yq);
-    }
-    if (s.has_add) {
-      f = f * Fp2(s.add.c_xq * xq + s.add.c_0, s.add.c_yq * yq);
-    }
+    EvalStep(i, xq, yq, &f);
   }
   return f;
+}
+
+std::vector<Fp2> PairingPrecomp::MillerMany(
+    const std::vector<EcPoint>& qs) const {
+  const FpCtx* ctx = params_->ctx();
+  std::vector<Fp2> out(qs.size(), Fp2::One(ctx));
+  if (p_.is_infinity()) return out;
+  std::vector<size_t> live;
+  live.reserve(qs.size());
+  for (size_t k = 0; k < qs.size(); ++k) {
+    if (!qs[k].is_infinity()) live.push_back(k);
+  }
+  // Steps outer, arguments inner: each step's line coefficients are read
+  // once and applied to the whole batch while hot.
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    for (size_t k : live) {
+      Fp2& f = out[k];
+      f = f.Sqr();
+      EvalStep(i, qs[k].x(), qs[k].y(), &f);
+    }
+  }
+  return out;
+}
+
+std::vector<Fp2> PairingPrecomp::PairingMany(
+    const std::vector<EcPoint>& qs) const {
+  return params_->FinalExponentiationMany(MillerMany(qs));
 }
 
 Fp2 PairingPrecomp::Pairing(const EcPoint& q) const {

@@ -54,20 +54,47 @@ class FixedBaseTable {
 /// The line functions the Miller loop evaluates depend on the fixed
 /// point P alone; only their *evaluation* involves the second argument
 /// phi(Q) = (-xq, i*yq). This caches the per-iteration line coefficients
-/// so Pairing(P, Q) needs no point arithmetic at all per call: each
-/// iteration is one Fp2 squaring, one Fp2 multiplication, and two Fp
-/// multiplications. Built once per system parameter set (P = generator,
-/// P = P_pub); immutable after construction, safe to share across
-/// threads.
+/// so Pairing(P, Q) needs no point arithmetic at all per call. The cache
+/// walks the same NAF digits of q as TypeAParams::MillerLoopNaf, and the
+/// lines are normalized to monic form (the leading coefficient divided
+/// out with one batched inversion at build time), which drops one F_p
+/// multiplication per line evaluation. Both tweaks change the Miller
+/// value only by a factor in F_p*, which the final exponentiation
+/// erases: Pairing(q) is bit-identical to TypeAParams::Pairing(p, q).
+/// Built once per system parameter set (P = generator, P = P_pub);
+/// immutable after construction, safe to share across threads.
 class PairingPrecomp {
  public:
-  /// Runs the Miller loop for `p` once, recording line coefficients.
+  /// Runs the NAF Miller loop for `p` once, recording and normalizing
+  /// line coefficients.
   PairingPrecomp(const TypeAParams& params, const EcPoint& p);
 
-  /// MillerLoop(p, q) — bit-identical to TypeAParams::MillerLoop.
+  /// The Miller value the cached lines produce for `q`. Equal to
+  /// MillerLoopNaf(p, q) up to a factor in F_p* (line normalization);
+  /// use Pairing() for values comparable across implementations.
   Fp2 Miller(const EcPoint& q) const;
   /// Pairing(p, q) — Miller loop plus final exponentiation.
+  /// Bit-identical to TypeAParams::Pairing(p, q).
   Fp2 Pairing(const EcPoint& q) const;
+
+  /// Miller values for many second arguments in one pass over the cached
+  /// lines (better locality than q-at-a-time). Element k equals
+  /// Miller(qs[k]).
+  std::vector<Fp2> MillerMany(const std::vector<EcPoint>& qs) const;
+  /// Pairings for many second arguments: MillerMany plus one *batched*
+  /// final exponentiation (a single field inversion for the whole
+  /// batch). Element k is bit-identical to Pairing(qs[k]).
+  std::vector<Fp2> PairingMany(const std::vector<EcPoint>& qs) const;
+
+  /// Number of cached steps — one per NAF Miller-loop iteration. Used by
+  /// TypeAParams::PairingProduct to run precomputed and live terms in
+  /// lockstep.
+  size_t StepCount() const { return steps_.size(); }
+
+  /// Multiplies *f by this step's line values evaluated at (xq, yq).
+  /// Steps with no recorded line (degenerate safety branches) leave *f
+  /// untouched.
+  void EvalStep(size_t step, const Fp& xq, const Fp& yq, Fp2* f) const;
 
   const EcPoint& fixed_point() const { return p_; }
   /// Number of cached line-coefficient triples (memory footprint).
@@ -76,15 +103,25 @@ class PairingPrecomp {
  private:
   /// A line through the loop's running point V, scaled into F_p*
   /// (denominator elimination erases the scale). Evaluated at phi(Q) it
-  /// is (c_xq * xq + c_0) + i * (c_yq * yq).
+  /// is (c_xq * xq + c_0) + i * (c_yq * yq); when `monic` is set the
+  /// leading coefficient has been normalized away and the real part is
+  /// just xq + c_0.
   struct Line {
     Fp c_xq, c_0, c_yq;
+    bool monic = false;
   };
   struct Step {
     Line dbl, add;
     bool has_dbl = false;
     bool has_add = false;
   };
+
+  /// Divides every line with invertible leading coefficient by it, using
+  /// one batched inversion.
+  void NormalizeLines();
+
+  /// re + i*im of `line` evaluated at (xq, yq).
+  Fp2 EvalLine(const Line& line, const Fp& xq, const Fp& yq) const;
 
   const TypeAParams* params_;
   EcPoint p_;

@@ -72,11 +72,16 @@ bool ThresholdPkg::VerifyPartial(const std::vector<EcPoint>& commitments,
     return false;
   }
   EcPoint share_pub = PublicShare(commitments, partial.index);
-  // e(partial.d, P) = e(P, partial.d): the generator's cached Miller
-  // lines serve the left side (the pairing is symmetric).
-  math::Fp2 lhs = group_.generator_pairing().Pairing(partial.d);
-  math::Fp2 rhs = group_.Pairing(q_id, share_pub);
-  return lhs == rhs;
+  // One product-of-pairings membership check instead of comparing two
+  // full pairings: e(partial.d, P) == e(Q_ID, share_pub) is equivalent
+  // to e(partial.d, P) * e(-Q_ID, share_pub) == 1, sharing the
+  // product's squaring chain and a single final exponentiation. The
+  // pairing is symmetric, so the generator's cached Miller lines serve
+  // as the first term's fixed argument.
+  std::vector<math::PairingTerm> terms;
+  terms.push_back({&group_.generator_pairing(), {}, partial.d});
+  terms.push_back({nullptr, group_.curve().Negate(q_id), share_pub});
+  return group_.PairingProduct(terms).IsOne();
 }
 
 util::Result<BigInt> ThresholdPkg::LagrangeAtZero(

@@ -147,6 +147,35 @@ TEST_F(BfIbeTest, FullIdentRejectsWrongKey) {
   EXPECT_FALSE(ibe_.DecryptFull(params_, wrong, ct).ok());
 }
 
+TEST_F(BfIbeTest, DecryptManyBitIdenticalToDecrypt) {
+  // The batched path (shared PairingPrecomp + batched final
+  // exponentiation) must reproduce Decrypt byte for byte, including a
+  // ciphertext encrypted for a DIFFERENT identity (BasicIdent has no
+  // integrity — both paths must emit the same garbage).
+  Bytes id = BytesFromString("bulk-recipient");
+  IbePrivateKey key = ibe_.Extract(master_, id);
+  std::vector<BasicCiphertext> cts;
+  for (int i = 0; i < 5; ++i) {
+    cts.push_back(ibe_.Encrypt(params_, id,
+                               BytesFromString("m" + std::to_string(i)),
+                               rng_));
+  }
+  cts.push_back(
+      ibe_.Encrypt(params_, BytesFromString("someone-else"),
+                   BytesFromString("not for us"), rng_));
+  std::vector<Bytes> bulk = ibe_.DecryptMany(params_, key, cts);
+  ASSERT_EQ(bulk.size(), cts.size());
+  for (size_t i = 0; i < cts.size(); ++i) {
+    EXPECT_EQ(bulk[i], ibe_.Decrypt(params_, key, cts[i])) << i;
+  }
+  EXPECT_EQ(bulk[0], BytesFromString("m0"));
+  // Size-0 and size-1 batches take the trivial paths.
+  EXPECT_TRUE(ibe_.DecryptMany(params_, key, {}).empty());
+  std::vector<BasicCiphertext> one = {cts[0]};
+  EXPECT_EQ(ibe_.DecryptMany(params_, key, one)[0],
+            ibe_.Decrypt(params_, key, cts[0]));
+}
+
 TEST_F(BfIbeTest, KemAgreesBothSides) {
   for (size_t key_len : {8u, 16u, 24u, 32u}) {
     IbeKem kem(ibe_.group(), key_len);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "src/crypto/kdf.h"
 #include "src/ibe/ibs.h"
 #include "src/math/params.h"
 #include "src/util/random.h"
@@ -123,6 +124,61 @@ TEST_F(IbsTest, EmptyAndLargeMessages) {
         ibs_.Verify(params_, BytesFromString("SD"), message, signature))
         << len;
   }
+}
+
+TEST_F(IbsTest, ProductCheckMatchesClassicalVerify) {
+  // Verify is implemented as one product-of-pairings membership check;
+  // this pins it to the classical two-pairing comparison
+  // e(sigma, P) == e(Q_ID, P_pub)^h on both accept and reject paths.
+  auto hash_message = [&](const Bytes& message) {
+    const math::BigInt& q = group_.q();
+    Bytes tagged = util::Concat(Bytes{0x05}, message);
+    size_t len = (q.BitLength() + 7) / 8 + 16;
+    Bytes expanded =
+        crypto::HashExpand(crypto::HashKind::kSha256, tagged, len);
+    return math::BigInt::Mod(math::BigInt::FromBytesBe(expanded),
+                             q - math::BigInt(1)) +
+           math::BigInt(1);
+  };
+  auto classical_verify = [&](const Bytes& id, const Bytes& message,
+                              const IbSignatures::Signature& sig) {
+    if (sig.sigma.is_infinity() || !group_.curve().IsOnCurve(sig.sigma)) {
+      return false;
+    }
+    math::Fp2 lhs = group_.Pairing(sig.sigma, group_.generator());
+    math::Fp2 rhs = group_.Pairing(ibe_.HashToPoint(id), params_.p_pub)
+                        .Pow(hash_message(message));
+    return lhs == rhs;
+  };
+  Bytes id = BytesFromString("SD-7");
+  Bytes message = BytesFromString("reading=42");
+  auto signature = ibs_.Sign(KeyFor("SD-7"), message);
+  struct Case {
+    Bytes id;
+    Bytes message;
+  } cases[] = {
+      {id, message},                                   // accept
+      {id, BytesFromString("reading=43")},             // tampered message
+      {BytesFromString("SD-8"), message},              // wrong signer
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(ibs_.Verify(params_, c.id, c.message, signature),
+              classical_verify(c.id, c.message, signature));
+  }
+  EXPECT_TRUE(ibs_.Verify(params_, id, message, signature));
+  EXPECT_FALSE(ibs_.Verify(params_, id, cases[1].message, signature));
+  // A forged sigma (random point) must reject identically.
+  IbSignatures::Signature forged{group_.RandomPoint(rng_)};
+  EXPECT_EQ(ibs_.Verify(params_, id, message, forged),
+            classical_verify(id, message, forged));
+  EXPECT_FALSE(ibs_.Verify(params_, id, message, forged));
+  // Same equivalences with the P_pub line cache dropped (the product's
+  // second term then computes its lines live).
+  SystemParams cold = params_;
+  cold.ClearPrecompute();
+  EXPECT_TRUE(ibs_.Verify(cold, id, message, signature));
+  EXPECT_FALSE(ibs_.Verify(cold, id, cases[1].message, signature));
+  EXPECT_FALSE(ibs_.Verify(cold, id, message, forged));
 }
 
 TEST_F(IbsTest, SigningKeyIsTheDecryptionKey) {

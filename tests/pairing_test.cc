@@ -184,5 +184,137 @@ TEST_F(PairingTest, CreateRejectsOffCurveGenerator) {
   EXPECT_FALSE(bad.ok());
 }
 
+// --- Fast-path (v2 engine) vs reference-path equivalence. Miller values
+// differ between the two loops by a factor in F_p*, which the final
+// exponentiation erases, so equality is asserted on full pairings and
+// is bit-for-bit (all field ops produce canonical residues).
+
+TEST_F(PairingTest, RecodingsReconstructTheirIntegers) {
+  // q_naf: digits in {-1, 0, 1}, sum d_i * 2^i == q.
+  BigInt acc(0);
+  for (size_t i = P().q_naf().size(); i-- > 0;) {
+    int8_t d = P().q_naf()[i];
+    ASSERT_TRUE(d >= -1 && d <= 1);
+    acc = (acc << 1) + BigInt(static_cast<int64_t>(d));
+  }
+  EXPECT_EQ(acc, P().q());
+  // cofactor_wnaf: digits zero or odd in [-15, 15], sum == h.
+  acc = BigInt(0);
+  for (size_t i = P().cofactor_wnaf().size(); i-- > 0;) {
+    int8_t d = P().cofactor_wnaf()[i];
+    ASSERT_TRUE(d >= -15 && d <= 15);
+    ASSERT_TRUE(d == 0 || (d & 1) != 0);
+    acc = (acc << 1) + BigInt(static_cast<int64_t>(d));
+  }
+  EXPECT_EQ(acc, P().cofactor());
+}
+
+TEST_F(PairingTest, FastPairingMatchesReferenceOnRandomPoints) {
+  DeterministicRandom rng(13);
+  for (int i = 0; i < 8; ++i) {
+    EcPoint a = P().RandomPoint(rng);
+    EcPoint b = P().RandomPoint(rng);
+    EXPECT_EQ(P().Pairing(a, b), P().PairingReference(a, b)) << i;
+  }
+}
+
+TEST_F(PairingTest, FastPairingMatchesReferenceOnEdgeCases) {
+  DeterministicRandom rng(14);
+  EcPoint a = P().RandomPoint(rng);
+  EcPoint inf = EcPoint::Infinity();
+  EXPECT_EQ(P().Pairing(inf, a), P().PairingReference(inf, a));
+  EXPECT_EQ(P().Pairing(a, inf), P().PairingReference(a, inf));
+  EXPECT_EQ(P().Pairing(inf, inf), P().PairingReference(inf, inf));
+  EXPECT_TRUE(P().Pairing(inf, a).IsOne());
+  // Degenerate chords: P == Q and P == -Q in both slots.
+  EXPECT_EQ(P().Pairing(a, a), P().PairingReference(a, a));
+  EcPoint na = P().curve().Negate(a);
+  EXPECT_EQ(P().Pairing(a, na), P().PairingReference(a, na));
+  // The 2-torsion point (0, 0) lies on y^2 = x^3 + x but not in the
+  // order-q subgroup; both loops must still agree through their
+  // degenerate-branch handling.
+  const FpCtx* ctx = P().ctx();
+  EcPoint two_torsion(Fp::Zero(ctx), Fp::Zero(ctx));
+  ASSERT_TRUE(P().curve().IsOnCurve(two_torsion));
+  EXPECT_EQ(P().Pairing(two_torsion, a),
+            P().PairingReference(two_torsion, a));
+  EXPECT_EQ(P().Pairing(a, two_torsion),
+            P().PairingReference(a, two_torsion));
+}
+
+TEST_F(PairingTest, NafMillerLoopDiffersOnlyByFinalExponentiation) {
+  DeterministicRandom rng(15);
+  EcPoint a = P().RandomPoint(rng);
+  EcPoint b = P().RandomPoint(rng);
+  EXPECT_EQ(P().FinalExponentiation(P().MillerLoopNaf(a, b)),
+            P().FinalExponentiation(P().MillerLoop(a, b)));
+}
+
+TEST_F(PairingTest, FinalExponentiationMatchesReference) {
+  DeterministicRandom rng(16);
+  for (int i = 0; i < 6; ++i) {
+    Fp2 z = P().MillerLoop(P().RandomPoint(rng), P().RandomPoint(rng));
+    if (z.IsZero() || z.IsOne()) continue;
+    EXPECT_EQ(P().FinalExponentiation(z),
+              P().FinalExponentiationReference(z)) << i;
+  }
+  // Short-circuit paths: 0 and 1 pass through (the reference cannot
+  // invert zero, so only the identity case is cross-checked).
+  const FpCtx* ctx = P().ctx();
+  EXPECT_TRUE(P().FinalExponentiation(Fp2::One(ctx)).IsOne());
+  EXPECT_EQ(P().FinalExponentiation(Fp2::One(ctx)),
+            P().FinalExponentiationReference(Fp2::One(ctx)));
+  EXPECT_TRUE(P().FinalExponentiation(Fp2::Zero(ctx)).IsZero());
+}
+
+TEST_F(PairingTest, BatchedFinalExponentiationMatchesSingle) {
+  DeterministicRandom rng(17);
+  std::vector<Fp2> zs;
+  for (int i = 0; i < 5; ++i) {
+    zs.push_back(P().MillerLoop(P().RandomPoint(rng), P().RandomPoint(rng)));
+  }
+  // Degenerate entries interleaved mid-batch.
+  zs.insert(zs.begin() + 2, Fp2::One(P().ctx()));
+  zs.insert(zs.begin() + 4, Fp2::Zero(P().ctx()));
+  std::vector<Fp2> batched = P().FinalExponentiationMany(zs);
+  ASSERT_EQ(batched.size(), zs.size());
+  for (size_t i = 0; i < zs.size(); ++i) {
+    EXPECT_EQ(batched[i], P().FinalExponentiation(zs[i])) << i;
+  }
+  EXPECT_TRUE(P().FinalExponentiationMany({}).empty());
+}
+
+TEST_F(PairingTest, PairingProductMatchesIndividualPairings) {
+  DeterministicRandom rng(18);
+  const FpCtx* ctx = P().ctx();
+  // Empty product is 1.
+  EXPECT_TRUE(P().PairingProduct({}).IsOne());
+  // 1..3 live terms.
+  std::vector<PairingTerm> terms;
+  Fp2 prod = Fp2::One(ctx);
+  for (int k = 0; k < 3; ++k) {
+    EcPoint a = P().RandomPoint(rng);
+    EcPoint b = P().RandomPoint(rng);
+    terms.push_back({nullptr, a, b});
+    prod = prod * P().Pairing(a, b);
+    // Bit-identical to the product of individual pairings at every size.
+    EXPECT_EQ(P().PairingProduct(terms), prod) << k;
+  }
+  // Terms with an infinity point contribute exactly 1.
+  std::vector<PairingTerm> with_inf = terms;
+  with_inf.push_back({nullptr, EcPoint::Infinity(), P().RandomPoint(rng)});
+  with_inf.push_back({nullptr, P().RandomPoint(rng), EcPoint::Infinity()});
+  EXPECT_EQ(P().PairingProduct(with_inf), prod);
+  // Precomputed terms (cached generator lines) mix with live terms.
+  std::vector<PairingTerm> mixed;
+  EcPoint q1 = P().RandomPoint(rng);
+  EcPoint q2 = P().RandomPoint(rng);
+  mixed.push_back({&P().generator_pairing(), EcPoint::Infinity(), q1});
+  mixed.push_back({nullptr, q2, P().generator()});
+  Fp2 mixed_expected =
+      P().Pairing(P().generator(), q1) * P().Pairing(q2, P().generator());
+  EXPECT_EQ(P().PairingProduct(mixed), mixed_expected);
+}
+
 }  // namespace
 }  // namespace mws::math

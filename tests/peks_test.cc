@@ -102,5 +102,36 @@ TEST_F(PeksTest, DegenerateInputsRejected) {
   EXPECT_FALSE(peks_.Test(good, Peks::Trapdoor{math::EcPoint::Infinity()}));
 }
 
+TEST_F(PeksTest, TestManyMatchesTestPerTag) {
+  // The batched mailbox sweep must agree with the scalar Test on every
+  // entry: matches, non-matches, another recipient's tag, and an
+  // infinity tag mixed into the batch.
+  Bytes keyword = BytesFromString("ELECTRIC");
+  Peks::Trapdoor trapdoor = peks_.MakeTrapdoor(keys_.secret, keyword);
+  Peks::KeyPair other = peks_.GenerateKeyPair(rng_);
+  std::vector<Peks::Tag> tags = {
+      peks_.MakeTag(keys_.public_key, keyword, rng_),
+      peks_.MakeTag(keys_.public_key, BytesFromString("WATER"), rng_),
+      peks_.MakeTag(other.public_key, keyword, rng_),
+      Peks::Tag{math::EcPoint::Infinity(), Bytes(32, 0)},
+      peks_.MakeTag(keys_.public_key, keyword, rng_),
+  };
+  std::vector<bool> got = peks_.TestMany(tags, trapdoor);
+  ASSERT_EQ(got.size(), tags.size());
+  for (size_t i = 0; i < tags.size(); ++i) {
+    EXPECT_EQ(got[i], peks_.Test(tags[i], trapdoor)) << i;
+  }
+  EXPECT_TRUE(got[0]);
+  EXPECT_FALSE(got[1]);
+  EXPECT_FALSE(got[2]);
+  EXPECT_FALSE(got[3]);
+  EXPECT_TRUE(got[4]);
+  // Degenerate trapdoor and empty batch.
+  EXPECT_TRUE(peks_.TestMany({}, trapdoor).empty());
+  std::vector<bool> none =
+      peks_.TestMany(tags, Peks::Trapdoor{math::EcPoint::Infinity()});
+  for (bool b : none) EXPECT_FALSE(b);
+}
+
 }  // namespace
 }  // namespace mws::ibe

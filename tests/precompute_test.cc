@@ -173,8 +173,15 @@ TEST_F(PrecomputeTest, PairingPrecompMatchesGenericPairing) {
   EXPECT_GT(precomp.line_count(), 0u);
   for (int i = 0; i < 8; ++i) {
     EcPoint q = P().RandomPoint(rng);
-    EXPECT_EQ(precomp.Miller(q), P().MillerLoop(p, q)) << i;
+    // The cached lines are NAF-recoded and normalized, so the raw Miller
+    // value differs from the generic loops by a factor in F_p*; the
+    // final exponentiation erases it and full pairings are bit-identical
+    // on every path (v2 fast and pre-v2 reference).
     EXPECT_EQ(precomp.Pairing(q), P().Pairing(p, q)) << i;
+    EXPECT_EQ(precomp.Pairing(q), P().PairingReference(p, q)) << i;
+    EXPECT_EQ(P().FinalExponentiation(precomp.Miller(q)),
+              P().Pairing(p, q))
+        << i;
   }
   // Infinity second argument: pairing is 1 on both paths.
   EXPECT_EQ(precomp.Pairing(EcPoint::Infinity()),
@@ -187,6 +194,28 @@ TEST_F(PrecomputeTest, PairingPrecompOfInfinityIsTrivial) {
   EcPoint q = P().RandomPoint(rng);
   EXPECT_EQ(precomp.Pairing(q), P().Pairing(EcPoint::Infinity(), q));
   EXPECT_TRUE(precomp.Pairing(q).IsOne());
+}
+
+TEST_F(PrecomputeTest, PairingManyMatchesSinglePairings) {
+  DeterministicRandom rng(115);
+  EcPoint p = P().RandomPoint(rng);
+  PairingPrecomp precomp(P(), p);
+  std::vector<EcPoint> qs;
+  for (int i = 0; i < 6; ++i) qs.push_back(P().RandomPoint(rng));
+  // Infinity entries must pass through as 1 without perturbing the rest
+  // of the batch (the batched inversion skips them).
+  qs.insert(qs.begin() + 2, EcPoint::Infinity());
+  std::vector<Fp2> batch = precomp.PairingMany(qs);
+  ASSERT_EQ(batch.size(), qs.size());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(batch[i], precomp.Pairing(qs[i])) << i;
+    EXPECT_EQ(batch[i], P().PairingReference(p, qs[i])) << i;
+  }
+  // Empty and single-element batches.
+  EXPECT_TRUE(precomp.PairingMany({}).empty());
+  std::vector<Fp2> one = precomp.PairingMany({qs[0]});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], precomp.Pairing(qs[0]));
 }
 
 TEST_F(PrecomputeTest, PairingIsSymmetric) {

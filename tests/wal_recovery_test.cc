@@ -6,6 +6,7 @@
 // a store that accepts new writes whose own reopen is clean.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <filesystem>
@@ -29,8 +30,12 @@ Bytes Value(size_t i) {
 class WalRecoveryTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Key the path by pid as well: ctest runs each test in its own
+    // process, and with deterministic allocation the `this` address (and
+    // the default random_seed) coincide across concurrently running test
+    // processes, which made parallel WAL tests clobber each other's file.
     path_ = (std::filesystem::temp_directory_path() /
-             ("wal_recovery_" +
+             ("wal_recovery_" + std::to_string(::getpid()) + "_" +
               std::to_string(::testing::UnitTest::GetInstance()
                                  ->random_seed()) +
               "_" + std::to_string(reinterpret_cast<uintptr_t>(this))))
