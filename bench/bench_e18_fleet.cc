@@ -1,0 +1,185 @@
+// E18 — fleet-scale store-and-forward: a ≥1000-device metering fleet
+// where every device seals its readings into a durable on-disk outbox
+// and drains over a flaky link, with crash-restart churn injected at
+// the two dangerous windows (power loss mid-append, power loss between
+// the warehouse ack and the outbox reclaim) plus device disk_full on
+// the append path.
+//
+// The claim under test (DESIGN.md §13): with the CRC-framed segment
+// log below and (ID_SD, nonce) dedup in the MWS above, every reading
+// the outbox accepted is warehoused *exactly once* under any crash /
+// retry / replay interleaving the churn schedule produces — zero lost,
+// zero duplicated — and end-to-end delivery latency (seal -> warehouse
+// ack, simulated clock) stays bounded by the drain cadence. Reports
+// per-severity delivery latency percentiles; `--json=PATH` records the
+// sweep (BENCH_e18.json), `--smoke` shrinks the fleet for ctest.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/sim/fleet.h"
+
+namespace {
+
+using mws::sim::FleetSimulator;
+
+struct Severity {
+  const char* name;
+  double link_fault_rate;   // request loss AND response drop, each
+  double store_fault_rate;  // torn MWS store writes
+  double disk_full_rate;    // device outbox append failures
+  double crash_rate;        // each crash window, per device-round
+};
+
+FleetSimulator::Options MakeOptions(const Severity& severity,
+                                    size_t devices_per_class, size_t rounds,
+                                    const std::string& outbox_root) {
+  FleetSimulator::Options options;
+  options.scenario.devices_per_class = devices_per_class;
+  options.scenario.resilience.enable = true;
+  options.scenario.resilience.request_loss_rate = severity.link_fault_rate;
+  options.scenario.resilience.response_drop_rate = severity.link_fault_rate;
+  options.scenario.resilience.store_fault_rate = severity.store_fault_rate;
+  // Steady-state delivery, not admission control: give retries room
+  // (budget/deadline experiments live in the retry unit tests).
+  options.scenario.resilience.retry.max_attempts = 10;
+  options.scenario.resilience.retry.call_deadline_micros = 0;
+  options.scenario.resilience.retry.retry_budget = 1e9;
+  options.scenario.resilience.retry.budget_refund = 1.0;
+  options.outbox_root = outbox_root;
+  options.rounds = rounds;
+  options.readings_per_round = 2;
+  options.drain_batch = 32;
+  options.crash_mid_enqueue_rate = severity.crash_rate;
+  options.crash_before_ack_rate = severity.crash_rate;
+  options.disk_full_rate = severity.disk_full_rate;
+  options.max_segment_bytes = 4 * 1024;  // multi-segment queues
+  return options;
+}
+
+int RunSweep(bool smoke, const std::string& json_path) {
+  const size_t devices_per_class = smoke ? 4 : 334;  // 12 / 1002 devices
+  const size_t rounds = smoke ? 2 : 3;
+  std::vector<Severity> severities = {
+      {"calm", 0.0, 0.0, 0.0, 0.0},
+      {"flaky", 0.05, 0.03, 0.02, 0.10},
+      {"brutal", 0.10, 0.05, 0.05, 0.20},
+  };
+  if (smoke) severities.resize(2);
+
+  const std::string root =
+      (std::filesystem::temp_directory_path() /
+       ("bench_e18_" + std::to_string(::getpid())))
+          .string();
+
+  std::printf("%zu devices, %zu rounds x 2 readings, drain batch 32\n\n",
+              3 * devices_per_class, rounds);
+  std::printf("%8s %8s %6s %8s %7s %7s %5s %4s %4s %10s %10s %10s\n",
+              "severity", "enqueued", "rej", "fresh", "dedup", "crashes",
+              "torn", "lost", "dup", "p50_ms", "p90_ms", "p99_ms");
+
+  struct Row {
+    Severity severity;
+    FleetSimulator::Report report;
+  };
+  std::vector<Row> rows;
+  bool violated = false;
+  for (const Severity& severity : severities) {
+    const std::string outbox_root = root + "/" + severity.name;
+    auto fleet =
+        FleetSimulator::Create(
+            MakeOptions(severity, devices_per_class, rounds, outbox_root))
+            .value();
+    FleetSimulator::Report report = fleet->Run().value();
+    std::filesystem::remove_all(outbox_root);
+
+    std::printf(
+        "%8s %8zu %6zu %8zu %7zu %7zu %5zu %4zu %4zu %10.2f %10.2f %10.2f\n",
+        severity.name, report.enqueued, report.enqueue_rejected,
+        report.delivered_fresh, report.dedup_absorbed,
+        report.crashes_mid_enqueue + report.crashes_before_ack,
+        report.torn_tails_recovered, report.lost, report.duplicates,
+        report.latency_p50_us / 1000.0, report.latency_p90_us / 1000.0,
+        report.latency_p99_us / 1000.0);
+    if (!report.ExactlyOnce()) violated = true;
+    rows.push_back({severity, report});
+  }
+  std::filesystem::remove_all(root);
+
+  std::string out = "{\n";
+  out += "  \"experiment\": \"e18_fleet\",\n";
+  out += "  \"devices\": " + std::to_string(3 * devices_per_class) + ",\n";
+  out += "  \"rounds\": " + std::to_string(rounds) + ",\n";
+  out += "  \"readings_per_round\": 2,\n";
+  out += "  \"crash_windows\": [\"mid_enqueue_torn_append\", "
+         "\"after_warehouse_ack_before_reclaim\"],\n";
+  out += "  \"results\": [\n";
+  char buf[768];
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Severity& s = rows[i].severity;
+    const FleetSimulator::Report& r = rows[i].report;
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"severity\": \"%s\", \"link_fault_rate\": %.2f, "
+        "\"store_fault_rate\": %.2f, \"disk_full_rate\": %.2f, "
+        "\"crash_rate\": %.2f, \"enqueued\": %zu, "
+        "\"enqueue_rejected\": %zu, \"crashes_mid_enqueue\": %zu, "
+        "\"crashes_before_ack\": %zu, \"torn_tails_recovered\": %zu, "
+        "\"records_recovered\": %zu, \"drain_calls\": %zu, "
+        "\"drain_failures\": %zu, \"settlement_passes\": %zu, "
+        "\"delivered_fresh\": %zu, \"dedup_absorbed\": %zu, "
+        "\"warehoused\": %zu, \"lost\": %zu, \"duplicates\": %zu, "
+        "\"unexpected\": %zu, \"final_depth\": %zu, "
+        "\"latency_samples\": %llu, \"latency_p50_us\": %.1f, "
+        "\"latency_p90_us\": %.1f, \"latency_p99_us\": %.1f, "
+        "\"latency_max_us\": %llu}%s\n",
+        s.name, s.link_fault_rate, s.store_fault_rate, s.disk_full_rate,
+        s.crash_rate, r.enqueued, r.enqueue_rejected, r.crashes_mid_enqueue,
+        r.crashes_before_ack, r.torn_tails_recovered, r.records_recovered,
+        r.drain_calls, r.drain_failures, r.settlement_passes,
+        r.delivered_fresh, r.dedup_absorbed, r.warehoused, r.lost,
+        r.duplicates, r.unexpected, r.final_depth,
+        static_cast<unsigned long long>(r.latency_samples), r.latency_p50_us,
+        r.latency_p90_us, r.latency_p99_us,
+        static_cast<unsigned long long>(r.latency_max_us),
+        i + 1 < rows.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ]\n}\n";
+  if (json_path.empty()) {
+    std::printf("\n%s", out.c_str());
+  } else {
+    std::ofstream f(json_path);
+    f << out;
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  if (violated) {
+    std::printf("\nERROR: exactly-once delivery violated (lost, duplicated, "
+                "unexpected, or undrained readings)\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+  std::printf("=== E18: durable-outbox fleet under crash churn ===\n\n");
+  return RunSweep(smoke, json_path);
+}

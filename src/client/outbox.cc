@@ -1,0 +1,364 @@
+#include "src/client/outbox.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "src/util/serde.h"
+
+namespace mws::client {
+
+namespace {
+
+/// Segment header: magic + format version in one 4-byte unit. A file
+/// that does not start with it is not (or no longer) an outbox segment
+/// and is treated as fully torn.
+constexpr uint8_t kMagic[4] = {'O', 'B', 'X', '1'};
+constexpr size_t kHeaderBytes = sizeof(kMagic);
+
+/// Upper bound on one record frame's body. Far above any sealed meter
+/// reading; its job is to make a corrupted length field ("length bomb")
+/// fail fast instead of sizing an allocation.
+constexpr size_t kMaxRecordBytes = 4u << 20;
+
+util::Bytes EncodeFrame(const util::Bytes& body) {
+  util::Writer w;
+  w.PutU32(static_cast<uint32_t>(body.size()));
+  w.PutRaw(body);
+  uint32_t crc = util::Crc32(w.data());
+  w.PutU32(crc);
+  return w.Take();
+}
+
+uint32_t ReadU32(const util::Bytes& b, size_t at) {
+  return (static_cast<uint32_t>(b[at]) << 24) |
+         (static_cast<uint32_t>(b[at + 1]) << 16) |
+         (static_cast<uint32_t>(b[at + 2]) << 8) | b[at + 3];
+}
+
+}  // namespace
+
+util::Bytes OutboxRecord::Encode() const {
+  util::Writer w;
+  w.PutString(attribute);
+  w.PutBytes(nonce);
+  w.PutBytes(u);
+  w.PutBytes(ciphertext);
+  w.PutU64(static_cast<uint64_t>(enqueue_micros));
+  return w.Take();
+}
+
+util::Result<OutboxRecord> OutboxRecord::Decode(const util::Bytes& data) {
+  util::Reader r(data);
+  OutboxRecord record;
+  uint64_t enqueued = 0;
+  r.GetString(&record.attribute);
+  r.GetBytes(&record.nonce);
+  r.GetBytes(&record.u);
+  r.GetBytes(&record.ciphertext);
+  r.GetU64(&enqueued);
+  if (!r.Done()) return util::Status::Corruption("malformed OutboxRecord");
+  record.enqueue_micros = static_cast<int64_t>(enqueued);
+  return record;
+}
+
+util::Result<std::unique_ptr<Outbox>> Outbox::Open(const Options& options) {
+  if (options.clock == nullptr) {
+    return util::Status::InvalidArgument("Outbox requires a clock");
+  }
+  if (options.dir.empty()) {
+    return util::Status::InvalidArgument("Outbox requires a directory");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir, ec);
+  if (ec) {
+    return util::Status::IoError("cannot create outbox dir " + options.dir +
+                                 ": " + ec.message());
+  }
+
+  auto outbox = std::unique_ptr<Outbox>(new Outbox(options));
+  if (options.metrics != nullptr) {
+    outbox->enqueued_counter_ = options.metrics->GetCounter("outbox.enqueued");
+    outbox->drained_counter_ = options.metrics->GetCounter("outbox.drained");
+    outbox->depth_gauge_ = options.metrics->GetGauge("outbox.depth");
+    outbox->oldest_age_gauge_ =
+        options.metrics->GetGauge("outbox.oldest_age_us");
+    outbox->drain_latency_hist_ =
+        options.metrics->GetHistogram("outbox.drain_latency_us");
+  }
+
+  // Collect the segment files, oldest seq first.
+  std::vector<std::pair<uint64_t, std::string>> found;
+  for (const auto& entry : std::filesystem::directory_iterator(options.dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    if (name.rfind("seg-", 0) != 0 || name.size() < 9 ||
+        name.compare(name.size() - 4, 4, ".obx") != 0) {
+      continue;
+    }
+    uint64_t seq = 0;
+    try {
+      seq = std::stoull(name.substr(4, name.size() - 8));
+    } catch (...) {
+      continue;  // not a segment of ours
+    }
+    found.emplace_back(seq, entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+
+  for (const auto& [seq, path] : found) {
+    Segment segment;
+    segment.seq = seq;
+    segment.path = path;
+    MWS_RETURN_IF_ERROR(outbox->RecoverSegment(&segment));
+    outbox->next_seq_ = std::max(outbox->next_seq_, seq + 1);
+    ++outbox->recovery_.segments;
+    outbox->recovery_.records_recovered += segment.records.size();
+    if (segment.records.empty()) {
+      // Nothing survived (or nothing was ever committed): reclaim the
+      // file now instead of carrying an empty segment around. The next
+      // enqueue starts a fresh segment under a higher seq.
+      std::filesystem::remove(path, ec);
+      continue;
+    }
+    outbox->depth_ += segment.records.size();
+    outbox->segments_.push_back(std::move(segment));
+  }
+  if (outbox->depth_gauge_ != nullptr && outbox->depth_ > 0) {
+    outbox->depth_gauge_->Add(static_cast<int64_t>(outbox->depth_));
+  }
+  outbox->UpdateGauges();
+  return outbox;
+}
+
+Outbox::~Outbox() {
+  // Keep the fleet-wide depth gauge an aggregate over *live* outboxes:
+  // a reopened outbox re-adds what it recovers.
+  if (depth_gauge_ != nullptr && depth_ > 0) {
+    depth_gauge_->Add(-static_cast<int64_t>(depth_));
+  }
+}
+
+util::Status Outbox::RecoverSegment(Segment* segment) {
+  MWS_ASSIGN_OR_RETURN(util::Bytes content,
+                       store::AppendFile::ReadAll(segment->path));
+  size_t valid_end = 0;
+  bool torn = false;
+  if (content.size() < kHeaderBytes ||
+      !std::equal(kMagic, kMagic + kHeaderBytes, content.begin())) {
+    // Not a segment header: quarantine the whole file as torn. (A
+    // truncated header is the crash window between creating the file
+    // and committing its first record.)
+    torn = content.size() > 0;
+  } else {
+    size_t pos = kHeaderBytes;
+    valid_end = pos;
+    while (pos < content.size()) {
+      if (content.size() - pos < 4) {
+        torn = true;
+        break;
+      }
+      size_t body_len = ReadU32(content, pos);
+      if (body_len > kMaxRecordBytes ||
+          content.size() - pos < 4 + body_len + 4) {
+        torn = true;  // length bomb or truncated frame
+        break;
+      }
+      uint32_t stored_crc = ReadU32(content, pos + 4 + body_len);
+      uint32_t actual_crc = util::Crc32(content.data() + pos, 4 + body_len);
+      if (stored_crc != actual_crc) {
+        torn = true;
+        break;
+      }
+      util::Bytes body(content.begin() + pos + 4,
+                       content.begin() + pos + 4 + body_len);
+      util::Result<OutboxRecord> record = OutboxRecord::Decode(body);
+      if (!record.ok()) {
+        // CRC-valid but undecodable: corrupt beyond what framing can
+        // localize — stop trusting the rest of the file.
+        torn = true;
+        break;
+      }
+      if (segment->records.empty()) {
+        segment->first_enqueue_micros = record.value().enqueue_micros;
+      }
+      segment->records.push_back(std::move(record.value()));
+      pos += 4 + body_len + 4;
+      valid_end = pos;
+    }
+  }
+  if (torn || valid_end < content.size()) {
+    recovery_.bytes_truncated += content.size() - valid_end;
+    ++recovery_.torn_tails;
+    MWS_RETURN_IF_ERROR(
+        store::AppendFile::TruncateTo(segment->path, valid_end));
+  }
+  return util::Status::Ok();
+}
+
+std::string Outbox::SegmentPath(uint64_t seq) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%012llu.obx",
+                static_cast<unsigned long long>(seq));
+  return options_.dir + "/" + name;
+}
+
+util::Status Outbox::EnsureActiveSegment(int64_t now_micros,
+                                         size_t incoming_bytes) {
+  bool force_fresh = false;
+  if (active_poisoned_ && !segments_.empty()) {
+    // The last append failed and may have left partial bytes at the
+    // tail. Recovery would stop there, so nothing more may be appended
+    // after them: seal the segment (its committed records stay queued)
+    // or reclaim it if it never committed anything, and start fresh.
+    Segment& active = segments_.back();
+    active.file.reset();
+    if (active.records.empty()) {
+      std::error_code ec;
+      std::filesystem::remove(active.path, ec);
+      segments_.pop_back();
+    }
+    active_poisoned_ = false;
+    force_fresh = true;
+  }
+  if (!force_fresh && !segments_.empty()) {
+    Segment& active = segments_.back();
+    if (active.file == nullptr) {
+      // Recovered segment: resume appending where the last run stopped.
+      MWS_ASSIGN_OR_RETURN(
+          active.file,
+          store::AppendFile::Open(
+              {.path = active.path, .injector = options_.injector}));
+    }
+    bool rotate_size =
+        !active.records.empty() &&
+        active.file->size() + incoming_bytes > options_.max_segment_bytes;
+    bool rotate_age =
+        options_.max_segment_age_micros > 0 && !active.records.empty() &&
+        now_micros - active.first_enqueue_micros >=
+            options_.max_segment_age_micros;
+    if (!rotate_size && !rotate_age) return util::Status::Ok();
+    // Seal the active segment (it stays queued until drained) and fall
+    // through to start the next one.
+    active.file.reset();
+  }
+  Segment fresh;
+  fresh.seq = next_seq_++;
+  fresh.path = SegmentPath(fresh.seq);
+  MWS_ASSIGN_OR_RETURN(
+      fresh.file, store::AppendFile::Open(
+                      {.path = fresh.path, .injector = options_.injector}));
+  if (fresh.file->size() == 0) {
+    MWS_RETURN_IF_ERROR(
+        fresh.file->Append(util::Bytes(kMagic, kMagic + kHeaderBytes)));
+  }
+  segments_.push_back(std::move(fresh));
+  return util::Status::Ok();
+}
+
+util::Status Outbox::Enqueue(OutboxRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t now = options_.clock->NowMicros();
+  record.enqueue_micros = now;
+  util::Bytes frame = EncodeFrame(record.Encode());
+  MWS_RETURN_IF_ERROR(EnsureActiveSegment(now, frame.size()));
+  Segment& active = segments_.back();
+  util::Status appended = active.file->Append(frame);
+  if (!appended.ok()) {
+    // The frame may be partially on disk; nothing may land after it.
+    active_poisoned_ = true;
+    return appended;
+  }
+  if (active.records.empty()) active.first_enqueue_micros = now;
+  active.records.push_back(std::move(record));
+  ++depth_;
+  if (enqueued_counter_ != nullptr) enqueued_counter_->Increment();
+  if (depth_gauge_ != nullptr) depth_gauge_->Add(1);
+  UpdateGauges();
+  return util::Status::Ok();
+}
+
+std::vector<OutboxRecord> Outbox::Peek(size_t max) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<OutboxRecord> out;
+  out.reserve(std::min(max, depth_));
+  for (const Segment& segment : segments_) {
+    for (const OutboxRecord& record : segment.records) {
+      if (out.size() >= max) return out;
+      out.push_back(record);
+    }
+  }
+  return out;
+}
+
+util::Status Outbox::Acknowledge(size_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count > depth_) {
+    return util::Status::InvalidArgument(
+        "acknowledging more records than pending");
+  }
+  int64_t now = options_.clock->NowMicros();
+  size_t remaining = count;
+  while (remaining > 0) {
+    Segment& head = segments_.front();
+    while (remaining > 0 && !head.records.empty()) {
+      const OutboxRecord& record = head.records.front();
+      if (drain_latency_hist_ != nullptr) {
+        int64_t latency = now - record.enqueue_micros;
+        drain_latency_hist_->Record(
+            latency < 0 ? 0 : static_cast<uint64_t>(latency));
+      }
+      head.records.pop_front();
+      --depth_;
+      --remaining;
+    }
+    if (head.records.empty()) {
+      // Fully acked: reclaim the file. For the active segment this only
+      // happens when the whole queue drained, so no pending record can
+      // be lost; the next enqueue starts a fresh segment.
+      head.file.reset();
+      std::error_code ec;
+      std::filesystem::remove(head.path, ec);
+      segments_.pop_front();
+    }
+  }
+  if (drained_counter_ != nullptr) drained_counter_->Increment(count);
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->Add(-static_cast<int64_t>(count));
+  }
+  UpdateGauges();
+  return util::Status::Ok();
+}
+
+size_t Outbox::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return depth_;
+}
+
+int64_t Outbox::oldest_enqueue_micros() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Segment& segment : segments_) {
+    if (!segment.records.empty()) {
+      return segment.records.front().enqueue_micros;
+    }
+  }
+  return 0;
+}
+
+void Outbox::UpdateGauges() const {
+  if (oldest_age_gauge_ == nullptr) return;
+  // Last-writer-wins across a fleet sharing one registry: the gauge is
+  // a sample of the most recently active outbox, not an aggregate (the
+  // depth gauge is the aggregate; per-device age lives on the outbox).
+  int64_t oldest = 0;
+  for (const Segment& segment : segments_) {
+    if (!segment.records.empty()) {
+      oldest = segment.records.front().enqueue_micros;
+      break;
+    }
+  }
+  oldest_age_gauge_->Set(
+      oldest == 0 ? 0 : options_.clock->NowMicros() - oldest);
+}
+
+}  // namespace mws::client

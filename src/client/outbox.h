@@ -1,0 +1,189 @@
+#ifndef MWSIBE_CLIENT_OUTBOX_H_
+#define MWSIBE_CLIENT_OUTBOX_H_
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/store/append_file.h"
+#include "src/util/bytes.h"
+#include "src/util/clock.h"
+#include "src/util/fault.h"
+#include "src/util/result.h"
+
+namespace mws::client {
+
+/// One queued reading, sealed at enqueue time. The outbox never stores
+/// plaintext: what hits the disk is exactly the (U, C) pair the MWS
+/// would store (paper §V.D), plus the routing fields the deposit wire
+/// message carries in the clear anyway. The MAC and timestamp are NOT
+/// stored — they are stamped fresh at drain time, because the MWS
+/// enforces a freshness window on deposit timestamps and an offline
+/// device may drain hours after sealing.
+struct OutboxRecord {
+  std::string attribute;   // A
+  util::Bytes nonce;       // per-message nonce (the dedup key with ID_SD)
+  util::Bytes u;           // rP, serialized curve point
+  util::Bytes ciphertext;  // C, the DEM ciphertext
+  int64_t enqueue_micros = 0;  // when the reading was sealed (drain latency)
+
+  util::Bytes Encode() const;
+  static util::Result<OutboxRecord> Decode(const util::Bytes& data);
+};
+
+/// Durable store-and-forward queue for a smart device: readings are
+/// sealed and appended to disk at enqueue time, and shipped to the MWS
+/// in batches when a link is available. The paper's depositing client
+/// is an embedded meter that is offline most of the time — the outbox
+/// is what makes "every sealed reading is eventually warehoused exactly
+/// once" survive device crashes and flaky links.
+///
+/// ## On-disk format
+///
+/// A directory of segment files "seg-<seq>.obx", seq strictly
+/// increasing. Each segment starts with a 4-byte magic/version header
+/// ("OBX1") followed by length-prefixed, CRC-framed records:
+///
+///   u32 body_len | body | u32 crc32(over the 4-byte length + body)
+///
+/// where body is an OutboxRecord encoding. Appends go to the highest
+/// segment (the active one); a new segment is started when the active
+/// one exceeds Options::max_segment_bytes or its oldest record exceeds
+/// Options::max_segment_age_micros on the injected clock (bounding both
+/// the recovery scan per file and the blast radius of a corrupt tail).
+///
+/// ## Crash safety
+///
+/// Append-only + flush-per-record: once Enqueue returns OK the record
+/// is part of the durable prefix. A crash mid-append leaves a torn tail
+/// that Open() truncates — same discipline as the KvStore WAL — and a
+/// corrupt byte anywhere in a record's frame fails its CRC, truncating
+/// that segment from the damaged record on. A segment without a valid
+/// header is quarantined as fully torn (zero records, kept out of the
+/// queue). Recovery is per-segment, so one damaged file never takes
+/// down readings in its neighbours.
+///
+/// ## Drain contract
+///
+/// Peek() exposes the head records; the device ships them (one
+/// mws.deposit_batch call) and calls Acknowledge(n) for the prefix the
+/// warehouse acked. Consumption state is in-memory only — deliberately:
+/// a crash between the server's ack and Acknowledge() replays the
+/// records on restart, and the MWS absorbs the replay by (ID_SD, nonce)
+/// dedup. At-least-once below, exactly-once end to end.
+///
+/// Thread-safe; one mutex (a device has no hot path).
+class Outbox {
+ public:
+  struct Options {
+    /// Directory holding the segment files; created if absent.
+    std::string dir;
+    /// Size-based rotation threshold for the active segment.
+    size_t max_segment_bytes = 64 * 1024;
+    /// Age-based rotation: rotate when the active segment's first
+    /// record is older than this (0 disables).
+    int64_t max_segment_age_micros = 15ll * 60 * 1'000'000;
+    /// Clock for enqueue stamps and age rotation (required).
+    const util::Clock* clock = nullptr;
+    /// Optional fault source, consulted on every segment append
+    /// ("file.append/<path>" — arm kDiskFull to test ENOSPC).
+    util::FaultInjector* injector = nullptr;
+    /// Optional instrumentation (must outlive the outbox). Exposes the
+    /// `outbox.*` family: counters `outbox.enqueued` / `outbox.drained`,
+    /// gauge `outbox.depth` (delta-updated, so a fleet sharing one
+    /// registry aggregates to total pending readings), gauge
+    /// `outbox.oldest_age_us` (a last-writer-wins sample), and histogram
+    /// `outbox.drain_latency_us` (enqueue -> warehouse ack, on the
+    /// injected clock).
+    obs::Registry* metrics = nullptr;
+  };
+
+  /// What recovery found across the segment files at Open.
+  struct RecoveryStats {
+    size_t segments = 0;
+    size_t records_recovered = 0;
+    /// Segments whose tail (or entirety) was dropped.
+    size_t torn_tails = 0;
+    size_t bytes_truncated = 0;
+  };
+
+  /// Opens (creating or recovering) an outbox. Truncates torn segment
+  /// tails so future appends produce clean logs.
+  static util::Result<std::unique_ptr<Outbox>> Open(const Options& options);
+
+  ~Outbox();
+
+  Outbox(const Outbox&) = delete;
+  Outbox& operator=(const Outbox&) = delete;
+
+  /// Durably appends one sealed reading (record.enqueue_micros is
+  /// stamped here from the injected clock). OK means the record
+  /// survives a crash. On failure (e.g. disk_full) nothing beyond a
+  /// torn tail — truncated on next Open — reaches the queue, and the
+  /// damaged segment is sealed so records accepted later never land
+  /// behind the tear.
+  util::Status Enqueue(OutboxRecord record);
+
+  /// Up to `max` records from the head, oldest first, in ack order.
+  std::vector<OutboxRecord> Peek(size_t max) const;
+
+  /// Consumes the `count` head records (they were acked by the
+  /// warehouse). Fully consumed segments are deleted from disk; when
+  /// the queue empties entirely every segment file is removed, so a
+  /// restart after a clean drain replays nothing.
+  util::Status Acknowledge(size_t count);
+
+  /// Readings enqueued but not yet acknowledged.
+  size_t depth() const;
+  /// Enqueue stamp of the head record (0 when empty).
+  int64_t oldest_enqueue_micros() const;
+
+  const RecoveryStats& recovery_stats() const { return recovery_; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct Segment {
+    uint64_t seq = 0;
+    std::string path;
+    std::deque<OutboxRecord> records;  // pending (unacked) records
+    std::unique_ptr<store::AppendFile> file;  // open on the active segment
+    int64_t first_enqueue_micros = 0;  // age-rotation basis
+  };
+
+  explicit Outbox(Options options) : options_(std::move(options)) {}
+
+  /// Recovers one segment file: decodes the record frames, truncates at
+  /// the first damage. Pre: mutex_ held (or pre-publication).
+  util::Status RecoverSegment(Segment* segment);
+  /// Ensures an active segment is open and, if rotation triggers, seals
+  /// the current one and starts the next. Pre: mutex_ held.
+  util::Status EnsureActiveSegment(int64_t now_micros, size_t incoming_bytes);
+  std::string SegmentPath(uint64_t seq) const;
+  void UpdateGauges() const;  // Pre: mutex_ held.
+
+  Options options_;
+  mutable std::mutex mutex_;
+  /// Oldest first; back() is the active (append) segment once one exists.
+  std::deque<Segment> segments_;
+  /// A failed append may have left partial bytes at the active segment's
+  /// tail. Anything appended after them would be dropped by recovery, so
+  /// the segment is sealed and the next enqueue starts a fresh file.
+  bool active_poisoned_ = false;
+  uint64_t next_seq_ = 1;
+  size_t depth_ = 0;
+  RecoveryStats recovery_;
+
+  // Resolved at Open when Options::metrics is set; null otherwise.
+  obs::Counter* enqueued_counter_ = nullptr;
+  obs::Counter* drained_counter_ = nullptr;
+  obs::Gauge* depth_gauge_ = nullptr;
+  obs::Gauge* oldest_age_gauge_ = nullptr;
+  obs::Histogram* drain_latency_hist_ = nullptr;
+};
+
+}  // namespace mws::client
+
+#endif  // MWSIBE_CLIENT_OUTBOX_H_

@@ -1,5 +1,7 @@
 #include "src/client/smart_device.h"
 
+#include <utility>
+
 #include "src/crypto/hmac.h"
 
 namespace mws::client {
@@ -16,24 +18,40 @@ SmartDevice::SmartDevice(std::string device_id, util::Bytes mac_key,
       clock_(clock),
       rng_(rng) {}
 
+util::Result<SmartDevice::SealedReading> SmartDevice::SealReading(
+    const ibe::Attribute& attribute, const ibe::MessageNonce& nonce,
+    const util::Bytes& payload) {
+  MWS_ASSIGN_OR_RETURN(
+      ibe::HybridCiphertext sealed,
+      sealer_.Seal(params_, attribute, nonce, payload, *rng_));
+  SealedReading out;
+  out.u = params_.group->curve().Serialize(sealed.u);
+  out.ciphertext = std::move(sealed.dem_ciphertext);
+  return out;
+}
+
+wire::DepositRequest SmartDevice::StampRequest(
+    const ibe::Attribute& attribute, const util::Bytes& nonce,
+    const util::Bytes& u, const util::Bytes& ciphertext) const {
+  wire::DepositRequest request;
+  request.u = u;
+  request.ciphertext = ciphertext;
+  request.attribute = attribute;
+  request.nonce = nonce;
+  request.device_id = device_id_;
+  request.timestamp_micros = clock_->NowMicros();
+  request.mac = crypto::HmacSha256(mac_key_, request.AuthenticatedBytes());
+  return request;
+}
+
 util::Result<wire::DepositRequest> SmartDevice::BuildDeposit(
     const ibe::Attribute& attribute, const util::Bytes& payload) {
   // Fresh nonce per message: a fresh public/private key pair, which is
   // what makes later revocation bite (paper §V.B).
   ibe::MessageNonce nonce = ibe::GenerateNonce(*rng_);
-  MWS_ASSIGN_OR_RETURN(
-      ibe::HybridCiphertext sealed,
-      sealer_.Seal(params_, attribute, nonce, payload, *rng_));
-
-  wire::DepositRequest request;
-  request.u = params_.group->curve().Serialize(sealed.u);
-  request.ciphertext = std::move(sealed.dem_ciphertext);
-  request.attribute = attribute;
-  request.nonce = nonce.value;
-  request.device_id = device_id_;
-  request.timestamp_micros = clock_->NowMicros();
-  request.mac = crypto::HmacSha256(mac_key_, request.AuthenticatedBytes());
-  return request;
+  MWS_ASSIGN_OR_RETURN(SealedReading sealed,
+                       SealReading(attribute, nonce, payload));
+  return StampRequest(attribute, nonce.value, sealed.u, sealed.ciphertext);
 }
 
 util::Result<uint64_t> SmartDevice::DepositMessage(
@@ -48,34 +66,122 @@ util::Result<uint64_t> SmartDevice::DepositMessage(
   return response.message_id;
 }
 
-util::Result<std::vector<util::Result<uint64_t>>> SmartDevice::DepositMany(
-    const std::vector<std::pair<ibe::Attribute, util::Bytes>>& readings) {
-  if (readings.empty()) return std::vector<util::Result<uint64_t>>{};
+util::Result<wire::DepositBatchResponse> SmartDevice::CallDepositBatch(
+    const std::vector<wire::DepositRequest>& items) {
   wire::DepositBatchRequest batch;
-  batch.items.reserve(readings.size());
-  for (const auto& [attribute, payload] : readings) {
-    MWS_ASSIGN_OR_RETURN(wire::DepositRequest request,
-                         BuildDeposit(attribute, payload));
-    batch.items.push_back(std::move(request));
-  }
+  batch.items = items;
   MWS_ASSIGN_OR_RETURN(util::Bytes raw,
                        transport_->Call("mws.deposit_batch", batch.Encode()));
   MWS_ASSIGN_OR_RETURN(wire::DepositBatchResponse response,
                        wire::DepositBatchResponse::Decode(raw));
-  if (response.items.size() != readings.size()) {
+  if (response.items.size() != items.size()) {
     return util::Status::Internal("deposit batch response size mismatch");
   }
+  for (const wire::DepositBatchResponse::Item& item : response.items) {
+    if (!item.ok) continue;
+    // A replay the warehouse absorbed by (ID_SD, nonce) dedup was not a
+    // new deposit — count it separately so retry storms don't inflate
+    // the device's send accounting.
+    if (item.deduplicated) {
+      ++deposits_deduped_;
+    } else {
+      ++deposits_sent_;
+    }
+  }
+  return response;
+}
+
+util::Result<std::vector<util::Result<uint64_t>>> SmartDevice::DepositMany(
+    const std::vector<std::pair<ibe::Attribute, util::Bytes>>& readings) {
+  if (readings.empty()) return std::vector<util::Result<uint64_t>>{};
+  std::vector<wire::DepositRequest> items;
+  items.reserve(readings.size());
+  for (const auto& [attribute, payload] : readings) {
+    MWS_ASSIGN_OR_RETURN(wire::DepositRequest request,
+                         BuildDeposit(attribute, payload));
+    items.push_back(std::move(request));
+  }
+  MWS_ASSIGN_OR_RETURN(wire::DepositBatchResponse response,
+                       CallDepositBatch(items));
   std::vector<util::Result<uint64_t>> out;
   out.reserve(response.items.size());
   for (const wire::DepositBatchResponse::Item& item : response.items) {
     if (item.ok) {
       out.push_back(item.message_id);
-      ++deposits_sent_;
     } else {
       out.push_back(wire::DecodeWireError(item.error));
     }
   }
   return out;
+}
+
+util::Result<ibe::MessageNonce> SmartDevice::EnqueueReading(
+    const ibe::Attribute& attribute, const util::Bytes& payload) {
+  if (outbox_ == nullptr) {
+    return util::Status::FailedPrecondition("no outbox attached");
+  }
+  // Same draw order as BuildDeposit (nonce, then Seal), so the queued
+  // ciphertext is bit-identical to what the direct path would send.
+  ibe::MessageNonce nonce = ibe::GenerateNonce(*rng_);
+  MWS_ASSIGN_OR_RETURN(SealedReading sealed,
+                       SealReading(attribute, nonce, payload));
+  OutboxRecord record;
+  record.attribute = attribute;
+  record.nonce = nonce.value;
+  record.u = std::move(sealed.u);
+  record.ciphertext = std::move(sealed.ciphertext);
+  MWS_RETURN_IF_ERROR(outbox_->Enqueue(std::move(record)));
+  return nonce;
+}
+
+util::Result<SmartDevice::DrainStats> SmartDevice::DrainOutbox(
+    size_t max_batch) {
+  if (outbox_ == nullptr) {
+    return util::Status::FailedPrecondition("no outbox attached");
+  }
+  if (max_batch == 0) max_batch = 1;
+  DrainStats stats;
+  while (true) {
+    std::vector<OutboxRecord> head = outbox_->Peek(max_batch);
+    if (head.empty()) break;
+    // Stamp fresh: the records may have been sealed long ago, and the
+    // MWS enforces a freshness window on the MAC'd timestamp.
+    std::vector<wire::DepositRequest> items;
+    items.reserve(head.size());
+    for (const OutboxRecord& record : head) {
+      items.push_back(
+          StampRequest(record.attribute, record.nonce, record.u,
+                       record.ciphertext));
+    }
+    auto call = CallDepositBatch(items);
+    if (!call.ok()) {
+      stats.remaining = outbox_->depth();
+      return call.status();
+    }
+    const wire::DepositBatchResponse& response = *call;
+    // Acknowledge the longest acked prefix; a failed item and everything
+    // behind it stay queued for the next reconnect (replay-safe: the
+    // warehouse dedups by (ID_SD, nonce)).
+    size_t acked = 0;
+    while (acked < response.items.size() && response.items[acked].ok) {
+      if (response.items[acked].deduplicated) {
+        ++stats.deduplicated;
+      } else {
+        ++stats.fresh;
+      }
+      ++acked;
+    }
+    stats.sent += acked;
+    if (acked > 0) {
+      MWS_RETURN_IF_ERROR(outbox_->Acknowledge(acked));
+    }
+    if (acked < response.items.size()) {
+      stats.remaining = outbox_->depth();
+      return wire::DecodeWireError(response.items[acked].error);
+    }
+  }
+  stats.remaining = outbox_->depth();
+  return stats;
 }
 
 }  // namespace mws::client

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/client/outbox.h"
 #include "src/ibe/hybrid.h"
 #include "src/util/clock.h"
 #include "src/wire/messages.h"
@@ -12,7 +13,7 @@
 
 namespace mws::client {
 
-/// A depositing client (DC): the embedded smart device of paper §II.
+/// A depositing client (DC): the embedded smart meter of paper §II.
 /// Knows only its identity, its MAC key shared with the MWS, the PKG's
 /// public parameters, and the *attributes* of intended recipients —
 /// never their identities.
@@ -46,10 +47,67 @@ class SmartDevice {
   util::Result<wire::DepositRequest> BuildDeposit(
       const ibe::Attribute& attribute, const util::Bytes& payload);
 
+  // --- Durable store-and-forward (the device outbox) ---
+
+  /// Borrows `outbox` (may be null to detach; must outlive the device
+  /// while attached). The outbox is owned externally so a simulated
+  /// crash-restart can destroy and reopen it under a live fleet.
+  void AttachOutbox(Outbox* outbox) { outbox_ = outbox; }
+  Outbox* outbox() { return outbox_; }
+
+  /// Seals `payload` exactly like DepositMessage would (bit-identical
+  /// ciphertext given the same rng draws) and appends it durably to the
+  /// attached outbox instead of the network. Returns the per-message
+  /// nonce — with device_id() it is the end-to-end identity of this
+  /// reading (the warehouse dedup key). The MAC and timestamp are NOT
+  /// fixed here; DrainOutbox stamps them fresh, because the MWS rejects
+  /// deposits outside its freshness window and the device may drain
+  /// long after sealing.
+  util::Result<ibe::MessageNonce> EnqueueReading(
+      const ibe::Attribute& attribute, const util::Bytes& payload);
+
+  struct DrainStats {
+    size_t sent = 0;          ///< records acked by the warehouse this call
+    size_t fresh = 0;         ///< ... of which newly stored
+    size_t deduplicated = 0;  ///< ... of which replays the MWS absorbed
+    size_t remaining = 0;     ///< records still queued after the call
+  };
+
+  /// Ships the outbox head to the warehouse in "mws.deposit_batch"
+  /// batches of up to `max_batch` until the queue is empty or a call
+  /// fails, acknowledging (and reclaiming) every acked prefix. Safe to
+  /// call after any crash/retry interleaving: replays are absorbed by
+  /// (ID_SD, nonce) dedup and reported in DrainStats::deduplicated —
+  /// they do not inflate deposits_sent(). On error the un-acked records
+  /// stay queued for the next reconnect.
+  util::Result<DrainStats> DrainOutbox(size_t max_batch = 64);
+
   const std::string& device_id() const { return device_id_; }
+  /// Deposits newly stored by the warehouse on this device's behalf
+  /// (dedup-absorbed replays are counted in deposits_deduped instead).
   uint64_t deposits_sent() const { return deposits_sent_; }
+  uint64_t deposits_deduped() const { return deposits_deduped_; }
 
  private:
+  /// Seal only: KEM+DEM under a fresh identity I = SHA1(A || nonce).
+  struct SealedReading {
+    util::Bytes u;
+    util::Bytes ciphertext;
+  };
+  util::Result<SealedReading> SealReading(const ibe::Attribute& attribute,
+                                          const ibe::MessageNonce& nonce,
+                                          const util::Bytes& payload);
+  /// Stamp only: fresh timestamp + MAC around an already-sealed reading.
+  wire::DepositRequest StampRequest(const ibe::Attribute& attribute,
+                                    const util::Bytes& nonce,
+                                    const util::Bytes& u,
+                                    const util::Bytes& ciphertext) const;
+  /// One "mws.deposit_batch" round trip, with per-item ack accounting
+  /// (deposits_sent_ for fresh stores, deposits_deduped_ for absorbed
+  /// replays). Pre: `items` is non-empty.
+  util::Result<wire::DepositBatchResponse> CallDepositBatch(
+      const std::vector<wire::DepositRequest>& items);
+
   std::string device_id_;
   util::Bytes mac_key_;
   ibe::SystemParams params_;
@@ -57,7 +115,9 @@ class SmartDevice {
   wire::Transport* transport_;
   const util::Clock* clock_;
   util::RandomSource* rng_;
+  Outbox* outbox_ = nullptr;
   uint64_t deposits_sent_ = 0;
+  uint64_t deposits_deduped_ = 0;
 };
 
 }  // namespace mws::client

@@ -203,6 +203,7 @@ util::Result<wire::DepositBatchResponse> MwsService::DepositBatchImpl(
     for (size_t v = 0; v < outcomes.size(); ++v) {
       response.items[valid_index[v]].ok = true;
       response.items[valid_index[v]].message_id = outcomes[v].id;
+      response.items[valid_index[v]].deduplicated = outcomes[v].deduplicated;
     }
   }
   return response;

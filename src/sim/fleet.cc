@@ -1,0 +1,276 @@
+#include "src/sim/fleet.h"
+
+#include <filesystem>
+#include <fstream>
+
+namespace mws::sim {
+
+namespace fs = std::filesystem;
+
+std::string FleetSimulator::OutboxDir(size_t device_index) const {
+  return options_.outbox_root + "/" +
+         scenario_->devices()[device_index].device_id();
+}
+
+bool FleetSimulator::Flip(double probability) {
+  if (probability <= 0) return false;
+  if (probability >= 1) return true;
+  return churn_rng_.NextU64() <
+         static_cast<uint64_t>(probability * 18446744073709551615.0);
+}
+
+util::Result<std::unique_ptr<FleetSimulator>> FleetSimulator::Create(
+    const Options& options) {
+  if (options.outbox_root.empty()) {
+    return util::Status::InvalidArgument("FleetSimulator needs outbox_root");
+  }
+  if (!options.scenario.metrics) {
+    return util::Status::InvalidArgument(
+        "FleetSimulator needs scenario metrics (latency report source)");
+  }
+  auto fleet = std::unique_ptr<FleetSimulator>(new FleetSimulator(options));
+  MWS_ASSIGN_OR_RETURN(fleet->scenario_,
+                       UtilityScenario::Create(options.scenario));
+
+  if (options.disk_full_rate > 0) {
+    fleet->outbox_injector_.AddRule(
+        {.kind = util::FaultKind::kDiskFull,
+         .pattern = "file.append/",
+         .probability = options.disk_full_rate,
+         .code = util::StatusCode::kResourceExhausted,
+         .message = "injected device disk full"});
+  }
+
+  std::vector<client::SmartDevice>& devices = fleet->scenario_->devices();
+  fleet->outboxes_.resize(devices.size());
+  fleet->device_class_.reserve(devices.size());
+  for (size_t i = 0; i < devices.size(); ++i) {
+    MeterClass klass = MeterClass::kElectric;
+    if (devices[i].device_id().rfind("WATER", 0) == 0) {
+      klass = MeterClass::kWater;
+    } else if (devices[i].device_id().rfind("GAS", 0) == 0) {
+      klass = MeterClass::kGas;
+    }
+    fleet->device_class_.push_back(klass);
+    MWS_ASSIGN_OR_RETURN(
+        fleet->outboxes_[i],
+        client::Outbox::Open(
+            {.dir = fleet->OutboxDir(i),
+             .max_segment_bytes = options.max_segment_bytes,
+             .max_segment_age_micros = options.max_segment_age_micros,
+             .clock = &fleet->scenario_->clock(),
+             .injector = &fleet->outbox_injector_,
+             .metrics = fleet->scenario_->metrics()}));
+    devices[i].AttachOutbox(fleet->outboxes_[i].get());
+  }
+  fleet->snapshot_dir_ = options.outbox_root + "/.crash-snapshot";
+  return fleet;
+}
+
+util::Status FleetSimulator::TearActiveSegment(size_t device_index) {
+  // Power dies mid-append: the newest segment gains a frame that claims
+  // more bytes than were ever written. Recovery must truncate it.
+  std::string newest;
+  uint64_t newest_seq = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(OutboxDir(device_index))) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind("seg-", 0) != 0) continue;
+    uint64_t seq = 0;
+    try {
+      seq = std::stoull(name.substr(4));
+    } catch (...) {
+      continue;
+    }
+    if (newest.empty() || seq >= newest_seq) {
+      newest_seq = seq;
+      newest = entry.path().string();
+    }
+  }
+  if (newest.empty()) return util::Status::Ok();  // nothing durable yet
+  std::ofstream out(newest, std::ios::binary | std::ios::app);
+  const uint8_t torn[] = {0x00, 0x00, 0x00, 0x40, 0xde, 0xad, 0xbe, 0xef};
+  out.write(reinterpret_cast<const char*>(torn), sizeof(torn));
+  out.close();
+  return out.fail() ? util::Status::IoError("torn append failed")
+                    : util::Status::Ok();
+}
+
+util::Status FleetSimulator::SnapshotDir(size_t device_index) {
+  std::error_code ec;
+  fs::remove_all(snapshot_dir_, ec);
+  fs::copy(OutboxDir(device_index), snapshot_dir_,
+           fs::copy_options::recursive, ec);
+  if (ec) return util::Status::IoError("snapshot failed: " + ec.message());
+  return util::Status::Ok();
+}
+
+util::Status FleetSimulator::RestoreDir(size_t device_index) {
+  std::error_code ec;
+  fs::remove_all(OutboxDir(device_index), ec);
+  fs::copy(snapshot_dir_, OutboxDir(device_index),
+           fs::copy_options::recursive, ec);
+  if (ec) return util::Status::IoError("restore failed: " + ec.message());
+  fs::remove_all(snapshot_dir_, ec);
+  return util::Status::Ok();
+}
+
+util::Status FleetSimulator::Restart(size_t device_index,
+                                     size_t expected_depth, Report* report) {
+  outboxes_[device_index].reset();  // close files, release the depth gauge
+  MWS_ASSIGN_OR_RETURN(
+      outboxes_[device_index],
+      client::Outbox::Open(
+          {.dir = OutboxDir(device_index),
+           .max_segment_bytes = options_.max_segment_bytes,
+           .max_segment_age_micros = options_.max_segment_age_micros,
+           .clock = &scenario_->clock(),
+           .injector = &outbox_injector_,
+           .metrics = scenario_->metrics()}));
+  scenario_->devices()[device_index].AttachOutbox(
+      outboxes_[device_index].get());
+  const client::Outbox::RecoveryStats& stats =
+      outboxes_[device_index]->recovery_stats();
+  report->torn_tails_recovered += stats.torn_tails;
+  report->records_recovered += stats.records_recovered;
+  // Everything Enqueue acknowledged must survive. MORE than expected is
+  // admissible: a partially drained segment replays its acked head and
+  // the warehouse dedups it. LESS means durability broke.
+  if (outboxes_[device_index]->depth() < expected_depth) {
+    ++report->recovery_depth_mismatches;
+  }
+  return util::Status::Ok();
+}
+
+util::Result<FleetSimulator::Report> FleetSimulator::Run() {
+  Report report;
+  std::vector<client::SmartDevice>& devices = scenario_->devices();
+  WorkloadGenerator& workload = scenario_->workload();
+  util::SimulatedClock& clock = scenario_->clock();
+  report.devices = devices.size();
+  report.rounds = options_.rounds;
+
+  for (size_t round = 0; round < options_.rounds; ++round) {
+    // Wake phase: every device seals its readings into its outbox.
+    for (size_t i = 0; i < devices.size(); ++i) {
+      for (size_t r = 0; r < options_.readings_per_round; ++r) {
+        clock.AdvanceMicros(1000);
+        MeterReading reading = workload.Next(
+            devices[i].device_id(), device_class_[i], clock.NowMicros());
+        util::Result<ibe::MessageNonce> nonce = devices[i].EnqueueReading(
+            UtilityScenario::AttributeFor(device_class_[i]),
+            workload.Pad(reading.ToPayload()));
+        if (nonce.ok()) {
+          ++report.enqueued;
+          expected_.emplace(
+              devices[i].device_id() + "/" +
+                  std::string(nonce.value().value.begin(),
+                              nonce.value().value.end()),
+              0);
+        } else if (nonce.status().code() ==
+                   util::StatusCode::kResourceExhausted) {
+          ++report.enqueue_rejected;  // the reading died at the device
+        } else {
+          return nonce.status();
+        }
+      }
+      if (Flip(options_.crash_mid_enqueue_rate)) {
+        size_t depth = outboxes_[i]->depth();
+        ++report.crashes_mid_enqueue;
+        outboxes_[i].reset();
+        MWS_RETURN_IF_ERROR(TearActiveSegment(i));
+        MWS_RETURN_IF_ERROR(Restart(i, depth, &report));
+      }
+    }
+
+    // Drain phase: every device wakes its link and ships its queue.
+    for (size_t i = 0; i < devices.size(); ++i) {
+      if (outboxes_[i]->depth() == 0) continue;
+      clock.AdvanceMicros(1000);
+      size_t depth_before = outboxes_[i]->depth();
+      bool crash_before_ack = Flip(options_.crash_before_ack_rate);
+      if (crash_before_ack) MWS_RETURN_IF_ERROR(SnapshotDir(i));
+      ++report.drain_calls;
+      util::Result<client::SmartDevice::DrainStats> drained =
+          devices[i].DrainOutbox(options_.drain_batch);
+      if (drained.ok()) {
+        report.delivered_fresh += drained.value().fresh;
+        report.dedup_absorbed += drained.value().deduplicated;
+      } else {
+        ++report.drain_failures;  // queue keeps the unacked tail
+      }
+      if (crash_before_ack) {
+        // The warehouse kept what the drain shipped; the device lost
+        // the acks. Restart from the pre-drain disk state — the whole
+        // batch replays and dedup must absorb it.
+        ++report.crashes_before_ack;
+        outboxes_[i].reset();
+        MWS_RETURN_IF_ERROR(RestoreDir(i));
+        MWS_RETURN_IF_ERROR(Restart(i, depth_before, &report));
+      }
+    }
+    clock.AdvanceMicros(options_.round_gap_micros);
+  }
+
+  // Settlement: links calm down (rules disarmed) and every device keeps
+  // draining until the fleet is empty — the "eventually" in eventually
+  // exactly-once.
+  outbox_injector_.ClearRules();
+  if (scenario_->fault_injector() != nullptr) {
+    scenario_->fault_injector()->ClearRules();
+  }
+  for (size_t pass = 0; pass < 100; ++pass) {
+    size_t depth = 0;
+    for (const auto& outbox : outboxes_) depth += outbox->depth();
+    if (depth == 0) break;
+    ++report.settlement_passes;
+    for (size_t i = 0; i < devices.size(); ++i) {
+      if (outboxes_[i]->depth() == 0) continue;
+      clock.AdvanceMicros(1000);
+      ++report.drain_calls;
+      if (!devices[i].DrainOutbox(options_.drain_batch).ok()) {
+        ++report.drain_failures;
+      }
+    }
+  }
+  for (const auto& outbox : outboxes_) report.final_depth += outbox->depth();
+
+  // Audit: scan the warehouse and reconcile against what the devices
+  // accepted. The invariant is exactly-once — zero lost, zero stored
+  // twice, zero stored that no device accepted.
+  const store::MessageDb& db = scenario_->mws().message_db();
+  for (const char* attribute :
+       {UtilityScenario::kElectricAttr, UtilityScenario::kWaterAttr,
+        UtilityScenario::kGasAttr}) {
+    MWS_ASSIGN_OR_RETURN(std::vector<store::StoredMessage> messages,
+                         db.FindByAttribute(attribute));
+    for (const store::StoredMessage& message : messages) {
+      ++report.warehoused;
+      std::string key = message.device_id + "/" +
+                        std::string(message.nonce.begin(),
+                                    message.nonce.end());
+      auto it = expected_.find(key);
+      if (it == expected_.end()) {
+        ++report.unexpected;
+      } else if (++it->second > 1) {
+        ++report.duplicates;
+      }
+    }
+  }
+  for (const auto& [key, seen] : expected_) {
+    if (seen == 0) ++report.lost;
+  }
+
+  obs::RegistrySnapshot snapshot = scenario_->metrics()->Snapshot();
+  if (const obs::HistogramSnapshot* latency =
+          snapshot.histogram("outbox.drain_latency_us")) {
+    report.latency_samples = latency->count;
+    report.latency_p50_us = latency->Percentile(0.50);
+    report.latency_p90_us = latency->Percentile(0.90);
+    report.latency_p99_us = latency->Percentile(0.99);
+    report.latency_max_us = latency->max;
+  }
+  return report;
+}
+
+}  // namespace mws::sim

@@ -1,0 +1,164 @@
+#ifndef MWSIBE_SIM_FLEET_H_
+#define MWSIBE_SIM_FLEET_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/client/outbox.h"
+#include "src/sim/scenario.h"
+
+namespace mws::sim {
+
+/// Fleet-scale store-and-forward simulation: every device of a
+/// UtilityScenario gets a durable on-disk outbox and runs wake/enqueue/
+/// drain rounds over a flaky link, with crash-restart churn injected at
+/// the two windows that matter for exactly-once delivery:
+///
+///   * mid-enqueue — power dies while a record frame is being appended;
+///     the restart must truncate the torn tail and lose nothing that
+///     Enqueue had acknowledged;
+///   * before-ack — power dies after the warehouse stored a drained
+///     batch but before the device reclaimed it; the restart replays
+///     the batch and the MWS must absorb every record by
+///     (ID_SD, nonce) dedup.
+///
+/// The run ends with a full settlement drain and an audit of the
+/// warehouse against the set of readings the devices accepted: the
+/// invariant under any admissible schedule is zero lost and zero
+/// duplicated readings (E18).
+class FleetSimulator {
+ public:
+  struct Options {
+    /// The world to build (device count, fault rates, preset, seed).
+    /// Enable `scenario.resilience` to put the drain traffic on a
+    /// flaky link; its injector is shared with the store.
+    UtilityScenario::Options scenario;
+    /// Root directory for the per-device outbox dirs (required; one
+    /// subdirectory per device id is created under it).
+    std::string outbox_root;
+    /// Wake/drain cycles to run.
+    size_t rounds = 4;
+    /// Readings each device seals into its outbox per round.
+    size_t readings_per_round = 2;
+    /// Drain batch size (records per mws.deposit_batch call).
+    size_t drain_batch = 32;
+    /// P(device crashes with a torn append in a round). The in-flight
+    /// frame is lost (it was never acknowledged); everything the outbox
+    /// acked must survive the restart.
+    double crash_mid_enqueue_rate = 0.0;
+    /// P(device crashes after a drained batch was warehoused but before
+    /// the outbox reclaimed it). The whole batch replays next round.
+    double crash_before_ack_rate = 0.0;
+    /// P(an outbox append fails with kResourceExhausted). The reading
+    /// is rejected at the device; it must not show up anywhere.
+    double disk_full_rate = 0.0;
+    /// Simulated time between rounds (drives age rotation and the
+    /// drain-latency distribution).
+    int64_t round_gap_micros = 60'000'000;
+    /// Outbox rotation thresholds (small defaults so fleet runs
+    /// exercise multi-segment queues).
+    size_t max_segment_bytes = 16 * 1024;
+    int64_t max_segment_age_micros = 10ll * 60 * 1'000'000;
+    /// Seed for the churn schedule (independent of the scenario seed so
+    /// crash placement does not perturb workload or fault draws).
+    uint64_t churn_seed = 77;
+  };
+
+  /// What a Run() observed. The acceptance invariant is
+  /// `lost == 0 && duplicates == 0 && unexpected == 0 && final_depth == 0`.
+  struct Report {
+    size_t devices = 0;
+    size_t rounds = 0;
+
+    // Device-side accounting.
+    size_t enqueued = 0;          ///< readings the outboxes accepted
+    size_t enqueue_rejected = 0;  ///< readings refused (disk_full)
+    size_t crashes_mid_enqueue = 0;
+    size_t crashes_before_ack = 0;
+    size_t torn_tails_recovered = 0;
+    size_t records_recovered = 0;
+    /// Restarts where the reopened outbox disagreed with the depth the
+    /// pre-crash outbox had acknowledged (must be 0).
+    size_t recovery_depth_mismatches = 0;
+
+    // Drain accounting.
+    size_t drain_calls = 0;
+    size_t drain_failures = 0;    ///< drains cut short by link faults
+    size_t delivered_fresh = 0;   ///< records newly stored by the MWS
+    size_t dedup_absorbed = 0;    ///< replays the MWS absorbed
+    size_t settlement_passes = 0; ///< extra drains to empty the fleet
+
+    // Audit (device-side expectations vs a full warehouse scan).
+    size_t warehoused = 0;   ///< stored messages from this fleet
+    size_t lost = 0;         ///< accepted readings missing from the MWS
+    size_t duplicates = 0;   ///< readings stored more than once
+    size_t unexpected = 0;   ///< stored messages no device accepted
+    size_t final_depth = 0;  ///< records still queued after settlement
+
+    // End-to-end delivery latency (enqueue -> warehouse ack, simulated
+    // clock), from the shared outbox.drain_latency_us histogram.
+    uint64_t latency_samples = 0;
+    double latency_p50_us = 0;
+    double latency_p90_us = 0;
+    double latency_p99_us = 0;
+    uint64_t latency_max_us = 0;
+
+    bool ExactlyOnce() const {
+      return lost == 0 && duplicates == 0 && unexpected == 0 &&
+             final_depth == 0 && recovery_depth_mismatches == 0;
+    }
+  };
+
+  /// Builds the scenario, opens one outbox per device under
+  /// `options.outbox_root`, and arms the disk_full rule. Requires
+  /// `options.scenario.metrics` (the latency histogram is the report's
+  /// data source).
+  static util::Result<std::unique_ptr<FleetSimulator>> Create(
+      const Options& options);
+
+  /// Runs the configured rounds plus a settlement phase (faults
+  /// disarmed, drains repeated until every outbox is empty), then
+  /// audits the warehouse. Deterministic in (options, seeds).
+  util::Result<Report> Run();
+
+  UtilityScenario& scenario() { return *scenario_; }
+  util::FaultInjector& outbox_injector() { return outbox_injector_; }
+
+ private:
+  explicit FleetSimulator(const Options& options)
+      : options_(options),
+        outbox_injector_(options.churn_seed ^ 0x0b0e5eedull),
+        churn_rng_(options.churn_seed) {}
+
+  /// Destroys and reopens one device's outbox — the crash-restart
+  /// primitive. Checks the recovered depth against `expected_depth`.
+  util::Status Restart(size_t device_index, size_t expected_depth,
+                       Report* report);
+  /// Appends a torn partial frame to the device's newest segment file,
+  /// simulating power loss mid-append.
+  util::Status TearActiveSegment(size_t device_index);
+  /// Snapshot / restore of an outbox dir (the before-ack crash window:
+  /// the restored state predates the acks the warehouse already has).
+  util::Status SnapshotDir(size_t device_index);
+  util::Status RestoreDir(size_t device_index);
+
+  std::string OutboxDir(size_t device_index) const;
+  bool Flip(double probability);
+
+  Options options_;
+  util::FaultInjector outbox_injector_;
+  util::DeterministicRandom churn_rng_;
+  std::unique_ptr<UtilityScenario> scenario_;
+  std::vector<std::unique_ptr<client::Outbox>> outboxes_;
+  std::vector<MeterClass> device_class_;
+  /// device_id + '/' + nonce for every accepted reading (the audit
+  /// expectation set).
+  std::map<std::string, size_t> expected_;
+  std::string snapshot_dir_;
+};
+
+}  // namespace mws::sim
+
+#endif  // MWSIBE_SIM_FLEET_H_

@@ -48,10 +48,13 @@ util::Result<std::unique_ptr<UtilityScenario>> UtilityScenario::Create(
           metrics->GetCounter("fault.injected", {{"kind", "delay"}}),
           metrics->GetCounter("fault.injected",
                               {{"kind", "connection-drop"}}),
+          metrics->GetCounter("fault.injected", {{"kind", "disk-full"}}),
       };
       scenario->fault_injector_->set_fire_hook(
           [error = by_kind[0], torn = by_kind[1], delay = by_kind[2],
-           drop = by_kind[3]](const util::Fault& fault, std::string_view) {
+           drop = by_kind[3],
+           disk_full = by_kind[4]](const util::Fault& fault,
+                                   std::string_view) {
             switch (fault.kind) {
               case util::FaultKind::kError:
                 error->Increment();
@@ -64,6 +67,9 @@ util::Result<std::unique_ptr<UtilityScenario>> UtilityScenario::Create(
                 break;
               case util::FaultKind::kConnectionDrop:
                 drop->Increment();
+                break;
+              case util::FaultKind::kDiskFull:
+                disk_full->Increment();
                 break;
             }
           });

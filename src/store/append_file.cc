@@ -1,0 +1,73 @@
+#include "src/store/append_file.h"
+
+#include <filesystem>
+
+namespace mws::store {
+
+util::Result<std::unique_ptr<AppendFile>> AppendFile::Open(
+    const Options& options) {
+  auto file = std::unique_ptr<AppendFile>(new AppendFile(options));
+  std::error_code ec;
+  uintmax_t existing = std::filesystem::file_size(options.path, ec);
+  file->size_ = ec ? 0 : static_cast<size_t>(existing);
+  file->out_.open(options.path, std::ios::binary | std::ios::app);
+  if (!file->out_) {
+    return util::Status::IoError("cannot open for append: " + options.path);
+  }
+  return file;
+}
+
+util::Status AppendFile::Append(const util::Bytes& data) {
+  if (options_.injector != nullptr) {
+    if (auto fault =
+            options_.injector->Evaluate("file.append/" + options_.path)) {
+      switch (fault->kind) {
+        case util::FaultKind::kError:
+        case util::FaultKind::kConnectionDrop:
+        case util::FaultKind::kDiskFull:
+          return fault->status;
+        case util::FaultKind::kTornWrite: {
+          // Crash shape: a strict prefix of the record reaches the disk.
+          size_t torn = data.size() / 2;
+          out_.write(reinterpret_cast<const char*>(data.data()),
+                     static_cast<std::streamsize>(torn));
+          out_.flush();
+          return fault->status;
+        }
+        case util::FaultKind::kDelay:
+          break;
+      }
+    }
+  }
+  out_.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(data.size()));
+  out_.flush();
+  if (!out_) return util::Status::IoError("append failed: " + options_.path);
+  size_ += data.size();
+  return util::Status::Ok();
+}
+
+util::Status AppendFile::Flush() {
+  out_.flush();
+  if (!out_) return util::Status::IoError("flush failed: " + options_.path);
+  return util::Status::Ok();
+}
+
+util::Result<util::Bytes> AppendFile::ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::NotFound("no such file: " + path);
+  return util::Bytes((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+util::Status AppendFile::TruncateTo(const std::string& path, size_t size) {
+  std::error_code ec;
+  std::filesystem::resize_file(path, size, ec);
+  if (ec) {
+    return util::Status::IoError("cannot truncate " + path + ": " +
+                                 ec.message());
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace mws::store

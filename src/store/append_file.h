@@ -1,0 +1,78 @@
+#ifndef MWSIBE_STORE_APPEND_FILE_H_
+#define MWSIBE_STORE_APPEND_FILE_H_
+
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "src/util/bytes.h"
+#include "src/util/fault.h"
+#include "src/util/result.h"
+
+namespace mws::store {
+
+/// A small append-only file: the storage primitive under the device
+/// outbox segments (and the shape the KvStore WAL will migrate to).
+/// Append-only means every durable state is a byte prefix of every later
+/// state, which is what makes the torn-tail-truncation recovery
+/// discipline (KvStore WAL, client::Outbox) sound.
+///
+/// An optional shared util::FaultInjector is consulted once per Append
+/// with the tag "file.append/<path>":
+///
+///   kError / kConnectionDrop — fail without writing anything,
+///   kDiskFull                — fail without writing (ENOSPC shape;
+///                              counted separately by callers),
+///   kTornWrite               — write a *prefix* of the record, then
+///                              report failure: the on-disk crash shape
+///                              a kill-at-any-byte leaves behind, which
+///                              recovery must truncate,
+///   kDelay                   — write normally (delays are a transport
+///                              concern; a file append has no one to
+///                              keep waiting deterministically).
+///
+/// Not thread-safe: an AppendFile belongs to one writer (the outbox
+/// serializes appends behind its own mutex).
+class AppendFile {
+ public:
+  struct Options {
+    std::string path;
+    /// Optional shared fault source; must outlive the file.
+    util::FaultInjector* injector = nullptr;
+  };
+
+  /// Opens `path` for appending, creating it if absent. size() reflects
+  /// the existing content.
+  static util::Result<std::unique_ptr<AppendFile>> Open(
+      const Options& options);
+
+  /// Appends `data` and flushes it. On success the bytes are part of the
+  /// durable prefix; on failure the file holds at most a prefix of
+  /// `data` beyond the previous durable state (torn tail).
+  util::Status Append(const util::Bytes& data);
+
+  util::Status Flush();
+
+  /// Bytes successfully appended (existing content + clean appends).
+  /// A torn append's partial bytes are NOT counted: size() is the
+  /// durable prefix a recovery scan should find intact.
+  size_t size() const { return size_; }
+  const std::string& path() const { return options_.path; }
+
+  // --- Recovery helpers (plain path-level operations) ---
+  /// Whole-file read; missing file yields kNotFound.
+  static util::Result<util::Bytes> ReadAll(const std::string& path);
+  /// Truncates `path` to `size` bytes (drops a torn tail).
+  static util::Status TruncateTo(const std::string& path, size_t size);
+
+ private:
+  explicit AppendFile(Options options) : options_(std::move(options)) {}
+
+  Options options_;
+  std::ofstream out_;
+  size_t size_ = 0;
+};
+
+}  // namespace mws::store
+
+#endif  // MWSIBE_STORE_APPEND_FILE_H_

@@ -23,6 +23,13 @@ util::Status FaultyTable::FaultedWrite(const std::string& operation,
         case util::FaultKind::kConnectionDrop:
           faults_.fetch_add(1, std::memory_order_relaxed);
           return fault->status;
+        case util::FaultKind::kDiskFull:
+          // Out of space: nothing is applied, and the failure persists
+          // until the rule is disarmed (Heal()/ClearRules) — the caller
+          // must shed or retry later, exactly like ENOSPC.
+          faults_.fetch_add(1, std::memory_order_relaxed);
+          disk_full_.fetch_add(1, std::memory_order_relaxed);
+          return fault->status;
         case util::FaultKind::kTornWrite: {
           util::Status applied = apply();
           faults_.fetch_add(1, std::memory_order_relaxed);

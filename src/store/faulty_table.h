@@ -21,8 +21,9 @@ namespace mws::store {
 ///  2. an optional shared util::FaultInjector, consulted with operation
 ///     tags "table.put/<key>", "table.delete/<key>", "table.flush".
 ///
-/// Fault semantics on a Table: kError and kConnectionDrop fail the write
-/// without applying it; kTornWrite applies the write and *then* reports
+/// Fault semantics on a Table: kError, kConnectionDrop and kDiskFull fail
+/// the write without applying it (kDiskFull is counted separately — the
+/// ENOSPC shape); kTornWrite applies the write and *then* reports
 /// failure (ack lost — a correct caller retries and must dedupe);
 /// kDelay sleeps `delay_micros`, then applies normally.
 ///
@@ -43,11 +44,14 @@ class FaultyTable : public Table {
   }
   void Heal() { armed_.store(false, std::memory_order_relaxed); }
 
-  /// Writes that reported failure (either source), and torn writes that
-  /// were applied anyway.
+  /// Writes that reported failure (either source), torn writes that
+  /// were applied anyway, and writes refused for lack of space.
   uint64_t faults() const { return faults_.load(std::memory_order_relaxed); }
   uint64_t torn_writes() const {
     return torn_writes_.load(std::memory_order_relaxed);
+  }
+  uint64_t disk_full_faults() const {
+    return disk_full_.load(std::memory_order_relaxed);
   }
 
   util::Status Put(const std::string& key, const util::Bytes& value) override;
@@ -83,6 +87,7 @@ class FaultyTable : public Table {
   std::atomic<int> countdown_{0};
   std::atomic<uint64_t> faults_{0};
   std::atomic<uint64_t> torn_writes_{0};
+  std::atomic<uint64_t> disk_full_{0};
 };
 
 }  // namespace mws::store

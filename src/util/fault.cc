@@ -12,6 +12,8 @@ const char* FaultKindToString(FaultKind kind) {
       return "delay";
     case FaultKind::kConnectionDrop:
       return "connection-drop";
+    case FaultKind::kDiskFull:
+      return "disk-full";
   }
   return "unknown";
 }

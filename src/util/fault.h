@@ -31,6 +31,13 @@ enum class FaultKind {
   /// inner call and discard the response; storage decorators treat it
   /// like kError.
   kConnectionDrop,
+  /// The device is out of storage: the write fails with `FaultRule::code`
+  /// (arm kResourceExhausted for the ENOSPC shape) and nothing is
+  /// applied. Distinct from kError so storage decorators can count
+  /// capacity exhaustion separately from transient I/O errors, and so a
+  /// rule can target only the append paths that allocate space
+  /// (store::FaultyTable writes, store::AppendFile / outbox appends).
+  kDiskFull,
 };
 
 const char* FaultKindToString(FaultKind kind);

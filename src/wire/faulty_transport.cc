@@ -10,6 +10,7 @@ util::Result<util::Bytes> FaultyTransport::Call(const std::string& endpoint,
   if (auto fault = injector_->Evaluate("transport.call/" + endpoint)) {
     switch (fault->kind) {
       case util::FaultKind::kError:
+      case util::FaultKind::kDiskFull:  // no storage on a wire; plain failure
         requests_lost_.fetch_add(1, std::memory_order_relaxed);
         return fault->status;
       case util::FaultKind::kTornWrite:

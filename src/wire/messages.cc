@@ -170,6 +170,7 @@ util::Bytes DepositBatchResponse::Encode() const {
   for (const Item& item : items) {
     w.PutU8(item.ok ? 1 : 0);
     w.PutU64(item.message_id);
+    w.PutU8(item.deduplicated ? 1 : 0);
     w.PutBytes(item.error);
   }
   return w.Take();
@@ -182,7 +183,7 @@ util::Result<DepositBatchResponse> DepositBatchResponse::Decode(
   uint8_t version = 0;
   uint32_t count = 0;
   if (!r.GetU8(&version)) return Malformed("DepositBatchResponse");
-  if (version != kVersion) {
+  if (version != 1 && version != kVersion) {
     return util::Status::Unimplemented("unknown DepositBatchResponse version");
   }
   if (!r.GetU32(&count)) return Malformed("DepositBatchResponse");
@@ -190,11 +191,17 @@ util::Result<DepositBatchResponse> DepositBatchResponse::Decode(
   for (uint32_t i = 0; i < count; ++i) {
     Item item;
     uint8_t ok = 0;
-    if (!r.GetU8(&ok) || !r.GetU64(&item.message_id) ||
-        !r.GetBytes(&item.error)) {
+    uint8_t deduplicated = 0;
+    if (!r.GetU8(&ok) || !r.GetU64(&item.message_id)) {
       return Malformed("DepositBatchResponse");
     }
+    // v1 has no dedup flag; treat every ack as a fresh store.
+    if (version >= 2 && !r.GetU8(&deduplicated)) {
+      return Malformed("DepositBatchResponse");
+    }
+    if (!r.GetBytes(&item.error)) return Malformed("DepositBatchResponse");
     item.ok = ok != 0;
+    item.deduplicated = deduplicated != 0;
     out.items.push_back(std::move(item));
   }
   if (!r.Done()) return Malformed("DepositBatchResponse");

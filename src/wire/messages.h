@@ -80,13 +80,21 @@ struct DepositBatchRequest {
 /// Per-item results, aligned with request order. A failed item carries
 /// the PR 3 wire-error payload so the client reconstructs the original
 /// status (and its retryability) per item.
+///
+/// Version 2 adds the per-item `deduplicated` flag: the deposit was a
+/// retransmit the MWS absorbed by (ID_SD, nonce), and `message_id` is
+/// the original assignment. A store-and-forward device replaying its
+/// outbox after a crash uses it to keep deposit accounting exact.
+/// Decode still accepts version-1 payloads (flag defaults to false), so
+/// a v2 client interoperates with a v1 warehouse.
 struct DepositBatchResponse {
-  static constexpr uint8_t kVersion = 1;
+  static constexpr uint8_t kVersion = 2;
 
   struct Item {
     bool ok = false;
-    uint64_t message_id = 0;  // valid when ok
-    util::Bytes error;        // EncodeWireError payload when !ok
+    uint64_t message_id = 0;   // valid when ok
+    bool deduplicated = false;  // valid when ok; absent in v1 payloads
+    util::Bytes error;          // EncodeWireError payload when !ok
   };
   std::vector<Item> items;
 

@@ -77,6 +77,28 @@ TEST_F(FaultInjectionTest, MessageDbPartialAppendDoesNotCorruptReads) {
   EXPECT_EQ(visible->at(0).id, 1u);
 }
 
+TEST_F(FaultInjectionTest, DiskFullFailsWithoutApplyingAndIsCounted) {
+  MessageDb db(&faulty_);
+  injector_.AddRule({.kind = util::FaultKind::kDiskFull,
+                     .pattern = "table.",
+                     .nth = 1,
+                     .code = util::StatusCode::kResourceExhausted,
+                     .message = "store volume full"});
+
+  auto result = db.Append(SampleMessage());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(faulty_.disk_full_faults(), 1u);
+
+  // Unlike a torn write, nothing was applied: the retried append is a
+  // fresh store (id 1, not a dedup hit) and exactly one copy exists.
+  auto outcome = db.AppendDeduped(SampleMessage());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->id, 1u);
+  EXPECT_FALSE(outcome->deduplicated);
+  EXPECT_EQ(db.FindByAttribute("A")->size(), 1u);
+}
+
 TEST_F(FaultInjectionTest, PolicyDbGrantPropagatesFailure) {
   PolicyDb db(&faulty_);
   faulty_.FailWritesAfter(0);

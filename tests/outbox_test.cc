@@ -1,0 +1,525 @@
+// Durable-outbox tests: the on-disk segment format survives truncation
+// at every byte offset and arbitrary corruption (crash-consistency, the
+// WAL discipline), rotation bounds segment files, disk_full rejects
+// readings without poisoning later ones, and the drain path delivers
+// every accepted reading to the warehouse exactly once — replays after
+// a crash-before-ack restart are absorbed by (ID_SD, nonce) dedup and
+// kept out of the device's send accounting.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/client/outbox.h"
+#include "src/sim/fleet.h"
+#include "src/sim/scenario.h"
+#include "src/util/serde.h"
+
+namespace mws::client {
+namespace {
+
+namespace fs = std::filesystem;
+using util::Bytes;
+using util::BytesFromString;
+
+OutboxRecord Record(size_t i) {
+  OutboxRecord record;
+  record.attribute = "ELECTRIC-BAYTOWER-SV-CA";
+  record.nonce = BytesFromString("nonce-" + std::to_string(i));
+  record.u = BytesFromString("point-rP-" + std::to_string(i));
+  record.ciphertext = BytesFromString("ciphertext-" + std::to_string(i) +
+                                      "-sealed-reading-payload");
+  return record;
+}
+
+Bytes Frame(const Bytes& body) {
+  util::Writer w;
+  w.PutU32(static_cast<uint32_t>(body.size()));
+  w.PutRaw(body);
+  w.PutU32(util::Crc32(w.data()));
+  return w.Take();
+}
+
+class OutboxTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("outbox_" + std::to_string(::getpid()) + "_" +
+             std::to_string(
+                 ::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + std::to_string(reinterpret_cast<uintptr_t>(this))))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  Outbox::Options Opts() {
+    Outbox::Options options;
+    options.dir = dir_;
+    options.clock = &clock_;
+    return options;
+  }
+
+  std::vector<std::string> SegmentFiles() const {
+    std::vector<std::string> files;
+    if (!fs::exists(dir_)) return files;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+  }
+
+  Bytes ReadFile(const std::string& path) const {
+    std::ifstream in(path, std::ios::binary);
+    return Bytes((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+
+  void WriteFile(const std::string& path, const Bytes& content) const {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(content.data()),
+              static_cast<std::streamsize>(content.size()));
+  }
+
+  std::string dir_;
+  util::SimulatedClock clock_{1'000'000};
+};
+
+TEST_F(OutboxTest, EnqueuePeekAcknowledgeRoundTrip) {
+  auto outbox = Outbox::Open(Opts()).value();
+  for (size_t i = 0; i < 5; ++i) {
+    clock_.AdvanceMicros(1000);
+    ASSERT_TRUE(outbox->Enqueue(Record(i)).ok());
+  }
+  EXPECT_EQ(outbox->depth(), 5u);
+
+  std::vector<OutboxRecord> head = outbox->Peek(3);
+  ASSERT_EQ(head.size(), 3u);
+  for (size_t i = 0; i < head.size(); ++i) {
+    EXPECT_EQ(head[i].nonce, Record(i).nonce);
+    EXPECT_GT(head[i].enqueue_micros, 0);
+  }
+  ASSERT_TRUE(outbox->Acknowledge(3).ok());
+  EXPECT_EQ(outbox->depth(), 2u);
+  EXPECT_EQ(outbox->Peek(10)[0].nonce, Record(3).nonce);
+
+  // Over-acknowledging is an error, not silent corruption.
+  EXPECT_FALSE(outbox->Acknowledge(3).ok());
+  ASSERT_TRUE(outbox->Acknowledge(2).ok());
+  EXPECT_EQ(outbox->depth(), 0u);
+  // A fully drained outbox leaves no files: a restart replays nothing.
+  EXPECT_TRUE(SegmentFiles().empty());
+}
+
+TEST_F(OutboxTest, ReopenRecoversPendingRecords) {
+  {
+    auto outbox = Outbox::Open(Opts()).value();
+    for (size_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(outbox->Enqueue(Record(i)).ok());
+    }
+    ASSERT_TRUE(outbox->Acknowledge(1).ok());
+  }
+  auto outbox = Outbox::Open(Opts()).value();
+  // At-least-once: the partially drained segment replays all 4 records
+  // (the warehouse dedups the acked head); nothing committed is lost.
+  EXPECT_GE(outbox->depth(), 3u);
+  EXPECT_EQ(outbox->recovery_stats().torn_tails, 0u);
+  std::vector<OutboxRecord> all = outbox->Peek(10);
+  EXPECT_EQ(all.back().nonce, Record(3).nonce);
+}
+
+TEST_F(OutboxTest, TruncationAtEveryByteOffsetKeepsCommittedPrefix) {
+  constexpr size_t kRecords = 4;
+  std::vector<size_t> boundaries;
+  std::vector<Bytes> originals;  // stamped encodings, in queue order
+  {
+    auto outbox = Outbox::Open(Opts()).value();
+    for (size_t i = 0; i < kRecords; ++i) {
+      clock_.AdvanceMicros(1000);
+      ASSERT_TRUE(outbox->Enqueue(Record(i)).ok());
+      boundaries.push_back(
+          static_cast<size_t>(fs::file_size(SegmentFiles()[0])));
+    }
+    for (const OutboxRecord& record : outbox->Peek(kRecords)) {
+      originals.push_back(record.Encode());
+    }
+  }
+  ASSERT_EQ(SegmentFiles().size(), 1u);
+  const std::string path = SegmentFiles()[0];
+  const Bytes full = ReadFile(path);
+  ASSERT_EQ(full.size(), boundaries.back());
+
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    WriteFile(path, Bytes(full.begin(), full.begin() + cut));
+
+    size_t committed = 0;
+    while (committed < kRecords && boundaries[committed] <= cut) ++committed;
+
+    auto outbox = Outbox::Open(Opts()).value();
+    EXPECT_EQ(outbox->depth(), committed) << "cut=" << cut;
+    std::vector<OutboxRecord> recovered = outbox->Peek(kRecords);
+    for (size_t i = 0; i < recovered.size(); ++i) {
+      EXPECT_EQ(recovered[i].Encode(), originals[i]) << "cut=" << cut;
+    }
+    // The committed prefix includes the 4-byte magic header once it is
+    // wholly present (a partial header quarantines the file whole);
+    // anything past the last whole record is torn.
+    size_t valid_end =
+        committed == 0 ? (cut >= 4 ? 4 : 0) : boundaries[committed - 1];
+    EXPECT_EQ(outbox->recovery_stats().torn_tails, cut != valid_end ? 1u : 0u)
+        << "cut=" << cut;
+    EXPECT_EQ(outbox->recovery_stats().bytes_truncated, cut - valid_end)
+        << "cut=" << cut;
+
+    // The recovered outbox accepts new enqueues, and a clean reopen
+    // sees the committed prefix plus the new record.
+    ASSERT_TRUE(outbox->Enqueue(Record(90)).ok()) << "cut=" << cut;
+    outbox.reset();
+    auto reopened = Outbox::Open(Opts()).value();
+    EXPECT_EQ(reopened->depth(), committed + 1) << "cut=" << cut;
+    EXPECT_EQ(reopened->recovery_stats().torn_tails, 0u) << "cut=" << cut;
+    EXPECT_EQ(reopened->Peek(10).back().nonce, Record(90).nonce)
+        << "cut=" << cut;
+    reopened.reset();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    WriteFile(path, full);  // pristine log for the next cut
+  }
+}
+
+TEST_F(OutboxTest, SeededBitflipFuzzNeverCrashesOrInventsRecords) {
+  constexpr size_t kRecords = 4;
+  {
+    auto outbox = Outbox::Open(Opts()).value();
+    for (size_t i = 0; i < kRecords; ++i) {
+      clock_.AdvanceMicros(1000);
+      ASSERT_TRUE(outbox->Enqueue(Record(i)).ok());
+    }
+  }
+  const std::string path = SegmentFiles()[0];
+  const Bytes full = ReadFile(path);
+  std::vector<Bytes> originals;
+  {
+    auto outbox = Outbox::Open(Opts()).value();
+    for (const OutboxRecord& record : outbox->Peek(kRecords)) {
+      originals.push_back(record.Encode());
+    }
+  }
+
+  util::DeterministicRandom rng(0xf1a9);
+  for (size_t trial = 0; trial < 300; ++trial) {
+    Bytes mutated = full;
+    if (trial % 3 != 2) {
+      // Single bitflip anywhere in the file.
+      size_t at = rng.NextU64() % mutated.size();
+      mutated[at] ^= static_cast<uint8_t>(1u << (rng.NextU64() % 8));
+    } else {
+      // Splice 1..8 random bytes over a random window.
+      size_t at = rng.NextU64() % mutated.size();
+      size_t len = 1 + rng.NextU64() % 8;
+      for (size_t i = 0; i < len && at + i < mutated.size(); ++i) {
+        mutated[at + i] = static_cast<uint8_t>(rng.NextU64());
+      }
+    }
+    WriteFile(path, mutated);
+
+    auto opened = Outbox::Open(Opts());
+    ASSERT_TRUE(opened.ok()) << "trial=" << trial;
+    std::vector<OutboxRecord> recovered = opened.value()->Peek(kRecords + 1);
+    // Damage truncates: the survivors are a strict prefix of what was
+    // written — never a corrupted record decoded as OK, never an
+    // invented one.
+    ASSERT_LE(recovered.size(), kRecords) << "trial=" << trial;
+    for (size_t i = 0; i < recovered.size(); ++i) {
+      EXPECT_EQ(recovered[i].Encode(), originals[i]) << "trial=" << trial;
+    }
+    opened.value().reset();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    WriteFile(path, full);
+  }
+}
+
+TEST_F(OutboxTest, LengthBombIsRejectedWithoutAllocation) {
+  {
+    auto outbox = Outbox::Open(Opts()).value();
+    ASSERT_TRUE(outbox->Enqueue(Record(0)).ok());
+    ASSERT_TRUE(outbox->Enqueue(Record(1)).ok());
+  }
+  const std::string path = SegmentFiles()[0];
+  Bytes full = ReadFile(path);
+
+  // A frame whose length field claims ~2 GiB (over the 4 MiB record
+  // cap), with enough trailing bytes to look like a real tail.
+  Bytes bombed = full;
+  const uint8_t bomb[] = {0x7f, 0xff, 0xff, 0xff, 0x01, 0x02, 0x03, 0x04};
+  bombed.insert(bombed.end(), bomb, bomb + sizeof(bomb));
+  WriteFile(path, bombed);
+  {
+    auto outbox = Outbox::Open(Opts()).value();
+    EXPECT_EQ(outbox->depth(), 2u);
+    EXPECT_EQ(outbox->recovery_stats().torn_tails, 1u);
+    EXPECT_EQ(outbox->recovery_stats().bytes_truncated, sizeof(bomb));
+  }
+
+  // A CRC-valid frame whose body is not an OutboxRecord must also stop
+  // recovery — framing alone is not trust.
+  Bytes garbage_framed = full;
+  Bytes garbage_body = BytesFromString("not-an-outbox-record");
+  Bytes frame = Frame(garbage_body);
+  garbage_framed.insert(garbage_framed.end(), frame.begin(), frame.end());
+  WriteFile(path, garbage_framed);
+  {
+    auto outbox = Outbox::Open(Opts()).value();
+    EXPECT_EQ(outbox->depth(), 2u);
+    EXPECT_EQ(outbox->recovery_stats().torn_tails, 1u);
+  }
+
+  // A file that lost its magic header is quarantined whole.
+  Bytes headerless(full.begin() + 2, full.end());
+  WriteFile(path, headerless);
+  {
+    auto outbox = Outbox::Open(Opts()).value();
+    EXPECT_EQ(outbox->depth(), 0u);
+    EXPECT_EQ(outbox->recovery_stats().torn_tails, 1u);
+  }
+}
+
+TEST_F(OutboxTest, RotationBoundsSegmentsAndPreservesOrder) {
+  Outbox::Options options = Opts();
+  options.max_segment_bytes = 256;  // a few records per segment
+  auto outbox = Outbox::Open(options).value();
+  for (size_t i = 0; i < 12; ++i) {
+    clock_.AdvanceMicros(1000);
+    ASSERT_TRUE(outbox->Enqueue(Record(i)).ok());
+  }
+  EXPECT_GT(SegmentFiles().size(), 2u);
+
+  std::vector<OutboxRecord> all = outbox->Peek(12);
+  ASSERT_EQ(all.size(), 12u);
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].nonce, Record(i).nonce);
+  }
+  // Acking across a segment boundary deletes the consumed files.
+  size_t files_before = SegmentFiles().size();
+  ASSERT_TRUE(outbox->Acknowledge(7).ok());
+  EXPECT_LT(SegmentFiles().size(), files_before);
+  EXPECT_EQ(outbox->Peek(1)[0].nonce, Record(7).nonce);
+
+  // Age rotation: the active segment is sealed once its first record
+  // gets old enough, even if small.
+  Outbox::Options aged = Opts();
+  aged.max_segment_age_micros = 10'000;
+  fs::remove_all(dir_);
+  auto aged_box = Outbox::Open(aged).value();
+  ASSERT_TRUE(aged_box->Enqueue(Record(50)).ok());
+  clock_.AdvanceMicros(20'000);
+  ASSERT_TRUE(aged_box->Enqueue(Record(51)).ok());
+  EXPECT_EQ(SegmentFiles().size(), 2u);
+}
+
+TEST_F(OutboxTest, DiskFullRejectsRecordWithoutPoisoningLaterOnes) {
+  util::FaultInjector injector(7);
+  // The magic header is append #1, the first record's frame is #2; fail
+  // the second record's frame (#3).
+  injector.AddRule({.kind = util::FaultKind::kDiskFull,
+                    .pattern = "file.append/",
+                    .nth = 3,
+                    .code = util::StatusCode::kResourceExhausted,
+                    .message = "device storage exhausted"});
+  Outbox::Options options = Opts();
+  options.injector = &injector;
+  auto outbox = Outbox::Open(options).value();
+
+  ASSERT_TRUE(outbox->Enqueue(Record(0)).ok());
+  util::Status full = outbox->Enqueue(Record(1));
+  ASSERT_FALSE(full.ok());
+  EXPECT_EQ(full.code(), util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(outbox->depth(), 1u);
+  ASSERT_TRUE(outbox->Enqueue(Record(2)).ok());
+  EXPECT_EQ(outbox->depth(), 2u);
+
+  outbox.reset();
+  auto reopened = Outbox::Open(Opts()).value();
+  EXPECT_EQ(reopened->depth(), 2u);
+  std::vector<OutboxRecord> records = reopened->Peek(10);
+  EXPECT_EQ(records[0].nonce, Record(0).nonce);
+  EXPECT_EQ(records[1].nonce, Record(2).nonce);
+}
+
+TEST_F(OutboxTest, TornWriteSealsTheSegmentSoLaterRecordsSurvive) {
+  util::FaultInjector injector(7);
+  injector.AddRule({.kind = util::FaultKind::kTornWrite,
+                    .pattern = "file.append/",
+                    .nth = 3,
+                    .message = "power loss mid-append"});
+  Outbox::Options options = Opts();
+  options.injector = &injector;
+  auto outbox = Outbox::Open(options).value();
+
+  ASSERT_TRUE(outbox->Enqueue(Record(0)).ok());
+  ASSERT_FALSE(outbox->Enqueue(Record(1)).ok());  // half a frame on disk
+  // The record accepted after the tear must not land behind the torn
+  // bytes (recovery would drop it): the outbox rotates to a new file.
+  ASSERT_TRUE(outbox->Enqueue(Record(2)).ok());
+  EXPECT_EQ(SegmentFiles().size(), 2u);
+
+  outbox.reset();
+  auto reopened = Outbox::Open(Opts()).value();
+  EXPECT_EQ(reopened->depth(), 2u);
+  EXPECT_EQ(reopened->recovery_stats().torn_tails, 1u);
+  std::vector<OutboxRecord> records = reopened->Peek(10);
+  EXPECT_EQ(records[0].nonce, Record(0).nonce);
+  EXPECT_EQ(records[1].nonce, Record(2).nonce);
+}
+
+TEST_F(OutboxTest, MetricsTrackDepthAndDrainLatency) {
+  obs::Registry registry;
+  Outbox::Options options = Opts();
+  options.metrics = &registry;
+  auto outbox = Outbox::Open(options).value();
+  ASSERT_TRUE(outbox->Enqueue(Record(0)).ok());
+  ASSERT_TRUE(outbox->Enqueue(Record(1)).ok());
+
+  obs::RegistrySnapshot snap = registry.Snapshot();
+  ASSERT_NE(snap.gauge("outbox.depth"), nullptr);
+  EXPECT_EQ(*snap.gauge("outbox.depth"), 2);
+  EXPECT_EQ(*snap.counter("outbox.enqueued"), 2u);
+
+  clock_.AdvanceMicros(5'000);
+  ASSERT_TRUE(outbox->Acknowledge(1).ok());
+  snap = registry.Snapshot();
+  EXPECT_EQ(*snap.gauge("outbox.depth"), 1);
+  EXPECT_EQ(*snap.counter("outbox.drained"), 1u);
+  const obs::HistogramSnapshot* latency =
+      snap.histogram("outbox.drain_latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, 1u);
+  EXPECT_GE(latency->max, 5'000u);
+
+  // Destruction releases the remaining depth; a reopen re-adds what it
+  // recovers — the gauge stays an aggregate over live outboxes.
+  outbox.reset();
+  EXPECT_EQ(*registry.Snapshot().gauge("outbox.depth"), 0);
+  outbox = Outbox::Open(options).value();
+  EXPECT_GE(*registry.Snapshot().gauge("outbox.depth"), 1);
+}
+
+// --- Drain integration: the outbox feeding a real warehouse ---
+
+class OutboxDrainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (fs::temp_directory_path() /
+             ("outbox_drain_" + std::to_string(::getpid()) + "_" +
+              std::to_string(reinterpret_cast<uintptr_t>(this))))
+                .string();
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string root_;
+};
+
+TEST_F(OutboxDrainTest, CrashBeforeAckReplaysAndDedupAbsorbs) {
+  sim::UtilityScenario::Options options;
+  options.devices_per_class = 1;
+  auto scenario = sim::UtilityScenario::Create(options).value();
+  client::SmartDevice& device = scenario->devices()[0];
+  const std::string attr = sim::UtilityScenario::kElectricAttr;
+  const std::string dir = root_ + "/outbox";
+  const std::string snapshot = root_ + "/snapshot";
+
+  Outbox::Options obx;
+  obx.dir = dir;
+  obx.clock = &scenario->clock();
+  obx.metrics = scenario->metrics();
+  auto outbox = Outbox::Open(obx).value();
+  device.AttachOutbox(outbox.get());
+
+  for (size_t i = 0; i < 3; ++i) {
+    scenario->clock().AdvanceMicros(1'000'000);
+    auto nonce =
+        device.EnqueueReading(attr, BytesFromString("reading-" +
+                                                    std::to_string(i)));
+    ASSERT_TRUE(nonce.ok());
+  }
+  EXPECT_EQ(outbox->depth(), 3u);
+  fs::copy(dir, snapshot, fs::copy_options::recursive);
+
+  // First drain: everything is fresh (batches of 2 forces two calls).
+  auto drained = device.DrainOutbox(2);
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(drained.value().sent, 3u);
+  EXPECT_EQ(drained.value().fresh, 3u);
+  EXPECT_EQ(drained.value().deduplicated, 0u);
+  EXPECT_EQ(drained.value().remaining, 0u);
+  EXPECT_EQ(device.deposits_sent(), 3u);
+
+  // Crash between the warehouse ack and Acknowledge(): restore the
+  // pre-drain disk state and reopen.
+  outbox.reset();
+  fs::remove_all(dir);
+  fs::copy(snapshot, dir, fs::copy_options::recursive);
+  outbox = Outbox::Open(obx).value();
+  EXPECT_EQ(outbox->depth(), 3u);
+  device.AttachOutbox(outbox.get());
+
+  // Replay: the MWS absorbs all three; the send count must not move.
+  auto replayed = device.DrainOutbox(64);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value().fresh, 0u);
+  EXPECT_EQ(replayed.value().deduplicated, 3u);
+  EXPECT_EQ(device.deposits_sent(), 3u);
+  EXPECT_EQ(device.deposits_deduped(), 3u);
+  EXPECT_EQ(outbox->depth(), 0u);
+
+  // The warehouse holds exactly one copy of each reading.
+  auto messages =
+      scenario->mws().message_db().FindByAttribute(attr).value();
+  EXPECT_EQ(messages.size(), 3u);
+}
+
+TEST_F(OutboxDrainTest, SmallFleetUnderChurnDeliversExactlyOnce) {
+  sim::FleetSimulator::Options options;
+  options.scenario.devices_per_class = 2;
+  options.scenario.resilience.enable = true;
+  options.scenario.resilience.request_loss_rate = 0.05;
+  options.scenario.resilience.response_drop_rate = 0.05;
+  options.scenario.resilience.store_fault_rate = 0.03;
+  options.outbox_root = root_ + "/fleet";
+  options.rounds = 3;
+  options.readings_per_round = 2;
+  options.drain_batch = 3;
+  options.crash_mid_enqueue_rate = 0.3;
+  options.crash_before_ack_rate = 0.3;
+  options.disk_full_rate = 0.05;
+  options.max_segment_bytes = 512;  // force multi-segment queues
+
+  auto fleet = sim::FleetSimulator::Create(options).value();
+  auto report = fleet->Run().value();
+
+  EXPECT_EQ(report.devices, 6u);
+  EXPECT_GT(report.enqueued, 0u);
+  EXPECT_GT(report.crashes_mid_enqueue + report.crashes_before_ack, 0u);
+  EXPECT_EQ(report.lost, 0u);
+  EXPECT_EQ(report.duplicates, 0u);
+  EXPECT_EQ(report.unexpected, 0u);
+  EXPECT_EQ(report.final_depth, 0u);
+  EXPECT_EQ(report.recovery_depth_mismatches, 0u);
+  EXPECT_TRUE(report.ExactlyOnce());
+  EXPECT_EQ(report.warehoused, report.enqueued);
+  EXPECT_GT(report.latency_samples, 0u);
+  EXPECT_GT(report.latency_p99_us, 0.0);
+}
+
+}  // namespace
+}  // namespace mws::client

@@ -265,9 +265,9 @@ TEST(WireFuzzTest, DepositBatchRequestRejectsLengthBomb) {
 
 TEST(WireFuzzTest, DepositBatchResponse) {
   DepositBatchResponse m;
-  m.items.push_back({true, 41, {}});
+  m.items.push_back({true, 41, true, {}});
   m.items.push_back(
-      {false, 0,
+      {false, 0, false,
        EncodeWireError(util::Status::Unauthenticated("bad device MAC"))});
   FuzzDecoder(m, "DepositBatchResponse");
 }

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "src/util/random.h"
+#include "src/util/serde.h"
 #include "src/wire/auth.h"
 #include "src/wire/messages.h"
 #include "src/wire/transport.h"
@@ -43,6 +44,42 @@ TEST(WireMessagesTest, DepositRequestRoundTrip) {
   EXPECT_EQ(decoded->device_id, m.device_id);
   EXPECT_EQ(decoded->timestamp_micros, m.timestamp_micros);
   EXPECT_EQ(decoded->mac, m.mac);
+}
+
+TEST(WireMessagesTest, DepositBatchResponseCarriesDedupFlag) {
+  DepositBatchResponse m;
+  m.items.push_back({true, 41, false, {}});
+  m.items.push_back({true, 17, true, {}});  // a dedup-absorbed replay
+  m.items.push_back({false, 0, false, BytesFromString("err")});
+  auto decoded = DepositBatchResponse::Decode(m.Encode());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->items.size(), 3u);
+  EXPECT_FALSE(decoded->items[0].deduplicated);
+  EXPECT_TRUE(decoded->items[1].deduplicated);
+  EXPECT_EQ(decoded->items[1].message_id, 17u);
+}
+
+TEST(WireMessagesTest, DepositBatchResponseDecodesV1Payloads) {
+  // A v1 peer sends no per-item dedup flag; decode must accept the
+  // payload and default every ack to "fresh".
+  util::Writer w;
+  w.PutU8(1);   // version 1
+  w.PutU32(1);  // one item
+  w.PutU8(1);   // ok
+  w.PutU64(7);  // message id
+  w.PutBytes({});  // error
+  auto decoded = DepositBatchResponse::Decode(w.Take());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->items.size(), 1u);
+  EXPECT_TRUE(decoded->items[0].ok);
+  EXPECT_EQ(decoded->items[0].message_id, 7u);
+  EXPECT_FALSE(decoded->items[0].deduplicated);
+
+  // Unknown future versions are rejected, not misparsed.
+  util::Writer bad;
+  bad.PutU8(9);
+  bad.PutU32(0);
+  EXPECT_FALSE(DepositBatchResponse::Decode(bad.Take()).ok());
 }
 
 TEST(WireMessagesTest, AuthenticatedBytesExcludeMac) {

@@ -57,6 +57,7 @@ declare -A json_benches=(
   [bench_e15_resilience]=BENCH_e15.json
   [bench_e16_observability]=BENCH_e16.json
   [bench_e17_batching]=BENCH_e17.json
+  [bench_e18_fleet]=BENCH_e18.json
 )
 
 # Benches that understand --smoke themselves. The rest are plain
@@ -66,8 +67,8 @@ declare -A json_benches=(
 declare -A smoke_aware=(
   [bench_e7_ibe_primitives]=1 [bench_e8_scalability]=1
   [bench_e15_resilience]=1 [bench_e16_observability]=1
-  [bench_e17_batching]=1 [bench_fig2_key_retrieval]=1
-  [bench_fig3_components]=1
+  [bench_e17_batching]=1 [bench_e18_fleet]=1
+  [bench_fig2_key_retrieval]=1 [bench_fig3_components]=1
 )
 
 # Per-bench extra flags. E8 records its JSON only in concurrent-
