@@ -30,7 +30,7 @@ std::string BenchPath(const char* tag) {
 }
 
 std::unique_ptr<Table> MakeBackend(int64_t kind, const std::string& path) {
-  std::filesystem::remove(path);
+  KvStore::RemoveFiles(path);
   if (kind == 0) return std::move(KvStore::Open({.path = path}).value());
   return std::move(FlatFileStore::Open({.path = path}).value());
 }
@@ -64,7 +64,7 @@ void BM_StoreAppend(benchmark::State& state) {
   state.SetLabel(std::string(BackendName(state.range(0))) + ", preload " +
                  std::to_string(state.range(1)));
   backend.reset();
-  std::filesystem::remove(path);
+  KvStore::RemoveFiles(path);
 }
 BENCHMARK(BM_StoreAppend)
     ->Args({0, 0})
@@ -89,7 +89,7 @@ void BM_StoreLookup(benchmark::State& state) {
   state.SetLabel(std::string(BackendName(state.range(0))) + ", " +
                  std::to_string(state.range(1)) + " stored");
   backend.reset();
-  std::filesystem::remove(path);
+  KvStore::RemoveFiles(path);
 }
 BENCHMARK(BM_StoreLookup)->Args({0, 1000})->Args({1, 1000});
 
@@ -114,7 +114,7 @@ void BM_StoreRecovery(benchmark::State& state) {
   }
   state.SetLabel(std::string(BackendName(state.range(0))) + ", " +
                  std::to_string(state.range(1)) + " msgs");
-  std::filesystem::remove(path);
+  KvStore::RemoveFiles(path);
 }
 BENCHMARK(BM_StoreRecovery)->Args({0, 2000})->Args({1, 2000});
 
@@ -123,7 +123,7 @@ void BM_KvCompaction(benchmark::State& state) {
   std::string path = BenchPath("compact");
   for (auto _ : state) {
     state.PauseTiming();
-    std::filesystem::remove(path);
+    KvStore::RemoveFiles(path);
     auto store = KvStore::Open({.path = path}).value();
     // Half the records are overwrites (dead weight).
     for (int64_t i = 0; i < state.range(0); ++i) {
@@ -135,7 +135,7 @@ void BM_KvCompaction(benchmark::State& state) {
     benchmark::DoNotOptimize(store->Compact());
   }
   state.SetLabel(std::to_string(state.range(0)) + " log records");
-  std::filesystem::remove(path);
+  KvStore::RemoveFiles(path);
 }
 BENCHMARK(BM_KvCompaction)->Arg(2000);
 

@@ -1,0 +1,408 @@
+// E19 — sharded warehouse soak: one message stream pushed through the
+// consistent-hash router at 1/2/4/8 shards, with retention pruning and
+// WAL compaction running against live traffic, then crash-restart of
+// every shard to measure recovery cost.
+//
+// Two claims under test (DESIGN.md §14):
+//   1. Aggregate deposit capacity scales with the shard count. The
+//      harness is a single process on (possibly) a single core, so
+//      capacity is measured the way a sharded deployment realizes it:
+//      each deposit's measured service time is charged to the timeline
+//      of the shard that served it, and the fleet's makespan is the
+//      busiest shard's total — shards are independent nodes in the
+//      deployment this models, so wall-clock on N nodes is max, not
+//      sum. Gate (full mode): ≥3x aggregate throughput at 4 shards
+//      vs 1.
+//   2. Checkpoint compaction makes recovery O(live set), not O(full
+//      history). After the soak prunes 90% retention, a compacted
+//      shard must reopen ≥10x faster than the same workload replayed
+//      from an uncompacted WAL. Gate (full mode): ≥10x.
+//
+// Deposits are synthetic: random u/ciphertext under a real HMAC with a
+// registered device key. The warehouse is ciphertext-opaque — deposit
+// cost is MAC verify + dedup + store append, identical for garbage and
+// genuine IBE ciphertexts — so the soak exercises the full admission
+// path without paying a pairing per message. Retrieval sweeps run
+// against a real authenticated company session (tokens, sessions, and
+// the router's merge are all genuine); only decryption is skipped.
+//
+// `--smoke` shrinks the stream for ctest; `--json=PATH` records the
+// sweep (BENCH_e19.json).
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/crypto/hmac.h"
+#include "src/sim/sharded.h"
+#include "src/store/kvstore.h"
+#include "src/wire/messages.h"
+#include "src/wire/router.h"
+
+namespace {
+
+using mws::sim::ShardedWarehouse;
+using mws::util::Bytes;
+
+constexpr size_t kAttrCount = 256;  // deposit key space
+constexpr size_t kGrantCount = 32;  // subset the company retrieves
+constexpr char kDeviceId[] = "E19-SD";
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<std::string> MakeAttributes() {
+  std::vector<std::string> attrs;
+  attrs.reserve(kAttrCount);
+  for (size_t i = 0; i < kAttrCount; ++i) {
+    attrs.push_back("FEEDER-" + std::to_string(i));
+  }
+  return attrs;
+}
+
+/// Cheap deterministic byte stream for synthetic ciphertexts.
+struct XorShift {
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  uint64_t Next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+  Bytes Fill(size_t n) {
+    Bytes out(n);
+    for (size_t i = 0; i < n; i += 8) {
+      uint64_t v = Next();
+      std::memcpy(out.data() + i, &v, std::min<size_t>(8, n - i));
+    }
+    return out;
+  }
+};
+
+[[noreturn]] void Die(const std::string& what, const mws::util::Status& s) {
+  std::fprintf(stderr, "FATAL: %s: %s\n", what.c_str(),
+               std::string(s.message()).c_str());
+  std::exit(2);
+}
+
+struct SoakResult {
+  size_t shards = 0;
+  size_t messages = 0;
+  double deposit_wall_s = 0;    // full loop incl. client-side stamping
+  double makespan_s = 0;        // busiest shard's service-time total
+  double throughput_per_s = 0;  // messages / makespan
+  double p50_us = 0;
+  double p99_us = 0;
+  double retrieve_s = 0;
+  size_t retrieved = 0;
+  size_t pruned = 0;
+  size_t retained = 0;
+  double compact_s = 0;
+  double reopen_max_s = 0;  // slowest shard's recovery (per-node reopen)
+  size_t checkpoint_records = 0;
+  size_t replayed_records = 0;
+};
+
+/// One full soak at `shards` shards. With `compaction` false the store
+/// never checkpoints (threshold 0, no CompactAll) — the reopen number
+/// is then the full-history WAL replay this bench's compacted configs
+/// are measured against.
+SoakResult RunSoak(size_t shards, size_t messages, const std::string& base,
+                   bool compaction) {
+  ShardedWarehouse::Options options;
+  options.shard_count = shards;
+  options.store_path_base = base;
+  options.compact_threshold_bytes = compaction ? 32u * 1024 * 1024 : 0;
+  for (size_t s = 0; s < shards; ++s) {
+    mws::store::KvStore::RemoveFiles(base + ".s" + std::to_string(s));
+  }
+  auto created = ShardedWarehouse::Create(options);
+  if (!created.ok()) Die("create warehouse", created.status());
+  std::unique_ptr<ShardedWarehouse> warehouse = std::move(created.value());
+
+  const std::vector<std::string> attrs = MakeAttributes();
+  XorShift prng;
+  const Bytes mac_key = prng.Fill(32);
+  if (auto s = warehouse->RegisterDevice(kDeviceId, mac_key); !s.ok()) {
+    Die("register device", s);
+  }
+  std::vector<std::string> granted(attrs.begin(),
+                                   attrs.begin() + kGrantCount);
+  auto company = warehouse->MakeCompany("E19-RC", granted);
+  if (!company.ok()) Die("make company", company.status());
+  std::set<std::string> granted_set(granted.begin(), granted.end());
+
+  // Balance by construction: message i goes to shard i % N, cycling
+  // through that shard's attributes. Real deployments balance offered
+  // load across shards; a skewed-key experiment would vary this.
+  std::vector<std::vector<const std::string*>> shard_attrs(shards);
+  for (const std::string& attr : attrs) {
+    shard_attrs[warehouse->router().map().ShardFor(attr)].push_back(&attr);
+  }
+  for (size_t s = 0; s < shards; ++s) {
+    if (shard_attrs[s].empty()) {
+      Die("attribute space leaves shard " + std::to_string(s) + " empty",
+          mws::util::Status::Internal("rebalance kAttrCount"));
+    }
+  }
+
+  SoakResult result;
+  result.shards = shards;
+  result.messages = messages;
+
+  // --- Deposit soak ---
+  const int64_t stamp_micros = warehouse->clock().NowMicros();
+  std::vector<double> busy_us(shards, 0.0);
+  std::vector<uint32_t> latencies;
+  latencies.reserve(messages);
+  std::vector<size_t> round_robin(shards, 0);
+  size_t expected_retrieved = 0;
+  uint64_t max_id = 0;
+  const double wall0 = Now();
+  for (size_t i = 0; i < messages; ++i) {
+    const size_t shard = i % shards;
+    const std::string& attr =
+        *shard_attrs[shard][round_robin[shard]++ % shard_attrs[shard].size()];
+    if (granted_set.count(attr) != 0) ++expected_retrieved;
+
+    mws::wire::DepositRequest request;
+    request.u = prng.Fill(32);
+    request.ciphertext = prng.Fill(96);
+    request.attribute = attr;
+    request.nonce.resize(16);
+    const uint64_t seq = static_cast<uint64_t>(i);
+    std::memcpy(request.nonce.data(), &seq, sizeof(seq));
+    request.device_id = kDeviceId;
+    request.timestamp_micros = stamp_micros;
+    request.mac =
+        mws::crypto::HmacSha256(mac_key, request.AuthenticatedBytes());
+    const Bytes encoded = request.Encode();
+
+    const double t0 = Now();
+    auto raw = warehouse->client_transport()->Call("mws.deposit", encoded);
+    const double elapsed_us = (Now() - t0) * 1e6;
+    if (!raw.ok()) Die("deposit " + std::to_string(i), raw.status());
+    auto response = mws::wire::DepositResponse::Decode(raw.value());
+    if (!response.ok()) Die("deposit decode", response.status());
+    max_id = std::max(max_id, response.value().message_id);
+
+    busy_us[shard] += elapsed_us;
+    latencies.push_back(static_cast<uint32_t>(elapsed_us));
+  }
+  result.deposit_wall_s = Now() - wall0;
+  result.makespan_s = *std::max_element(busy_us.begin(), busy_us.end()) / 1e6;
+  result.throughput_per_s = static_cast<double>(messages) / result.makespan_s;
+  std::nth_element(latencies.begin(), latencies.begin() + latencies.size() / 2,
+                   latencies.end());
+  result.p50_us = latencies[latencies.size() / 2];
+  const size_t p99_index = latencies.size() * 99 / 100;
+  std::nth_element(latencies.begin(), latencies.begin() + p99_index,
+                   latencies.end());
+  result.p99_us = latencies[p99_index];
+  if (warehouse->TotalStored() != messages) {
+    Die("stored count", mws::util::Status::Internal(
+                            "expected " + std::to_string(messages) + " got " +
+                            std::to_string(warehouse->TotalStored())));
+  }
+
+  // --- Retrieve-chunk sweep (real session, merged across shards) ---
+  if (auto s = company.value()->Authenticate(); !s.ok()) Die("auth", s);
+  const double r0 = Now();
+  uint64_t after = 0;
+  for (;;) {
+    auto chunk = company.value()->RetrieveChunk(after, 0, 0, 2000);
+    if (!chunk.ok()) Die("retrieve_chunk", chunk.status());
+    result.retrieved += chunk.value().messages.size();
+    if (!chunk.value().has_more) break;
+    after = chunk.value().next_after_id;
+  }
+  result.retrieve_s = Now() - r0;
+  if (result.retrieved != expected_retrieved) {
+    Die("retrieve sweep",
+        mws::util::Status::Internal(
+            "expected " + std::to_string(expected_retrieved) + " got " +
+            std::to_string(result.retrieved)));
+  }
+
+  // --- Retention prune + compaction ---
+  auto pruned = warehouse->PruneThrough(max_id - max_id / 10);
+  if (!pruned.ok()) Die("prune", pruned.status());
+  result.pruned = pruned.value();
+  result.retained = warehouse->TotalStored();
+  const double c0 = Now();
+  if (compaction) {
+    if (auto dropped = warehouse->CompactAll(); !dropped.ok()) {
+      Die("compact", dropped.status());
+    }
+  }
+  result.compact_s = Now() - c0;
+
+  // --- Crash-restart every shard; recovery cost is the reopen path ---
+  for (size_t s = 0; s < shards; ++s) {
+    const double t0 = Now();
+    if (auto status = warehouse->RestartShard(s); !status.ok()) {
+      Die("restart shard " + std::to_string(s), status);
+    }
+    result.reopen_max_s = std::max(result.reopen_max_s, Now() - t0);
+    const auto& stats = warehouse->shard_store(s).recovery_stats();
+    result.checkpoint_records += stats.checkpoint_records;
+    result.replayed_records += stats.records_replayed;
+  }
+  if (warehouse->TotalStored() != result.retained) {
+    Die("post-restart stored count",
+        mws::util::Status::Internal("recovery lost or resurrected rows"));
+  }
+
+  warehouse.reset();
+  for (size_t s = 0; s < shards; ++s) {
+    mws::store::KvStore::RemoveFiles(base + ".s" + std::to_string(s));
+  }
+  return result;
+}
+
+int RunSweep(bool smoke, const std::string& json_path) {
+  const size_t messages = smoke ? 20'000 : 1'000'000;
+  std::vector<size_t> shard_counts = smoke ? std::vector<size_t>{1, 2}
+                                           : std::vector<size_t>{1, 2, 4, 8};
+  const std::string base =
+      (std::filesystem::temp_directory_path() /
+       ("bench_e19_" + std::to_string(::getpid())))
+          .string();
+
+  std::printf("%zu messages, %zu attributes (%zu granted), chunk 2000, "
+              "90%% retention prune\n\n",
+              messages, kAttrCount, kGrantCount);
+  std::printf("%7s %10s %12s %8s %8s %9s %9s %8s %10s %10s\n", "shards",
+              "wall_s", "msgs/s", "p50_us", "p99_us", "retr_s", "pruned",
+              "compact", "reopen_ms", "replayed");
+
+  std::vector<SoakResult> rows;
+  for (size_t shards : shard_counts) {
+    SoakResult row = RunSoak(shards, messages,
+                             base + ".n" + std::to_string(shards),
+                             /*compaction=*/true);
+    std::printf("%7zu %10.2f %12.0f %8.0f %8.0f %9.2f %9zu %8.2f %10.1f "
+                "%10zu\n",
+                row.shards, row.deposit_wall_s, row.throughput_per_s,
+                row.p50_us, row.p99_us, row.retrieve_s, row.pruned,
+                row.compact_s, row.reopen_max_s * 1000.0,
+                row.replayed_records);
+    rows.push_back(row);
+  }
+
+  // The no-compaction control: same 1-shard workload, recovery must
+  // replay the full WAL history (deposits AND prune tombstones).
+  SoakResult control =
+      RunSoak(1, messages, base + ".ctrl", /*compaction=*/false);
+  std::printf("%7s %10.2f %12.0f %8.0f %8.0f %9.2f %9zu %8.2f %10.1f "
+              "%10zu   (no compaction)\n",
+              "1*", control.deposit_wall_s, control.throughput_per_s,
+              control.p50_us, control.p99_us, control.retrieve_s,
+              control.pruned, control.compact_s,
+              control.reopen_max_s * 1000.0, control.replayed_records);
+
+  const SoakResult& one = rows.front();
+  const SoakResult& widest = rows.back();
+  const SoakResult* four = nullptr;
+  for (const SoakResult& row : rows) {
+    if (row.shards == 4) four = &row;
+  }
+  const double scale_ref_throughput =
+      (four != nullptr ? four : &widest)->throughput_per_s;
+  const double speedup = scale_ref_throughput / one.throughput_per_s;
+  const double reopen_speedup =
+      control.reopen_max_s > 0 ? control.reopen_max_s / one.reopen_max_s : 0;
+  std::printf("\naggregate speedup @%zu shards: %.2fx   "
+              "reopen speedup (compaction vs full replay): %.1fx\n",
+              (four != nullptr ? four : &widest)->shards, speedup,
+              reopen_speedup);
+
+  std::string out = "{\n";
+  out += "  \"experiment\": \"e19_shardscale\",\n";
+  out += "  \"messages\": " + std::to_string(messages) + ",\n";
+  out += "  \"attributes\": " + std::to_string(kAttrCount) + ",\n";
+  out += "  \"granted_attributes\": " + std::to_string(kGrantCount) + ",\n";
+  out += "  \"retention\": 0.1,\n";
+  out += "  \"throughput_model\": \"per-shard service-time attribution; "
+         "makespan = busiest shard\",\n";
+  out += "  \"results\": [\n";
+  char buf[512];
+  auto emit = [&](const SoakResult& r, const char* tag, bool last) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"config\": \"%s\", \"shards\": %zu, \"deposit_wall_s\": %.3f, "
+        "\"makespan_s\": %.3f, \"throughput_per_s\": %.0f, "
+        "\"p50_us\": %.0f, \"p99_us\": %.0f, \"retrieve_s\": %.3f, "
+        "\"retrieved\": %zu, \"pruned\": %zu, \"retained\": %zu, "
+        "\"compact_s\": %.3f, \"reopen_max_s\": %.4f, "
+        "\"checkpoint_records\": %zu, \"replayed_records\": %zu}%s\n",
+        tag, r.shards, r.deposit_wall_s, r.makespan_s, r.throughput_per_s,
+        r.p50_us, r.p99_us, r.retrieve_s, r.retrieved, r.pruned, r.retained,
+        r.compact_s, r.reopen_max_s, r.checkpoint_records,
+        r.replayed_records, last ? "" : ",");
+    out += buf;
+  };
+  for (size_t i = 0; i < rows.size(); ++i) {
+    emit(rows[i], "compacted", false);
+  }
+  emit(control, "no_compaction", true);
+  out += "  ],\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"aggregate_speedup\": %.2f,\n"
+                "  \"reopen_speedup\": %.1f\n}\n",
+                speedup, reopen_speedup);
+  out += buf;
+  if (json_path.empty()) {
+    std::printf("\n%s", out.c_str());
+  } else {
+    std::ofstream f(json_path);
+    f << out;
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  // Gates hold only at full scale: a smoke stream is too short for the
+  // fixed per-call overheads to amortize.
+  if (!smoke) {
+    if (four != nullptr && speedup < 3.0) {
+      std::printf("\nERROR: aggregate throughput at 4 shards is %.2fx the "
+                  "1-shard baseline (gate: >=3x)\n",
+                  speedup);
+      return 1;
+    }
+    if (reopen_speedup < 10.0) {
+      std::printf("\nERROR: compacted reopen is only %.1fx faster than full "
+                  "WAL replay (gate: >=10x)\n",
+                  reopen_speedup);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+  std::printf("=== E19: sharded warehouse soak (router + compaction) ===\n\n");
+  return RunSweep(smoke, json_path);
+}

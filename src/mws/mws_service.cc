@@ -106,6 +106,10 @@ util::Result<std::vector<store::PolicyRow>> MwsService::PolicyTable() const {
   return policy_db_.AllRows();
 }
 
+util::Result<size_t> MwsService::PruneMessagesThrough(uint64_t max_id) {
+  return message_db_.PruneThrough(max_id);
+}
+
 util::Result<wire::DepositResponse> MwsService::Deposit(
     const wire::DepositRequest& request) {
   obs::ScopedTimer timer(deposit_obs_.latency);

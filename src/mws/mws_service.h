@@ -98,6 +98,14 @@ class MwsService {
   /// The full identity–attribute–AID table (paper Table 1).
   util::Result<std::vector<store::PolicyRow>> PolicyTable() const;
 
+  /// Retention: drops every warehoused message with id <= `max_id`
+  /// (record, indexes, dedup marker). Administrative — a deployment
+  /// prunes consumed billing periods so the live set, and with it
+  /// compaction checkpoints and reopen time, stays bounded. Returns
+  /// messages removed. See store::MessageDb::PruneThrough for the
+  /// dedup-horizon caveat.
+  util::Result<size_t> PruneMessagesThrough(uint64_t max_id);
+
   // --- Protocol operations (Fig. 4 phases 1 and 2) ---
 
   /// SD–MWS phase: authenticate the device, verify integrity, store.

@@ -77,6 +77,16 @@ void Histogram::Record(uint64_t value) {
   }
 }
 
+void Histogram::Reset() {
+  for (size_t i = 0; i < kBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
 HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot snap;
   // Relaxed loads: a snapshot taken concurrently with Record may see a
@@ -177,6 +187,24 @@ RegistrySnapshot Registry::Snapshot() const {
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
     snap.histograms.emplace_back(name, h->Snapshot());
+  }
+  return snap;
+}
+
+RegistrySnapshot Registry::SnapshotAndReset() {
+  RegistrySnapshot snap;
+  std::shared_lock lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->Value());
+    c->Reset();
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->Value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->Snapshot());
+    h->Reset();
   }
   return snap;
 }

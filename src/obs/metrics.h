@@ -73,6 +73,14 @@ class Histogram {
   void Record(uint64_t value);
   HistogramSnapshot Snapshot() const;
 
+  /// Zeroes every bucket and the count/sum/min/max accumulators. Not
+  /// atomic with respect to concurrent Record: a racing sample may land
+  /// partially before and partially after the reset (same caveat as
+  /// Snapshot). Intended for quiesced phase boundaries — a bench sweep
+  /// that reuses one registry across points resets between them so each
+  /// point's distribution stands alone.
+  void Reset();
+
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
 
   /// Index of the bucket holding `value` (0 for 0, bit_width otherwise,
@@ -138,6 +146,15 @@ class Registry {
   Histogram* GetHistogram(const std::string& name, std::vector<Label> labels = {});
 
   RegistrySnapshot Snapshot() const;
+
+  /// Snapshot, then zero every counter and histogram (gauges keep their
+  /// level: they describe current state, not a rate over the interval).
+  /// The two steps are not one atomic cut — samples recorded during the
+  /// call may appear in both the returned snapshot and the next
+  /// interval, or in neither. Use at quiesced phase boundaries (bench
+  /// sweep points, simulator runs), where it turns one long-lived
+  /// registry into per-interval readings.
+  RegistrySnapshot SnapshotAndReset();
 
   /// Process-wide default instance (tools and ad-hoc callers; scenario
   /// code injects its own registry instead).

@@ -144,6 +144,14 @@ util::Status FleetSimulator::Restart(size_t device_index,
 
 util::Result<FleetSimulator::Report> FleetSimulator::Run() {
   Report report;
+  // The drain-latency histogram lives in the scenario registry, which
+  // outlives this Run. Reset it up front so the report's percentiles
+  // describe THIS run only — a sweep that reuses one scenario across
+  // points (bench_e18) otherwise reads a distribution polluted by every
+  // earlier point.
+  if (obs::Registry* metrics = scenario_->metrics()) {
+    metrics->GetHistogram("outbox.drain_latency_us")->Reset();
+  }
   std::vector<client::SmartDevice>& devices = scenario_->devices();
   WorkloadGenerator& workload = scenario_->workload();
   util::SimulatedClock& clock = scenario_->clock();

@@ -1,0 +1,222 @@
+#include "src/sim/sharded.h"
+
+#include <utility>
+
+#include "src/crypto/rsa.h"
+#include "src/wire/auth.h"
+
+namespace mws::sim {
+
+ShardedWarehouse::ShardedWarehouse(const Options& options)
+    : options_(options),
+      clock_(/*start_micros=*/1'267'401'600'000'000),  // 2010-03-01
+      rng_(options.seed),
+      pkg_rng_(options.seed + 1000) {}
+
+ShardedWarehouse::~ShardedWarehouse() = default;
+
+std::string ShardedWarehouse::ShardPath(size_t i) const {
+  if (options_.store_path_base.empty()) return "";
+  return options_.store_path_base + ".s" + std::to_string(i);
+}
+
+util::Status ShardedWarehouse::OpenShard(size_t i) {
+  Shard& shard = *shards_[i];
+  auto store = store::KvStore::Open(
+      {.path = ShardPath(i),
+       .metrics = metrics(),
+       .compact_threshold_bytes = options_.compact_threshold_bytes});
+  if (!store.ok()) return store.status();
+  shard.store = std::move(store.value());
+
+  mws::MwsOptions mws_options;
+  mws_options.cipher = options_.cipher;
+  mws_options.metrics = metrics();
+  shard.mws = std::make_unique<mws::MwsService>(
+      shard.store.get(), mws_pkg_key_, &clock_, shard.service_rng.get(),
+      mws_options);
+  // Register* overwrites previous handlers, so a restarted shard takes
+  // over its old transport in place — the router's pointers stay valid.
+  shard.mws->RegisterEndpoints(&shard.transport);
+  return util::Status::Ok();
+}
+
+util::Result<std::unique_ptr<ShardedWarehouse>> ShardedWarehouse::Create(
+    const Options& options) {
+  if (options.shard_count == 0) {
+    return util::Status::InvalidArgument("shard_count must be >= 1");
+  }
+  auto warehouse =
+      std::unique_ptr<ShardedWarehouse>(new ShardedWarehouse(options));
+  // One client-rng draw, independent of the shard count.
+  warehouse->mws_pkg_key_ = warehouse->rng_.Generate(32);
+
+  for (size_t i = 0; i < options.shard_count; ++i) {
+    warehouse->shards_.push_back(std::make_unique<Shard>());
+    Shard& shard = *warehouse->shards_.back();
+    // Service-side randomness is per shard and disjoint from the client
+    // rng: client draw order (and so ciphertexts) never depends on the
+    // shard count or on service-side activity.
+    shard.service_rng =
+        std::make_unique<util::DeterministicRandom>(options.seed + 101 + i);
+    MWS_RETURN_IF_ERROR(warehouse->OpenShard(i));
+
+    shard.gate = std::make_unique<GateTransport>(&shard.transport);
+    shard.top = shard.gate.get();
+    shard.injector =
+        std::make_unique<util::FaultInjector>(options.fault_seed + i);
+    if (options.resilience) {
+      shard.faulty = std::make_unique<wire::FaultyTransport>(
+          shard.top, shard.injector.get());
+      wire::RetryOptions retry_options = options.retry;
+      retry_options.metrics = warehouse->metrics();
+      shard.retrying = std::make_unique<wire::RetryingTransport>(
+          shard.faulty.get(), &warehouse->clock_, retry_options);
+      util::SimulatedClock* clock = &warehouse->clock_;
+      shard.retrying->set_sleep_fn(
+          [clock](int64_t micros) { clock->AdvanceMicros(micros); });
+      shard.top = shard.retrying.get();
+    }
+  }
+
+  pkg::PkgOptions pkg_options;
+  pkg_options.cipher = options.cipher;
+  pkg_options.metrics = warehouse->metrics();
+  warehouse->pkg_ = std::make_unique<pkg::PkgService>(
+      math::GetParams(options.preset), warehouse->mws_pkg_key_,
+      &warehouse->clock_, &warehouse->pkg_rng_, pkg_options);
+  warehouse->pkg_->RegisterEndpoints(&warehouse->control_transport_);
+
+  std::vector<wire::Transport*> children;
+  children.reserve(options.shard_count);
+  for (auto& shard : warehouse->shards_) children.push_back(shard->top);
+  wire::ShardRouterOptions router_options;
+  router_options.control = &warehouse->control_transport_;
+  router_options.metrics = warehouse->metrics();
+  warehouse->router_ = std::make_unique<wire::ShardRouter>(
+      wire::ShardMap(options.shard_count, options.map_version),
+      std::move(children), router_options);
+  return warehouse;
+}
+
+util::Status ShardedWarehouse::RegisterDevice(const std::string& device_id,
+                                              const util::Bytes& mac_key) {
+  for (auto& shard : shards_) {
+    MWS_RETURN_IF_ERROR(shard->mws->RegisterDevice(device_id, mac_key));
+  }
+  return util::Status::Ok();
+}
+
+util::Result<client::SmartDevice*> ShardedWarehouse::MakeDevice(
+    const std::string& device_id) {
+  util::Bytes mac_key = rng_.Generate(32);
+  for (auto& shard : shards_) {
+    MWS_RETURN_IF_ERROR(shard->mws->RegisterDevice(device_id, mac_key));
+  }
+  devices_.emplace_back(device_id, mac_key, params(), options_.dem,
+                        router_.get(), &clock_, &rng_);
+  return &devices_.back();
+}
+
+util::Status ShardedWarehouse::GrantAttribute(const std::string& company,
+                                              const std::string& attribute) {
+  // Every shard must hand out the same AID for (company, attribute) —
+  // the router's merged retrieval returns one shard's token for all
+  // shards' messages, so a divergent AID table would decrypt under the
+  // wrong attribute. Replicating grants in call order guarantees
+  // agreement; verify anyway so future drift fails loudly here, not as
+  // garbage plaintext.
+  uint64_t first_aid = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    auto aid = shards_[i]->mws->GrantAttribute(company, attribute);
+    if (!aid.ok()) return aid.status();
+    if (i == 0) {
+      first_aid = aid.value();
+    } else if (aid.value() != first_aid) {
+      return util::Status::Internal(
+          "AID tables diverged across shards (control plane not "
+          "replicated in order)");
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Result<client::ReceivingClient*> ShardedWarehouse::MakeCompany(
+    const std::string& name, const std::vector<std::string>& attributes) {
+  std::string password = "pw-" + name;
+  auto keys = crypto::RsaGenerateKeyPair(options_.rsa_bits, rng_);
+  if (!keys.ok()) return keys.status();
+  util::Bytes password_hash = wire::HashPassword(password);
+  util::Bytes public_key =
+      crypto::SerializeRsaPublicKey(keys.value().public_key);
+  for (auto& shard : shards_) {
+    MWS_RETURN_IF_ERROR(
+        shard->mws->RegisterReceivingClient(name, password_hash, public_key));
+  }
+  for (const std::string& attribute : attributes) {
+    MWS_RETURN_IF_ERROR(GrantAttribute(name, attribute));
+  }
+  auto client = std::make_unique<client::ReceivingClient>(
+      name, password, std::move(keys.value()), params(), options_.cipher,
+      options_.dem, router_.get(), &clock_, &rng_);
+  client::ReceivingClient* raw = client.get();
+  companies_[name] = std::move(client);
+  return raw;
+}
+
+util::Status ShardedWarehouse::RestartShard(size_t i) {
+  if (options_.store_path_base.empty()) {
+    return util::Status::FailedPrecondition(
+        "RestartShard requires persistent stores (set store_path_base)");
+  }
+  // Destruction order mirrors a process crash: the service (and its
+  // in-memory gatekeeper sessions) dies first, then the store closes.
+  shards_[i]->mws.reset();
+  shards_[i]->store.reset();
+  return OpenShard(i);
+}
+
+void ShardedWarehouse::SetShardDown(size_t i, bool down) {
+  shards_[i]->gate->set_down(down);
+}
+
+util::Result<size_t> ShardedWarehouse::PruneThrough(uint64_t router_max_id) {
+  size_t pruned = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    uint64_t local_max =
+        wire::ShardRouter::LocalAfter(router_max_id, i, shards_.size());
+    if (local_max == 0) continue;
+    auto removed = shards_[i]->mws->PruneMessagesThrough(local_max);
+    if (!removed.ok()) return removed.status();
+    pruned += removed.value();
+  }
+  return pruned;
+}
+
+util::Result<size_t> ShardedWarehouse::CompactAll() {
+  size_t dropped = 0;
+  for (auto& shard : shards_) {
+    auto result = shard->store->Compact();
+    if (!result.ok()) return result.status();
+    dropped += result.value();
+  }
+  return dropped;
+}
+
+size_t ShardedWarehouse::TotalStored() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->mws->message_db().Count();
+  }
+  return total;
+}
+
+uint64_t ShardedWarehouse::TotalDedupHits() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->mws->message_db().dedup_hits();
+  }
+  return total;
+}
+
+}  // namespace mws::sim

@@ -1,0 +1,215 @@
+#ifndef MWSIBE_SIM_SHARDED_H_
+#define MWSIBE_SIM_SHARDED_H_
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/client/receiving_client.h"
+#include "src/client/smart_device.h"
+#include "src/math/params.h"
+#include "src/mws/mws_service.h"
+#include "src/obs/metrics.h"
+#include "src/pkg/pkg_service.h"
+#include "src/store/kvstore.h"
+#include "src/util/clock.h"
+#include "src/util/fault.h"
+#include "src/util/random.h"
+#include "src/wire/faulty_transport.h"
+#include "src/wire/retry.h"
+#include "src/wire/router.h"
+#include "src/wire/transport.h"
+
+namespace mws::sim {
+
+/// A kill switch in a transport chain: while down, every call returns
+/// kUnavailable without reaching the inner transport — the router-level
+/// view of a crashed shard process. Thread-safe.
+class GateTransport : public wire::Transport {
+ public:
+  explicit GateTransport(wire::Transport* inner) : inner_(inner) {}
+
+  void set_down(bool down) {
+    down_.store(down, std::memory_order_relaxed);
+  }
+  bool down() const { return down_.load(std::memory_order_relaxed); }
+
+  util::Result<util::Bytes> Call(const std::string& endpoint,
+                                 const util::Bytes& request) override {
+    if (down()) return util::Status::Unavailable("shard is down");
+    return inner_->Call(endpoint, request);
+  }
+
+ private:
+  wire::Transport* inner_;
+  std::atomic<bool> down_{false};
+};
+
+/// A multi-node warehouse fixture: N independent MWS shards (each its
+/// own KvStore + MwsService on its own in-process transport), one
+/// shared PKG on a control transport, and a wire::ShardRouter in front
+/// presenting the fleet as one warehouse. Clients (smart devices,
+/// receiving clients) are built on top of the router and never know the
+/// shard count.
+///
+/// The control plane is REPLICATED: RegisterDevice / MakeCompany /
+/// GrantAttribute apply the same administrative operation to every
+/// shard in the same order, which keeps the per-(RC, attribute) AID
+/// tables identical across shards — the property the router's
+/// single-token retrieval merge relies on. Per-shard service rngs are
+/// seeded independently of the shared client rng, so client-side draws
+/// (and therefore ciphertexts) do not depend on the shard count: a
+/// 1-shard and an N-shard run of the same client script are directly
+/// comparable.
+///
+/// Per-shard plumbing, bottom to top:
+///   InProcessTransport -> GateTransport [-> FaultyTransport
+///   -> RetryingTransport] -> router child
+/// The gate simulates a dead shard (SetShardDown); the optional
+/// fault/retry pair (Options::resilience) injects per-shard transport
+/// faults and absorbs them below the router, so a transient fault on
+/// one shard is retried against that shard alone.
+class ShardedWarehouse {
+ public:
+  struct Options {
+    size_t shard_count = 1;
+    /// Shard-map version (participates in ring placement).
+    uint32_t map_version = 1;
+    math::ParamPreset preset = math::ParamPreset::kSmall;
+    crypto::CipherKind cipher = crypto::CipherKind::kDes;
+    crypto::CipherKind dem = crypto::CipherKind::kDes;
+    uint64_t seed = 2010;
+    size_t rsa_bits = 768;
+    /// Base path for the per-shard stores (shard i persists at
+    /// "<base>.s<i>"). Empty = in-memory stores; RestartShard then
+    /// loses warehoused state and is refused.
+    std::string store_path_base;
+    /// Per-shard KvStore auto-compaction threshold (0 = manual).
+    size_t compact_threshold_bytes = 0;
+    bool metrics = true;
+    /// Wire FaultyTransport + RetryingTransport under the router.
+    bool resilience = false;
+    wire::RetryOptions retry;
+    uint64_t fault_seed = 4242;
+  };
+
+  static util::Result<std::unique_ptr<ShardedWarehouse>> Create(
+      const Options& options);
+
+  ~ShardedWarehouse();
+
+  // --- Replicated control plane ---
+
+  /// Registers the device on every shard and returns a client bound to
+  /// the router. The returned reference lives as long as the warehouse.
+  util::Result<client::SmartDevice*> MakeDevice(const std::string& device_id);
+
+  /// Registers a device MAC key on every shard WITHOUT constructing a
+  /// SmartDevice — for harnesses (the E19 soak bench) that stamp their
+  /// own synthetic DepositRequests and only need the warehouse side to
+  /// accept them.
+  util::Status RegisterDevice(const std::string& device_id,
+                              const util::Bytes& mac_key);
+
+  /// Registers the company (password + fresh RSA keypair) on every
+  /// shard, grants it every attribute in `attributes` on every shard,
+  /// and returns a receiving client bound to the router.
+  util::Result<client::ReceivingClient*> MakeCompany(
+      const std::string& name, const std::vector<std::string>& attributes);
+
+  /// Grants one more attribute to an already-created company, on every
+  /// shard.
+  util::Status GrantAttribute(const std::string& company,
+                              const std::string& attribute);
+
+  // --- Fleet operations ---
+
+  /// Simulated crash-restart of shard `i`: the MwsService and KvStore
+  /// are destroyed (in-memory gatekeeper sessions die with them) and
+  /// rebuilt from the shard's files — WAL + checkpoint recovery on the
+  /// live fleet. Endpoints re-register on the same transport object, so
+  /// the router keeps working without rewiring. Requires persistent
+  /// stores.
+  util::Status RestartShard(size_t i);
+
+  /// Marks shard `i` dead/alive at the transport gate.
+  void SetShardDown(size_t i, bool down);
+
+  /// Retention sweep: prunes messages with router id <= `router_max_id`
+  /// on every shard (each shard prunes through its decomposed local
+  /// id). Returns total messages removed.
+  util::Result<size_t> PruneThrough(uint64_t router_max_id);
+
+  /// Forces a checkpoint on every shard's store (persistent stores
+  /// only). Returns total dropped WAL records.
+  util::Result<size_t> CompactAll();
+
+  // --- Audit / accessors ---
+
+  /// Messages currently warehoused across the fleet.
+  size_t TotalStored() const;
+  /// Retransmissions absorbed by dedup across the fleet.
+  uint64_t TotalDedupHits() const;
+
+  wire::ShardRouter& router() { return *router_; }
+  /// The transport clients were built on (the router).
+  wire::Transport* client_transport() { return router_.get(); }
+  size_t shard_count() const { return shards_.size(); }
+  mws::MwsService& shard_mws(size_t i) { return *shards_[i]->mws; }
+  store::KvStore& shard_store(size_t i) { return *shards_[i]->store; }
+  wire::InProcessTransport& shard_transport(size_t i) {
+    return shards_[i]->transport;
+  }
+  util::FaultInjector* shard_injector(size_t i) {
+    return shards_[i]->injector.get();
+  }
+  pkg::PkgService& pkg() { return *pkg_; }
+  const ibe::SystemParams& params() const { return pkg_->PublicParams(); }
+  util::SimulatedClock& clock() { return clock_; }
+  util::RandomSource& rng() { return rng_; }
+  obs::Registry* metrics() { return options_.metrics ? &metrics_ : nullptr; }
+  const Options& options() const { return options_; }
+  /// Shard i's store path ("" when in-memory).
+  std::string ShardPath(size_t i) const;
+
+ private:
+  struct Shard {
+    wire::InProcessTransport transport;
+    std::unique_ptr<util::DeterministicRandom> service_rng;
+    std::unique_ptr<store::KvStore> store;
+    std::unique_ptr<mws::MwsService> mws;
+    std::unique_ptr<GateTransport> gate;
+    std::unique_ptr<util::FaultInjector> injector;
+    std::unique_ptr<wire::FaultyTransport> faulty;
+    std::unique_ptr<wire::RetryingTransport> retrying;
+    /// Top of the chain, what the router calls.
+    wire::Transport* top = nullptr;
+  };
+
+  explicit ShardedWarehouse(const Options& options);
+
+  /// (Re)opens shard i's store and service and registers endpoints on
+  /// the shard transport.
+  util::Status OpenShard(size_t i);
+
+  Options options_;
+  util::SimulatedClock clock_;
+  util::DeterministicRandom rng_;       // client-side draws
+  util::DeterministicRandom pkg_rng_;   // PKG draws
+  obs::Registry metrics_;
+  util::Bytes mws_pkg_key_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  wire::InProcessTransport control_transport_;
+  std::unique_ptr<pkg::PkgService> pkg_;
+  std::unique_ptr<wire::ShardRouter> router_;
+  /// Stable storage for clients handed out by the factories.
+  std::deque<client::SmartDevice> devices_;
+  std::map<std::string, std::unique_ptr<client::ReceivingClient>> companies_;
+};
+
+}  // namespace mws::sim
+
+#endif  // MWSIBE_SIM_SHARDED_H_

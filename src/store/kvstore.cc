@@ -5,27 +5,12 @@
 #include <filesystem>
 #include <vector>
 
+#include "src/store/snapshot.h"
 #include "src/util/serde.h"
 
 namespace mws::store {
 
 namespace {
-
-constexpr uint8_t kRecordPut = 1;
-constexpr uint8_t kRecordDelete = 2;
-
-util::Bytes EncodeRecord(uint8_t type, const std::string& key,
-                         const util::Bytes& value) {
-  util::Writer w;
-  w.PutU8(type);
-  w.PutU32(static_cast<uint32_t>(key.size()));
-  w.PutU32(static_cast<uint32_t>(value.size()));
-  w.PutRaw(util::BytesFromString(key));
-  w.PutRaw(value);
-  uint32_t crc = util::Crc32(w.data());
-  w.PutU32(crc);
-  return w.Take();
-}
 
 bool HasPrefix(const std::string& key, const std::string& prefix) {
   return key.compare(0, prefix.size(), prefix) == 0;
@@ -47,6 +32,15 @@ class AllShardsSharedLock {
 
 }  // namespace
 
+void KvStore::RemoveFiles(const std::string& path) {
+  if (path.empty()) return;
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  std::filesystem::remove(CheckpointPath(path), ec);
+  std::filesystem::remove(CheckpointPath(path) + ".tmp", ec);
+  std::filesystem::remove(path + ".compact", ec);  // pre-checkpoint scratch
+}
+
 util::Result<std::unique_ptr<KvStore>> KvStore::Open(const Options& options) {
   auto store = std::unique_ptr<KvStore>(new KvStore(options));
   if (options.metrics != nullptr) {
@@ -54,6 +48,10 @@ util::Result<std::unique_ptr<KvStore>> KvStore::Open(const Options& options) {
     store->wal_bytes_counter_ = options.metrics->GetCounter("store.wal_bytes");
     store->contention_counter_ =
         options.metrics->GetCounter("store.shard_contention");
+    store->compactions_counter_ =
+        options.metrics->GetCounter("store.compactions");
+    store->compaction_failures_counter_ =
+        options.metrics->GetCounter("store.compaction_failures");
   }
   if (store->persistent()) {
     MWS_RETURN_IF_ERROR(store->Recover());
@@ -70,6 +68,8 @@ util::Result<std::unique_ptr<KvStore>> KvStore::Open(const Options& options) {
           ->Set(static_cast<int64_t>(store->recovery_.bytes_truncated));
       options.metrics->GetGauge("store.recovery.torn_tail")
           ->Set(store->recovery_.torn_tail ? 1 : 0);
+      options.metrics->GetGauge("store.recovery.checkpoint_records")
+          ->Set(static_cast<int64_t>(store->recovery_.checkpoint_records));
     }
   }
   return store;
@@ -80,61 +80,72 @@ KvStore::~KvStore() {
 }
 
 util::Status KvStore::Recover() {
-  std::ifstream in(options_.path, std::ios::binary);
-  if (!in) return util::Status::Ok();  // fresh store
+  std::error_code ec;
+  // A scratch checkpoint is an interrupted compaction's partial write:
+  // it was never renamed into place, so it holds nothing durable.
+  std::filesystem::remove(CheckpointPath(options_.path) + ".tmp", ec);
+  std::filesystem::remove(options_.path + ".compact", ec);
 
+  // 1. Checkpoint base image (if one exists). A corrupt checkpoint is an
+  // unrecoverable defect — the WAL tail alone is not the full history —
+  // so it surfaces as a failed Open instead of silent data loss.
+  auto ckpt = ReadCheckpointFile(CheckpointPath(options_.path));
+  if (ckpt.ok()) {
+    for (const KvRecord& record : ckpt.value().records) {
+      if (record.type == kKvRecordPut) {
+        ShardFor(record.key).map[record.key] = record.value;
+      } else {
+        ShardFor(record.key).map.erase(record.key);
+      }
+    }
+    recovery_.checkpoint_records = ckpt.value().records.size();
+    recovery_.checkpoint_bytes = ckpt.value().bytes;
+    log_records_.store(recovery_.checkpoint_records,
+                       std::memory_order_relaxed);
+  } else if (ckpt.status().code() != util::StatusCode::kNotFound) {
+    return ckpt.status();
+  }
+
+  // 2. WAL tail replay with torn-tail truncation.
+  std::ifstream in(options_.path, std::ios::binary);
+  if (!in) {
+    // Fresh WAL (possibly atop a checkpoint: a crash exactly between
+    // compaction's rename and its truncating reopen leaves no WAL file
+    // only if one never existed — truncation keeps the inode).
+    recovery_.records_replayed = recovery_.checkpoint_records;
+    return util::Status::Ok();
+  }
   util::Bytes content((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
-  size_t pos = 0;
-  size_t valid_end = 0;
-  bool torn = false;
-  while (pos < content.size()) {
-    // Header: type(1) klen(4) vlen(4).
-    if (content.size() - pos < 9) {
-      torn = true;
-      break;
-    }
-    uint8_t type = content[pos];
-    auto read_u32 = [&](size_t at) {
-      return (static_cast<uint32_t>(content[at]) << 24) |
-             (static_cast<uint32_t>(content[at + 1]) << 16) |
-             (static_cast<uint32_t>(content[at + 2]) << 8) | content[at + 3];
-    };
-    uint32_t klen = read_u32(pos + 1);
-    uint32_t vlen = read_u32(pos + 5);
-    size_t body = static_cast<size_t>(klen) + vlen;
-    if (content.size() - pos < 9 + body + 4) {
-      torn = true;
-      break;
-    }
-    uint32_t stored_crc = read_u32(pos + 9 + body);
-    uint32_t actual_crc = util::Crc32(content.data() + pos, 9 + body);
-    if (stored_crc != actual_crc ||
-        (type != kRecordPut && type != kRecordDelete)) {
-      torn = true;
-      break;
-    }
-    std::string key(reinterpret_cast<const char*>(content.data() + pos + 9),
-                    klen);
-    if (type == kRecordPut) {
-      ShardFor(key).map[key] = util::Bytes(content.begin() + pos + 9 + klen,
-                                           content.begin() + pos + 9 + body);
-    } else {
-      ShardFor(key).map.erase(key);
-    }
-    log_records_.fetch_add(1, std::memory_order_relaxed);
-    pos += 9 + body + 4;
-    valid_end = pos;
-  }
   in.close();
-  recovery_.records_replayed = log_records_.load(std::memory_order_relaxed);
+  bool torn = false;
+  size_t wal_records = 0;
+  size_t valid_end = ScanKvRecords(
+      content, 0, &torn,
+      [&](uint8_t type, std::string_view key, const uint8_t* value,
+          size_t value_len) {
+        if (type == kKvRecordFooter) {
+          // Footers belong to checkpoint files only; a CRC-valid one in
+          // a WAL can only come from splicing. Skip it without applying.
+          return;
+        }
+        std::string k(key);
+        if (type == kKvRecordPut) {
+          ShardFor(k).map[k] = util::Bytes(value, value + value_len);
+        } else {
+          ShardFor(k).map.erase(k);
+        }
+        ++wal_records;
+      });
+  log_records_.fetch_add(wal_records, std::memory_order_relaxed);
+  recovery_.records_replayed = recovery_.checkpoint_records + wal_records;
   recovery_.bytes_replayed = valid_end;
   recovery_.torn_tail = torn;
   recovery_.bytes_truncated = content.size() - valid_end;
+  wal_bytes_.store(valid_end, std::memory_order_relaxed);
   if (torn) {
     // Drop the torn tail so future appends produce a clean log; every
     // fully-committed record before it has already been replayed.
-    std::error_code ec;
     std::filesystem::resize_file(options_.path, valid_end, ec);
     if (ec) {
       return util::Status::IoError("cannot truncate torn WAL tail: " +
@@ -150,12 +161,13 @@ util::Status KvStore::AppendRecord(uint8_t type, const std::string& key,
     log_records_.fetch_add(1, std::memory_order_relaxed);
     return util::Status::Ok();
   }
-  util::Bytes record = EncodeRecord(type, key, value);
+  util::Bytes record = EncodeKvRecord(type, key, value);
   std::lock_guard<std::mutex> log_lock(log_mutex_);
   log_.write(reinterpret_cast<const char*>(record.data()),
              static_cast<std::streamsize>(record.size()));
   if (!log_) return util::Status::IoError("log append failed");
   log_records_.fetch_add(1, std::memory_order_relaxed);
+  wal_bytes_.fetch_add(record.size(), std::memory_order_relaxed);
   if (wal_appends_counter_ != nullptr) {
     wal_appends_counter_->Increment();
     wal_bytes_counter_->Increment(record.size());
@@ -164,16 +176,19 @@ util::Status KvStore::AppendRecord(uint8_t type, const std::string& key,
 }
 
 util::Status KvStore::Put(const std::string& key, const util::Bytes& value) {
-  Shard& shard = ShardFor(key);
-  // try_lock first so stripe contention is observable: a failed
-  // non-blocking acquire means another writer holds this shard.
-  std::unique_lock<std::shared_mutex> lock(shard.mutex, std::try_to_lock);
-  if (!lock.owns_lock()) {
-    if (contention_counter_ != nullptr) contention_counter_->Increment();
-    lock.lock();
+  {
+    Shard& shard = ShardFor(key);
+    // try_lock first so stripe contention is observable: a failed
+    // non-blocking acquire means another writer holds this shard.
+    std::unique_lock<std::shared_mutex> lock(shard.mutex, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      if (contention_counter_ != nullptr) contention_counter_->Increment();
+      lock.lock();
+    }
+    MWS_RETURN_IF_ERROR(AppendRecord(kKvRecordPut, key, value));
+    shard.map[key] = value;
   }
-  MWS_RETURN_IF_ERROR(AppendRecord(kRecordPut, key, value));
-  shard.map[key] = value;
+  MaybeCompact();
   return util::Status::Ok();
 }
 
@@ -196,10 +211,11 @@ util::Status KvStore::PutBatch(
     }
     for (size_t i : by_shard[s]) {
       const auto& [key, value] = entries[i];
-      MWS_RETURN_IF_ERROR(AppendRecord(kRecordPut, key, value));
+      MWS_RETURN_IF_ERROR(AppendRecord(kKvRecordPut, key, value));
       shard.map[key] = value;
     }
   }
+  MaybeCompact();
   return util::Status::Ok();
 }
 
@@ -214,11 +230,14 @@ util::Result<util::Bytes> KvStore::Get(const std::string& key) const {
 }
 
 util::Status KvStore::Delete(const std::string& key) {
-  Shard& shard = ShardFor(key);
-  std::unique_lock<std::shared_mutex> lock(shard.mutex);
-  if (shard.map.find(key) == shard.map.end()) return util::Status::Ok();
-  MWS_RETURN_IF_ERROR(AppendRecord(kRecordDelete, key, {}));
-  shard.map.erase(key);
+  {
+    Shard& shard = ShardFor(key);
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    if (shard.map.find(key) == shard.map.end()) return util::Status::Ok();
+    MWS_RETURN_IF_ERROR(AppendRecord(kKvRecordDelete, key, {}));
+    shard.map.erase(key);
+  }
+  MaybeCompact();
   return util::Status::Ok();
 }
 
@@ -286,46 +305,126 @@ util::Status KvStore::Flush() {
   return util::Status::Ok();
 }
 
-util::Result<size_t> KvStore::Compact() {
-  // Exclusive on every shard: freezes the index and excludes writers
-  // (who take shard before log, so none can be mid-append once we hold
-  // all shard locks).
-  std::vector<std::unique_lock<std::shared_mutex>> locks;
-  locks.reserve(kShardCount);
-  for (Shard& shard : shards_) locks.emplace_back(shard.mutex);
+void KvStore::MaybeCompact() {
+  if (!persistent() || options_.compact_threshold_bytes == 0) return;
+  if (wal_bytes_.load(std::memory_order_relaxed) <
+      options_.compact_threshold_bytes) {
+    return;
+  }
+  // Collapse concurrent triggers: whoever wins runs the checkpoint, the
+  // rest return to their callers immediately.
+  if (compact_running_.exchange(true, std::memory_order_acquire)) return;
+  util::Result<size_t> result = Checkpoint();
+  if (!result.ok() && compaction_failures_counter_ != nullptr) {
+    // Best-effort: a failed background checkpoint leaves the WAL fully
+    // intact (durability unaffected); the next threshold crossing
+    // retries.
+    compaction_failures_counter_->Increment();
+  }
+  compact_running_.store(false, std::memory_order_release);
+}
 
-  size_t live = 0;
-  for (const Shard& shard : shards_) live += shard.map.size();
+util::Result<size_t> KvStore::Compact() { return Checkpoint(); }
 
+util::Result<size_t> KvStore::Checkpoint() {
+  std::lock_guard<std::mutex> compact_lock(compact_mutex_);
   if (!persistent()) {
-    size_t dropped = log_records_.load(std::memory_order_relaxed) - live;
-    log_records_.store(live, std::memory_order_relaxed);
-    return dropped;
+    // In-memory: only the accounting compacts.
+    AllShardsSharedLock lock(shards_);
+    size_t live = 0;
+    for (const Shard& shard : shards_) live += shard.map.size();
+    size_t before = log_records_.exchange(live, std::memory_order_relaxed);
+    return before > live ? before - live : 0;
   }
-  std::string tmp = options_.path + ".compact";
+  const size_t before = log_records_.load(std::memory_order_relaxed);
+
+  // 1. Note the fuzzy-scan cut. Flush first so every byte below the cut
+  // is on disk for the delta read later.
+  size_t cut;
   {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return util::Status::IoError("cannot create compaction file");
-    for (const Shard& shard : shards_) {
-      for (const auto& [key, value] : shard.map) {
-        util::Bytes record = EncodeRecord(kRecordPut, key, value);
-        out.write(reinterpret_cast<const char*>(record.data()),
-                  static_cast<std::streamsize>(record.size()));
-      }
-    }
-    out.flush();
-    if (!out) return util::Status::IoError("compaction write failed");
+    std::lock_guard<std::mutex> log_lock(log_mutex_);
+    log_.flush();
+    if (!log_) return util::Status::IoError("flush before checkpoint failed");
+    cut = wal_bytes_.load(std::memory_order_relaxed);
   }
+
+  // 2. Fuzzy base scan: one shard at a time under a shared lock, so
+  // readers are never blocked and writers only wait for their own
+  // shard's copy-out. Appends racing the scan land in the WAL past the
+  // cut and are folded in as the delta below — whether or not the scan
+  // also saw their index effect, replay order makes the delta win.
+  const std::string ckpt_path = CheckpointPath(options_.path);
+  const std::string tmp = ckpt_path + ".tmp";
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out) return util::Status::IoError("cannot create checkpoint scratch");
+  out.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+  size_t ckpt_records = 0;
+  for (Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    for (const auto& [key, value] : shard.map) {
+      util::Bytes record = EncodeKvRecord(kKvRecordPut, key, value);
+      out.write(reinterpret_cast<const char*>(record.data()),
+                static_cast<std::streamsize>(record.size()));
+      ++ckpt_records;
+    }
+  }
+  if (!out) return util::Status::IoError("checkpoint base write failed");
+
+  // 3. Freeze the log (writers block at their append, readers continue),
+  // fold in the delta appended during the scan, commit, truncate.
   std::lock_guard<std::mutex> log_lock(log_mutex_);
-  log_.close();
+  log_.flush();
+  if (!log_) return util::Status::IoError("flush at checkpoint swap failed");
+  const size_t end = wal_bytes_.load(std::memory_order_relaxed);
+  if (end > cut) {
+    std::ifstream wal_in(options_.path, std::ios::binary);
+    if (!wal_in) return util::Status::IoError("cannot read WAL delta");
+    util::Bytes delta(end - cut);
+    wal_in.seekg(static_cast<std::streamoff>(cut));
+    wal_in.read(reinterpret_cast<char*>(delta.data()),
+                static_cast<std::streamsize>(delta.size()));
+    if (wal_in.gcount() != static_cast<std::streamsize>(delta.size())) {
+      return util::Status::IoError("short WAL delta read");
+    }
+    bool torn = false;
+    size_t delta_records = 0;
+    size_t consumed = ScanKvRecords(
+        delta, 0, &torn,
+        [&](uint8_t, std::string_view, const uint8_t*, size_t) {
+          ++delta_records;
+        });
+    if (torn || consumed != delta.size()) {
+      // We wrote these bytes ourselves under the log mutex; a parse
+      // failure means the WAL file diverged from the stream (external
+      // tampering or IO corruption). Abort, leaving the WAL untouched.
+      return util::Status::Corruption("WAL delta unparseable at checkpoint");
+    }
+    // Verbatim copy: same framing in WAL and checkpoint.
+    out.write(reinterpret_cast<const char*>(delta.data()),
+              static_cast<std::streamsize>(delta.size()));
+    ckpt_records += delta_records;
+  }
+  util::Bytes footer = EncodeCheckpointFooter(ckpt_records);
+  out.write(reinterpret_cast<const char*>(footer.data()),
+            static_cast<std::streamsize>(footer.size()));
+  out.flush();
+  out.close();
+  if (!out) return util::Status::IoError("checkpoint finalize failed");
+
+  // Commit point: the atomic rename. Before it, recovery sees old ckpt +
+  // full WAL; after it, new ckpt + full WAL (idempotent replay) until
+  // the truncation lands.
   std::error_code ec;
-  std::filesystem::rename(tmp, options_.path, ec);
-  if (ec) return util::Status::IoError("compaction rename failed");
-  log_.open(options_.path, std::ios::binary | std::ios::app);
-  if (!log_) return util::Status::IoError("cannot reopen compacted log");
-  size_t dropped = log_records_.load(std::memory_order_relaxed) - live;
-  log_records_.store(live, std::memory_order_relaxed);
-  return dropped;
+  std::filesystem::rename(tmp, ckpt_path, ec);
+  if (ec) return util::Status::IoError("checkpoint rename failed");
+
+  log_.close();
+  log_.open(options_.path, std::ios::binary | std::ios::trunc);
+  if (!log_) return util::Status::IoError("cannot truncate WAL");
+  wal_bytes_.store(0, std::memory_order_relaxed);
+  log_records_.store(ckpt_records, std::memory_order_relaxed);
+  if (compactions_counter_ != nullptr) compactions_counter_->Increment();
+  return before > ckpt_records ? before - ckpt_records : 0;
 }
 
 }  // namespace mws::store

@@ -85,6 +85,7 @@ MessageDb::MessageDb(Table* table, obs::Registry* metrics) : table_(table) {
   if (metrics != nullptr) {
     appends_counter_ = metrics->GetCounter("md.appends");
     dedup_counter_ = metrics->GetCounter("md.dedup_hits");
+    pruned_counter_ = metrics->GetCounter("md.pruned");
   }
   auto counter = table_->Get(kNextIdKey);
   if (counter.ok()) {
@@ -363,6 +364,33 @@ util::Result<std::vector<StoredMessage>> MessageDb::FindByAttributes(
 }
 
 size_t MessageDb::Count() const { return table_->CountPrefix("m/"); }
+
+util::Result<size_t> MessageDb::PruneThrough(uint64_t max_id) {
+  size_t pruned = 0;
+  for (const std::string& key : table_->ScanKeys("m/")) {
+    // Key shape: "m/<016x id>".
+    uint64_t id = std::strtoull(key.c_str() + 2, nullptr, 16);
+    if (id == 0 || id > max_id) continue;
+    auto message = Get(id);
+    if (!message.ok()) continue;  // racing prune; indexes go with theirs
+    const StoredMessage& m = message.value();
+    // Indexes and marker first, message record last: a crash mid-prune
+    // leaves at worst dangling index keys pointing at a still-present
+    // message (retrieval stays correct); the next prune pass finishes.
+    MWS_RETURN_IF_ERROR(table_->Delete(IndexKey(m.attribute, id)));
+    MWS_RETURN_IF_ERROR(table_->Delete(
+        TimeIndexKey(m.attribute, m.timestamp_micros, id)));
+    if (!m.device_id.empty() && !m.nonce.empty()) {
+      MWS_RETURN_IF_ERROR(table_->Delete(DedupKey(m.device_id, m.nonce)));
+    }
+    MWS_RETURN_IF_ERROR(table_->Delete(MessageKey(id)));
+    ++pruned;
+  }
+  if (pruned > 0 && pruned_counter_ != nullptr) {
+    pruned_counter_->Increment(pruned);
+  }
+  return pruned;
+}
 
 std::vector<std::string> MessageDb::DistinctAttributes() const {
   std::vector<std::string> out;

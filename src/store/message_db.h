@@ -121,6 +121,26 @@ class MessageDb {
   /// value (ciphertext) is materialized.
   size_t Count() const;
 
+  /// Highest id assigned so far (0 when empty). Monotone; ids may be
+  /// sparse after failed appends or pruning.
+  uint64_t last_assigned_id() const {
+    return next_id_.load(std::memory_order_relaxed) - 1;
+  }
+
+  /// Retention: deletes every stored message with id <= `max_id` —
+  /// message record, both secondary indexes, and its dedup marker.
+  /// Returns the number of messages removed. This is what keeps a
+  /// sustained warehouse's live set (and thus compaction checkpoints
+  /// and reopen time) bounded while the WAL records full history until
+  /// the next compaction. Deleting the dedup marker re-opens the
+  /// at-least-once replay window for that (device, nonce), so the
+  /// retention horizon must comfortably exceed the longest client
+  /// retry/outbox-replay horizon. Safe concurrently with appends and
+  /// reads; a concurrent retrieval may observe a partially-pruned
+  /// message's indexes (Get then reports NotFound, as for any
+  /// already-pruned id).
+  util::Result<size_t> PruneThrough(uint64_t max_id);
+
   /// The distinct attribute strings present in the warehouse (derived
   /// from the secondary index; used by policy-expression matching).
   std::vector<std::string> DistinctAttributes() const;
@@ -145,6 +165,7 @@ class MessageDb {
   /// Resolved at construction when `metrics` is set; null otherwise.
   obs::Counter* appends_counter_ = nullptr;
   obs::Counter* dedup_counter_ = nullptr;
+  obs::Counter* pruned_counter_ = nullptr;
 };
 
 }  // namespace mws::store

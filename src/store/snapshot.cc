@@ -1,0 +1,128 @@
+#include "src/store/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "src/util/serde.h"
+
+namespace mws::store {
+
+util::Bytes EncodeKvRecord(uint8_t type, std::string_view key,
+                           const util::Bytes& value) {
+  util::Writer w;
+  w.PutU8(type);
+  w.PutU32(static_cast<uint32_t>(key.size()));
+  w.PutU32(static_cast<uint32_t>(value.size()));
+  w.PutRaw(util::BytesFromString(key));
+  w.PutRaw(value);
+  uint32_t crc = util::Crc32(w.data());
+  w.PutU32(crc);
+  return w.Take();
+}
+
+util::Bytes EncodeCheckpointFooter(uint64_t count) {
+  util::Writer v;
+  v.PutU64(count);
+  return EncodeKvRecord(kKvRecordFooter, "", v.Take());
+}
+
+size_t ScanKvRecords(
+    const util::Bytes& buf, size_t offset, bool* torn,
+    const std::function<void(uint8_t type, std::string_view key,
+                             const uint8_t* value, size_t value_len)>& fn) {
+  size_t pos = offset;
+  size_t valid_end = offset;
+  *torn = false;
+  auto read_u32 = [&](size_t at) {
+    return (static_cast<uint32_t>(buf[at]) << 24) |
+           (static_cast<uint32_t>(buf[at + 1]) << 16) |
+           (static_cast<uint32_t>(buf[at + 2]) << 8) | buf[at + 3];
+  };
+  while (pos < buf.size()) {
+    // Header: type(1) klen(4) vlen(4).
+    if (buf.size() - pos < 9) {
+      *torn = true;
+      break;
+    }
+    uint8_t type = buf[pos];
+    uint32_t klen = read_u32(pos + 1);
+    uint32_t vlen = read_u32(pos + 5);
+    size_t body = static_cast<size_t>(klen) + vlen;
+    if (buf.size() - pos < 9 + body + 4) {
+      *torn = true;
+      break;
+    }
+    uint32_t stored_crc = read_u32(pos + 9 + body);
+    uint32_t actual_crc = util::Crc32(buf.data() + pos, 9 + body);
+    if (stored_crc != actual_crc ||
+        (type != kKvRecordPut && type != kKvRecordDelete &&
+         type != kKvRecordFooter)) {
+      *torn = true;
+      break;
+    }
+    std::string_view key(reinterpret_cast<const char*>(buf.data() + pos + 9),
+                         klen);
+    fn(type, key, buf.data() + pos + 9 + klen, vlen);
+    pos += 9 + body + 4;
+    valid_end = pos;
+  }
+  return valid_end;
+}
+
+util::Result<CheckpointContents> DecodeCheckpoint(const util::Bytes& data) {
+  if (data.size() < sizeof(kCheckpointMagic) ||
+      std::memcmp(data.data(), kCheckpointMagic, sizeof(kCheckpointMagic)) !=
+          0) {
+    return util::Status::Corruption("checkpoint: bad magic");
+  }
+  CheckpointContents out;
+  out.bytes = data.size();
+  bool torn = false;
+  bool footer_seen = false;
+  uint64_t footer_count = 0;
+  bool malformed = false;
+  size_t valid_end = ScanKvRecords(
+      data, sizeof(kCheckpointMagic), &torn,
+      [&](uint8_t type, std::string_view key, const uint8_t* value,
+          size_t value_len) {
+        if (footer_seen) {
+          // Records after the footer: a writer bug or splice, reject.
+          malformed = true;
+          return;
+        }
+        if (type == kKvRecordFooter) {
+          if (!key.empty() || value_len != 8) {
+            malformed = true;
+            return;
+          }
+          footer_count = 0;
+          for (size_t i = 0; i < 8; ++i) {
+            footer_count = (footer_count << 8) | value[i];
+          }
+          footer_seen = true;
+          return;
+        }
+        out.records.push_back(KvRecord{
+            type, std::string(key), util::Bytes(value, value + value_len)});
+      });
+  if (torn || malformed || valid_end != data.size()) {
+    return util::Status::Corruption("checkpoint: torn or malformed records");
+  }
+  if (!footer_seen) {
+    return util::Status::Corruption("checkpoint: missing footer");
+  }
+  if (footer_count != out.records.size()) {
+    return util::Status::Corruption("checkpoint: footer count mismatch");
+  }
+  return out;
+}
+
+util::Result<CheckpointContents> ReadCheckpointFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::NotFound("no checkpoint at " + path);
+  util::Bytes content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  return DecodeCheckpoint(content);
+}
+
+}  // namespace mws::store

@@ -1,0 +1,79 @@
+#ifndef MWSIBE_STORE_SNAPSHOT_H_
+#define MWSIBE_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+
+namespace mws::store {
+
+/// Checkpoint file format shared by KvStore compaction and its recovery
+/// path. A checkpoint is the live state of the store at some WAL offset,
+/// written so reopen cost is O(live keys + WAL tail) instead of
+/// O(full history):
+///
+///   "KCK1" (4-byte magic)
+///   record*            — WAL framing: u8 type | u32 klen | u32 vlen |
+///                        key | value | u32 crc32 (types 1=put, 2=delete;
+///                        deletes appear when the compaction delta folds
+///                        in appends that raced the live-index scan)
+///   footer             — one type-3 record: klen=0, vlen=8, value =
+///                        big-endian u64 count of preceding records
+///
+/// The footer doubles as the commit marker: a checkpoint without a valid
+/// terminal footer (torn write, bitflip, truncation) is rejected as a
+/// whole. Compaction only ever renames a fully-written file into place,
+/// so a crash can never produce a footer-valid-but-partial checkpoint.
+
+inline constexpr uint8_t kKvRecordPut = 1;
+inline constexpr uint8_t kKvRecordDelete = 2;
+inline constexpr uint8_t kKvRecordFooter = 3;
+
+inline constexpr char kCheckpointMagic[4] = {'K', 'C', 'K', '1'};
+
+/// One CRC-framed record in WAL/checkpoint framing.
+util::Bytes EncodeKvRecord(uint8_t type, std::string_view key,
+                           const util::Bytes& value);
+
+/// The terminal footer record for a checkpoint holding `count` records.
+util::Bytes EncodeCheckpointFooter(uint64_t count);
+
+/// Walks WAL-framed records in `buf` starting at `offset`, invoking
+/// `fn(type, key, value, value_len)` for each fully-valid record (any
+/// type, footer included). Stops at the first torn or corrupt record and
+/// sets `*torn`. Returns the offset one past the last valid record.
+size_t ScanKvRecords(
+    const util::Bytes& buf, size_t offset, bool* torn,
+    const std::function<void(uint8_t type, std::string_view key,
+                             const uint8_t* value, size_t value_len)>& fn);
+
+struct KvRecord {
+  uint8_t type = 0;
+  std::string key;
+  util::Bytes value;
+};
+
+/// A decoded checkpoint: records in file order (replay order — later
+/// records win), plus the file size for recovery accounting.
+struct CheckpointContents {
+  std::vector<KvRecord> records;
+  size_t bytes = 0;
+};
+
+/// Decodes a full checkpoint file image. Any defect — bad magic, torn or
+/// CRC-failed record, missing/duplicated footer, count mismatch, bytes
+/// after the footer — rejects the whole file with kCorruption: a
+/// checkpoint is all-or-nothing, unlike the WAL whose tail may be torn.
+util::Result<CheckpointContents> DecodeCheckpoint(const util::Bytes& data);
+
+/// Reads and decodes `path`. kNotFound when the file does not exist.
+util::Result<CheckpointContents> ReadCheckpointFile(const std::string& path);
+
+}  // namespace mws::store
+
+#endif  // MWSIBE_STORE_SNAPSHOT_H_

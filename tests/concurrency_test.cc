@@ -111,7 +111,7 @@ TEST(KvStoreConcurrencyTest, ReadersScanWhileWritersMutate) {
 
 TEST(KvStoreConcurrencyTest, ParallelWritesSurviveRecovery) {
   std::string path = TempPath("kvrecover");
-  std::filesystem::remove(path);
+  store::KvStore::RemoveFiles(path);
   constexpr int kThreads = 4;
   constexpr int kKeysPerThread = 100;
   {
@@ -140,7 +140,7 @@ TEST(KvStoreConcurrencyTest, ParallelWritesSurviveRecovery) {
       EXPECT_EQ(value.value(), BytesFromString(key));
     }
   }
-  std::filesystem::remove(path);
+  store::KvStore::RemoveFiles(path);
 }
 
 // --- MessageDb id allocation ---
@@ -215,7 +215,7 @@ TEST(ServiceConcurrencyTest, DepositorsAndRetrieversOverTcp) {
   const std::string kAttribute = "STRESS-ATTR";
 
   std::string path = TempPath("stress");
-  std::filesystem::remove(path);
+  store::KvStore::RemoveFiles(path);
 
   util::SimulatedClock clock(1'000'000'000);
   util::DeterministicRandom setup_rng(7);
@@ -347,7 +347,7 @@ TEST(ServiceConcurrencyTest, DepositorsAndRetrieversOverTcp) {
   m.nonce = Bytes(16, 3);
   m.device_id = "SD-0";
   EXPECT_GT(db.Append(m).value(), total_deposits);
-  std::filesystem::remove(path);
+  store::KvStore::RemoveFiles(path);
 }
 
 }  // namespace

@@ -112,6 +112,61 @@ TEST(HistogramTest, SnapshotBasics) {
   EXPECT_EQ(snap.buckets[Histogram::BucketIndex(100)], 2u);
 }
 
+TEST(HistogramTest, ResetClearsEveryAccumulator) {
+  Histogram h;
+  h.Record(0);
+  h.Record(7);
+  h.Record(5000);
+  h.Reset();
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  for (uint64_t b : snap.buckets) EXPECT_EQ(b, 0u);
+  // The instrument is fully reusable: post-reset recordings behave as
+  // on a fresh histogram (min re-seeds from the first sample).
+  h.Record(42);
+  snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.min, 42u);
+  EXPECT_EQ(snap.max, 42u);
+}
+
+TEST(RegistryTest, SnapshotAndResetStartsAFreshInterval) {
+  Registry registry;
+  Counter* c = registry.GetCounter("req", {{"op", "deposit"}});
+  Gauge* g = registry.GetGauge("depth");
+  Histogram* h = registry.GetHistogram("latency_us");
+  c->Increment(3);
+  g->Set(17);
+  h->Record(100);
+  h->Record(200);
+
+  RegistrySnapshot first = registry.SnapshotAndReset();
+  ASSERT_NE(first.counter("req{op=deposit}"), nullptr);
+  EXPECT_EQ(*first.counter("req{op=deposit}"), 3u);
+  ASSERT_NE(first.histogram("latency_us"), nullptr);
+  EXPECT_EQ(first.histogram("latency_us")->count, 2u);
+  ASSERT_NE(first.gauge("depth"), nullptr);
+  EXPECT_EQ(*first.gauge("depth"), 17);
+
+  // Counters and histograms restart at zero; the gauge keeps its level
+  // (it describes state, not an interval rate).
+  RegistrySnapshot second = registry.Snapshot();
+  EXPECT_EQ(*second.counter("req{op=deposit}"), 0u);
+  EXPECT_EQ(second.histogram("latency_us")->count, 0u);
+  EXPECT_EQ(*second.gauge("depth"), 17);
+
+  // The next interval accumulates independently of the first.
+  c->Increment();
+  h->Record(50);
+  RegistrySnapshot third = registry.SnapshotAndReset();
+  EXPECT_EQ(*third.counter("req{op=deposit}"), 1u);
+  EXPECT_EQ(third.histogram("latency_us")->count, 1u);
+  EXPECT_EQ(third.histogram("latency_us")->max, 50u);
+}
+
 TEST(HistogramTest, EmptyPercentileIsZero) {
   HistogramSnapshot empty;
   EXPECT_DOUBLE_EQ(empty.Percentile(0.5), 0.0);

@@ -31,9 +31,9 @@ class PersistenceTest : public ::testing::Test {
              ("mwsibe_persist_" + std::to_string(::getpid()) + "_" +
               ::testing::UnitTest::GetInstance()->current_test_info()->name()))
                 .string();
-    std::filesystem::remove(path_);
+    store::KvStore::RemoveFiles(path_);
   }
-  void TearDown() override { std::filesystem::remove(path_); }
+  void TearDown() override { store::KvStore::RemoveFiles(path_); }
 
   std::string path_;
 };

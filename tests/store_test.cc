@@ -36,11 +36,11 @@ class TableTest : public ::testing::TestWithParam<Backend> {
     path_ = TempPath(::testing::UnitTest::GetInstance()
                          ->current_test_info()
                          ->name());
-    std::filesystem::remove(path_);
+    KvStore::RemoveFiles(path_);
     table_ = MakeTable();
   }
 
-  void TearDown() override { std::filesystem::remove(path_); }
+  void TearDown() override { KvStore::RemoveFiles(path_); }
 
   std::unique_ptr<Table> MakeTable() {
     switch (GetParam()) {
@@ -146,7 +146,7 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, TableTest,
 
 TEST(KvStoreTest, RecoversFromTornTail) {
   std::string path = TempPath("torn");
-  std::filesystem::remove(path);
+  KvStore::RemoveFiles(path);
   {
     auto store = KvStore::Open({.path = path}).value();
     store->Put("a", BytesFromString("1")).ok();
@@ -168,12 +168,12 @@ TEST(KvStoreTest, RecoversFromTornTail) {
   store.value()->Flush().ok();
   auto again = KvStore::Open({.path = path});
   EXPECT_EQ(again.value()->Size(), 3u);
-  std::filesystem::remove(path);
+  KvStore::RemoveFiles(path);
 }
 
 TEST(KvStoreTest, DetectsCorruptRecordMidLog) {
   std::string path = TempPath("corrupt");
-  std::filesystem::remove(path);
+  KvStore::RemoveFiles(path);
   {
     auto store = KvStore::Open({.path = path}).value();
     store->Put("first", BytesFromString("ok")).ok();
@@ -191,12 +191,12 @@ TEST(KvStoreTest, DetectsCorruptRecordMidLog) {
   // First record survives; corrupt tail is dropped.
   EXPECT_TRUE(store.value()->Contains("first"));
   EXPECT_FALSE(store.value()->Contains("second"));
-  std::filesystem::remove(path);
+  KvStore::RemoveFiles(path);
 }
 
 TEST(KvStoreTest, CompactionDropsDeadRecords) {
   std::string path = TempPath("compact");
-  std::filesystem::remove(path);
+  KvStore::RemoveFiles(path);
   auto store = KvStore::Open({.path = path}).value();
   for (int i = 0; i < 10; ++i) {
     store->Put("key", BytesFromString(std::to_string(i))).ok();
@@ -214,19 +214,19 @@ TEST(KvStoreTest, CompactionDropsDeadRecords) {
   store->Flush().ok();
   auto reopened = KvStore::Open({.path = path});
   EXPECT_EQ(reopened.value()->Size(), 2u);
-  std::filesystem::remove(path);
+  KvStore::RemoveFiles(path);
 }
 
 TEST(FlatFileTest, HumanReadableFormat) {
   std::string path = TempPath("flatfmt");
-  std::filesystem::remove(path);
+  KvStore::RemoveFiles(path);
   auto store = FlatFileStore::Open({.path = path}).value();
   store->Put("key", BytesFromString("value")).ok();
   std::ifstream in(path);
   std::string line;
   ASSERT_TRUE(std::getline(in, line));
   EXPECT_EQ(line, "6b6579\t76616c7565");
-  std::filesystem::remove(path);
+  KvStore::RemoveFiles(path);
 }
 
 TEST(FlatFileTest, RejectsCorruptFile) {
@@ -236,7 +236,7 @@ TEST(FlatFileTest, RejectsCorruptFile) {
     out << "not-a-valid-line\n";
   }
   EXPECT_FALSE(FlatFileStore::Open({.path = path}).ok());
-  std::filesystem::remove(path);
+  KvStore::RemoveFiles(path);
 }
 
 // --- MessageDb ---
