@@ -46,65 +46,75 @@ util::Result<wire::RcAuthResponse> Gatekeeper::AuthenticateImpl(
   if (std::llabs(now - plain->timestamp_micros) > freshness_window_micros_) {
     return util::Status::Unauthenticated("RC challenge expired");
   }
-  // Session id generation stays outside the lock: the RandomSource is
+  // Session id generation stays outside any lock: the RandomSource is
   // thread-safe by contract.
   wire::RcAuthResponse response;
   response.session_id = rng_->Generate(16);
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  PruneReplayCache(now);
   std::string replay_key = request.rc_identity + "/" +
                            std::to_string(plain->timestamp_micros) + "/" +
                            util::HexEncode(plain->client_nonce);
-  auto inserted = replay_cache_.emplace(plain->timestamp_micros, replay_key);
-  if (!inserted.second) {
+  if (!replay_.CheckAndInsert(plain->timestamp_micros, replay_key, now)) {
+    UpdateGauges();
     return util::Status::Unauthenticated("RC challenge replayed");
   }
 
-  // Garbage-collect expired sessions so long-running deployments don't
-  // accumulate one entry per historical login.
-  for (auto it = sessions_.begin(); it != sessions_.end();) {
-    if (now - it->second.created_micros > freshness_window_micros_) {
-      it = sessions_.erase(it);
-    } else {
-      ++it;
-    }
+  if (tuning_.reference_mode) {
+    // Pre-PR-10 behavior: garbage-collect the whole registry on every
+    // authentication — O(live sessions) inside the critical section.
+    sessions_.SweepExpiredFull(now);
+  } else {
+    // Same observable invariant (no expired session outlives the next
+    // successful auth) at amortized O(stripes + reaped) cost.
+    sessions_.SweepExpired(now);
   }
-
-  sessions_[SessionKeyString(response.session_id)] =
-      RcSession{request.rc_identity, request.rsa_public_key, now};
-  if (sessions_gauge_ != nullptr) {
-    sessions_gauge_->Set(static_cast<int64_t>(sessions_.size()));
+  auto stats = sessions_.Insert(
+      SessionKeyString(response.session_id),
+      RcSession{request.rc_identity, request.rsa_public_key, now}, now);
+  if (evicted_counter_ != nullptr && stats.evicted > 0) {
+    evicted_counter_->Increment(static_cast<int64_t>(stats.evicted));
   }
+  UpdateGauges();
   return response;
 }
 
 util::Result<RcSession> Gatekeeper::GetSession(
     const util::Bytes& session_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = sessions_.find(SessionKeyString(session_id));
-  if (it == sessions_.end()) {
+  bool expired = false;
+  auto session =
+      sessions_.Get(SessionKeyString(session_id), clock_->NowMicros(),
+                    &expired);
+  if (!session.has_value()) {
+    if (expired) {
+      // The lookup reaped the expired entry; reflect that immediately.
+      if (sessions_gauge_ != nullptr) {
+        sessions_gauge_->Set(static_cast<int64_t>(sessions_.Size()));
+      }
+      return util::Status::Unauthenticated("MWS session expired");
+    }
     return util::Status::Unauthenticated("unknown MWS session");
   }
-  if (clock_->NowMicros() - it->second.created_micros >
-      freshness_window_micros_) {
-    return util::Status::Unauthenticated("MWS session expired");
-  }
-  return it->second;
+  return *std::move(session);
 }
 
 void Gatekeeper::CloseSession(const util::Bytes& session_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  sessions_.erase(SessionKeyString(session_id));
-  if (sessions_gauge_ != nullptr) {
-    sessions_gauge_->Set(static_cast<int64_t>(sessions_.size()));
-  }
+  sessions_.Erase(SessionKeyString(session_id));
+  UpdateGauges();
 }
 
-void Gatekeeper::PruneReplayCache(int64_t now) {
-  auto cutoff = replay_cache_.lower_bound(
-      {now - 2 * freshness_window_micros_, std::string()});
-  replay_cache_.erase(replay_cache_.begin(), cutoff);
+size_t Gatekeeper::SweepExpiredSessions() {
+  size_t removed = sessions_.SweepExpired(clock_->NowMicros());
+  UpdateGauges();
+  return removed;
+}
+
+void Gatekeeper::UpdateGauges() {
+  if (sessions_gauge_ != nullptr) {
+    sessions_gauge_->Set(static_cast<int64_t>(sessions_.Size()));
+  }
+  if (replay_gauge_ != nullptr) {
+    replay_gauge_->Set(static_cast<int64_t>(replay_.Size()));
+  }
 }
 
 }  // namespace mws::mws

@@ -1,9 +1,6 @@
 #ifndef MWSIBE_MWS_GATEKEEPER_H_
 #define MWSIBE_MWS_GATEKEEPER_H_
 
-#include <map>
-#include <mutex>
-#include <set>
 #include <string>
 
 #include "src/crypto/block_cipher.h"
@@ -11,6 +8,7 @@
 #include "src/store/user_db.h"
 #include "src/util/clock.h"
 #include "src/util/random.h"
+#include "src/util/ttl_store.h"
 #include "src/wire/messages.h"
 
 namespace mws::mws {
@@ -22,6 +20,10 @@ struct RcSession {
   int64_t created_micros = 0;
 };
 
+/// Capacity tuning for the session registry and replay cache; shared
+/// with the PKG. See util/ttl_store.h.
+using util::ControlPlaneTuning;
+
 /// Gatekeeper (Fig. 3): authenticates receiving clients against the User
 /// Database via the paper's hashed-password challenge and maintains the
 /// session registry the MMS consults.
@@ -30,29 +32,45 @@ struct RcSession {
 /// every accepted authentication is remembered for the freshness window
 /// and duplicates are rejected.
 ///
-/// Thread-safe: the session registry and replay cache are guarded by one
-/// mutex; challenge decryption happens outside it, so concurrent
-/// authentications only serialize on the registry bookkeeping. The
-/// injected RandomSource must itself be thread-safe (MwsService wraps
-/// its source in util::LockedRandom).
+/// Thread-safe. The session registry is a util::TtlStore (striped,
+/// TTL-evicting, capacity-bounded) and the replay cache a
+/// util::ReplayCache (striped, window- and capacity-bounded), so
+/// concurrent authentications on different sessions touch disjoint
+/// locks; challenge decryption happens outside any lock. Expired
+/// sessions are reaped amortized on the authentication path via the
+/// injected clock (no per-auth full-registry sweep), and the
+/// `gatekeeper.sessions` gauge tracks every mutation. The injected
+/// RandomSource must itself be thread-safe (MwsService wraps its source
+/// in util::LockedRandom).
 class Gatekeeper {
  public:
   /// `metrics` (optional, must outlive the gatekeeper) exposes
-  /// `gatekeeper.auth_ok`, `gatekeeper.auth_fail`, and the
-  /// `gatekeeper.sessions` gauge.
+  /// `gatekeeper.auth_ok`, `gatekeeper.auth_fail`, the
+  /// `gatekeeper.sessions` / `gatekeeper.replay_entries` gauges, and
+  /// `gatekeeper.sessions_evicted`.
   Gatekeeper(const store::UserDb* users, const util::Clock* clock,
              util::RandomSource* rng, crypto::CipherKind cipher,
              int64_t freshness_window_micros,
-             obs::Registry* metrics = nullptr)
+             obs::Registry* metrics = nullptr,
+             ControlPlaneTuning tuning = {})
       : users_(users),
         clock_(clock),
         rng_(rng),
         cipher_(cipher),
-        freshness_window_micros_(freshness_window_micros) {
+        freshness_window_micros_(freshness_window_micros),
+        tuning_(tuning),
+        sessions_({.stripes = tuning.reference_mode ? 1 : tuning.stripes,
+                   .max_entries = tuning.max_sessions,
+                   .ttl_micros = freshness_window_micros}),
+        replay_({.stripes = tuning.reference_mode ? 1 : tuning.stripes,
+                 .max_entries = tuning.max_replay_entries,
+                 .window_micros = freshness_window_micros}) {
     if (metrics != nullptr) {
       auth_ok_counter_ = metrics->GetCounter("gatekeeper.auth_ok");
       auth_fail_counter_ = metrics->GetCounter("gatekeeper.auth_fail");
       sessions_gauge_ = metrics->GetGauge("gatekeeper.sessions");
+      replay_gauge_ = metrics->GetGauge("gatekeeper.replay_entries");
+      evicted_counter_ = metrics->GetCounter("gatekeeper.sessions_evicted");
     }
   }
 
@@ -66,35 +84,39 @@ class Gatekeeper {
   /// Closes a session (logout); OK even if absent.
   void CloseSession(const util::Bytes& session_id);
 
-  size_t ActiveSessions() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return sessions_.size();
-  }
+  /// Clock-injected maintenance sweep: reaps every expired session
+  /// (amortized O(reaped)) and refreshes the gauges. A deployment calls
+  /// this periodically; the hot path never pays more than its own
+  /// stripe's front. Returns sessions reaped.
+  size_t SweepExpiredSessions();
+
+  size_t ActiveSessions() const { return sessions_.Size(); }
+  size_t ReplayEntries() const { return replay_.Size(); }
 
  private:
   std::string SessionKeyString(const util::Bytes& session_id) const {
     return util::StringFromBytes(session_id);
   }
-  /// Pre: mutex_ held.
-  void PruneReplayCache(int64_t now);
+  void UpdateGauges();
 
   const store::UserDb* users_;
   const util::Clock* clock_;
   util::RandomSource* rng_;
   crypto::CipherKind cipher_;
   int64_t freshness_window_micros_;
+  ControlPlaneTuning tuning_;
 
-  /// Guards sessions_ and replay_cache_.
-  mutable std::mutex mutex_;
-  std::map<std::string, RcSession> sessions_;
-  /// (identity, timestamp, nonce-hex) of accepted auths, with timestamps
-  /// for pruning.
-  std::set<std::pair<int64_t, std::string>> replay_cache_;
+  /// GetSession erases expired entries, so the registry is mutable from
+  /// const lookups (all mutations are internally locked).
+  mutable util::TtlStore<RcSession> sessions_;
+  util::ReplayCache replay_;
 
   /// Resolved at construction when `metrics` is set; null otherwise.
   obs::Counter* auth_ok_counter_ = nullptr;
   obs::Counter* auth_fail_counter_ = nullptr;
   obs::Gauge* sessions_gauge_ = nullptr;
+  obs::Gauge* replay_gauge_ = nullptr;
+  obs::Counter* evicted_counter_ = nullptr;
 
   /// Wrapped by Authenticate for success/failure accounting.
   util::Result<wire::RcAuthResponse> AuthenticateImpl(

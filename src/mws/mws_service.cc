@@ -5,18 +5,31 @@
 
 namespace mws::mws {
 
+namespace {
+
+/// The PolicyDb inherits the service-wide metrics sink unless the
+/// caller wired its own.
+store::PolicyDbOptions ResolvePolicyOptions(const MwsOptions& options) {
+  store::PolicyDbOptions policy = options.policy;
+  if (policy.metrics == nullptr) policy.metrics = options.metrics;
+  return policy;
+}
+
+}  // namespace
+
 MwsService::MwsService(store::Table* storage, util::Bytes mws_pkg_key,
                        const util::Clock* clock, util::RandomSource* rng,
                        MwsOptions options)
     : options_(options),
       rng_(rng),
       message_db_(storage, options.metrics),
-      policy_db_(storage),
+      policy_db_(storage, ResolvePolicyOptions(options)),
       user_db_(storage),
       device_keys_(storage),
       sda_(&device_keys_, clock, options.freshness_window_micros),
       gatekeeper_(&user_db_, clock, &rng_, options.cipher,
-                  options.freshness_window_micros, options.metrics),
+                  options.freshness_window_micros, options.metrics,
+                  options.tuning),
       mms_(&message_db_, &policy_db_),
       token_generator_(std::move(mws_pkg_key), options.cipher, clock, &rng_,
                        options.ticket_lifetime_micros) {

@@ -37,6 +37,13 @@ struct MwsOptions {
   /// Optional request tracer (must outlive the service): one trace per
   /// protocol op with per-stage child spans.
   obs::Tracer* tracer = nullptr;
+  /// Gatekeeper session-registry / replay-cache capacity tuning
+  /// (stripes, bounds, reference mode).
+  util::ControlPlaneTuning tuning;
+  /// Policy-database read-path tuning (ordered secondary index + AID
+  /// resolution cache). `policy.metrics` defaults to `metrics` above
+  /// when left null.
+  store::PolicyDbOptions policy;
 };
 
 /// The Message Warehousing Service: the composition of the architecture

@@ -17,7 +17,15 @@ PkgService::PkgService(const math::TypeAParams& group,
       mws_pkg_key_(std::move(mws_pkg_key)),
       clock_(clock),
       rng_(rng),
-      options_(options) {
+      options_(options),
+      sessions_({.stripes =
+                     options.tuning.reference_mode ? 1 : options.tuning.stripes,
+                 .max_entries = options.tuning.max_sessions,
+                 .ttl_micros = options.session_lifetime_micros}),
+      replay_({.stripes =
+                   options.tuning.reference_mode ? 1 : options.tuning.stripes,
+               .max_entries = options.tuning.max_replay_entries,
+               .window_micros = options.freshness_window_micros}) {
   auto setup = ibe_.Setup(*rng);
   params_ = setup.first;
   master_ = setup.second;
@@ -26,7 +34,25 @@ PkgService::PkgService(const math::TypeAParams& group,
   batch_obs_ = ResolveOp("extract_batch");
   if (options_.metrics != nullptr) {
     batch_items_counter_ = options_.metrics->GetCounter("pkg.batch_items");
+    sessions_gauge_ = options_.metrics->GetGauge("pkg.sessions");
+    replay_gauge_ = options_.metrics->GetGauge("pkg.replay_entries");
+    evicted_counter_ = options_.metrics->GetCounter("pkg.sessions_evicted");
   }
+}
+
+void PkgService::UpdateGauges() {
+  if (sessions_gauge_ != nullptr) {
+    sessions_gauge_->Set(static_cast<int64_t>(sessions_.Size()));
+  }
+  if (replay_gauge_ != nullptr) {
+    replay_gauge_->Set(static_cast<int64_t>(replay_.Size()));
+  }
+}
+
+size_t PkgService::SweepExpiredSessions() {
+  size_t removed = sessions_.SweepExpired(clock_->NowMicros());
+  UpdateGauges();
+  return removed;
 }
 
 PkgService::OpInstruments PkgService::ResolveOp(const char* op) {
@@ -107,23 +133,20 @@ util::Result<wire::PkgAuthResponse> PkgService::AuthenticateImpl(
   wire::PkgAuthResponse response;
   response.session_id = rng_.Generate(16);
 
-  std::lock_guard<std::mutex> lock(mutex_);
   // Replay protection on the authenticator ciphertext.
-  auto cutoff = replay_cache_.lower_bound(
-      {now - 2 * options_.freshness_window_micros, std::string()});
-  replay_cache_.erase(replay_cache_.begin(), cutoff);
-  if (!replay_cache_.emplace(auth->timestamp_micros, replay_key).second) {
+  if (!replay_.CheckAndInsert(auth->timestamp_micros, replay_key, now)) {
+    UpdateGauges();
     return util::Status::Unauthenticated("authenticator replayed");
   }
 
-  // Garbage-collect expired sessions (bounded state for long-running
-  // PKGs, mirroring the gatekeeper).
-  for (auto it = sessions_.begin(); it != sessions_.end();) {
-    if (now - it->second.created_micros > options_.session_lifetime_micros) {
-      it = sessions_.erase(it);
-    } else {
-      ++it;
-    }
+  if (options_.tuning.reference_mode) {
+    // Pre-PR-10 behavior: garbage-collect the whole registry on every
+    // authentication — O(live sessions) inside the critical section.
+    sessions_.SweepExpiredFull(now);
+  } else {
+    // Same observable invariant (no expired session outlives the next
+    // successful auth) at amortized O(stripes + reaped) cost.
+    sessions_.SweepExpired(now);
   }
 
   PkgSession session;
@@ -134,22 +157,31 @@ util::Result<wire::PkgAuthResponse> PkgService::AuthenticateImpl(
   }
   session.created_micros = now;
 
-  sessions_[util::StringFromBytes(response.session_id)] = std::move(session);
+  auto stats = sessions_.Insert(util::StringFromBytes(response.session_id),
+                                std::move(session), now);
+  if (evicted_counter_ != nullptr && stats.evicted > 0) {
+    evicted_counter_->Increment(static_cast<int64_t>(stats.evicted));
+  }
+  UpdateGauges();
   return response;
 }
 
 util::Result<PkgSession> PkgService::GetSession(
     const util::Bytes& session_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = sessions_.find(util::StringFromBytes(session_id));
-  if (it == sessions_.end()) {
+  bool expired = false;
+  auto session = sessions_.Get(util::StringFromBytes(session_id),
+                               clock_->NowMicros(), &expired);
+  if (!session.has_value()) {
+    if (expired) {
+      // The lookup reaped the expired entry; reflect that immediately.
+      if (sessions_gauge_ != nullptr) {
+        sessions_gauge_->Set(static_cast<int64_t>(sessions_.Size()));
+      }
+      return util::Status::Unauthenticated("PKG session expired");
+    }
     return util::Status::Unauthenticated("unknown PKG session");
   }
-  if (clock_->NowMicros() - it->second.created_micros >
-      options_.session_lifetime_micros) {
-    return util::Status::Unauthenticated("PKG session expired");
-  }
-  return it->second;
+  return *std::move(session);
 }
 
 util::Result<util::Bytes> PkgService::ExtractSealed(

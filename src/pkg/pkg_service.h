@@ -2,8 +2,6 @@
 #define MWSIBE_PKG_PKG_SERVICE_H_
 
 #include <map>
-#include <mutex>
-#include <set>
 #include <string>
 
 #include "src/crypto/block_cipher.h"
@@ -12,6 +10,7 @@
 #include "src/obs/trace.h"
 #include "src/util/clock.h"
 #include "src/util/random.h"
+#include "src/util/ttl_store.h"
 #include "src/wire/messages.h"
 #include "src/wire/transport.h"
 
@@ -24,10 +23,14 @@ struct PkgOptions {
   int64_t session_lifetime_micros = 10ll * 60 * 1'000'000;
   /// Optional instrumentation sink (must outlive the service). Exposes
   /// `pkg.requests{op=...}`, `pkg.errors{op=...}`,
-  /// `pkg.latency_us{op=...}`, and `pkg.batch_items`.
+  /// `pkg.latency_us{op=...}`, `pkg.batch_items`, the `pkg.sessions` /
+  /// `pkg.replay_entries` gauges, and `pkg.sessions_evicted`.
   obs::Registry* metrics = nullptr;
   /// Optional request tracer (must outlive the service).
   obs::Tracer* tracer = nullptr;
+  /// Session-registry / replay-cache capacity tuning (stripes, bounds,
+  /// reference mode). Shared shape with the Gatekeeper.
+  util::ControlPlaneTuning tuning;
 };
 
 /// A live RC session at the PKG, established by a verified ticket.
@@ -50,10 +53,13 @@ struct PkgSession {
 ///
 /// Concurrency contract: Authenticate, ExtractKey and ExtractKeyBatch
 /// are safe to call concurrently (the TcpServer worker pool does). The
-/// session registry and replay cache sit behind one mutex; extraction
-/// itself runs lock-free on a session copy — the IBE layer's precompute
-/// tables are immutable and its H1 cache has its own lock. The injected
-/// RandomSource is wrapped in a util::LockedRandom internally.
+/// session registry is a striped, TTL-evicting, capacity-bounded
+/// util::TtlStore and the replay cache a util::ReplayCache, so
+/// concurrent authentications on distinct sessions touch disjoint
+/// locks; extraction itself runs lock-free on a session copy — the IBE
+/// layer's precompute tables are immutable and its H1 cache has its own
+/// lock. The injected RandomSource is wrapped in a util::LockedRandom
+/// internally.
 class PkgService {
  public:
   /// Runs IBE Setup on construction: draws the master secret for `group`.
@@ -89,10 +95,13 @@ class PkgService {
   /// Direct extraction, bypassing ticket auth.
   ibe::IbePrivateKey ExtractForIdentity(const util::Bytes& identity) const;
 
-  size_t ActiveSessions() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return sessions_.size();
-  }
+  /// Clock-injected maintenance sweep: reaps every expired session
+  /// (amortized O(reaped)) and refreshes the gauges. Returns sessions
+  /// reaped.
+  size_t SweepExpiredSessions();
+
+  size_t ActiveSessions() const { return sessions_.Size(); }
+  size_t ReplayEntries() const { return replay_.Size(); }
 
  private:
   util::Result<PkgSession> GetSession(const util::Bytes& session_id) const;
@@ -120,16 +129,21 @@ class PkgService {
   util::LockedRandom rng_;
   PkgOptions options_;
 
-  /// Guards sessions_ and replay_cache_.
-  mutable std::mutex mutex_;
-  std::map<std::string, PkgSession> sessions_;
-  /// Replay cache of accepted authenticators.
-  std::set<std::pair<int64_t, std::string>> replay_cache_;
+  /// Session registry (TTL = session lifetime) and replay cache of
+  /// accepted authenticators; both striped and capacity-bounded.
+  /// GetSession erases expired entries, hence mutable.
+  mutable util::TtlStore<PkgSession> sessions_;
+  util::ReplayCache replay_;
 
   OpInstruments auth_obs_;
   OpInstruments extract_obs_;
   OpInstruments batch_obs_;
   obs::Counter* batch_items_counter_ = nullptr;
+  obs::Gauge* sessions_gauge_ = nullptr;
+  obs::Gauge* replay_gauge_ = nullptr;
+  obs::Counter* evicted_counter_ = nullptr;
+
+  void UpdateGauges();
 
   util::Result<wire::PkgAuthResponse> AuthenticateImpl(
       const wire::PkgAuthRequest& request);

@@ -1,6 +1,7 @@
 #ifndef MWSIBE_UTIL_CLOCK_H_
 #define MWSIBE_UTIL_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace mws::util {
@@ -28,18 +29,24 @@ class SystemClock : public Clock {
   static SystemClock& Instance();
 };
 
-/// A manually advanced clock for tests and simulation.
+/// A manually advanced clock for tests and simulation. Thread-safe:
+/// reads and advances are atomic, so concurrency tests may age sessions
+/// from one thread while protocol threads read timestamps.
 class SimulatedClock : public Clock {
  public:
   explicit SimulatedClock(int64_t start_micros = 0) : now_(start_micros) {}
 
-  int64_t NowMicros() const override { return now_; }
+  int64_t NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
 
-  void AdvanceMicros(int64_t delta) { now_ += delta; }
-  void SetMicros(int64_t t) { now_ = t; }
+  void AdvanceMicros(int64_t delta) {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void SetMicros(int64_t t) { now_.store(t, std::memory_order_relaxed); }
 
  private:
-  int64_t now_;
+  std::atomic<int64_t> now_;
 };
 
 }  // namespace mws::util

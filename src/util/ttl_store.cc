@@ -1,0 +1,40 @@
+#include "src/util/ttl_store.h"
+
+namespace mws::util {
+
+ReplayCache::ReplayCache(Options options) : options_(options) {
+  if (options_.stripes == 0) options_.stripes = 1;
+  if (options_.max_entries == 0) options_.max_entries = 1;
+  stripes_ = std::vector<Stripe>(options_.stripes);
+  per_stripe_cap_ =
+      (options_.max_entries + options_.stripes - 1) / options_.stripes;
+}
+
+bool ReplayCache::CheckAndInsert(int64_t timestamp, const std::string& key,
+                                 int64_t now) {
+  Stripe& stripe = stripes_[std::hash<std::string>{}(key) % stripes_.size()];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  if (options_.window_micros > 0) {
+    // Entries this old fail the freshness check outright, so forgetting
+    // them loses no protection. The 2x margin mirrors the freshness
+    // check's acceptance of timestamps up to one window in the future.
+    auto cutoff = stripe.entries.lower_bound(
+        {now - 2 * options_.window_micros, std::string()});
+    size_t pruned =
+        static_cast<size_t>(std::distance(stripe.entries.begin(), cutoff));
+    stripe.entries.erase(stripe.entries.begin(), cutoff);
+    size_.fetch_sub(pruned, std::memory_order_relaxed);
+  }
+  if (!stripe.entries.emplace(timestamp, key).second) {
+    return false;  // replay
+  }
+  size_.fetch_add(1, std::memory_order_relaxed);
+  while (stripe.entries.size() > per_stripe_cap_) {
+    stripe.entries.erase(stripe.entries.begin());
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+}  // namespace mws::util

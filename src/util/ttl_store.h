@@ -1,0 +1,314 @@
+#ifndef MWSIBE_UTIL_TTL_STORE_H_
+#define MWSIBE_UTIL_TTL_STORE_H_
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace mws::util {
+
+/// Control-plane capacity tuning shared by the Gatekeeper and the PKG.
+/// Defaults fit a million-identity deployment; the E20 bench sweeps
+/// them.
+struct ControlPlaneTuning {
+  /// Lock stripes for the session registry and replay cache. 1 = one
+  /// mutex for everything.
+  size_t stripes = 16;
+  /// Hard bound on live sessions; beyond it the oldest session is
+  /// evicted (the victim simply re-authenticates).
+  size_t max_sessions = size_t{1} << 20;
+  /// Hard bound on remembered replay entries (see ReplayCache).
+  size_t max_replay_entries = size_t{1} << 20;
+  /// Retained reference path: single stripe plus the pre-PR-10 GC
+  /// strategy of sweeping the *entire* session registry inside every
+  /// authentication's critical section. Behavior-identical to the tuned
+  /// path (the equivalence tests assert it) but O(live sessions) per
+  /// auth — the E20 baseline the tuned path is measured against.
+  bool reference_mode = false;
+};
+
+/// Options shared by the two control-plane registries below.
+struct TtlStoreOptions {
+  /// Number of independently locked stripes. 1 degenerates to a single
+  /// mutex (the pre-PR-10 layout, kept as the bench baseline).
+  size_t stripes = 16;
+  /// Hard capacity bound across all stripes. When a stripe is full the
+  /// *oldest* entry of that stripe is evicted to admit the new one, so
+  /// memory stays bounded no matter the ingest rate.
+  size_t max_entries = size_t{1} << 20;
+  /// Entries older than this are expired. <= 0 disables TTL eviction
+  /// (capacity eviction still applies).
+  int64_t ttl_micros = 0;
+};
+
+/// Striped, TTL-evicting, capacity-bounded registry of string-keyed
+/// values — the session table of a control-plane service (Gatekeeper,
+/// PKG) that must stay fast *and* bounded at millions of logins.
+///
+/// Layout: keys hash to one of `stripes` shards, each an unordered map
+/// behind its own mutex, so lookups of distinct sessions never contend.
+/// Every stripe keeps an insertion-ordered queue of (created, key)
+/// stamps; because entries are inserted with a monotone clock, the
+/// queue front is (approximately) the oldest entry, which makes both
+/// TTL reaping and capacity eviction amortized O(1) — a sharp contrast
+/// to the full-registry sweep the single-map implementation performed
+/// under its one mutex on every insert.
+///
+/// Concurrency contract: all methods are safe to call concurrently.
+/// `Size()` is an O(1) relaxed atomic read and is exact whenever it is
+/// not racing a mutation. Expired entries are reclaimed lazily — on the
+/// Get that observes them, on inserts into their stripe, and in bulk by
+/// `SweepExpired` — so the documented bound is `max_entries`, not the
+/// live-entry count.
+///
+/// Eviction is strictly oldest-first per stripe. For session registries
+/// this is the right casualty order: the evicted session is the one
+/// closest to TTL expiry, and a client whose session disappears simply
+/// re-authenticates (the same recovery path as an expiry).
+template <typename V>
+class TtlStore {
+ public:
+  explicit TtlStore(TtlStoreOptions options) : options_(options) {
+    if (options_.stripes == 0) options_.stripes = 1;
+    if (options_.max_entries == 0) options_.max_entries = 1;
+    stripes_ = std::vector<Stripe>(options_.stripes);
+    // Ceil-divide so stripe capacities sum to >= max_entries and every
+    // stripe admits at least one entry.
+    per_stripe_cap_ =
+        (options_.max_entries + options_.stripes - 1) / options_.stripes;
+  }
+
+  /// Removal accounting for one Insert: TTL reaps are routine aging,
+  /// capacity evictions mean the store is undersized for its load.
+  struct InsertStats {
+    size_t reaped = 0;
+    size_t evicted = 0;
+  };
+
+  /// Inserts (or overwrites) `key`, stamping it with `now`. Reaps any
+  /// expired entries at the stripe front and, if the stripe is still at
+  /// capacity, evicts its oldest live entry.
+  InsertStats Insert(const std::string& key, V value, int64_t now) {
+    Stripe& stripe = StripeFor(key);
+    InsertStats stats;
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    stats.reaped = ReapFrontLocked(stripe, now);
+    auto [it, inserted] = stripe.map.try_emplace(key);
+    it->second = Entry{std::move(value), now};
+    if (inserted) {
+      size_.fetch_add(1, std::memory_order_relaxed);
+    }
+    stripe.order.emplace_back(now, key);
+    while (stripe.map.size() > per_stripe_cap_) {
+      stats.evicted += EvictOldestLocked(stripe);
+    }
+    return stats;
+  }
+
+  /// Looks up `key`; empty if absent or expired (an expired entry is
+  /// erased on the way out, keeping the gauge exact). When
+  /// `was_expired` is non-null it reports which of the two happened, so
+  /// callers can keep distinct "unknown" / "expired" errors.
+  std::optional<V> Get(const std::string& key, int64_t now,
+                       bool* was_expired = nullptr) {
+    Stripe& stripe = StripeFor(key);
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    auto it = stripe.map.find(key);
+    if (it == stripe.map.end()) {
+      if (was_expired != nullptr) *was_expired = false;
+      return std::nullopt;
+    }
+    if (Expired(it->second.created_micros, now)) {
+      stripe.map.erase(it);
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      if (was_expired != nullptr) *was_expired = true;
+      return std::nullopt;
+    }
+    return it->second.value;
+  }
+
+  /// Removes `key`; false if it was not present.
+  bool Erase(const std::string& key) {
+    Stripe& stripe = StripeFor(key);
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    if (stripe.map.erase(key) == 0) return false;
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Bulk-reaps every entry whose age exceeds the TTL, stripe by stripe
+  /// (never holding more than one stripe lock). Returns entries reaped.
+  /// Amortized O(reaped): the insertion-ordered queues mean the sweep
+  /// touches only stamps at each queue front, not the whole registry.
+  size_t SweepExpired(int64_t now) {
+    size_t removed = 0;
+    for (Stripe& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe.mutex);
+      removed += ReapFrontLocked(stripe, now);
+    }
+    return removed;
+  }
+
+  /// Reference-mode sweep: visits *every* entry, the pre-PR-10 GC
+  /// strategy the services ran inside each authentication's critical
+  /// section. O(live entries) — retained so the E20 baseline measures
+  /// exactly the cost the amortized sweep removes. Leaves stale order
+  /// stamps behind; they are revalidated before acting on them.
+  size_t SweepExpiredFull(int64_t now) {
+    size_t removed = 0;
+    for (Stripe& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe.mutex);
+      for (auto it = stripe.map.begin(); it != stripe.map.end();) {
+        if (Expired(it->second.created_micros, now)) {
+          it = stripe.map.erase(it);
+          size_.fetch_sub(1, std::memory_order_relaxed);
+          ++removed;
+        } else {
+          ++it;
+        }
+      }
+    }
+    return removed;
+  }
+
+  /// Live entries (including not-yet-reaped expired ones). O(1).
+  size_t Size() const { return size_.load(std::memory_order_relaxed); }
+
+  size_t stripes() const { return options_.stripes; }
+  size_t max_entries() const { return options_.max_entries; }
+
+ private:
+  struct Entry {
+    V value;
+    int64_t created_micros = 0;
+  };
+  struct Stripe {
+    std::mutex mutex;
+    std::unordered_map<std::string, Entry> map;
+    /// (created, key) in insertion order. A stamp may be stale — the
+    /// entry erased or overwritten since — so consumers re-validate
+    /// against the map before acting on one. Bounded: one stamp per
+    /// insert, popped on reap/evict.
+    std::deque<std::pair<int64_t, std::string>> order;
+
+    Stripe() = default;
+    Stripe(Stripe&&) noexcept {}  // only used during construction
+  };
+
+  bool Expired(int64_t created, int64_t now) const {
+    return options_.ttl_micros > 0 && now - created > options_.ttl_micros;
+  }
+
+  Stripe& StripeFor(const std::string& key) {
+    return stripes_[std::hash<std::string>{}(key) % stripes_.size()];
+  }
+
+  /// Pops queue-front stamps that are past TTL, erasing the entries
+  /// they still describe. Pre: stripe.mutex held.
+  size_t ReapFrontLocked(Stripe& stripe, int64_t now) {
+    size_t removed = 0;
+    while (!stripe.order.empty() &&
+           Expired(stripe.order.front().first, now)) {
+      auto [created, key] = std::move(stripe.order.front());
+      stripe.order.pop_front();
+      auto it = stripe.map.find(key);
+      if (it != stripe.map.end() && it->second.created_micros == created) {
+        stripe.map.erase(it);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        ++removed;
+      }
+    }
+    return removed;
+  }
+
+  /// Evicts the oldest live entry of the stripe (skipping stale
+  /// stamps). Pre: stripe.mutex held, stripe.map not empty.
+  size_t EvictOldestLocked(Stripe& stripe) {
+    while (!stripe.order.empty()) {
+      auto [created, key] = std::move(stripe.order.front());
+      stripe.order.pop_front();
+      auto it = stripe.map.find(key);
+      if (it != stripe.map.end() && it->second.created_micros == created) {
+        stripe.map.erase(it);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return 1;
+      }
+    }
+    return 0;  // every stamp was stale; map entries must be newer
+  }
+
+  TtlStoreOptions options_;
+  size_t per_stripe_cap_ = 0;
+  std::vector<Stripe> stripes_;
+  std::atomic<size_t> size_{0};
+};
+
+/// Striped replay cache: remembers (timestamp, discriminator) pairs of
+/// accepted authentications for the freshness window and rejects
+/// duplicates. Both protections the protocol needs are structural here:
+///
+///  * window bound — entries older than `window_micros` relative to the
+///    caller-supplied clock are pruned on every insert touching their
+///    stripe (duplicates of them are already rejected by the timestamp
+///    freshness check, so forgetting them is safe);
+///  * capacity bound — a stripe that is full despite pruning evicts its
+///    oldest entries. Those are the entries closest to aging out of the
+///    window, so the protection lost is marginal and the memory bound
+///    is absolute. `Evictions()` counts how often that safety valve
+///    opened; a deployment seeing it move sizes the cache up.
+///
+/// The pre-PR-10 services kept this set unbounded within the window and
+/// behind the same mutex as the session registry; at millions of
+/// authentications per window the set itself became a memory and cache
+/// liability. Striping by discriminator hash also moves the prune cost
+/// off the registry lock.
+class ReplayCache {
+ public:
+  struct Options {
+    size_t stripes = 16;
+    size_t max_entries = size_t{1} << 20;
+    int64_t window_micros = 0;  ///< <= 0 disables window pruning.
+  };
+
+  explicit ReplayCache(Options options);
+
+  /// Records (timestamp, key). Returns false — a replay — if the pair
+  /// is already present. Prunes the stripe's out-of-window entries
+  /// first.
+  bool CheckAndInsert(int64_t timestamp, const std::string& key, int64_t now);
+
+  /// Entries currently remembered. O(1).
+  size_t Size() const { return size_.load(std::memory_order_relaxed); }
+
+  /// Total capacity evictions since construction (0 in a well-sized
+  /// deployment).
+  uint64_t Evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Stripe {
+    std::mutex mutex;
+    /// Ordered by timestamp so window pruning is a prefix erase.
+    std::set<std::pair<int64_t, std::string>> entries;
+
+    Stripe() = default;
+    Stripe(Stripe&&) noexcept {}  // only used during construction
+  };
+
+  Options options_;
+  size_t per_stripe_cap_ = 0;
+  std::vector<Stripe> stripes_;
+  std::atomic<size_t> size_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace mws::util
+
+#endif  // MWSIBE_UTIL_TTL_STORE_H_

@@ -59,6 +59,7 @@ declare -A json_benches=(
   [bench_e17_batching]=BENCH_e17.json
   [bench_e18_fleet]=BENCH_e18.json
   [bench_e19_shardscale]=BENCH_e19.json
+  [bench_e20_controlplane]=BENCH_e20.json
 )
 
 # Benches that understand --smoke themselves. The rest are plain
@@ -69,7 +70,7 @@ declare -A smoke_aware=(
   [bench_e7_ibe_primitives]=1 [bench_e8_scalability]=1
   [bench_e15_resilience]=1 [bench_e16_observability]=1
   [bench_e17_batching]=1 [bench_e18_fleet]=1
-  [bench_e19_shardscale]=1
+  [bench_e19_shardscale]=1 [bench_e20_controlplane]=1
   [bench_fig2_key_retrieval]=1 [bench_fig3_components]=1
 )
 
